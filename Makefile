@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover fuzz experiments report examples
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -short -cover ./...
+
+# Short fuzzing bursts over the numerical substrates.
+fuzz:
+	$(GO) test -fuzz FuzzBoxKnapsack -fuzztime 30s ./internal/projection
+	$(GO) test -fuzz FuzzSimplexProjection -fuzztime 30s ./internal/projection
+	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/lp
+
+# Regenerate every figure (slow: full sweeps on the default scale), then
+# assemble EXPERIMENTS.md with machine-checked paper claims.
+experiments:
+	$(GO) run ./cmd/experiments -all -csv results/csv | tee results/tables.txt
+
+report:
+	$(GO) run ./cmd/report -csv results/csv -out EXPERIMENTS.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videostream
+	$(GO) run ./examples/flashcrowd
+	$(GO) run ./examples/multisbs

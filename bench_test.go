@@ -1,0 +1,345 @@
+// Benchmarks: one per paper table/figure (regenerating its series at the
+// Quick experiment scale) plus the ablation benches DESIGN.md calls out
+// (P1 flow vs simplex, P2 FISTA vs PGD, rounding threshold, subgradient
+// step schedule) and micro-benchmarks of the optimization substrates.
+//
+// The figure benches exist so `go test -bench=.` demonstrably exercises
+// every experiment end to end; the full-scale numbers live in
+// EXPERIMENTS.md and come from `go run ./cmd/experiments`.
+package edgecache_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/caching"
+	"edgecache/internal/convex"
+	"edgecache/internal/core"
+	"edgecache/internal/experiments"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/mcflow"
+	"edgecache/internal/model"
+	"edgecache/internal/online"
+	"edgecache/internal/projection"
+	"edgecache/internal/trace"
+	"edgecache/internal/workload"
+)
+
+// --- figure/table benches (E1–E5 of DESIGN.md §4) --------------------------
+
+func BenchmarkFig2_BetaSweep(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2([]float64{0, 20, 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_WindowSweep(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3([]int{2, 4, 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_BandwidthSweep(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4([]float64{3, 5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_NoiseSweep(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig5([]float64{0, 0.2, 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadline_CostRatios(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Headline(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches -------------------------------------------------------
+
+// benchSubproblem builds a P1 instance representative of one paper-scale
+// window solve (K = 30, horizon = 10, C = 5).
+func benchSubproblem() *caching.Subproblem {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sp := &caching.Subproblem{K: 30, Capacity: 5, Beta: 100, Reward: make([][]float64, 10)}
+	for t := range sp.Reward {
+		sp.Reward[t] = make([]float64, sp.K)
+		for k := range sp.Reward[t] {
+			sp.Reward[t][k] = rng.Float64() * 200
+		}
+	}
+	return sp
+}
+
+func BenchmarkP1_FlowVsSimplex(b *testing.B) {
+	sp := benchSubproblem()
+	b.Run("flow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sp.SolveFlow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simplex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sp.SolveLP(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSlotProblem builds a paper-scale P2 slot problem (30 classes × 30
+// contents) with an active bandwidth constraint.
+func benchSlotProblem() *loadbalance.SlotProblem {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m, k := 30, 30
+	p := &loadbalance.SlotProblem{
+		M: m, K: k,
+		Lambda:    make([]float64, m*k),
+		OmegaBS:   make([]float64, m),
+		OmegaSBS:  make([]float64, m),
+		Bandwidth: 30,
+		Mu:        make([]float64, m*k),
+	}
+	for i := range p.Lambda {
+		p.Lambda[i] = rng.Float64() * 0.15
+	}
+	for i := range p.OmegaBS {
+		p.OmegaBS[i] = rng.Float64()
+	}
+	for i := range p.Mu {
+		p.Mu[i] = rng.Float64() * 5
+	}
+	return p
+}
+
+func BenchmarkP2_FISTAvsPGD(b *testing.B) {
+	p := benchSlotProblem()
+	for _, method := range []convex.Method{convex.FISTA, convex.PGD} {
+		b.Run(method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Solve(nil, convex.Options{Method: method, MaxIter: 600, StepTol: 1e-6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRounding_RhoSweep(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RhoSweep([]float64{0.25, 0.382, 0.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDual_StepSchedule(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 8
+	cfg.K = 10
+	cfg.ClassesPerSBS = 8
+	cfg.CacheCap = 3
+	cfg.Bandwidth = 8
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alpha := range []float64{0.02, 0.05, 0.2} {
+		b.Run(stepName(alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(in, core.Options{MaxIter: 20, StallIter: -1, StepAlpha: alpha}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func stepName(alpha float64) string {
+	switch alpha {
+	case 0.02:
+		return "alpha=0.02"
+	case 0.05:
+		return "alpha=0.05"
+	default:
+		return "alpha=0.20"
+	}
+}
+
+func BenchmarkCHC_Commitment(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CommitmentSweep([]int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- solver/controller benches ----------------------------------------------
+
+func benchInstance(b *testing.B) (*model.Instance, *workload.Predictor) {
+	b.Helper()
+	cfg := workload.PaperDefault()
+	cfg.T = 10
+	cfg.K = 12
+	cfg.ClassesPerSBS = 8
+	cfg.CacheCap = 3
+	cfg.Bandwidth = 8
+	cfg.Beta = 20
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := workload.NewPredictor(in.Demand, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, pred
+}
+
+func BenchmarkOffline_PrimalDual(b *testing.B) {
+	in, _ := benchInstance(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnline_Controllers(b *testing.B) {
+	in, pred := benchInstance(b)
+	for _, cfg := range []online.Config{online.RHC(4), online.CHC(4, 2), online.AFHC(4)} {
+		b.Run(cfg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := online.Run(in, pred, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate micro-benches -------------------------------------------------
+
+func BenchmarkProjection_BoxKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 900
+	z := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	c := make([]float64, n)
+	for i := range z {
+		z[i] = rng.Float64() * 2
+		hi[i] = 1
+		c[i] = rng.Float64() * 0.2
+	}
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := projection.BoxKnapsack(dst, z, lo, hi, c, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCFlow_SuccessiveShortestPaths(b *testing.B) {
+	// A layered DAG the size of a paper-scale P1 window network
+	// (~600 nodes), with mixed-sign costs.
+	rng := rand.New(rand.NewPCG(7, 8))
+	const layers, width = 30, 20
+	build := func() *mcflow.Graph {
+		g := mcflow.NewGraph(layers*width + 2)
+		src, snk := layers*width, layers*width+1
+		for i := 0; i < width; i++ {
+			g.AddArc(src, i, 1, 0)
+			g.AddArc((layers-1)*width+i, snk, 1, 0)
+		}
+		for l := 0; l+1 < layers; l++ {
+			for i := 0; i < width; i++ {
+				for _, j := range []int{i, (i + 1) % width} {
+					g.AddArc(l*width+i, (l+1)*width+j, 1, rng.Float64()*4-1)
+				}
+			}
+		}
+		return g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := build()
+		if _, err := g.Solve(layers*width, layers*width+1, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadBalance_GreedyRecovery(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 2
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := model.NewCachePlan(in.N, in.K)
+	for k := 0; k < in.CacheCap[0]; k++ {
+		x[0][k] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadbalance.OptimalGivenPlacement(in, 0, x, convex.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrace_GenerateAndReplay(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 20
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(in.Demand, uint64(i))
+		if _, err := trace.Replay(tr, 0, trace.NewLRU()(in.CacheCap[0])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseline_LRFUPlan(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 20
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := baseline.NewLRFU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Plan(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

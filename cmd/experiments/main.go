@@ -1,0 +1,247 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§V) plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -all                 # everything, text tables to stdout
+//	experiments -fig fig2a,fig5     # selected experiments
+//	experiments -scale paper -all   # full §V-B scale (T = 100; slow)
+//	experiments -csv out/           # also write one CSV per table
+//
+// Experiment identifiers: fig2a fig2b fig2c fig2d fig3a fig3b fig4a fig4b
+// fig5 headline rho chc-r classic loadmode hitratio competitive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edgecache/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		figs     = fs.String("fig", "", "comma-separated experiment ids (fig2a..fig5, headline, rho, chc-r)")
+		scale    = fs.String("scale", "default", "instance scale: quick, default, paper")
+		csvDir   = fs.String("csv", "", "directory to write per-table CSVs (created if missing)")
+		progress = fs.Bool("progress", true, "log per-run progress to stderr")
+		plot     = fs.Bool("plot", false, "render each table as an ASCII chart too")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		seeds    = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
+		window   = fs.Int("w", 0, "override prediction window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var setup experiments.Setup
+	switch *scale {
+	case "quick":
+		setup = experiments.Quick()
+	case "default":
+		setup = experiments.Default()
+	case "paper":
+		setup = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	setup.Config.Seed = *seed
+	if *seeds > 1 {
+		for i := 0; i < *seeds; i++ {
+			setup.Seeds = append(setup.Seeds, *seed+uint64(i))
+		}
+	}
+	if *window > 0 {
+		setup.Window = *window
+		if setup.Commitment > *window {
+			setup.Commitment = max(1, *window/2)
+		}
+	}
+	if *progress {
+		setup.Progress = os.Stderr
+	}
+
+	wanted := map[string]bool{}
+	if !*all {
+		if *figs == "" {
+			return fmt.Errorf("nothing to do: pass -all or -fig ids")
+		}
+		for _, id := range strings.Split(*figs, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(ids ...string) bool {
+		if *all {
+			return true
+		}
+		for _, id := range ids {
+			if wanted[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// emit writes each table as soon as its sweep completes, so partial
+	// output survives an interrupted run.
+	emitted := 0
+	emit := func(ts ...*experiments.Table) error {
+		for _, t := range ts {
+			if err := t.Write(out); err != nil {
+				return err
+			}
+			if *plot {
+				if chart, err := t.Chart(); err == nil {
+					if err := chart.Render(out); err != nil {
+						return err
+					}
+				}
+			}
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+				if err != nil {
+					return err
+				}
+				if err := t.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			emitted++
+		}
+		return nil
+	}
+	add := func(ts []*experiments.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		return emit(ts...)
+	}
+
+	if want("fig2a", "fig2b", "fig2c", "fig2d") {
+		if err := add(setup.Fig2([]float64{0, 25, 50, 75, 100, 150, 200})); err != nil {
+			return err
+		}
+	}
+	if want("fig3a", "fig3b") {
+		if err := add(setup.Fig3([]int{2, 4, 6, 8, 10, 14, 20})); err != nil {
+			return err
+		}
+	}
+	if want("fig4a", "fig4b") {
+		if err := add(setup.Fig4([]float64{5, 10, 15, 20, 30, 40, 50})); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		t, err := setup.Fig5([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("headline") {
+		t, err := setup.Headline(50)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("rho") {
+		t, err := setup.RhoSweep([]float64{0.2, 0.3, 0.382, 0.5, 0.65, 0.8})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("chc-r") {
+		rs := []int{1, 2, 3, 5, 8, 10}
+		var valid []int
+		for _, r := range rs {
+			if r <= setup.Window {
+				valid = append(valid, r)
+			}
+		}
+		t, err := setup.CommitmentSweep(valid)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+
+	if want("competitive") {
+		ws := []int{1, 2, 4, 8}
+		var valid []int
+		for _, w := range ws {
+			if w <= setup.Config.T {
+				valid = append(valid, w)
+			}
+		}
+		t, err := setup.Competitive(valid)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("loadmode") {
+		t, err := setup.LoadModeComparison([]float64{0, 0.2, 0.4})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("hitratio") {
+		t, err := setup.HitRatioSweep([]int{1, 2, 5, 10, 15})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("classic") {
+		t, err := setup.ClassicComparison([]float64{0, 50, 100})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+
+	if emitted == 0 {
+		return fmt.Errorf("no experiment matched %q", *figs)
+	}
+	return nil
+}

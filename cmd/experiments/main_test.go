@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedFigures(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "quick", "-fig", "headline", "-progress=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[headline]", "RatioToOffline", "Offline", "LRFU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "quick", "-fig", "chc-r", "-progress=false", "-csv", dir, "-w", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "chc-r.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "r,CHC") {
+		t.Fatalf("unexpected CSV header: %q", string(data[:20]))
+	}
+}
+
+func TestRunRejectsNothingSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "quick"}, &buf); err == nil {
+		t.Fatal("accepted empty selection")
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "galactic", "-all"}, &buf); err == nil {
+		t.Fatal("accepted unknown scale")
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-fig", "fig99"}, &buf); err == nil {
+		t.Fatal("accepted unknown figure id")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}

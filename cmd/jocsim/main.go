@@ -1,0 +1,191 @@
+// Command jocsim runs one joint caching / load-balancing scenario and
+// compares the selected algorithms on it.
+//
+// Usage:
+//
+//	jocsim                              # paper setup, all algorithms
+//	jocsim -T 50 -beta 50 -eta 0.2     # overrides
+//	jocsim -algs offline,rhc,lrfu      # subset
+//	jocsim -slots                      # also print the per-slot series
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"edgecache"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jocsim", flag.ContinueOnError)
+	var (
+		horizon   = fs.Int("T", 60, "time slots")
+		catalogue = fs.Int("K", 30, "catalogue size")
+		classes   = fs.Int("classes", 30, "user classes per SBS")
+		sbs       = fs.Int("sbs", 1, "number of SBSs")
+		cache     = fs.Int("C", 5, "cache capacity per SBS")
+		bandwidth = fs.Float64("B", 30, "SBS bandwidth per slot")
+		beta      = fs.Float64("beta", 100, "cache replacement cost β")
+		eta       = fs.Float64("eta", 0.1, "prediction noise η")
+		window    = fs.Int("w", 10, "prediction window")
+		commit    = fs.Int("r", 5, "CHC commitment level")
+		jitter    = fs.Float64("jitter", 0.4, "demand temporal jitter")
+		drift     = fs.Int("drift", 0, "popularity drift period (0 = off)")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		algsFlag  = fs.String("algs", "offline,rhc,chc,afhc,lrfu", "algorithms: offline,rhc,chc,afhc,fhc,lrfu,lfu,static,nocache,lru,fifo,clfu,clrfu")
+		slots     = fs.Bool("slots", false, "print per-slot series")
+		asJSON    = fs.Bool("json", false, "emit results as JSON instead of tables")
+		stats     = fs.Bool("stats", false, "print workload statistics before results")
+		config    = fs.String("config", "", "load scenario from a JSON file (flags below are ignored)")
+		saveTo    = fs.String("saveconfig", "", "write the effective scenario to a JSON file and continue")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scn *edgecache.Scenario
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			return err
+		}
+		scn, err = edgecache.LoadScenario(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		scn = edgecache.NewScenario(*sbs, *catalogue, *classes, *horizon).
+			WithCache(*cache).
+			WithBandwidth(*bandwidth).
+			WithBeta(*beta).
+			WithJitter(*jitter).
+			WithDrift(*drift).
+			WithNoise(*eta).
+			WithSeed(*seed)
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		if err := scn.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	inst, pred, err := scn.Build()
+	if err != nil {
+		return err
+	}
+
+	var planners []edgecache.Planner
+	for _, name := range strings.Split(*algsFlag, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "offline":
+			planners = append(planners, edgecache.Offline())
+		case "rhc":
+			planners = append(planners, edgecache.RHC(*window))
+		case "chc":
+			planners = append(planners, edgecache.CHC(*window, min(*commit, *window)))
+		case "afhc":
+			planners = append(planners, edgecache.AFHC(*window))
+		case "fhc":
+			planners = append(planners, edgecache.FHC(*window))
+		case "lrfu":
+			planners = append(planners, edgecache.LRFU())
+		case "lfu":
+			planners = append(planners, edgecache.LFU())
+		case "static":
+			planners = append(planners, edgecache.StaticTop())
+		case "nocache":
+			planners = append(planners, edgecache.NoCaching())
+		case "lru":
+			planners = append(planners, edgecache.ClassicLRU(*seed))
+		case "fifo":
+			planners = append(planners, edgecache.ClassicFIFO(*seed))
+		case "clfu":
+			planners = append(planners, edgecache.ClassicLFU(*seed))
+		case "clrfu":
+			planners = append(planners, edgecache.ClassicLRFU(0.1, *seed))
+		case "":
+		default:
+			return fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+	if len(planners) == 0 {
+		return fmt.Errorf("no algorithms selected")
+	}
+
+	runs, err := edgecache.Compare(inst, pred, planners...)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Scenario edgecache.ScenarioConfig `json:"scenario"`
+			Runs     []*edgecache.Run         `json:"runs"`
+		}{scn.Config(), runs})
+	}
+
+	cfg := scn.Config()
+	fmt.Fprintf(out, "scenario: N=%d K=%d M=%d T=%d C=%d B=%g beta=%g eta=%g w=%d seed=%d\n\n",
+		cfg.SBS, cfg.Catalogue, cfg.Classes, cfg.Horizon, cfg.Cache, cfg.Bandwidth, cfg.Beta, cfg.Eta, *window, cfg.Seed)
+
+	if *stats {
+		ws := edgecache.DemandStatistics(inst.Demand)
+		headIdx := min(cfg.Cache, len(ws.HeadMass)) - 1
+		fmt.Fprintf(out, "workload: volume %.1f (%.1f/slot, peak %.1f@%d), top-%d mass %.0f%%, gini %.2f, temporal CV %.2f\n\n",
+			ws.TotalVolume, ws.MeanPerSlot, ws.PeakPerSlot, ws.PeakSlot,
+			cfg.Cache, 100*ws.HeadMass[headIdx], ws.Gini, ws.TemporalCV)
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\ttotal\tBS cost\treplace cost\t#replace\truntime")
+	base := runs[0].Cost.Total
+	for _, r := range runs {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\t%s\n",
+			r.Policy, r.Cost.Total, r.Cost.BS, r.Cost.Replacement, r.Cost.Replacements, r.Runtime.Round(1000000))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(runs) > 1 {
+		fmt.Fprintf(out, "\nrelative to %s:\n", runs[0].Policy)
+		for _, r := range runs[1:] {
+			fmt.Fprintf(out, "  %-14s %.3f×\n", r.Policy, r.Cost.Total/base)
+		}
+	}
+
+	if *slots {
+		fmt.Fprintln(out, "\nper-slot series (first algorithm):")
+		sw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(sw, "slot\tBS\treplace\t#repl\toffload\tcacheUtil")
+		for t, m := range runs[0].PerSlot {
+			fmt.Fprintf(sw, "%d\t%.1f\t%.1f\t%d\t%.2f\t%.2f\n",
+				t, m.BS, m.Replacement, m.Replacements, m.OffloadFraction, m.CacheUtilization)
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// quickArgs keeps command tests fast on one core.
+var quickArgs = []string{
+	"-T", "6", "-K", "6", "-classes", "4", "-C", "2", "-B", "5",
+	"-beta", "10", "-w", "3", "-r", "2",
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "offline,rhc,chc,afhc,lrfu,lfu,static,nocache"}, quickArgs...)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Offline", "RHC(w=3)", "CHC(w=3,r=2)", "AFHC(w=3)", "LRFU", "LFU", "StaticTop", "NoCaching", "relative to Offline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSlotsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "lrfu", "-slots"}, quickArgs...)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per-slot series") {
+		t.Fatal("per-slot series not printed")
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-algs", "nonsense"}, quickArgs...), &buf); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+}
+
+func TestRunRejectsEmptyAlgorithms(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append([]string{"-algs", ","}, quickArgs...), &buf); err == nil {
+		t.Fatal("accepted empty algorithm list")
+	}
+}
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-T", "0"}, &buf); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}
+
+func TestRunConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/scenario.json"
+
+	var first bytes.Buffer
+	args := append([]string{"-algs", "lrfu", "-saveconfig", path}, quickArgs...)
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	// -w is controller state, not scenario state; pass it again on replay.
+	var second bytes.Buffer
+	if err := run([]string{"-algs", "lrfu", "-config", path, "-w", "3"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("config replay diverged:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunConfigMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-config", "/does/not/exist.json"}, &buf); err == nil {
+		t.Fatal("accepted missing config file")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "lrfu,nocache", "-json"}, quickArgs...)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Scenario map[string]any   `json:"scenario"`
+		Runs     []map[string]any `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(payload.Runs) != 2 {
+		t.Fatalf("runs = %d", len(payload.Runs))
+	}
+	if payload.Runs[0]["policy"] != "LRFU" {
+		t.Fatalf("first run %v", payload.Runs[0]["policy"])
+	}
+	if _, ok := payload.Runs[0]["cost"].(map[string]any)["total"]; !ok {
+		t.Fatal("cost.total missing")
+	}
+	if payload.Scenario["horizon"].(float64) != 6 {
+		t.Fatal("scenario not embedded")
+	}
+}

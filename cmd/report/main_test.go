@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSV drops a minimal experiment CSV into dir.
+func writeCSV(t *testing.T, dir, id, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, id+".csv"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneratesReport(t *testing.T) {
+	dir := t.TempDir()
+	// A fig5 table satisfying its strict claims (Offline and LRFU flat).
+	writeCSV(t, dir, "fig5",
+		"eta,Offline,RHC,CHC,AFHC,LRFU\n0,100,101,102,103,130\n0.5,100,105,106,107,130\n")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# EXPERIMENTS", "[PASS] offline flat in η", "Fig. 5", "*Not measured in this run.*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStrictFailureExitsNonNil(t *testing.T) {
+	dir := t.TempDir()
+	// Offline NOT flat → strict failure.
+	writeCSV(t, dir, "fig5",
+		"eta,Offline,RHC,CHC,AFHC,LRFU\n0,100,101,102,103,130\n0.5,120,105,106,107,130\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", dir}, &buf); err == nil {
+		t.Fatal("strict failure not propagated")
+	}
+	if !strings.Contains(buf.String(), "[FAIL] offline flat in η") {
+		t.Fatal("FAIL verdict missing")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(t, dir, "chc-r", "r,CHC\n1,10\n2,11\n")
+	out := filepath.Join(dir, "EXPERIMENTS.md")
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", dir, "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "CHC cost non-decreasing in r") {
+		t.Fatal("report file incomplete")
+	}
+}
+
+func TestRunNoCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", t.TempDir()}, &buf); err == nil {
+		t.Fatal("accepted empty CSV directory")
+	}
+}

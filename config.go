@@ -1,0 +1,144 @@
+package edgecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ScenarioConfig is the serialisable form of a Scenario, so experiments
+// can be pinned in version control and replayed bit-for-bit. Zero-valued
+// fields inherit the paper defaults on load.
+type ScenarioConfig struct {
+	// SBS, Catalogue, Classes and Horizon are the principal dimensions
+	// (N, K, M, T).
+	SBS       int `json:"sbs"`
+	Catalogue int `json:"catalogue"`
+	Classes   int `json:"classes"`
+	Horizon   int `json:"horizon"`
+	// Cache and Bandwidth are C and B per SBS.
+	Cache     int     `json:"cache"`
+	Bandwidth float64 `json:"bandwidth"`
+	// Beta is the replacement cost β.
+	Beta float64 `json:"beta"`
+	// ZipfAlpha and ZipfQ shape content popularity.
+	ZipfAlpha float64 `json:"zipfAlpha"`
+	ZipfQ     float64 `json:"zipfQ"`
+	// MaxDensity caps per-class demand density.
+	MaxDensity float64 `json:"maxDensity"`
+	// Jitter is the temporal demand variation σ.
+	Jitter float64 `json:"jitter"`
+	// DriftPeriod rotates popularity ranks every so many slots (0 = off).
+	DriftPeriod int `json:"driftPeriod"`
+	// DiurnalAmplitude and DiurnalPeriod modulate total demand
+	// sinusoidally (day/night cycle); amplitude 0 disables.
+	DiurnalAmplitude float64 `json:"diurnalAmplitude"`
+	DiurnalPeriod    int     `json:"diurnalPeriod"`
+	// SBSWeightRatio sets ŵ = ratio·ω.
+	SBSWeightRatio float64 `json:"sbsWeightRatio"`
+	// Eta is the prediction noise η.
+	Eta float64 `json:"eta"`
+	// Seed pins the random workload.
+	Seed uint64 `json:"seed"`
+}
+
+// Config exports the scenario's current settings.
+func (s *Scenario) Config() ScenarioConfig {
+	return ScenarioConfig{
+		SBS:              s.cfg.N,
+		Catalogue:        s.cfg.K,
+		Classes:          s.cfg.ClassesPerSBS,
+		Horizon:          s.cfg.T,
+		Cache:            s.cfg.CacheCap,
+		Bandwidth:        s.cfg.Bandwidth,
+		Beta:             s.cfg.Beta,
+		ZipfAlpha:        s.cfg.Workload.Zipf.Alpha,
+		ZipfQ:            s.cfg.Workload.Zipf.Q,
+		MaxDensity:       s.cfg.Workload.MaxDensity,
+		Jitter:           s.cfg.Workload.Jitter,
+		DriftPeriod:      s.cfg.Workload.DriftPeriod,
+		DiurnalAmplitude: s.cfg.Workload.DiurnalAmplitude,
+		DiurnalPeriod:    s.cfg.Workload.DiurnalPeriod,
+		SBSWeightRatio:   s.cfg.OmegaSBSRatio,
+		Eta:              s.eta,
+		Seed:             s.cfg.Seed,
+	}
+}
+
+// FromConfig builds a scenario from a saved config; zero-valued principal
+// fields fall back to the paper defaults. Demand transforms are code, not
+// data — they do not round-trip.
+func FromConfig(c ScenarioConfig) *Scenario {
+	s := PaperScenario()
+	if c.SBS > 0 {
+		s.cfg.N = c.SBS
+	}
+	if c.Catalogue > 0 {
+		s.cfg.K = c.Catalogue
+	}
+	if c.Classes > 0 {
+		s.cfg.ClassesPerSBS = c.Classes
+	}
+	if c.Horizon > 0 {
+		s.cfg.T = c.Horizon
+	}
+	if c.Cache > 0 {
+		s.cfg.CacheCap = c.Cache
+	}
+	if c.Bandwidth > 0 {
+		s.cfg.Bandwidth = c.Bandwidth
+	}
+	if c.Beta > 0 {
+		s.cfg.Beta = c.Beta
+	}
+	if c.ZipfAlpha > 0 {
+		s.cfg.Workload.Zipf.Alpha = c.ZipfAlpha
+	}
+	if c.ZipfQ > 0 {
+		s.cfg.Workload.Zipf.Q = c.ZipfQ
+	}
+	if c.MaxDensity > 0 {
+		s.cfg.Workload.MaxDensity = c.MaxDensity
+	}
+	if c.Jitter > 0 {
+		s.cfg.Workload.Jitter = c.Jitter
+	}
+	if c.DriftPeriod > 0 {
+		s.cfg.Workload.DriftPeriod = c.DriftPeriod
+	}
+	if c.DiurnalAmplitude > 0 {
+		s.cfg.Workload.DiurnalAmplitude = c.DiurnalAmplitude
+		s.cfg.Workload.DiurnalPeriod = c.DiurnalPeriod
+	}
+	if c.SBSWeightRatio > 0 {
+		s.cfg.OmegaSBSRatio = c.SBSWeightRatio
+	}
+	if c.Eta > 0 {
+		s.eta = c.Eta
+	}
+	if c.Seed > 0 {
+		s.cfg.Seed = c.Seed
+	}
+	return s
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Config()); err != nil {
+		return fmt.Errorf("edgecache: save scenario: %w", err)
+	}
+	return nil
+}
+
+// LoadScenario reads a JSON scenario config.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	var c ScenarioConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("edgecache: load scenario: %w", err)
+	}
+	return FromConfig(c), nil
+}

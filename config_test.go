@@ -1,0 +1,68 @@
+package edgecache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	orig := NewScenario(2, 12, 6, 20).
+		WithCache(3).
+		WithBandwidth(9).
+		WithBeta(42).
+		WithZipf(1.2, 7).
+		WithDensity(5).
+		WithJitter(0.25).
+		WithDrift(3).
+		WithDiurnal(0.3, 12).
+		WithSBSWeightRatio(0.02).
+		WithNoise(0.3).
+		WithSeed(77)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Config(), orig.Config(); got != want {
+		t.Fatalf("round trip changed config:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Builds must produce identical instances.
+	a, _, err := orig.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Demand.At(3, 1, 2, 4) != b.Demand.At(3, 1, 2, 4) {
+		t.Fatal("round-tripped scenario builds different demand")
+	}
+}
+
+func TestFromConfigDefaults(t *testing.T) {
+	s := FromConfig(ScenarioConfig{})
+	got := s.Config()
+	want := PaperScenario().Config()
+	if got != want {
+		t.Fatalf("empty config did not inherit paper defaults:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadScenario(strings.NewReader(`{"horizon": 5, "warp": 9}`)); err == nil {
+		t.Fatal("accepted unknown field")
+	}
+}
+
+func TestLoadScenarioRejectsGarbage(t *testing.T) {
+	if _, err := LoadScenario(strings.NewReader("not json")); err == nil {
+		t.Fatal("accepted non-JSON")
+	}
+}

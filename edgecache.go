@@ -1,0 +1,299 @@
+// Package edgecache is a library for joint online edge caching and load
+// balancing in cache-enabled cellular networks, reproducing Zeng, Huang,
+// Liu & Yang, "Joint Online Edge Caching and Load Balancing for Mobile
+// Data Offloading in 5G Networks" (ICDCS 2019).
+//
+// The model: a macro base station (BS) backs a set of small base stations
+// (SBS), each with a small content cache and a per-slot bandwidth budget.
+// Every slot, a controller decides which contents each SBS caches (paying
+// a replacement cost β per fetched item) and what fraction of each user
+// class's requests the SBS serves (the BS serves the rest at quadratic
+// operating cost). The library provides:
+//
+//   - the offline primal-dual solver of the paper's Algorithm 1, with a
+//     certified dual lower bound (Offline);
+//   - the paper's online controllers with limited noisy predictions —
+//     RHC, CHC and AFHC with the Theorem-3 rounding policy;
+//   - rule-based baselines (the paper's LRFU, plus LFU / EMA / static);
+//   - workload synthesis (Zipf–Mandelbrot popularity, jitter, drift) and
+//     a noisy prediction oracle;
+//   - a simulation harness that verifies feasibility and accounts every
+//     cost component.
+//
+// # Quick start
+//
+//	scn := edgecache.PaperScenario().WithHorizon(50).WithSeed(7)
+//	inst, pred, err := scn.Build()
+//	// handle err
+//	runs, err := edgecache.Compare(inst, pred,
+//		edgecache.Offline(),
+//		edgecache.RHC(10),
+//		edgecache.LRFU(),
+//	)
+//
+// See examples/ for complete programs and DESIGN.md for the mapping from
+// the paper's equations to packages.
+package edgecache
+
+import (
+	"fmt"
+	"io"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/online"
+	"edgecache/internal/sim"
+	"edgecache/internal/trace"
+	"edgecache/internal/workload"
+)
+
+// Re-exported core types. These aliases are the library's data surface;
+// the heavy lifting stays in the internal packages.
+type (
+	// Instance is a fully specified problem (stations, users, demand).
+	Instance = model.Instance
+	// Demand holds per-slot request rates λ^t.
+	Demand = model.Demand
+	// Trajectory is a sequence of per-slot (placement, load split) pairs.
+	Trajectory = model.Trajectory
+	// CachePlan is a per-slot cache placement x.
+	CachePlan = model.CachePlan
+	// LoadPlan is a per-slot load split y.
+	LoadPlan = model.LoadPlan
+	// CostBreakdown decomposes a trajectory's objective value.
+	CostBreakdown = model.CostBreakdown
+	// Predictor is the noisy limited-lookahead demand oracle.
+	Predictor = workload.Predictor
+	// Planner plans a trajectory for an instance (offline solver, online
+	// controller, or baseline).
+	Planner = sim.Policy
+	// Run is one planner's evaluated result.
+	Run = sim.Result
+	// SlotMetrics are the per-slot series of a Run.
+	SlotMetrics = sim.SlotMetrics
+	// WorkloadStats summarises a demand tensor (volume, head mass, skew).
+	WorkloadStats = workload.DemandStats
+)
+
+// DemandStatistics summarises a demand tensor: total and per-slot volume,
+// head mass (how cacheable the catalogue is), Gini skew and temporal
+// variability — the quantities to inspect before trusting a workload.
+func DemandStatistics(d *Demand) WorkloadStats { return workload.Stats(d) }
+
+// Scenario is a fluent builder for problem instances. The zero value is
+// not useful; start from PaperScenario or NewScenario.
+type Scenario struct {
+	cfg       workload.InstanceConfig
+	eta       float64
+	transform func(t, n, m, k int, rate float64) float64
+	demand    *Demand
+}
+
+// PaperScenario returns the paper's §V-B simulation setup: one SBS with a
+// 5-item cache and bandwidth 30, a 30-item catalogue, 30 user classes,
+// 100 slots, β = 100, Zipf–Mandelbrot(0.8, 30) popularity, prediction
+// noise η = 0.1.
+func PaperScenario() *Scenario {
+	return &Scenario{cfg: workload.PaperDefault(), eta: 0.1}
+}
+
+// NewScenario returns a scenario with the paper's defaults but the given
+// principal dimensions.
+func NewScenario(sbs, catalogue, classes, horizon int) *Scenario {
+	s := PaperScenario()
+	s.cfg.N = sbs
+	s.cfg.K = catalogue
+	s.cfg.ClassesPerSBS = classes
+	s.cfg.T = horizon
+	return s
+}
+
+// WithHorizon sets the number of slots T.
+func (s *Scenario) WithHorizon(t int) *Scenario { s.cfg.T = t; return s }
+
+// WithCatalogue sets the content count K.
+func (s *Scenario) WithCatalogue(k int) *Scenario { s.cfg.K = k; return s }
+
+// WithCache sets every SBS's cache capacity C.
+func (s *Scenario) WithCache(c int) *Scenario { s.cfg.CacheCap = c; return s }
+
+// WithBandwidth sets every SBS's per-slot bandwidth B.
+func (s *Scenario) WithBandwidth(b float64) *Scenario { s.cfg.Bandwidth = b; return s }
+
+// WithBeta sets the cache replacement cost β.
+func (s *Scenario) WithBeta(b float64) *Scenario { s.cfg.Beta = b; return s }
+
+// WithJitter sets the slot-to-slot demand variation σ ∈ [0, 1).
+func (s *Scenario) WithJitter(j float64) *Scenario { s.cfg.Workload.Jitter = j; return s }
+
+// WithDrift makes content popularity ranks rotate one position every
+// period slots (0 disables).
+func (s *Scenario) WithDrift(period int) *Scenario { s.cfg.Workload.DriftPeriod = period; return s }
+
+// WithDiurnal modulates total demand sinusoidally: amplitude ∈ [0, 1)
+// over the given period in slots — the day/night cycle.
+func (s *Scenario) WithDiurnal(amplitude float64, period int) *Scenario {
+	s.cfg.Workload.DiurnalAmplitude = amplitude
+	s.cfg.Workload.DiurnalPeriod = period
+	return s
+}
+
+// WithZipf sets the popularity skew α and shift q.
+func (s *Scenario) WithZipf(alpha, q float64) *Scenario {
+	s.cfg.Workload.Zipf.Alpha = alpha
+	s.cfg.Workload.Zipf.Q = q
+	return s
+}
+
+// WithDensity sets the per-class demand density cap (d_m ~ U[0, max]).
+func (s *Scenario) WithDensity(maxDensity float64) *Scenario {
+	s.cfg.Workload.MaxDensity = maxDensity
+	return s
+}
+
+// WithSBSWeightRatio sets ŵ = ratio·ω (0 = SBS operating cost ignored).
+func (s *Scenario) WithSBSWeightRatio(ratio float64) *Scenario {
+	s.cfg.OmegaSBSRatio = ratio
+	return s
+}
+
+// WithNoise sets the prediction noise level η ∈ [0, 1).
+func (s *Scenario) WithNoise(eta float64) *Scenario { s.eta = eta; return s }
+
+// WithSeed makes the scenario deterministic under the given seed.
+func (s *Scenario) WithSeed(seed uint64) *Scenario { s.cfg.Seed = seed; return s }
+
+// WithDemandTransform post-processes every generated rate λ^t_{m,k}
+// through f — the hook for event-driven workloads (flash crowds, outages)
+// that the synthetic generator cannot express. f must return a finite,
+// non-negative rate.
+func (s *Scenario) WithDemandTransform(f func(t, n, m, k int, rate float64) float64) *Scenario {
+	s.transform = f
+	return s
+}
+
+// WithDemand replaces the synthetic workload with an externally supplied
+// demand tensor (e.g. loaded from production logs via ReadDemandCSV). The
+// tensor's shape must match the scenario's dimensions at Build time.
+func (s *Scenario) WithDemand(d *Demand) *Scenario { s.demand = d; return s }
+
+// Build materialises the instance and its prediction oracle.
+func (s *Scenario) Build() (*Instance, *Predictor, error) {
+	in, err := workload.BuildInstance(s.cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("edgecache: %w", err)
+	}
+	if s.demand != nil {
+		in.Demand = s.demand
+		if err := in.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("edgecache: external demand: %w", err)
+		}
+	}
+	if s.transform != nil {
+		in.Demand.Map(s.transform)
+	}
+	pred, err := workload.NewPredictor(in.Demand, s.eta, s.cfg.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("edgecache: %w", err)
+	}
+	return in, pred, nil
+}
+
+// Offline returns the paper's offline primal-dual solver (Algorithm 1) as
+// a planner: the full-information reference every online algorithm is
+// measured against.
+func Offline() Planner { return sim.Offline(core.Options{}) }
+
+// RHC returns Receding Horizon Control with prediction window w
+// (Algorithm 2; commits one slot per solve).
+func RHC(w int) Planner { return sim.Online(online.RHC(w)) }
+
+// CHC returns Committed Horizon Control with window w and commitment
+// level r (Algorithm 3; averages r staggered solvers and rounds at
+// ρ = (3−√5)/2 per Theorem 3).
+func CHC(w, r int) Planner { return sim.Online(online.CHC(w, r)) }
+
+// AFHC returns Averaging Fixed Horizon Control (CHC with r = w).
+func AFHC(w int) Planner { return sim.Online(online.AFHC(w)) }
+
+// FHC returns plain Fixed Horizon Control: re-solve every w slots and
+// commit the whole window, with no staggered averaging — the classic
+// baseline AFHC improves on.
+func FHC(w int) Planner { return sim.Online(online.FHC(w)) }
+
+// LRFU returns the paper's §V-A baseline: cache the top-C contents by the
+// current slot's aggregate request volume.
+func LRFU() Planner { return sim.FromBaseline(baseline.NewLRFU()) }
+
+// LFU returns the cumulative-frequency baseline.
+func LFU() Planner { return sim.FromBaseline(baseline.NewLFU()) }
+
+// EMACache returns the exponentially smoothed recency/frequency baseline
+// with the given decay ∈ [0, 1].
+func EMACache(decay float64) Planner { return sim.FromBaseline(baseline.NewEMA(decay)) }
+
+// StaticTop returns the never-replace baseline (top-C by horizon-average
+// demand).
+func StaticTop() Planner { return sim.FromBaseline(&baseline.StaticTop{}) }
+
+// NoCaching returns the null policy that serves everything from the BS.
+func NoCaching() Planner { return sim.FromBaseline(baseline.NoCaching{}) }
+
+// ClassicLRU evaluates a request-driven least-recently-used cache under
+// the paper's cost model: a Poisson request trace is sampled from the
+// instance demand (deterministically from seed) and streamed through the
+// cache; the resulting placements are costed like any other policy.
+func ClassicLRU(seed uint64) Planner {
+	return sim.FromBaseline(trace.NewPolicyAdapter(trace.NewLRU(), seed))
+}
+
+// ClassicFIFO evaluates a request-driven FIFO cache (see ClassicLRU).
+func ClassicFIFO(seed uint64) Planner {
+	return sim.FromBaseline(trace.NewPolicyAdapter(trace.NewFIFO(), seed))
+}
+
+// ClassicLFU evaluates a request-driven perfect-LFU cache (see ClassicLRU).
+func ClassicLFU(seed uint64) Planner {
+	return sim.FromBaseline(trace.NewPolicyAdapter(trace.NewLFU(), seed))
+}
+
+// ClassicLRFU evaluates the original LRFU of Lee et al. with decay λ (see
+// ClassicLRU). λ → 0 approaches LFU, large λ approaches LRU.
+func ClassicLRFU(lambda float64, seed uint64) Planner {
+	return sim.FromBaseline(trace.NewPolicyAdapter(trace.NewClassicLRFU(lambda), seed))
+}
+
+// ReadDemandCSV loads a long-format demand CSV (header
+// t,sbs,class,content,rate) into a tensor of the given shape — the entry
+// point for evaluating the library on real request-rate logs; pair it
+// with Scenario.WithDemand.
+func ReadDemandCSV(r io.Reader, t int, classes []int, k int) (*Demand, error) {
+	return workload.ReadDemandCSV(r, t, classes, k)
+}
+
+// WriteDemandCSV serialises a demand tensor in the format ReadDemandCSV
+// consumes.
+func WriteDemandCSV(w io.Writer, d *Demand) error {
+	return workload.WriteDemandCSV(w, d)
+}
+
+// Simulate plans with one planner, verifies feasibility and accounts all
+// cost components.
+func Simulate(in *Instance, pred *Predictor, p Planner) (*Run, error) {
+	return sim.Run(in, pred, p)
+}
+
+// Compare runs several planners on the same instance and predictions,
+// returning results in argument order.
+func Compare(in *Instance, pred *Predictor, planners ...Planner) ([]*Run, error) {
+	runs := make([]*Run, len(planners))
+	for i, p := range planners {
+		r, err := sim.Run(in, pred, p)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+	return runs, nil
+}

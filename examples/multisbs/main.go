@@ -1,0 +1,77 @@
+// Multisbs: a heterogeneous deployment of four SBSs under one BS — a
+// dense urban cell (big cache, big bandwidth), two standard picocells and
+// an under-provisioned femtocell. SBS operating cost is enabled
+// (ŵ = 0.01·ω per the paper's footnote on a 100× distance ratio), so the
+// quadratic SBS term g_t participates.
+//
+// The joint problem separates across SBSs (each term of f, g, h involves
+// one SBS), so per-SBS results are directly attributable; the example
+// breaks the offload fraction out per SBS to show how the controller
+// exploits heterogeneous capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgecache"
+)
+
+func main() {
+	scenario := edgecache.NewScenario(4, 30, 12, 36).
+		WithCache(4).
+		WithBandwidth(15).
+		WithBeta(60).
+		WithJitter(0.3).
+		WithSBSWeightRatio(0.01).
+		WithNoise(0.1).
+		WithSeed(5)
+	instance, predictions, err := scenario.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Heterogeneous provisioning: instance fields are exported exactly for
+	// this kind of adjustment. Re-validate afterwards.
+	instance.CacheCap = []int{8, 4, 4, 2}
+	instance.Bandwidth = []float64{30, 15, 15, 6}
+	if err := instance.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	runs, err := edgecache.Compare(instance, predictions,
+		edgecache.Offline(),
+		edgecache.RHC(8),
+		edgecache.LRFU(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("heterogeneous deployment: caches {8,4,4,2}, bandwidth {30,15,15,6}")
+	fmt.Println()
+	offline := runs[0].Cost.Total
+	for _, r := range runs {
+		fmt.Printf("%-9s total %9.1f  BS %9.1f  SBS %7.1f  repl %3d  vs offline %.3f×\n",
+			r.Policy, r.Cost.Total, r.Cost.BS, r.Cost.SBS, r.Cost.Replacements, r.Cost.Total/offline)
+	}
+
+	// Per-SBS served volume under RHC.
+	rhc := runs[1]
+	fmt.Println("\nper-SBS offload under RHC (served demand / total demand):")
+	for n := 0; n < instance.N; n++ {
+		var served, demand float64
+		for t := 0; t < instance.T; t++ {
+			for m := 0; m < instance.Classes[n]; m++ {
+				for k := 0; k < instance.K; k++ {
+					rate := instance.Demand.At(t, n, m, k)
+					served += rate * rhc.Trajectory[t].Y[n][m][k]
+					demand += rate
+				}
+			}
+		}
+		fmt.Printf("  SBS %d (C=%d, B=%g): %5.1f%%\n",
+			n, instance.CacheCap[n], instance.Bandwidth[n], 100*served/demand)
+	}
+	fmt.Println("\nbigger caches and pipes → higher offload; the femtocell saturates first.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: build the paper's simulation scenario, run the offline
+// optimum, one online controller and the LRFU baseline, and print their
+// cost breakdowns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgecache"
+)
+
+func main() {
+	// The paper's §V-B setup, shortened to 40 slots for a fast demo.
+	scenario := edgecache.PaperScenario().
+		WithHorizon(40).
+		WithBeta(50).
+		WithSeed(7)
+	instance, predictions, err := scenario.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runs, err := edgecache.Compare(instance, predictions,
+		edgecache.Offline(), // Algorithm 1 with full information
+		edgecache.RHC(10),   // receding horizon, 10-slot forecasts
+		edgecache.LRFU(),    // the paper's rule-based baseline
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	offline := runs[0].Cost.Total
+	fmt.Println("algorithm    total      BS     replace  #repl  vs offline")
+	for _, r := range runs {
+		fmt.Printf("%-11s %8.1f %8.1f %8.1f %6d  %.3f×\n",
+			r.Policy, r.Cost.Total, r.Cost.BS, r.Cost.Replacement,
+			r.Cost.Replacements, r.Cost.Total/offline)
+	}
+}

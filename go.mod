@@ -1,0 +1,3 @@
+module edgecache
+
+go 1.24

@@ -1,0 +1,271 @@
+// Integration tests: end-to-end checks of the scientific claims the
+// paper's figures rest on, at a scale that runs in seconds, plus edge-case
+// failure injection across the whole pipeline.
+package edgecache_test
+
+import (
+	"testing"
+
+	"edgecache"
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+// buildSmall returns a small but non-trivial scenario.
+func buildSmall(t *testing.T, mutate func(*edgecache.Scenario)) (*edgecache.Instance, *edgecache.Predictor) {
+	t.Helper()
+	scn := edgecache.PaperScenario().
+		WithHorizon(10).
+		WithCatalogue(8).
+		WithCache(2).
+		WithBandwidth(6).
+		WithBeta(15).
+		WithSeed(4)
+	if mutate != nil {
+		mutate(scn)
+	}
+	in, pred, err := scn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, pred
+}
+
+func totalOf(t *testing.T, in *edgecache.Instance, pred *edgecache.Predictor, p edgecache.Planner) edgecache.CostBreakdown {
+	t.Helper()
+	run, err := edgecache.Simulate(in, pred, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Cost
+}
+
+// Fig. 2c's claim: online replacements fall as β grows; LRFU's count is
+// β-invariant.
+func TestShapeReplacementsFallWithBeta(t *testing.T) {
+	low, lowPred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBeta(1) })
+	high, highPred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBeta(200) })
+
+	rhcLow := totalOf(t, low, lowPred, edgecache.RHC(4))
+	rhcHigh := totalOf(t, high, highPred, edgecache.RHC(4))
+	if rhcHigh.Replacements > rhcLow.Replacements {
+		t.Fatalf("RHC replacements rose with β: %d → %d", rhcLow.Replacements, rhcHigh.Replacements)
+	}
+
+	lrfuLow := totalOf(t, low, lowPred, edgecache.LRFU())
+	lrfuHigh := totalOf(t, high, highPred, edgecache.LRFU())
+	if lrfuLow.Replacements != lrfuHigh.Replacements {
+		t.Fatalf("LRFU replacements vary with β: %d vs %d", lrfuLow.Replacements, lrfuHigh.Replacements)
+	}
+}
+
+// Fig. 4a's claim: total cost is non-increasing in the SBS bandwidth.
+func TestShapeCostFallsWithBandwidth(t *testing.T) {
+	prev := -1.0
+	for _, b := range []float64{1, 4, 12} {
+		in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBandwidth(b) })
+		c := totalOf(t, in, pred, edgecache.Offline()).Total
+		if prev >= 0 && c > prev*1.001 {
+			t.Fatalf("offline cost rose with bandwidth: %g → %g at B=%g", prev, c, b)
+		}
+		prev = c
+	}
+}
+
+// §V-C(1)'s claim: the cost ordering Offline ≤ RHC ≤ {CHC, AFHC} ≤ LRFU,
+// averaged over seeds (individual seeds may reorder the middle).
+func TestShapeCostOrdering(t *testing.T) {
+	var off, rhc, afhc, lrfu float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithSeed(seed).WithBeta(30) })
+		off += totalOf(t, in, pred, edgecache.Offline()).Total
+		rhc += totalOf(t, in, pred, edgecache.RHC(4)).Total
+		afhc += totalOf(t, in, pred, edgecache.AFHC(4)).Total
+		lrfu += totalOf(t, in, pred, edgecache.LRFU()).Total
+	}
+	if off > rhc*1.001 {
+		t.Fatalf("offline %g > RHC %g", off, rhc)
+	}
+	if rhc > afhc*1.05 {
+		t.Fatalf("RHC %g ≫ AFHC %g (expected RHC ≤ AFHC on average)", rhc, afhc)
+	}
+	if rhc > lrfu*1.001 {
+		t.Fatalf("RHC %g > LRFU %g", rhc, lrfu)
+	}
+}
+
+// Fig. 5's claim: online total cost is (weakly) hurt by prediction noise;
+// offline and LRFU are exactly flat.
+func TestShapeNoiseHurtsOnlineOnly(t *testing.T) {
+	clean, cleanPred := buildSmall(t, func(s *edgecache.Scenario) { s.WithNoise(0) })
+	noisy, noisyPred := buildSmall(t, func(s *edgecache.Scenario) { s.WithNoise(0.5) })
+
+	offClean := totalOf(t, clean, cleanPred, edgecache.Offline()).Total
+	offNoisy := totalOf(t, noisy, noisyPred, edgecache.Offline()).Total
+	if offClean != offNoisy {
+		t.Fatalf("offline cost varies with η: %g vs %g", offClean, offNoisy)
+	}
+	lrfuClean := totalOf(t, clean, cleanPred, edgecache.LRFU()).Total
+	lrfuNoisy := totalOf(t, noisy, noisyPred, edgecache.LRFU()).Total
+	if lrfuClean != lrfuNoisy {
+		t.Fatalf("LRFU cost varies with η: %g vs %g", lrfuClean, lrfuNoisy)
+	}
+	// Online: allow slack (noise can luckily help a single seed) but a
+	// large improvement under heavy noise signals a bug.
+	rhcClean := totalOf(t, clean, cleanPred, edgecache.RHC(4)).Total
+	rhcNoisy := totalOf(t, noisy, noisyPred, edgecache.RHC(4)).Total
+	if rhcNoisy < rhcClean*0.95 {
+		t.Fatalf("RHC improved sharply under η=0.5: %g → %g", rhcClean, rhcNoisy)
+	}
+}
+
+// --- failure injection -------------------------------------------------------
+
+func TestEdgeZeroDemand(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithDensity(0) })
+	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.AFHC(3), edgecache.LRFU()} {
+		run, err := edgecache.Simulate(in, pred, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if run.Cost.Total != 0 {
+			t.Fatalf("%s: cost %g on zero demand, want 0", run.Policy, run.Cost.Total)
+		}
+	}
+}
+
+func TestEdgeZeroCacheCapacity(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithCache(0) })
+	null := in.NoCachingCost()
+	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.LRFU()} {
+		run, err := edgecache.Simulate(in, pred, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if run.Cost.Total != null {
+			t.Fatalf("%s: cost %g with zero cache, want no-caching cost %g", run.Policy, run.Cost.Total, null)
+		}
+	}
+}
+
+func TestEdgeZeroBandwidth(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBandwidth(0) })
+	run, err := edgecache.Simulate(in, pred, edgecache.Offline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing can be served by the SBS; BS cost equals the null cost.
+	if run.Cost.BS != in.NoCachingCost() {
+		t.Fatalf("BS cost %g with zero bandwidth, want %g", run.Cost.BS, in.NoCachingCost())
+	}
+}
+
+func TestEdgeCapacityExceedsCatalogue(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithCache(20) })
+	run, err := edgecache.Simulate(in, pred, edgecache.RHC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cost.Total <= 0 {
+		t.Fatal("suspicious zero cost")
+	}
+}
+
+func TestEdgeSingleSlotHorizon(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithHorizon(1) })
+	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.CHC(3, 2), edgecache.LRFU()} {
+		if _, err := edgecache.Simulate(in, pred, p); err != nil {
+			t.Fatalf("T=1: %v", err)
+		}
+	}
+}
+
+func TestEdgeWindowExceedsHorizon(t *testing.T) {
+	in, pred := buildSmall(t, nil)
+	run, err := edgecache.Simulate(in, pred, edgecache.RHC(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.PerSlot) != in.T {
+		t.Fatal("wrong horizon")
+	}
+}
+
+func TestEdgeInitialCachePropagates(t *testing.T) {
+	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBeta(1000) })
+	// Pre-warm the cache with the offline solution's first placement: an
+	// instance starting warm should pay less replacement cost.
+	coldRun, err := edgecache.Simulate(in, pred, edgecache.Offline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := *in
+	warm.InitialCache = coldRun.Trajectory[0].X.Clone()
+	if err := warm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	warmRun, err := edgecache.Simulate(&warm, pred, edgecache.Offline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRun.Cost.Replacement >= coldRun.Cost.Replacement {
+		t.Fatalf("warm start did not reduce replacement cost: %g vs %g",
+			warmRun.Cost.Replacement, coldRun.Cost.Replacement)
+	}
+}
+
+// The multi-SBS pipeline end to end, with SBS costs enabled.
+func TestEdgeMultiSBSWithSBSCost(t *testing.T) {
+	scn := edgecache.NewScenario(3, 6, 3, 6).
+		WithCache(2).
+		WithBandwidth(5).
+		WithBeta(10).
+		WithSBSWeightRatio(0.05).
+		WithSeed(8)
+	in, pred, err := scn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := edgecache.Compare(in, pred, edgecache.Offline(), edgecache.RHC(3), edgecache.LRFU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Cost.SBS <= 0 {
+		t.Fatal("SBS cost did not engage despite nonzero ŵ")
+	}
+	if runs[0].Cost.Total > runs[2].Cost.Total*1.001 {
+		t.Fatalf("offline %g worse than LRFU %g", runs[0].Cost.Total, runs[2].Cost.Total)
+	}
+}
+
+// Determinism: two identical runs produce byte-identical cost breakdowns.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() edgecache.CostBreakdown {
+		in, pred := buildSmall(t, nil)
+		return totalOf(t, in, pred, edgecache.CHC(4, 2))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// Cross-check the façade against internals: PaperScenario equals
+// workload.PaperDefault.
+func TestPaperScenarioMatchesInternalDefault(t *testing.T) {
+	in, _, err := edgecache.PaperScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := workload.BuildInstance(workload.PaperDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.K != ref.K || in.T != ref.T || in.CacheCap[0] != ref.CacheCap[0] || in.Bandwidth[0] != ref.Bandwidth[0] {
+		t.Fatal("façade defaults diverge from workload.PaperDefault")
+	}
+	if in.Demand.At(0, 0, 0, 0) != ref.Demand.At(0, 0, 0, 0) {
+		t.Fatal("demand generation diverges")
+	}
+	var _ model.CachePlan = in.InitialPlan() // type-level check of the alias surface
+}

@@ -1,0 +1,193 @@
+// Package baseline implements the caching schemes the paper compares
+// against, plus closely related rule-based policies from its related-work
+// discussion (§VI).
+//
+// The paper's "LRFU" (§V-A) is not the classic LRFU of Lee et al.; it is
+// the rule "at each timeslot, cache the contents ranked by the MUs'
+// request volume, top down, within the cache size", computed on exact
+// (noise-free) demand. That rule is the Decay = 0 member of the score
+// family implemented here:
+//
+//	score^t_k = demand^t_k + Decay · score^{t−1}_k,
+//
+// whose Decay = 1 member is LFU (cumulative frequency) and whose
+// intermediate members are the exponential-smoothing recency/frequency
+// hybrids of the classic LRFU literature.
+//
+// All baselines receive the optimal load split for their placement
+// (package loadbalance) — the most favourable treatment, consistent with
+// the cost ratios the paper reports.
+package baseline
+
+import (
+	"fmt"
+
+	"edgecache/internal/convex"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+	"edgecache/internal/parallel"
+)
+
+// Policy plans a full caching/load-balancing trajectory for an instance
+// using only rule-based logic (no optimization of the placement).
+type Policy interface {
+	// Name is a short label for tables ("LRFU", "LFU", ...).
+	Name() string
+	// Plan returns a feasible trajectory over the instance's horizon.
+	Plan(in *model.Instance) (model.Trajectory, error)
+}
+
+// ScoreCaching caches, at every slot, the top-C_n contents by a running
+// demand score.
+type ScoreCaching struct {
+	// Label is the policy name reported by Name.
+	Label string
+	// Decay is the score memory: 0 ranks by current-slot demand (the
+	// paper's LRFU), 1 accumulates demand forever (LFU), in-between gives
+	// exponentially smoothed recency/frequency ranking.
+	Decay float64
+	// Convex configures the load-split solves.
+	Convex convex.Options
+}
+
+// NewLRFU returns the paper's §V-A baseline.
+func NewLRFU() *ScoreCaching { return &ScoreCaching{Label: "LRFU", Decay: 0} }
+
+// NewLFU returns the cumulative-frequency variant.
+func NewLFU() *ScoreCaching { return &ScoreCaching{Label: "LFU", Decay: 1} }
+
+// NewEMA returns an exponentially smoothed variant with the given decay.
+func NewEMA(decay float64) *ScoreCaching {
+	return &ScoreCaching{Label: fmt.Sprintf("EMA(%.2f)", decay), Decay: decay}
+}
+
+// Name implements Policy.
+func (s *ScoreCaching) Name() string { return s.Label }
+
+// Plan implements Policy.
+func (s *ScoreCaching) Plan(in *model.Instance) (model.Trajectory, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if s.Decay < 0 || s.Decay > 1 {
+		return nil, fmt.Errorf("baseline: decay %g outside [0, 1]", s.Decay)
+	}
+
+	// Placements are sequential (scores carry over); load splits are
+	// independent and filled in parallel afterwards.
+	placements := make([]model.CachePlan, in.T)
+	scores := make([][]float64, in.N)
+	for n := range scores {
+		scores[n] = make([]float64, in.K)
+	}
+	for t := 0; t < in.T; t++ {
+		x := model.NewCachePlan(in.N, in.K)
+		for n := 0; n < in.N; n++ {
+			for k := 0; k < in.K; k++ {
+				scores[n][k] = s.Decay*scores[n][k] + in.Demand.ContentTotal(t, n, k)
+			}
+			for _, k := range topK(scores[n], in.CacheCap[n]) {
+				x[n][k] = 1
+			}
+		}
+		placements[t] = x
+	}
+	return completeWithOptimalLoad(in, placements, s.Convex)
+}
+
+// StaticTop caches the top-C_n contents by average demand over the whole
+// horizon and never replaces them: the zero-replacement-cost extreme,
+// useful as an ablation anchor against the dynamic policies.
+type StaticTop struct {
+	// Convex configures the load-split solves.
+	Convex convex.Options
+}
+
+// Name implements Policy.
+func (*StaticTop) Name() string { return "StaticTop" }
+
+// Plan implements Policy.
+func (s *StaticTop) Plan(in *model.Instance) (model.Trajectory, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	x := model.NewCachePlan(in.N, in.K)
+	for n := 0; n < in.N; n++ {
+		totals := make([]float64, in.K)
+		for t := 0; t < in.T; t++ {
+			for k := 0; k < in.K; k++ {
+				totals[k] += in.Demand.ContentTotal(t, n, k)
+			}
+		}
+		for _, k := range topK(totals, in.CacheCap[n]) {
+			x[n][k] = 1
+		}
+	}
+	placements := make([]model.CachePlan, in.T)
+	for t := range placements {
+		placements[t] = x
+	}
+	return completeWithOptimalLoad(in, placements, s.Convex)
+}
+
+// NoCaching serves everything from the BS: the x = y = 0 null policy whose
+// cost anchors "reduction" percentages.
+type NoCaching struct{}
+
+// Name implements Policy.
+func (NoCaching) Name() string { return "NoCaching" }
+
+// Plan implements Policy.
+func (NoCaching) Plan(in *model.Instance) (model.Trajectory, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return model.NewTrajectory(in), nil
+}
+
+// topK returns the indices of the k largest scores (ties toward smaller
+// index, deterministic), skipping zero-score items: an item nobody has
+// ever requested is not worth a cache slot.
+func topK(scores []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(scores))
+	for i, v := range scores {
+		if v > 0 {
+			idx = append(idx, i)
+		}
+	}
+	// Partial selection sort: k is small (cache sizes).
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if scores[idx[j]] > scores[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// completeWithOptimalLoad fills each slot's load split with the optimum
+// for its placement.
+func completeWithOptimalLoad(in *model.Instance, placements []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
+	traj := make(model.Trajectory, in.T)
+	err := parallel.For(in.T, 0, func(t int) error {
+		y, err := loadbalance.OptimalGivenPlacement(in, t, placements[t], opts)
+		if err != nil {
+			return fmt.Errorf("baseline: slot %d: %w", t, err)
+		}
+		traj[t] = model.SlotDecision{X: placements[t].Clone(), Y: y}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return traj, nil
+}

@@ -1,0 +1,202 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+func testInstance(t *testing.T, mutate func(*workload.InstanceConfig)) *model.Instance {
+	t.Helper()
+	cfg := workload.PaperDefault()
+	cfg.T = 8
+	cfg.K = 6
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 6
+	cfg.Workload.Jitter = 0.3
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{3, 9, 1, 9, 0}
+	got := topK(scores, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("topK = %v, want [1 3]", got)
+	}
+	if got := topK(scores, 0); got != nil {
+		t.Fatalf("topK(0) = %v, want nil", got)
+	}
+	// Zero-score items are never selected even when k exceeds the catalogue.
+	if got := topK([]float64{0, 2, 0}, 3); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("topK skipping zeros = %v, want [1]", got)
+	}
+}
+
+func TestLRFUCachesCurrentTopDemand(t *testing.T) {
+	in := testInstance(t, nil)
+	traj, err := NewLRFU().Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Each slot must cache exactly the top-C items by that slot's demand.
+	for tt := 0; tt < in.T; tt++ {
+		totals := make([]float64, in.K)
+		for k := 0; k < in.K; k++ {
+			totals[k] = in.Demand.ContentTotal(tt, 0, k)
+		}
+		want := topK(totals, in.CacheCap[0])
+		for _, k := range want {
+			if traj[tt].X[0][k] != 1 {
+				t.Fatalf("slot %d: top item %d not cached", tt, k)
+			}
+		}
+		if got := len(traj[tt].X.Items(0)); got != len(want) {
+			t.Fatalf("slot %d: cached %d items, want %d", tt, got, len(want))
+		}
+	}
+}
+
+func TestLFUUsesCumulativeDemand(t *testing.T) {
+	// Content 0 dominates early, content 1 dominates late but LFU's
+	// cumulative score keeps content 0 cached while pure LRFU switches.
+	d := model.NewDemand(4, []int{1}, 2)
+	d.Set(0, 0, 0, 0, 10)
+	d.Set(1, 0, 0, 0, 10)
+	d.Set(2, 0, 0, 1, 11)
+	d.Set(3, 0, 0, 1, 11)
+	in := &model.Instance{
+		N: 1, K: 2, T: 4,
+		Classes:   []int{1},
+		CacheCap:  []int{1},
+		Bandwidth: []float64{100},
+		OmegaBS:   [][]float64{{1}},
+		OmegaSBS:  [][]float64{{0}},
+		Beta:      []float64{1},
+		Demand:    d,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	lfu, err := NewLFU().Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At slot 2 cumulative scores are 20 vs 11 → LFU keeps content 0.
+	if lfu[2].X[0][0] != 1 {
+		t.Fatalf("LFU switched away from cumulative leader: %v", lfu[2].X[0])
+	}
+	// At slot 3 cumulative scores are 20 vs 22 → content 1 takes over.
+	if lfu[3].X[0][1] != 1 {
+		t.Fatalf("LFU ignored new cumulative leader: %v", lfu[3].X[0])
+	}
+
+	lrfu, err := NewLRFU().Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrfu[2].X[0][1] != 1 {
+		t.Fatalf("LRFU did not switch to current leader: %v", lrfu[2].X[0])
+	}
+}
+
+func TestEMADecayValidation(t *testing.T) {
+	in := testInstance(t, nil)
+	if _, err := NewEMA(1.5).Plan(in); err == nil {
+		t.Fatal("accepted decay > 1")
+	}
+	if _, err := NewEMA(-0.1).Plan(in); err == nil {
+		t.Fatal("accepted decay < 0")
+	}
+	traj, err := NewEMA(0.5).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticTopNeverReplaces(t *testing.T) {
+	in := testInstance(t, nil)
+	traj, err := (&StaticTop{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := in.TotalCost(traj)
+	if br.Replacements > in.CacheCap[0] {
+		t.Fatalf("static policy made %d replacements, want ≤ %d (initial fill)", br.Replacements, in.CacheCap[0])
+	}
+	for tt := 1; tt < in.T; tt++ {
+		for k := 0; k < in.K; k++ {
+			if traj[tt].X[0][k] != traj[0].X[0][k] {
+				t.Fatal("static placement changed over time")
+			}
+		}
+	}
+}
+
+func TestNoCachingMatchesNullCost(t *testing.T) {
+	in := testInstance(t, nil)
+	traj, err := (NoCaching{}).Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := in.TotalCost(traj)
+	if math.Abs(br.Total-in.NoCachingCost()) > 1e-9 {
+		t.Fatalf("NoCaching cost %g != NoCachingCost %g", br.Total, in.NoCachingCost())
+	}
+	if br.Replacements != 0 {
+		t.Fatalf("NoCaching made %d replacements", br.Replacements)
+	}
+}
+
+func TestBaselinesBeatNoCaching(t *testing.T) {
+	in := testInstance(t, nil)
+	null := in.NoCachingCost()
+	for _, p := range []Policy{NewLRFU(), NewLFU(), NewEMA(0.7), &StaticTop{}} {
+		traj, err := p.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		br := in.TotalCost(traj)
+		if br.BS > null+1e-9 {
+			t.Fatalf("%s: BS cost %g exceeds no-caching %g", p.Name(), br.BS, null)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewLRFU().Name() != "LRFU" || NewLFU().Name() != "LFU" {
+		t.Fatal("unexpected names")
+	}
+	if NewEMA(0.25).Name() != "EMA(0.25)" {
+		t.Fatalf("EMA name = %q", NewEMA(0.25).Name())
+	}
+	if (&StaticTop{}).Name() != "StaticTop" || (NoCaching{}).Name() != "NoCaching" {
+		t.Fatal("unexpected names")
+	}
+}
+
+func TestPlanValidatesInstance(t *testing.T) {
+	in := testInstance(t, nil)
+	in.N = 0
+	for _, p := range []Policy{NewLRFU(), &StaticTop{}, NoCaching{}} {
+		if _, err := p.Plan(in); err == nil {
+			t.Errorf("%s accepted invalid instance", p.Name())
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package caching
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/workload"
+)
+
+func TestEmptyWhenRewardsZero(t *testing.T) {
+	sp := &Subproblem{K: 3, Capacity: 2, Beta: 5, Reward: [][]float64{{0, 0, 0}, {0, 0, 0}}}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 {
+		t.Fatalf("objective = %g, want 0", obj)
+	}
+	for _, row := range x {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatalf("cached with zero rewards: %v", x)
+			}
+		}
+	}
+}
+
+func TestCachesTopItemsWhenBetaZero(t *testing.T) {
+	sp := &Subproblem{
+		K:        4,
+		Capacity: 2,
+		Beta:     0,
+		Reward:   [][]float64{{1, 5, 3, 2}, {4, 1, 6, 2}},
+	}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0: items 1, 2 (5+3); slot 1: items 0, 2 (4+6) → obj −18.
+	if math.Abs(obj-(-18)) > 1e-9 {
+		t.Fatalf("objective = %g, want -18", obj)
+	}
+	if x[0][1] != 1 || x[0][2] != 1 || x[1][0] != 1 || x[1][2] != 1 {
+		t.Fatalf("placement = %v", x)
+	}
+}
+
+func TestSwitchingCostSuppressesChurn(t *testing.T) {
+	// Item 0 is slightly better at slot 0, item 1 slightly better at slot 1,
+	// but switching costs more than the gain: hold one item throughout.
+	sp := &Subproblem{
+		K:        2,
+		Capacity: 1,
+		Beta:     7,
+		Reward:   [][]float64{{5, 4}, {4, 5}},
+	}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0][0] != x[1][0] || x[0][1] != x[1][1] {
+		t.Fatalf("placement churned despite β: %v", x)
+	}
+	// Either item held both slots: reward 9, one fetch → obj = 7 − 9 = −2.
+	// (Switching would pay 14 in fetches for 10 of reward.)
+	if math.Abs(obj-(-2)) > 1e-9 {
+		t.Fatalf("objective = %g, want -2", obj)
+	}
+}
+
+func TestInitialCacheAvoidsFetchCost(t *testing.T) {
+	sp := &Subproblem{
+		K:        2,
+		Capacity: 1,
+		Beta:     10,
+		Initial:  []float64{1, 0},
+		Reward:   [][]float64{{5, 6}}, // item 1 better, but not by β
+	}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0][0] != 1 || x[0][1] != 0 {
+		t.Fatalf("placement = %v, want to keep initial item", x)
+	}
+	if math.Abs(obj-(-5)) > 1e-9 {
+		t.Fatalf("objective = %g, want -5", obj)
+	}
+}
+
+func TestInitialCacheReplacedWhenWorthIt(t *testing.T) {
+	sp := &Subproblem{
+		K:        2,
+		Capacity: 1,
+		Beta:     10,
+		Initial:  []float64{1, 0},
+		Reward:   [][]float64{{5, 20}},
+	}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0][1] != 1 {
+		t.Fatalf("placement = %v, want item 1", x)
+	}
+	if math.Abs(obj-(-10)) > 1e-9 { // −20 reward + 10 fetch
+		t.Fatalf("objective = %g, want -10", obj)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	sp := &Subproblem{K: 2, Capacity: 0, Beta: 1, Reward: [][]float64{{9, 9}}}
+	x, obj, err := sp.SolveFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 || x[0][0] != 0 || x[0][1] != 0 {
+		t.Fatalf("zero-capacity solution cached something: %v, obj %g", x, obj)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := map[string]*Subproblem{
+		"zero K":        {K: 0, Capacity: 1, Reward: [][]float64{{1}}},
+		"neg capacity":  {K: 1, Capacity: -1, Reward: [][]float64{{1}}},
+		"neg beta":      {K: 1, Capacity: 1, Beta: -1, Reward: [][]float64{{1}}},
+		"empty horizon": {K: 1, Capacity: 1},
+		"ragged reward": {K: 2, Capacity: 1, Reward: [][]float64{{1}}},
+		"neg reward":    {K: 1, Capacity: 1, Reward: [][]float64{{-1}}},
+		"nan reward":    {K: 1, Capacity: 1, Reward: [][]float64{{math.NaN()}}},
+		"bad initial":   {K: 1, Capacity: 1, Initial: []float64{0.5}, Reward: [][]float64{{1}}},
+		"short initial": {K: 2, Capacity: 1, Initial: []float64{1}, Reward: [][]float64{{1, 1}}},
+	}
+	for name, sp := range cases {
+		if _, _, err := sp.SolveFlow(); err == nil {
+			t.Errorf("%s: SolveFlow accepted invalid subproblem", name)
+		}
+		if _, _, err := sp.SolveLP(); err == nil {
+			t.Errorf("%s: SolveLP accepted invalid subproblem", name)
+		}
+	}
+}
+
+// bruteForce enumerates all feasible placement trajectories of a tiny
+// subproblem and returns the best objective.
+func bruteForce(sp *Subproblem) float64 {
+	horizon := len(sp.Reward)
+	// Enumerate per-slot feasible placements.
+	var slots []uint
+	for mask := uint(0); mask < 1<<sp.K; mask++ {
+		if popcount(mask) <= sp.Capacity {
+			slots = append(slots, mask)
+		}
+	}
+	best := math.Inf(1)
+	seq := make([]uint, horizon)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == horizon {
+			x := make([][]float64, horizon)
+			for i, mask := range seq {
+				x[i] = make([]float64, sp.K)
+				for k := 0; k < sp.K; k++ {
+					if mask&(1<<k) != 0 {
+						x[i][k] = 1
+					}
+				}
+			}
+			if obj := sp.Objective(x); obj < best {
+				best = obj
+			}
+			return
+		}
+		for _, mask := range slots {
+			seq[t] = mask
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func popcount(m uint) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+func randomSubproblem(r *rand.Rand, maxK, maxT int) *Subproblem {
+	k := 1 + r.IntN(maxK)
+	horizon := 1 + r.IntN(maxT)
+	sp := &Subproblem{
+		K:        k,
+		Capacity: r.IntN(k + 1),
+		Beta:     math.Round(r.Float64()*80) / 4,
+		Reward:   make([][]float64, horizon),
+	}
+	for t := range sp.Reward {
+		sp.Reward[t] = make([]float64, k)
+		for i := range sp.Reward[t] {
+			sp.Reward[t][i] = math.Round(r.Float64()*40) / 4
+		}
+	}
+	if r.Float64() < 0.5 {
+		sp.Initial = make([]float64, k)
+		cached := 0
+		for i := range sp.Initial {
+			if cached < sp.Capacity && r.Float64() < 0.5 {
+				sp.Initial[i] = 1
+				cached++
+			}
+		}
+	}
+	return sp
+}
+
+// TestFlowMatchesBruteForce checks optimality on exhaustive tiny cases.
+func TestFlowMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 60; trial++ {
+		sp := randomSubproblem(rng, 3, 3)
+		x, obj, err := sp.SolveFlow()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sp.Objective(x)-obj) > 1e-9 {
+			t.Fatalf("trial %d: reported obj %g, recomputed %g", trial, obj, sp.Objective(x))
+		}
+		want := bruteForce(sp)
+		if math.Abs(obj-want) > 1e-9 {
+			t.Fatalf("trial %d: flow %g, brute force %g (%+v)", trial, obj, want, sp)
+		}
+	}
+}
+
+// TestFlowMatchesLP cross-validates the two exact solvers on larger random
+// subproblems (Theorem 1: both must hit the same integral optimum).
+func TestFlowMatchesLP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 25; trial++ {
+		sp := randomSubproblem(rng, 5, 5)
+		xf, objF, err := sp.SolveFlow()
+		if err != nil {
+			t.Fatalf("trial %d: flow: %v", trial, err)
+		}
+		xl, objL, err := sp.SolveLP()
+		if err != nil {
+			t.Fatalf("trial %d: lp: %v", trial, err)
+		}
+		if math.Abs(objF-objL) > 1e-6*(1+math.Abs(objF)) {
+			t.Fatalf("trial %d: flow %g vs LP %g", trial, objF, objL)
+		}
+		// Placements may differ on ties; objectives must agree.
+		if math.Abs(sp.Objective(xf)-sp.Objective(xl)) > 1e-6 {
+			t.Fatalf("trial %d: objective mismatch between placements", trial)
+		}
+	}
+}
+
+// TestCapacityRespected verifies feasibility on larger random instances.
+func TestCapacityRespected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 10; trial++ {
+		sp := randomSubproblem(rng, 8, 12)
+		x, _, err := sp.SolveFlow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt, row := range x {
+			used := 0
+			for _, v := range row {
+				if v != 0 && v != 1 {
+					t.Fatalf("trial %d: fractional entry %g", trial, v)
+				}
+				if v == 1 {
+					used++
+				}
+			}
+			if used > sp.Capacity {
+				t.Fatalf("trial %d slot %d: %d items > capacity %d", trial, tt, used, sp.Capacity)
+			}
+		}
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 2
+	cfg.T = 6
+	cfg.K = 8
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := make([][][]float64, in.T)
+	rng := rand.New(rand.NewPCG(31, 32))
+	for tt := range rewards {
+		rewards[tt] = make([][]float64, in.N)
+		for n := range rewards[tt] {
+			rewards[tt][n] = make([]float64, in.K)
+			for k := range rewards[tt][n] {
+				rewards[tt][n][k] = rng.Float64() * 50
+			}
+		}
+	}
+	plans, obj, err := SolveAll(in, rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != in.T {
+		t.Fatalf("plans cover %d slots, want %d", len(plans), in.T)
+	}
+	if obj >= 0 {
+		t.Fatalf("objective %g should be negative with these rewards", obj)
+	}
+	for tt, p := range plans {
+		if !p.IsIntegral(0) {
+			t.Fatalf("slot %d placement not integral", tt)
+		}
+		for n := 0; n < in.N; n++ {
+			if got := len(p.Items(n)); got > in.CacheCap[n] {
+				t.Fatalf("slot %d SBS %d: %d items > cap", tt, n, got)
+			}
+		}
+	}
+
+	// Mismatched reward shape must error.
+	if _, _, err := SolveAll(in, rewards[:2]); err == nil {
+		t.Fatal("SolveAll accepted short rewards")
+	}
+}

@@ -1,0 +1,245 @@
+package convex
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/mat"
+	"edgecache/internal/projection"
+)
+
+// boxProject returns a Problem.Project clamping to [0, 1]^n.
+func boxProject(n int) func(dst, z []float64) ([]float64, error) {
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return func(dst, z []float64) ([]float64, error) {
+		return projection.Box(dst, z, lo, hi), nil
+	}
+}
+
+// quadratic builds F(x) = ½ xᵀQx + bᵀx for a dense symmetric PSD Q.
+func quadratic(q *mat.Dense, b []float64) Problem {
+	n := len(b)
+	tmp := make([]float64, n)
+	return Problem{
+		Func: func(x []float64) float64 {
+			q.MulVec(x, tmp)
+			return 0.5*mat.Dot(x, tmp) + mat.Dot(b, x)
+		},
+		Grad: func(x, grad []float64) {
+			q.MulVec(x, grad)
+			mat.Axpy(1, b, grad)
+		},
+		Project: boxProject(n),
+	}
+}
+
+// randomPSD builds Q = AᵀA + εI with entries of A standard normal.
+func randomPSD(r *rand.Rand, n int) *mat.Dense {
+	a := mat.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	q := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(k, i) * a.At(k, j)
+			}
+			q.Set(i, j, s)
+		}
+		q.Set(i, i, q.At(i, i)+0.1)
+	}
+	return q
+}
+
+func TestSeparableQuadraticClosedForm(t *testing.T) {
+	// F = Σ (x_i − c_i)² over [0,1]^n has the closed-form box solution.
+	c := []float64{-0.5, 0.3, 1.7}
+	n := len(c)
+	p := Problem{
+		Func: func(x []float64) float64 {
+			var s float64
+			for i := range x {
+				s += (x[i] - c[i]) * (x[i] - c[i])
+			}
+			return s
+		},
+		Grad: func(x, g []float64) {
+			for i := range x {
+				g[i] = 2 * (x[i] - c[i])
+			}
+		},
+		Project: boxProject(n),
+	}
+	for _, method := range []Method{FISTA, PGD} {
+		res, err := Minimize(p, make([]float64, n), Options{Method: method})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		want := []float64{0, 0.3, 1}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-6 {
+				t.Fatalf("%v: X = %v, want %v", method, res.X, want)
+			}
+		}
+		if !res.Converged {
+			t.Fatalf("%v: did not converge", method)
+		}
+	}
+}
+
+func TestFixedLipschitzStep(t *testing.T) {
+	c := []float64{0.5}
+	p := Problem{
+		Func:    func(x []float64) float64 { return (x[0] - c[0]) * (x[0] - c[0]) },
+		Grad:    func(x, g []float64) { g[0] = 2 * (x[0] - c[0]) },
+		Project: boxProject(1),
+	}
+	res, err := Minimize(p, []float64{0}, Options{Lipschitz: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-8 {
+		t.Fatalf("X = %v, want 0.5", res.X)
+	}
+}
+
+// kktResidual measures max_i of the projected-gradient optimality violation
+// for box-constrained problems: at a solution, g_i ≥ 0 when x_i = 0,
+// g_i ≤ 0 when x_i = 1, and g_i ≈ 0 inside.
+func kktResidual(x, g []float64) float64 {
+	var worst float64
+	for i := range x {
+		var v float64
+		switch {
+		case x[i] <= 1e-8:
+			v = math.Max(0, -g[i])
+		case x[i] >= 1-1e-8:
+			v = math.Max(0, g[i])
+		default:
+			v = math.Abs(g[i])
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func TestRandomQuadraticsSatisfyKKT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(6)
+		q := randomPSD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		p := quadratic(q, b)
+		x0 := make([]float64, n)
+		res, err := Minimize(p, x0, Options{MaxIter: 5000, StepTol: 1e-12})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g := make([]float64, n)
+		p.Grad(res.X, g)
+		if r := kktResidual(res.X, g); r > 1e-4 {
+			t.Fatalf("trial %d: KKT residual %g", trial, r)
+		}
+	}
+}
+
+func TestFISTAMatchesPGD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.IntN(5)
+		q := randomPSD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		p := quadratic(q, b)
+		fast, err := Minimize(p, make([]float64, n), Options{Method: FISTA, MaxIter: 8000, StepTol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Minimize(p, make([]float64, n), Options{Method: PGD, MaxIter: 20000, StepTol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast.Value-slow.Value) > 1e-5*(1+math.Abs(slow.Value)) {
+			t.Fatalf("trial %d: FISTA %g vs PGD %g", trial, fast.Value, slow.Value)
+		}
+	}
+}
+
+func TestKnapsackConstrainedQuadratic(t *testing.T) {
+	// min (x₁−1)² + (x₂−1)² s.t. x ∈ [0,1]², x₁+x₂ ≤ 1 → (0.5, 0.5).
+	n := 2
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	c := []float64{1, 1}
+	p := Problem{
+		Func: func(x []float64) float64 {
+			return (x[0]-1)*(x[0]-1) + (x[1]-1)*(x[1]-1)
+		},
+		Grad: func(x, g []float64) {
+			g[0] = 2 * (x[0] - 1)
+			g[1] = 2 * (x[1] - 1)
+		},
+		Project: func(dst, z []float64) ([]float64, error) {
+			return projection.BoxKnapsack(dst, z, lo, hi, c, 1)
+		},
+	}
+	res, err := Minimize(p, make([]float64, n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-6 || math.Abs(res.X[1]-0.5) > 1e-6 {
+		t.Fatalf("X = %v, want (0.5, 0.5)", res.X)
+	}
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	if _, err := Minimize(Problem{}, []float64{0}, Options{}); err == nil {
+		t.Fatal("accepted nil oracles")
+	}
+	p := Problem{
+		Func:    func(x []float64) float64 { return 0 },
+		Grad:    func(x, g []float64) {},
+		Project: boxProject(1),
+	}
+	if _, err := Minimize(p, []float64{0}, Options{Method: Method(99)}); err == nil {
+		t.Fatal("accepted unknown method")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if FISTA.String() != "fista" || PGD.String() != "pgd" {
+		t.Fatal("Method.String mismatch")
+	}
+	if got := Method(42).String(); got != "Method(42)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestInfeasibleStartIsProjected(t *testing.T) {
+	p := Problem{
+		Func:    func(x []float64) float64 { return x[0] * x[0] },
+		Grad:    func(x, g []float64) { g[0] = 2 * x[0] },
+		Project: boxProject(1),
+	}
+	res, err := Minimize(p, []float64{17}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]) > 1e-7 {
+		t.Fatalf("X = %v, want 0", res.X)
+	}
+}

@@ -1,0 +1,337 @@
+// Package core implements the paper's primary contribution: the offline
+// primal-dual decomposition solver (Algorithm 1) for the joint caching /
+// load-balancing problem of eq. (9).
+//
+// The coupling constraint y ≤ x (eq. 3) is relaxed with multipliers
+// μ^t_{n,m,k} ≥ 0 (eq. 12). For fixed μ the Lagrangian splits into the
+// caching subproblem P1 (package caching — integral by Theorem 1) and the
+// load-balancing subproblem P2 (package loadbalance — smooth convex). The
+// dual is ascended by a projected subgradient g = y − x with diminishing
+// step δ_l = 1/(1 + αl) (eqs. 15–17); every iteration also recovers a
+// feasible primal by fixing the P1 placement and re-solving the best load
+// split subject to y ≤ x, which provides the upper bound of Algorithm 1.
+//
+// Solve returns the best feasible solution found, together with the dual
+// lower bound and the achieved gap — exactly the bookkeeping in the
+// paper's Algorithm 1 (LB/UB with tolerance ε = 10⁻⁴).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgecache/internal/caching"
+	"edgecache/internal/convex"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+	"edgecache/internal/parallel"
+)
+
+// Options tune Algorithm 1. The zero value selects the paper's defaults.
+type Options struct {
+	// Epsilon is the relative duality-gap stopping tolerance (paper: 1e-4).
+	Epsilon float64
+	// MaxIter is the iteration budget L (default 60).
+	MaxIter int
+	// StepAlpha is α in the diminishing step δ_l = 1/(1+αl) (default 0.05).
+	// Smaller values take larger steps for longer.
+	StepAlpha float64
+	// StallIter stops the iteration early when the recovered upper bound
+	// has not improved for this many consecutive iterations (the duality
+	// gap rarely closes to ε on integer instances, so this is the
+	// practical stopping rule; default 8, ≤ 0 disables).
+	StallIter int
+	// StepScale multiplies every δ_l. The subgradient g = y − x lives in
+	// [−1, 1] while useful multipliers must reach the scale of the cost
+	// gradients, so the raw step 1/(1+αl) is scaled by this factor
+	// (default: auto — twice the mean per-coordinate BS cost gradient at
+	// y = 0, a problem-size-independent calibration).
+	StepScale float64
+	// Convex configures the inner P2 solves.
+	Convex convex.Options
+	// InitialMu warm-starts the dual multipliers (shape [T][N][M_n·K]);
+	// nil starts from zero. Receding-horizon controllers pass the shifted
+	// multipliers of the previous window, which typically cuts the
+	// iteration count several-fold.
+	InitialMu [][][]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 60
+	}
+	if o.StepAlpha <= 0 {
+		o.StepAlpha = 0.05
+	}
+	if o.StallIter == 0 {
+		o.StallIter = 8
+	}
+	// Inner P2 solves happen hundreds of times per outer iteration; a
+	// relative accuracy far below the duality gap is wasted work.
+	if o.Convex.StepTol == 0 {
+		o.Convex.StepTol = 1e-6
+	}
+	if o.Convex.MaxIter == 0 {
+		o.Convex.MaxIter = 600
+	}
+	return o
+}
+
+// Result is the outcome of an offline solve.
+type Result struct {
+	// Trajectory is the best feasible (integral-x) solution found.
+	Trajectory model.Trajectory
+	// Cost is the objective breakdown of Trajectory (the upper bound UB).
+	Cost model.CostBreakdown
+	// LowerBound is the best dual value (a certified lower bound on the
+	// optimum of eq. 9).
+	LowerBound float64
+	// Gap is (UB − LB) / max(|UB|, 1), clamped at 0.
+	Gap float64
+	// Iterations is the number of dual updates performed.
+	Iterations int
+	// Converged reports whether Gap ≤ Epsilon within MaxIter.
+	Converged bool
+	// Mu holds the final dual multipliers, suitable for warm-starting a
+	// subsequent overlapping solve via Options.InitialMu.
+	Mu [][][]float64
+}
+
+// Solve runs Algorithm 1 on the full horizon of the instance.
+func Solve(in *model.Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	opts = opts.withDefaults()
+	if opts.StepScale <= 0 {
+		opts.StepScale = autoStepScale(in)
+	}
+
+	// μ[t][n] is a flat (class, content) row like the demand layout.
+	mu := make([][][]float64, in.T)
+	for t := range mu {
+		mu[t] = make([][]float64, in.N)
+		for n := range mu[t] {
+			mu[t][n] = make([]float64, in.Classes[n]*in.K)
+			if opts.InitialMu != nil {
+				if len(opts.InitialMu) != in.T || len(opts.InitialMu[t]) != in.N ||
+					len(opts.InitialMu[t][n]) != in.Classes[n]*in.K {
+					return nil, fmt.Errorf("core: InitialMu shape mismatch at (t=%d, n=%d)", t, n)
+				}
+				copy(mu[t][n], opts.InitialMu[t][n])
+				for i, v := range mu[t][n] {
+					if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						return nil, fmt.Errorf("core: InitialMu[%d][%d][%d] = %g invalid", t, n, i, v)
+					}
+				}
+			}
+		}
+	}
+
+	res := &Result{LowerBound: math.Inf(-1)}
+	best := math.Inf(1)
+	stall := 0
+	var warmY []model.LoadPlan
+
+	// Seed the upper bound with the linearised-reward heuristic before any
+	// dual iteration: the Lagrangian placements can carry an integrality
+	// gap that the subgradient never closes, while the seed is near-optimal
+	// at both β extremes (myopic top-C at β = 0, near-static as β → ∞).
+	if seed, err := LinearizedPlacements(in); err == nil {
+		if traj, err := RecoverFeasible(in, seed, opts.Convex); err == nil {
+			if br := in.TotalCost(traj); br.Total < best {
+				best = br.Total
+				res.Trajectory = traj
+				res.Cost = br
+			}
+		}
+	}
+
+	rewards := make([][][]float64, in.T)
+	for t := range rewards {
+		rewards[t] = make([][]float64, in.N)
+		for n := range rewards[t] {
+			rewards[t][n] = make([]float64, in.K)
+		}
+	}
+
+	for l := 1; l <= opts.MaxIter; l++ {
+		res.Iterations = l
+
+		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1.
+		for t := 0; t < in.T; t++ {
+			for n := 0; n < in.N; n++ {
+				row := rewards[t][n]
+				for k := range row {
+					row[k] = 0
+				}
+				muRow := mu[t][n]
+				for m := 0; m < in.Classes[n]; m++ {
+					base := m * in.K
+					for k := 0; k < in.K; k++ {
+						row[k] += muRow[base+k]
+					}
+				}
+			}
+		}
+
+		xPlans, objP1, err := caching.SolveAll(in, rewards)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+		}
+		yPlans, objP2, err := loadbalance.SolveAll(in, mu, warmY, opts.Convex)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+		}
+		warmY = yPlans
+
+		// Dual value = P1 + P2 optima (weak duality ⇒ lower bound).
+		if dual := objP1 + objP2; dual > res.LowerBound {
+			res.LowerBound = dual
+		}
+
+		// Primal recovery: keep x, re-solve y subject to y ≤ x.
+		traj, err := RecoverFeasible(in, xPlans, opts.Convex)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+		}
+		if br := in.TotalCost(traj); res.Trajectory == nil || br.Total < best-1e-9*(1+math.Abs(best)) {
+			best = br.Total
+			res.Trajectory = traj
+			res.Cost = br
+			stall = 0
+		} else {
+			stall++
+		}
+
+		res.Gap = math.Max(0, (best-res.LowerBound)/math.Max(math.Abs(best), 1))
+		if res.Gap <= opts.Epsilon {
+			res.Converged = true
+			break
+		}
+		if opts.StallIter > 0 && stall >= opts.StallIter {
+			break
+		}
+
+		// Projected subgradient step on μ (eqs. 15–17).
+		delta := opts.StepScale / (1 + opts.StepAlpha*float64(l))
+		for t := 0; t < in.T; t++ {
+			for n := 0; n < in.N; n++ {
+				muRow := mu[t][n]
+				for m := 0; m < in.Classes[n]; m++ {
+					base := m * in.K
+					for k := 0; k < in.K; k++ {
+						g := yPlans[t][n][m][k] - xPlans[t][n][k]
+						v := muRow[base+k] + delta*g
+						if v < 0 {
+							v = 0
+						}
+						muRow[base+k] = v
+					}
+				}
+			}
+		}
+	}
+
+	if res.Trajectory == nil {
+		return nil, errors.New("core: no feasible solution recovered")
+	}
+	res.Mu = mu
+	return res, nil
+}
+
+// RecoverFeasible completes integral placements into a fully feasible
+// trajectory by computing the optimal load split for each slot subject to
+// y ≤ x — the UB evaluation step of Algorithm 1. Slots are independent and
+// solved in parallel.
+func RecoverFeasible(in *model.Instance, xPlans []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
+	if len(xPlans) != in.T {
+		return nil, fmt.Errorf("core: %d placements for horizon %d", len(xPlans), in.T)
+	}
+	traj := make(model.Trajectory, in.T)
+	err := parallel.For(in.T, 0, func(t int) error {
+		y, err := loadbalance.OptimalGivenPlacement(in, t, xPlans[t], opts)
+		if err != nil {
+			return err
+		}
+		traj[t] = model.SlotDecision{X: xPlans[t].Clone(), Y: y}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return traj, nil
+}
+
+// LinearizedPlacements computes a heuristic placement trajectory by
+// solving the caching subproblem P1 with the true replacement cost β and
+// per-(item, slot) rewards equal to the linearised operating-cost saving
+// of caching the item: r^t_{n,k} = ∂f_t/∂u · Σ_m ω_m λ^t_{m,k} evaluated
+// at y = 0 (so ∂f/∂u = 2A_t). It is exact at β = 0 up to bandwidth
+// effects, switching-cost aware at every β, and serves as the upper-bound
+// seed of Solve.
+func LinearizedPlacements(in *model.Instance) ([]model.CachePlan, error) {
+	rewards := make([][][]float64, in.T)
+	for t := 0; t < in.T; t++ {
+		rewards[t] = make([][]float64, in.N)
+		for n := 0; n < in.N; n++ {
+			row := in.Demand.Slot(t, n)
+			var a float64
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				for k := 0; k < in.K; k++ {
+					a += in.OmegaBS[n][m] * row[base+k]
+				}
+			}
+			r := make([]float64, in.K)
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				w := in.OmegaBS[n][m]
+				for k := 0; k < in.K; k++ {
+					r[k] += 2 * a * w * row[base+k]
+				}
+			}
+			rewards[t][n] = r
+		}
+	}
+	plans, _, err := caching.SolveAll(in, rewards)
+	return plans, err
+}
+
+// autoStepScale calibrates the subgradient step to the problem's cost
+// scale: the mean magnitude of ∂f/∂y at y = 0 over all coordinates with
+// demand, which is the size multipliers must reach to influence P1/P2.
+func autoStepScale(in *model.Instance) float64 {
+	var sum float64
+	var count int
+	for t := 0; t < in.T; t++ {
+		for n := 0; n < in.N; n++ {
+			row := in.Demand.Slot(t, n)
+			// A_n = Σ_m ω_m Σ_k λ: the all-BS weighted load.
+			var a float64
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				for k := 0; k < in.K; k++ {
+					a += in.OmegaBS[n][m] * row[base+k]
+				}
+			}
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				for k := 0; k < in.K; k++ {
+					if row[base+k] > 0 {
+						sum += 2 * a * in.OmegaBS[n][m] * row[base+k]
+						count++
+					}
+				}
+			}
+		}
+	}
+	if count == 0 || sum <= 0 {
+		return 1
+	}
+	return 2 * sum / float64(count)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a table previously written by WriteCSV. The id, title
+// and x-label are reconstructed from the arguments and header (CSV keeps
+// the x-label but not the title), so callers pass the experiment id and
+// get back a Table usable by the report generator.
+func ReadCSV(id, title string, r io.Reader) (*Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read csv: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 1 || lines[0] == "" {
+		return nil, fmt.Errorf("experiments: csv %s is empty", id)
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) < 2 {
+		return nil, fmt.Errorf("experiments: csv %s has no data columns", id)
+	}
+	t := NewTable(id, title, header[0], header[1:])
+	for ln, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != len(header) {
+			return nil, fmt.Errorf("experiments: csv %s row %d has %d fields, want %d", id, ln+1, len(parts), len(header))
+		}
+		cells := make(map[string]float64, len(header)-1)
+		for i, col := range header[1:] {
+			if parts[i+1] == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: csv %s row %d column %s: %w", id, ln+1, col, err)
+			}
+			cells[col] = v
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			// Labeled row (headline table).
+			t.AddLabeled(float64(ln), parts[0], cells)
+			continue
+		}
+		t.Add(x, cells)
+	}
+	return t, nil
+}

@@ -1,0 +1,550 @@
+// Package experiments reproduces every table and figure of the paper's
+// numerical evaluation (§V): the β sweep of Fig. 2 (a–d), the prediction
+// window sweep of Fig. 3 (a–b), the SBS bandwidth sweep of Fig. 4 (a–b),
+// the prediction-noise sweep of Fig. 5, the §V-C(1) headline cost ratios,
+// and two ablations DESIGN.md calls out (rounding threshold ρ, CHC
+// commitment level r).
+//
+// Each experiment returns Tables whose rows are the figure's x-axis and
+// whose columns are the algorithms' series, ready for text or CSV output.
+// `go run ./cmd/experiments -all` regenerates everything reported in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/online"
+	"edgecache/internal/sim"
+	"edgecache/internal/trace"
+	"edgecache/internal/workload"
+)
+
+// Setup fixes everything an experiment does not sweep.
+type Setup struct {
+	// Config is the base instance configuration; sweeps mutate copies.
+	Config workload.InstanceConfig
+	// Window and Commitment configure the online controllers (paper
+	// defaults: w = 10; CHC evaluated at r = w/2).
+	Window, Commitment int
+	// Eta is the default prediction noise (paper: 0.1).
+	Eta float64
+	// OfflineOpts and OnlineOpts tune the two solver contexts.
+	OfflineOpts core.Options
+	// OnlineOpts is embedded into each controller's Core options.
+	OnlineOpts core.Options
+	// Seeds, when non-empty, repeats every sweep point under each seed and
+	// reports per-cell means; empty uses Config.Seed once.
+	Seeds []uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Default returns the evaluation setup at a horizon that keeps full
+// sweeps tractable on one core (T = 60; everything else per §V-B).
+func Default() Setup {
+	cfg := workload.PaperDefault()
+	cfg.T = 60
+	return Setup{
+		Config:      cfg,
+		Window:      10,
+		Commitment:  5,
+		Eta:         0.1,
+		OfflineOpts: core.Options{MaxIter: 40, StallIter: 12},
+	}
+}
+
+// PaperScale returns the full §V-B setup (T = 100).
+func PaperScale() Setup {
+	s := Default()
+	s.Config.T = 100
+	return s
+}
+
+// Quick returns a miniature setup for benchmarks and smoke tests.
+func Quick() Setup {
+	s := Default()
+	s.Config.T = 10
+	s.Config.K = 8
+	s.Config.ClassesPerSBS = 6
+	s.Config.CacheCap = 2
+	s.Config.Bandwidth = 5
+	s.Config.Beta = 10
+	s.Window = 4
+	s.Commitment = 2
+	s.OfflineOpts = core.Options{MaxIter: 15, StallIter: 6}
+	s.OnlineOpts = core.Options{MaxIter: 12, StallIter: 6}
+	return s
+}
+
+func (s Setup) logf(format string, args ...any) {
+	if s.Progress != nil {
+		fmt.Fprintf(s.Progress, format+"\n", args...)
+	}
+}
+
+// seedList returns the seeds a point is averaged over.
+func (s Setup) seedList() []uint64 {
+	if len(s.Seeds) > 0 {
+		return s.Seeds
+	}
+	return []uint64{s.Config.Seed}
+}
+
+// pointResults holds, per canonical algorithm name, one result per seed.
+type pointResults map[string][]*sim.Result
+
+// point runs every algorithm on one instance variant — once per seed —
+// and returns results keyed by the canonical column names.
+func (s Setup) point(mutate func(*workload.InstanceConfig), eta float64, window, commitment int) (pointResults, error) {
+	out := make(pointResults)
+	for _, seed := range s.seedList() {
+		cfg := s.Config
+		cfg.Seed = seed
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := workload.NewPredictor(in.Demand, eta, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		rhc := online.RHC(window)
+		rhc.Core = s.OnlineOpts
+		chc := online.CHC(window, commitment)
+		chc.Core = s.OnlineOpts
+		afhc := online.AFHC(window)
+		afhc.Core = s.OnlineOpts
+
+		policies := []sim.Policy{
+			sim.Offline(s.OfflineOpts),
+			sim.Online(rhc),
+			sim.Online(chc),
+			sim.Online(afhc),
+			sim.FromBaseline(baseline.NewLRFU()),
+		}
+		for _, p := range policies {
+			res, err := sim.Run(in, pred, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+			}
+			name := canonical(p.Name())
+			out[name] = append(out[name], res)
+			s.logf("  %-12s seed=%d total=%.1f repl=%d (%.1fs)", name, seed,
+				res.Cost.Total, res.Cost.Replacements, res.Runtime.Seconds())
+		}
+	}
+	return out, nil
+}
+
+// canonical strips parameterisation from policy names so columns stay
+// stable across sweeps ("RHC(w=10)" → "RHC").
+func canonical(name string) string {
+	for _, prefix := range []string{"RHC", "CHC", "AFHC"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return prefix
+		}
+	}
+	return name
+}
+
+// Columns used by the sweeps, in display order.
+var (
+	allAlgorithms    = []string{"Offline", "RHC", "CHC", "AFHC", "LRFU"}
+	onlineAlgorithms = []string{"RHC", "CHC", "AFHC"}
+)
+
+// metric extracts one reported series from a result.
+type metric func(*sim.Result) float64
+
+func totalCost(r *sim.Result) float64       { return r.Cost.Total }
+func replacementCost(r *sim.Result) float64 { return r.Cost.Replacement }
+func replacementCount(r *sim.Result) float64 {
+	return float64(r.Cost.Replacements)
+}
+func bsCost(r *sim.Result) float64 { return r.Cost.BS }
+
+// Fig2 sweeps the cache replacement cost β and reports the four panels of
+// Fig. 2: (a) total operating cost, (b) cache replacement cost, (c) number
+// of cache replacements, (d) BS operating cost.
+func (s Setup) Fig2(betas []float64) ([]*Table, error) {
+	panels := []struct {
+		id, title string
+		m         metric
+	}{
+		{"fig2a", "Total operating cost vs β", totalCost},
+		{"fig2b", "Cache replacement cost vs β", replacementCost},
+		{"fig2c", "Number of cache replacements vs β", replacementCount},
+		{"fig2d", "BS operating cost vs β", bsCost},
+	}
+	tables := make([]*Table, len(panels))
+	for i, p := range panels {
+		tables[i] = NewTable(p.id, p.title, "beta", allAlgorithms)
+	}
+	for _, beta := range betas {
+		s.logf("fig2: beta=%g", beta)
+		res, err := s.point(func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range panels {
+			tables[i].Add(beta, extract(res, allAlgorithms, p.m))
+		}
+	}
+	return tables, nil
+}
+
+// Fig3 sweeps the prediction window w and reports (a) total operating
+// cost and (b) replacement count for the online algorithms, with the
+// offline optimum as the reference line.
+func (s Setup) Fig3(windows []int) ([]*Table, error) {
+	cols := append([]string{"Offline"}, onlineAlgorithms...)
+	ta := NewTable("fig3a", "Total operating cost vs prediction window w", "w", cols)
+	tb := NewTable("fig3b", "Number of cache replacements vs prediction window w", "w", cols)
+	for _, w := range windows {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: window %d invalid", w)
+		}
+		s.logf("fig3: w=%d", w)
+		r := min(s.Commitment, w)
+		res, err := s.point(nil, s.Eta, w, r)
+		if err != nil {
+			return nil, err
+		}
+		ta.Add(float64(w), extract(res, cols, totalCost))
+		tb.Add(float64(w), extract(res, cols, replacementCount))
+	}
+	return []*Table{ta, tb}, nil
+}
+
+// Fig4 sweeps the SBS bandwidth B and reports (a) total operating cost
+// and (b) replacement count.
+func (s Setup) Fig4(bandwidths []float64) ([]*Table, error) {
+	ta := NewTable("fig4a", "Total operating cost vs SBS bandwidth B", "B", allAlgorithms)
+	tb := NewTable("fig4b", "Number of cache replacements vs SBS bandwidth B", "B", allAlgorithms)
+	for _, b := range bandwidths {
+		s.logf("fig4: B=%g", b)
+		res, err := s.point(func(c *workload.InstanceConfig) { c.Bandwidth = b }, s.Eta, s.Window, s.Commitment)
+		if err != nil {
+			return nil, err
+		}
+		ta.Add(b, extract(res, allAlgorithms, totalCost))
+		tb.Add(b, extract(res, allAlgorithms, replacementCount))
+	}
+	return []*Table{ta, tb}, nil
+}
+
+// Fig5 sweeps the prediction perturbation η and reports the total
+// operating cost; LRFU and the offline optimum consume exact demand, so
+// their rows are flat by construction.
+func (s Setup) Fig5(etas []float64) (*Table, error) {
+	t := NewTable("fig5", "Total operating cost vs prediction noise η", "eta", allAlgorithms)
+	for _, eta := range etas {
+		s.logf("fig5: eta=%g", eta)
+		res, err := s.point(nil, eta, s.Window, s.Commitment)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(eta, extract(res, allAlgorithms, totalCost))
+	}
+	return t, nil
+}
+
+// Headline reproduces §V-C(1): at one β, the cost of every algorithm, its
+// ratio to the offline optimum (paper: RHC 1.02, CHC 1.08, AFHC 1.11,
+// LRFU 1.3) and its reduction relative to LRFU (paper: 27%, 20%, 17%).
+func (s Setup) Headline(beta float64) (*Table, error) {
+	s.logf("headline: beta=%g", beta)
+	res, err := s.point(func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("headline", fmt.Sprintf("Cost ratios at β=%g", beta), "row",
+		[]string{"TotalCost", "RatioToOffline", "ReductionVsLRFU"})
+	offline := res.meanTotal("Offline")
+	lrfu := res.meanTotal("LRFU")
+	for i, name := range allAlgorithms {
+		c := res.meanTotal(name)
+		t.AddLabeled(float64(i), name, map[string]float64{
+			"TotalCost":       c,
+			"RatioToOffline":  c / offline,
+			"ReductionVsLRFU": (lrfu - c) / lrfu,
+		})
+	}
+	return t, nil
+}
+
+// RhoSweep ablates the CHC/AFHC rounding threshold around the theoretical
+// optimum ρ* = (3−√5)/2 of Theorem 3.
+func (s Setup) RhoSweep(rhos []float64) (*Table, error) {
+	t := NewTable("rho", "Total operating cost vs rounding threshold ρ", "rho", []string{"CHC", "AFHC"})
+	for _, rho := range rhos {
+		s.logf("rho sweep: rho=%g", rho)
+		cfg := s.Config
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := workload.NewPredictor(in.Demand, s.Eta, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cells := make(map[string]float64, 2)
+		for _, alg := range []struct {
+			name string
+			cfg  online.Config
+		}{
+			{"CHC", online.CHC(s.Window, s.Commitment)},
+			{"AFHC", online.AFHC(s.Window)},
+		} {
+			c := alg.cfg
+			c.Rho = rho
+			c.Core = s.OnlineOpts
+			res, err := online.Run(in, pred, c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: rho=%g %s: %w", rho, alg.name, err)
+			}
+			cells[alg.name] = in.TotalCost(res.Trajectory).Total
+		}
+		t.Add(rho, cells)
+	}
+	return t, nil
+}
+
+// CommitmentSweep ablates CHC's commitment level r from RHC (r = 1) to
+// AFHC (r = w).
+func (s Setup) CommitmentSweep(rs []int) (*Table, error) {
+	t := NewTable("chc-r", "Total operating cost vs CHC commitment r", "r", []string{"CHC"})
+	cfg := s.Config
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := workload.NewPredictor(in.Demand, s.Eta, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		s.logf("commitment sweep: r=%d", r)
+		c := online.CHC(s.Window, r)
+		c.Core = s.OnlineOpts
+		res, err := online.Run(in, pred, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: r=%d: %w", r, err)
+		}
+		t.Add(float64(r), map[string]float64{"CHC": in.TotalCost(res.Trajectory).Total})
+	}
+	return t, nil
+}
+
+// Competitive is the Theorem-2 empirical check: under exact predictions
+// (η = 0), RHC's cost ratio to the offline optimum should approach 1 as
+// the window grows, staying within the O(1 + 1/w) competitive regime. The
+// table reports the measured ratio next to the 1 + 1/w reference curve.
+func (s Setup) Competitive(windows []int) (*Table, error) {
+	t := NewTable("competitive", "RHC/offline cost ratio vs window (exact predictions)", "w",
+		[]string{"Ratio", "OnePlusOneOverW"})
+	for _, w := range windows {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: window %d invalid", w)
+		}
+		s.logf("competitive: w=%d", w)
+		var ratio float64
+		for _, seed := range s.seedList() {
+			cfg := s.Config
+			cfg.Seed = seed
+			in, err := workload.BuildInstance(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := workload.NewPredictor(in.Demand, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			off, err := sim.Run(in, pred, sim.Offline(s.OfflineOpts))
+			if err != nil {
+				return nil, err
+			}
+			rhc := online.RHC(w)
+			rhc.Core = s.OnlineOpts
+			res, err := online.Run(in, pred, rhc)
+			if err != nil {
+				return nil, err
+			}
+			ratio += in.TotalCost(res.Trajectory).Total / off.Cost.Total / float64(len(s.seedList()))
+		}
+		t.Add(float64(w), map[string]float64{
+			"Ratio":           ratio,
+			"OnePlusOneOverW": 1 + 1/float64(w),
+		})
+	}
+	return t, nil
+}
+
+// LoadModeComparison is an ablation of the committed load split: the
+// paper-literal predicted split (averaged window solutions, rescaled for
+// feasibility) against the reactive split (optimal for the committed
+// placement under realised demand), swept over prediction noise η. It
+// quantifies how much of Fig. 5's degradation comes from mis-split load
+// versus mis-placed caches.
+func (s Setup) LoadModeComparison(etas []float64) (*Table, error) {
+	t := NewTable("loadmode", "Predicted vs reactive load split (RHC total cost)", "eta",
+		[]string{"Predicted", "Reactive"})
+	for _, eta := range etas {
+		s.logf("loadmode: eta=%g", eta)
+		cells := make(map[string]float64, 2)
+		for _, seed := range s.seedList() {
+			cfg := s.Config
+			cfg.Seed = seed
+			in, err := workload.BuildInstance(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := workload.NewPredictor(in.Demand, eta, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, mode := range []online.LoadMode{online.LoadPredicted, online.LoadReactive} {
+				c := online.RHC(s.Window)
+				c.Core = s.OnlineOpts
+				c.LoadMode = mode
+				res, err := online.Run(in, pred, c)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: loadmode %v: %w", mode, err)
+				}
+				name := "Predicted"
+				if mode == online.LoadReactive {
+					name = "Reactive"
+				}
+				cells[name] += in.TotalCost(res.Trajectory).Total / float64(len(s.seedList()))
+			}
+		}
+		t.Add(eta, cells)
+	}
+	return t, nil
+}
+
+// HitRatioSweep is a request-level extension: the classic caches' hit
+// ratios versus cache capacity on a Poisson trace of the configured
+// workload — the metric CDN operators actually monitor, complementing the
+// paper's cost-based comparison.
+func (s Setup) HitRatioSweep(capacities []int) (*Table, error) {
+	cols := []string{"LRU", "FIFO", "LFU", "CLRFU"}
+	t := NewTable("hitratio", "Classic cache hit ratio vs capacity", "C", cols)
+	cfg := s.Config
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.Generate(in.Demand, cfg.Seed)
+	factories := map[string]trace.Factory{
+		"LRU":   trace.NewLRU(),
+		"FIFO":  trace.NewFIFO(),
+		"LFU":   trace.NewLFU(),
+		"CLRFU": trace.NewClassicLRFU(0.1),
+	}
+	for _, c := range capacities {
+		if c < 0 {
+			return nil, fmt.Errorf("experiments: negative capacity %d", c)
+		}
+		s.logf("hitratio: C=%d", c)
+		cells := make(map[string]float64, len(cols))
+		for name, f := range factories {
+			var hits, reqs int
+			for n := 0; n < in.N; n++ {
+				res, err := trace.Replay(tr, n, f(c))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: hitratio %s: %w", name, err)
+				}
+				hits += res.Hits
+				reqs += res.Requests
+			}
+			if reqs > 0 {
+				cells[name] = float64(hits) / float64(reqs)
+			}
+		}
+		t.Add(float64(c), cells)
+	}
+	return t, nil
+}
+
+// ClassicComparison is an extension table (not in the paper): the paper's
+// optimization-based policies against the request-driven classics of its
+// related-work section (LRU, FIFO, perfect LFU, Lee-et-al. LRFU), all
+// costed under the same objective, swept over β.
+func (s Setup) ClassicComparison(betas []float64) (*Table, error) {
+	cols := []string{"Offline", "RHC", "LRFU", "LRU", "FIFO", "CLFU", "CLRFU"}
+	t := NewTable("classic", "Optimization vs classic request-driven caches (total cost)", "beta", cols)
+	for _, beta := range betas {
+		s.logf("classic: beta=%g", beta)
+		cfg := s.Config
+		cfg.Beta = beta
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := workload.NewPredictor(in.Demand, s.Eta, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rhc := online.RHC(s.Window)
+		rhc.Core = s.OnlineOpts
+		policies := map[string]sim.Policy{
+			"Offline": sim.Offline(s.OfflineOpts),
+			"RHC":     sim.Online(rhc),
+			"LRFU":    sim.FromBaseline(baseline.NewLRFU()),
+			"LRU":     sim.FromBaseline(trace.NewPolicyAdapter(trace.NewLRU(), cfg.Seed)),
+			"FIFO":    sim.FromBaseline(trace.NewPolicyAdapter(trace.NewFIFO(), cfg.Seed)),
+			"CLFU":    sim.FromBaseline(trace.NewPolicyAdapter(trace.NewLFU(), cfg.Seed)),
+			"CLRFU":   sim.FromBaseline(trace.NewPolicyAdapter(trace.NewClassicLRFU(0.1), cfg.Seed)),
+		}
+		cells := make(map[string]float64, len(policies))
+		for name, p := range policies {
+			res, err := sim.Run(in, pred, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: classic %s: %w", name, err)
+			}
+			cells[name] = res.Cost.Total
+			s.logf("  %-12s total=%.1f repl=%d (%.1fs)", name, res.Cost.Total, res.Cost.Replacements, res.Runtime.Seconds())
+		}
+		t.Add(beta, cells)
+	}
+	return t, nil
+}
+
+// extract pulls one metric for the named columns, averaged over seeds.
+func extract(res pointResults, cols []string, m metric) map[string]float64 {
+	out := make(map[string]float64, len(cols))
+	for _, c := range cols {
+		rs, ok := res[c]
+		if !ok || len(rs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, r := range rs {
+			sum += m(r)
+		}
+		out[c] = sum / float64(len(rs))
+	}
+	return out
+}
+
+// meanTotal averages one algorithm's total cost across seeds.
+func (p pointResults) meanTotal(name string) float64 {
+	rs := p[name]
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Cost.Total
+	}
+	return sum / float64(len(rs))
+}

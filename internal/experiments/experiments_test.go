@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tab := NewTable("x1", "Demo", "beta", []string{"A", "B"})
+	tab.Add(1, map[string]float64{"A": 10, "B": 20.5})
+	tab.Add(2.5, map[string]float64{"A": 11})
+	tab.AddLabeled(3, "row3", map[string]float64{"A": 1, "B": 2})
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "[x1]", "beta", "20.5", "row3", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := NewTable("x1", "Demo", "x", []string{"A"})
+	tab.Add(1, map[string]float64{"A": 3})
+	tab.Add(2, nil)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,A" || lines[1] != "1,3" || lines[2] != "2," {
+		t.Fatalf("CSV = %q", lines)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		-2:      "-2",
+		2.5:     "2.5",
+		1234.56: "1235",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	tab := NewTable("x1", "Demo", "beta", []string{"A", "B"})
+	tab.Add(1, map[string]float64{"A": 10, "B": 20.5})
+	tab.Add(2.5, map[string]float64{"A": 11})
+	tab.AddLabeled(3, "row3", map[string]float64{"A": 1, "B": 2})
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("x1", "Demo", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XLabel != "beta" || len(got.Columns) != 2 || len(got.Rows) != 3 {
+		t.Fatalf("parsed table %+v", got)
+	}
+	if got.Rows[0].Cells["B"] != 20.5 {
+		t.Fatalf("cell lost: %+v", got.Rows[0])
+	}
+	if _, ok := got.Rows[1].Cells["B"]; ok {
+		t.Fatal("empty cell resurrected")
+	}
+	if got.Rows[2].Label != "row3" {
+		t.Fatalf("label lost: %+v", got.Rows[2])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":      "",
+		"no columns": "x",
+		"ragged":     "x,A\n1,2,3",
+		"bad number": "x,A\n1,zap",
+	} {
+		if _, err := ReadCSV("id", "t", strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted %q", name, data)
+		}
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tab := NewTable("x1", "Demo", "beta", []string{"A"})
+	tab.Add(1, map[string]float64{"A": 10})
+	tab.Add(2, map[string]float64{"A": 20})
+	c, err := tab.Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.X) != 2 || len(c.Series) != 1 || c.Series[0].Y[1] != 20 {
+		t.Fatalf("chart = %+v", c)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	labeled := NewTable("h", "H", "row", []string{"A"})
+	labeled.AddLabeled(0, "L", map[string]float64{"A": 1})
+	if _, err := labeled.Chart(); err == nil {
+		t.Fatal("labeled table was plottable")
+	}
+	sparse := NewTable("s", "S", "x", []string{"A"})
+	sparse.Add(1, nil)
+	if _, err := sparse.Chart(); err == nil {
+		t.Fatal("sparse table was plottable")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"RHC(w=10)":     "RHC",
+		"CHC(w=10,r=5)": "CHC",
+		"AFHC(w=10)":    "AFHC",
+		"LRFU":          "LRFU",
+		"Offline":       "Offline",
+	}
+	for in, want := range cases {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestQuickFig2EndToEnd exercises the full harness at Quick scale: the
+// central shape claims must hold even on the miniature instance.
+func TestQuickFig2EndToEnd(t *testing.T) {
+	s := Quick()
+	tables, err := s.Fig2([]float64{0, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("Fig2 returned %d tables, want 4", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s has %d rows, want 2", tab.ID, len(tab.Rows))
+		}
+	}
+	// Offline never exceeds any other algorithm's total (it optimises the
+	// same objective with full information and a superset search).
+	total := tables[0]
+	for _, row := range total.Rows {
+		off := row.Cells["Offline"]
+		for _, col := range []string{"RHC", "CHC", "AFHC", "LRFU"} {
+			if off > row.Cells[col]*1.05+1e-9 {
+				t.Fatalf("β=%g: offline %g worse than %s %g", row.X, off, col, row.Cells[col])
+			}
+		}
+	}
+	// Replacement cost at β=0 is 0 by definition.
+	replCost := tables[1]
+	for _, col := range []string{"Offline", "RHC", "CHC", "AFHC", "LRFU"} {
+		if v := replCost.Rows[0].Cells[col]; v != 0 {
+			t.Fatalf("β=0: %s replacement cost %g, want 0", col, v)
+		}
+	}
+}
+
+func TestQuickFig5NoiseMonotonicityForLRFU(t *testing.T) {
+	s := Quick()
+	tab, err := s.Fig5([]float64{0, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRFU and offline consume exact demand: their totals must be flat.
+	for _, col := range []string{"LRFU", "Offline"} {
+		a := tab.Rows[0].Cells[col]
+		b := tab.Rows[1].Cells[col]
+		if a != b {
+			t.Fatalf("%s varies with η: %g vs %g", col, a, b)
+		}
+	}
+}
+
+func TestQuickHeadline(t *testing.T) {
+	s := Quick()
+	tab, err := s.Headline(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("headline has %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row.Label == "Offline" {
+			if r := row.Cells["RatioToOffline"]; r != 1 {
+				t.Fatalf("offline ratio = %g, want 1", r)
+			}
+		}
+		if row.Cells["RatioToOffline"] < 1-1e-9 {
+			t.Fatalf("%s beats offline: ratio %g", row.Label, row.Cells["RatioToOffline"])
+		}
+	}
+}
+
+func TestQuickCommitmentSweepEndpoints(t *testing.T) {
+	s := Quick()
+	tab, err := s.CommitmentSweep([]int{1, s.Window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestMultiSeedAveraging(t *testing.T) {
+	s := Quick()
+	s.Seeds = []uint64{1, 2}
+	tab, err := s.Fig5([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := tab.Rows[0].Cells["LRFU"]
+
+	s.Seeds = []uint64{1}
+	t1, err := s.Fig5([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seeds = []uint64{2}
+	t2, err := s.Fig5([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * (t1.Rows[0].Cells["LRFU"] + t2.Rows[0].Cells["LRFU"])
+	if diff := avg - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean of seeds = %g, want %g", avg, want)
+	}
+}
+
+func TestQuickClassicComparison(t *testing.T) {
+	s := Quick()
+	tab, err := s.ClassicComparison([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0].Cells
+	for _, col := range tab.Columns {
+		if _, ok := row[col]; !ok {
+			t.Fatalf("missing column %s", col)
+		}
+	}
+	// The offline optimum must dominate every classic cache.
+	for _, col := range []string{"LRU", "FIFO", "CLFU", "CLRFU"} {
+		if row["Offline"] > row[col]*1.02+1e-9 {
+			t.Fatalf("offline %g worse than %s %g", row["Offline"], col, row[col])
+		}
+	}
+}
+
+func TestQuickLoadModeComparison(t *testing.T) {
+	s := Quick()
+	tab, err := s.LoadModeComparison([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0].Cells
+	if row["Predicted"] <= 0 || row["Reactive"] <= 0 {
+		t.Fatalf("non-positive costs: %v", row)
+	}
+	// Reactive has strictly more information at load-split time; it can
+	// only help (small solver slack allowed).
+	if row["Reactive"] > row["Predicted"]*1.01 {
+		t.Fatalf("reactive %g worse than predicted %g", row["Reactive"], row["Predicted"])
+	}
+}
+
+func TestQuickHitRatioSweep(t *testing.T) {
+	s := Quick()
+	tab, err := s.HitRatioSweep([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for col, v := range row.Cells {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s hit ratio %g at C=%g", col, v, row.X)
+			}
+		}
+	}
+	// More capacity never lowers LRU's hit ratio on the same trace.
+	if tab.Rows[1].Cells["LRU"] < tab.Rows[0].Cells["LRU"] {
+		t.Fatal("LRU hit ratio fell with capacity")
+	}
+	if _, err := s.HitRatioSweep([]int{-1}); err == nil {
+		t.Fatal("accepted negative capacity")
+	}
+}
+
+func TestFig3RejectsBadWindow(t *testing.T) {
+	s := Quick()
+	if _, err := s.Fig3([]int{0}); err == nil {
+		t.Fatal("Fig3 accepted window 0")
+	}
+}
+
+func TestQuickCompetitive(t *testing.T) {
+	s := Quick()
+	tab, err := s.Competitive([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row.Cells["Ratio"] < 1-1e-6 {
+			t.Fatalf("ratio %g < 1 at w=%g", row.Cells["Ratio"], row.X)
+		}
+	}
+	if tab.Rows[0].Cells["OnePlusOneOverW"] != 2 {
+		t.Fatalf("reference curve wrong: %g", tab.Rows[0].Cells["OnePlusOneOverW"])
+	}
+	if _, err := s.Competitive([]int{0}); err == nil {
+		t.Fatal("accepted window 0")
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"edgecache/internal/textplot"
+)
+
+// Table is one experiment's output: rows along the sweep's x-axis, one
+// column per reported series.
+type Table struct {
+	// ID is the experiment identifier ("fig2a", "headline", ...).
+	ID string
+	// Title describes the sweep.
+	Title string
+	// XLabel names the x-axis ("beta", "w", ...).
+	XLabel string
+	// Columns are the series names in display order.
+	Columns []string
+	// Rows hold the data.
+	Rows []RowData
+}
+
+// RowData is one x-value with its series values. Label, when non-empty,
+// replaces the numeric x in text output (used by the headline table).
+type RowData struct {
+	X     float64
+	Label string
+	Cells map[string]float64
+}
+
+// NewTable allocates an empty table.
+func NewTable(id, title, xLabel string, columns []string) *Table {
+	return &Table{
+		ID:      id,
+		Title:   title,
+		XLabel:  xLabel,
+		Columns: append([]string(nil), columns...),
+	}
+}
+
+// Add appends a numeric-x row.
+func (t *Table) Add(x float64, cells map[string]float64) {
+	t.Rows = append(t.Rows, RowData{X: x, Cells: cells})
+}
+
+// AddLabeled appends a row displayed under a label instead of its x value.
+func (t *Table) AddLabeled(x float64, label string, cells map[string]float64) {
+	t.Rows = append(t.Rows, RowData{X: x, Label: label, Cells: cells})
+}
+
+// Write renders an aligned text table.
+func (t *Table) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s [%s]\n\n", t.Title, t.ID); err != nil {
+		return err
+	}
+	header := make([]string, 0, len(t.Columns)+1)
+	header = append(header, t.XLabel)
+	header = append(header, t.Columns...)
+
+	widths := make([]int, len(header))
+	cells := make([][]string, len(t.Rows))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for ri, row := range t.Rows {
+		line := make([]string, len(header))
+		if row.Label != "" {
+			line[0] = row.Label
+		} else {
+			line[0] = trimFloat(row.X)
+		}
+		for ci, col := range t.Columns {
+			v, ok := row.Cells[col]
+			if !ok {
+				line[ci+1] = "-"
+			} else {
+				line[ci+1] = trimFloat(v)
+			}
+		}
+		for i, c := range line {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		cells[ri] = line
+	}
+
+	writeLine := func(parts []string) error {
+		var b strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], p)
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeLine(rule); err != nil {
+		return err
+	}
+	for _, line := range cells {
+		if err := writeLine(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// WriteCSV renders the table as CSV with an x column.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cols := append([]string{t.XLabel}, t.Columns...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		parts := make([]string, 0, len(cols))
+		if row.Label != "" {
+			parts = append(parts, row.Label)
+		} else {
+			parts = append(parts, trimFloat(row.X))
+		}
+		for _, c := range t.Columns {
+			if v, ok := row.Cells[c]; ok {
+				parts = append(parts, trimFloat(v))
+			} else {
+				parts = append(parts, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart converts a numeric-x table into an ASCII chart. Tables with
+// labeled rows (the headline table) are not plottable and return an error.
+func (t *Table) Chart() (*textplot.Chart, error) {
+	c := &textplot.Chart{Title: fmt.Sprintf("%s [%s]", t.Title, t.ID), XLabel: t.XLabel}
+	for _, row := range t.Rows {
+		if row.Label != "" {
+			return nil, fmt.Errorf("experiments: table %s has labeled rows; not plottable", t.ID)
+		}
+		c.X = append(c.X, row.X)
+	}
+	for _, col := range t.Columns {
+		s := textplot.Series{Name: col}
+		for _, row := range t.Rows {
+			v, ok := row.Cells[col]
+			if !ok {
+				return nil, fmt.Errorf("experiments: table %s misses %s at x=%g", t.ID, col, row.X)
+			}
+			s.Y = append(s.Y, v)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c, nil
+}
+
+// trimFloat renders numbers compactly (integers without decimals, others
+// with four significant digits).
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

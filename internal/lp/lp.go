@@ -1,0 +1,444 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x (≤ | = | ≥) b_i   for every constraint i
+//	            x ≥ 0.
+//
+// The paper solves the caching subproblem P1 with "standard linear
+// programming methods, simplex method is applied" (§III-B); this package is
+// that solver. It is exact up to floating-point tolerance and is
+// cross-validated in tests against brute-force vertex enumeration and, in
+// package caching, against the min-cost-flow formulation of P1.
+//
+// The implementation is a classic full-tableau simplex: Dantzig pricing
+// with an automatic switch to Bland's anti-cycling rule after a pivot
+// budget, and artificial variables in phase one. It is intended for the
+// moderate problem sizes that arise in this repository (up to a few
+// thousand variables), not as a general-purpose sparse LP code.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgecache/internal/mat"
+)
+
+// ConstraintKind is the relation of one linear constraint.
+type ConstraintKind int
+
+// Constraint relations.
+const (
+	LE ConstraintKind = iota + 1 // a·x ≤ b
+	EQ                           // a·x = b
+	GE                           // a·x ≥ b
+)
+
+// String returns the relation symbol.
+func (k ConstraintKind) String() string {
+	switch k {
+	case LE:
+		return "≤"
+	case EQ:
+		return "="
+	case GE:
+		return "≥"
+	default:
+		return fmt.Sprintf("ConstraintKind(%d)", int(k))
+	}
+}
+
+// Constraint is one row a·x (≤|=|≥) b. Coeffs must have the problem's
+// variable count; missing trailing zeros are not inferred.
+type Constraint struct {
+	Coeffs []float64
+	Kind   ConstraintKind
+	RHS    float64
+}
+
+// Problem is a linear program over len(C) non-negative variables.
+type Problem struct {
+	// C is the objective gradient: minimize C·x.
+	C []float64
+	// Cons are the constraints.
+	Cons []Constraint
+}
+
+// NewProblem returns an empty problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{C: make([]float64, n)}
+}
+
+// AddConstraint appends a constraint row, copying coeffs.
+func (p *Problem) AddConstraint(coeffs []float64, kind ConstraintKind, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{
+		Coeffs: append([]float64(nil), coeffs...),
+		Kind:   kind,
+		RHS:    rhs,
+	})
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	// X is the optimal point over the problem's original variables.
+	X []float64
+	// Objective is C·X.
+	Objective float64
+	// Duals are the constraint shadow prices ∂Objective/∂RHS_i, one per
+	// constraint in input order. For a minimisation, relaxing a ≤ row
+	// (raising its RHS) cannot increase the optimum, so its dual is ≤ 0;
+	// a ≥ row's dual is ≥ 0; equality rows are unrestricted.
+	Duals []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Solver failure modes.
+var (
+	// ErrInfeasible reports an empty feasible region.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports an objective unbounded below.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrIterationLimit reports pivot-budget exhaustion.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+)
+
+// Options tune the solver. The zero value selects defaults.
+type Options struct {
+	// Tol is the pivoting / feasibility tolerance. Default 1e-9.
+	Tol float64
+	// MaxIter is the total pivot budget. Default 50·(m+n)+1000.
+	MaxIter int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50*(m+n) + 1000
+	}
+	return o
+}
+
+// Solve runs the two-phase simplex method and returns an optimal solution,
+// or one of ErrInfeasible, ErrUnbounded and ErrIterationLimit.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.Cons)
+	for i, c := range p.Cons {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+		switch c.Kind {
+		case LE, EQ, GE:
+		default:
+			return nil, fmt.Errorf("lp: constraint %d has invalid kind %d", i, int(c.Kind))
+		}
+	}
+	opts = opts.withDefaults(m, n)
+	if m == 0 {
+		// Only x ≥ 0 constrains the problem: bounded iff C ≥ 0.
+		for j, cj := range p.C {
+			if cj < -opts.Tol {
+				return nil, fmt.Errorf("%w: variable %d has negative cost and no constraints", ErrUnbounded, j)
+			}
+		}
+		return &Solution{X: make([]float64, n)}, nil
+	}
+
+	t := newTableau(p, opts)
+	sol, err := t.solve()
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// tableau is the working state of one solve.
+type tableau struct {
+	opts  Options
+	n     int // original variables
+	cols  int // original + slack/surplus + artificial
+	art0  int // first artificial column index
+	a     *mat.Dense
+	b     []float64
+	basis []int
+	c     []float64 // original objective, padded to cols
+	iters int
+	// Per-row bookkeeping for dual extraction: the column holding this
+	// row's unit vector in the normalised system (artificial if present,
+	// else slack), its coefficient there (±1), and the sign the row was
+	// multiplied by during RHS normalisation.
+	unitCol  []int
+	unitCoef []float64
+	rowSign  []float64
+}
+
+// newTableau builds the phase-one tableau: every row is normalised to a
+// non-negative RHS, LE rows get slacks (which seed the basis when possible),
+// GE rows get surplus variables, and rows without a unit column get
+// artificials.
+func newTableau(p *Problem, opts Options) *tableau {
+	n := len(p.C)
+	m := len(p.Cons)
+
+	// Count slack/surplus columns and which rows need artificials.
+	slackOf := make([]int, m) // column index of this row's slack, -1 if none
+	cols := n
+	for i, c := range p.Cons {
+		if c.Kind == LE || c.Kind == GE {
+			slackOf[i] = cols
+			cols++
+		} else {
+			slackOf[i] = -1
+		}
+	}
+	art0 := cols
+	needArt := make([]bool, m)
+	for i, c := range p.Cons {
+		// After RHS normalisation, the slack column has coefficient +1 and
+		// can seed the basis exactly when (LE, b ≥ 0) or (GE, b < 0).
+		bNeg := c.RHS < 0
+		switch {
+		case c.Kind == LE && !bNeg, c.Kind == GE && bNeg:
+			needArt[i] = false
+		default:
+			needArt[i] = true
+			cols++
+		}
+	}
+
+	t := &tableau{
+		opts:     opts,
+		n:        n,
+		cols:     cols,
+		art0:     art0,
+		a:        mat.NewDense(m, cols),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		c:        make([]float64, cols),
+		unitCol:  make([]int, m),
+		unitCoef: make([]float64, m),
+		rowSign:  make([]float64, m),
+	}
+	copy(t.c, p.C)
+
+	art := art0
+	for i, c := range p.Cons {
+		sign := 1.0
+		if c.RHS < 0 {
+			sign = -1
+		}
+		t.rowSign[i] = sign
+		row := t.a.Row(i)
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		t.b[i] = sign * c.RHS
+		if s := slackOf[i]; s >= 0 {
+			if c.Kind == LE {
+				row[s] = sign
+			} else {
+				row[s] = -sign
+			}
+			t.unitCol[i] = s
+			t.unitCoef[i] = row[s]
+		}
+		if needArt[i] {
+			row[art] = 1
+			t.basis[i] = art
+			// Artificials override slacks for dual extraction: their
+			// coefficient is exactly +1 in the normalised system.
+			t.unitCol[i] = art
+			t.unitCoef[i] = 1
+			art++
+		} else {
+			t.basis[i] = slackOf[i]
+		}
+	}
+	return t
+}
+
+// solve runs both phases and extracts the solution.
+func (t *tableau) solve() (*Solution, error) {
+	// Phase one: minimise the sum of artificials.
+	if t.art0 < t.cols {
+		phase1 := make([]float64, t.cols)
+		for j := t.art0; j < t.cols; j++ {
+			phase1[j] = 1
+		}
+		obj, _, err := t.optimize(phase1, t.cols)
+		if err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				// Phase one is bounded below by 0; unboundedness here is a bug.
+				return nil, fmt.Errorf("lp: internal error: phase one reported unbounded")
+			}
+			return nil, err
+		}
+		if obj > 1e-7 {
+			return nil, fmt.Errorf("%w: phase-one optimum %g > 0", ErrInfeasible, obj)
+		}
+		if err := t.evictArtificials(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase two: minimise the original objective over non-artificial columns.
+	obj, reduced, err := t.optimize(t.c, t.art0)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, t.n)
+	for i, bj := range t.basis {
+		if bj < t.n {
+			x[bj] = t.b[i]
+		}
+	}
+	// Dual extraction: for a zero-cost column holding ±e_i in the
+	// normalised system, r_j = ∓y_i, so y_i = −r_j/coef; undo the RHS sign
+	// normalisation to express the dual against the original row.
+	duals := make([]float64, t.a.Rows)
+	for i := range duals {
+		duals[i] = t.rowSign[i] * -reduced[t.unitCol[i]] / t.unitCoef[i]
+	}
+	return &Solution{X: x, Objective: obj, Duals: duals, Iterations: t.iters}, nil
+}
+
+// optimize runs simplex pivots for the given cost vector, allowing entering
+// columns j < allowedCols only. It returns the optimal objective value and
+// the final reduced-cost row.
+func (t *tableau) optimize(cost []float64, allowedCols int) (float64, []float64, error) {
+	m := t.a.Rows
+	tol := t.opts.Tol
+
+	// Canonical reduced-cost row r_j = c_j − c_B·B⁻¹A_j and objective
+	// offset for the current basis.
+	r := append([]float64(nil), cost...)
+	var obj float64
+	for i := 0; i < m; i++ {
+		if cb := cost[t.basis[i]]; cb != 0 {
+			mat.Axpy(-cb, t.a.Row(i), r)
+			obj += cb * t.b[i]
+		}
+	}
+
+	blandAfter := t.opts.MaxIter / 2
+	for {
+		if t.iters >= t.opts.MaxIter {
+			return 0, nil, ErrIterationLimit
+		}
+		bland := t.iters >= blandAfter
+
+		// Pricing: choose the entering column.
+		enter := -1
+		best := -tol
+		for j := 0; j < allowedCols; j++ {
+			if r[j] < best {
+				enter = j
+				if bland {
+					break // Bland: first eligible index.
+				}
+				best = r[j]
+			}
+		}
+		if enter == -1 {
+			return obj, r, nil // optimal
+		}
+
+		// Ratio test: choose the leaving row.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			aij := t.a.At(i, enter)
+			if aij <= tol {
+				continue
+			}
+			ratio := t.b[i] / aij
+			if ratio < bestRatio-tol ||
+				(ratio < bestRatio+tol && leave >= 0 && t.basis[i] < t.basis[leave]) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return 0, nil, fmt.Errorf("%w: column %d", ErrUnbounded, enter)
+		}
+
+		t.pivot(leave, enter, r, &obj)
+		t.iters++
+	}
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col), updating the reduced
+// cost row and objective offset.
+func (t *tableau) pivot(row, col int, r []float64, obj *float64) {
+	pr := t.a.Row(row)
+	piv := pr[col]
+	inv := 1 / piv
+	mat.Scale(inv, pr)
+	t.b[row] *= inv
+
+	for i := 0; i < t.a.Rows; i++ {
+		if i == row {
+			continue
+		}
+		ri := t.a.Row(i)
+		if f := ri[col]; f != 0 {
+			mat.Axpy(-f, pr, ri)
+			ri[col] = 0 // exact zero to stop drift
+			t.b[i] -= f * t.b[row]
+		}
+	}
+	if f := r[col]; f != 0 {
+		mat.Axpy(-f, pr, r)
+		r[col] = 0
+		// Entering with reduced cost f and step θ = b[row] (already scaled)
+		// moves the objective by f·θ.
+		*obj += f * t.b[row]
+	}
+	t.basis[row] = col
+
+	// Clamp tiny negative RHS entries introduced by rounding.
+	if t.b[row] < 0 && t.b[row] > -t.opts.Tol {
+		t.b[row] = 0
+	}
+}
+
+// evictArtificials pivots any artificial variable that remains basic at
+// level ~0 out of the basis, or zeroes its (redundant) row when no
+// non-artificial pivot exists.
+func (t *tableau) evictArtificials() error {
+	for i := 0; i < t.a.Rows; i++ {
+		if t.basis[i] < t.art0 {
+			continue
+		}
+		if t.b[i] > 1e-7 {
+			return fmt.Errorf("%w: artificial basic at level %g", ErrInfeasible, t.b[i])
+		}
+		// Find any non-artificial column with a usable pivot in this row.
+		pivCol := -1
+		row := t.a.Row(i)
+		for j := 0; j < t.art0; j++ {
+			if math.Abs(row[j]) > 1e-7 {
+				pivCol = j
+				break
+			}
+		}
+		if pivCol == -1 {
+			// Redundant row: neutralise it so it can never pivot again.
+			for j := range row {
+				row[j] = 0
+			}
+			t.b[i] = 0
+			continue
+		}
+		dummy := make([]float64, t.cols)
+		var dummyObj float64
+		t.pivot(i, pivCol, dummy, &dummyObj)
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func almostEq(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6  →  min −x−y.
+	// Optimum at intersection: x = 8/5, y = 6/5, objective −14/5.
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	p.AddConstraint([]float64{3, 1}, LE, 6)
+	sol := mustSolve(t, p)
+	almostEq(t, "objective", sol.Objective, -14.0/5, 1e-9)
+	almostEq(t, "x", sol.X[0], 8.0/5, 1e-9)
+	almostEq(t, "y", sol.X[1], 6.0/5, 1e-9)
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+2y s.t. x+y = 3 → x = 3, y = 0, objective 3.
+	p := NewProblem(2)
+	p.C = []float64{1, 2}
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	sol := mustSolve(t, p)
+	almostEq(t, "objective", sol.Objective, 3, 1e-9)
+	almostEq(t, "x", sol.X[0], 3, 1e-9)
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 4, x ≤ 1 → x = 1, y = 3, objective 11.
+	p := NewProblem(2)
+	p.C = []float64{2, 3}
+	p.AddConstraint([]float64{1, 1}, GE, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	sol := mustSolve(t, p)
+	almostEq(t, "objective", sol.Objective, 11, 1e-9)
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −2 (i.e. x ≥ 2) → x = 2.
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]float64{-1}, LE, -2)
+	sol := mustSolve(t, p)
+	almostEq(t, "x", sol.X[0], 2, 1e-9)
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	if _, err := p.Solve(Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x s.t. y ≤ 1: x can grow without bound.
+	p := NewProblem(2)
+	p.C = []float64{-1, 0}
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	if _, err := p.Solve(Options{}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{1, 0}
+	sol := mustSolve(t, p)
+	almostEq(t, "objective", sol.Objective, 0, 0)
+
+	p.C = []float64{-1, 0}
+	if _, err := p.Solve(Options{}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]float64{1}, LE, 1)
+	if _, err := p.Solve(Options{}); err == nil {
+		t.Fatal("Solve accepted mismatched constraint width")
+	}
+	q := NewProblem(1)
+	q.Cons = append(q.Cons, Constraint{Coeffs: []float64{1}, Kind: 0, RHS: 1})
+	if _, err := q.Solve(Options{}); err == nil {
+		t.Fatal("Solve accepted invalid constraint kind")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP (multiple constraints active at the optimum).
+	// min −x−y s.t. x ≤ 1, y ≤ 1, x+y ≤ 2 → objective −2.
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	sol := mustSolve(t, p)
+	almostEq(t, "objective", sol.Objective, -2, 1e-9)
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	p.AddConstraint([]float64{3, 1}, LE, 6)
+	if _, err := p.Solve(Options{MaxIter: 1}); !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("err = %v, want ErrIterationLimit", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if LE.String() != "≤" || EQ.String() != "=" || GE.String() != "≥" {
+		t.Fatal("ConstraintKind.String mismatch")
+	}
+	if got := ConstraintKind(9).String(); got != "ConstraintKind(9)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDualsKnownLP(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6 → min −x−y.
+	// Optimal duals of the min problem: y = A^{-T} c_B over the active rows:
+	// solve {y1+3y2 = −1, 2y1+y2 = −1} → y1 = −2/5, y2 = −1/5.
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	p.AddConstraint([]float64{3, 1}, LE, 6)
+	sol := mustSolve(t, p)
+	almostEq(t, "dual1", sol.Duals[0], -2.0/5, 1e-9)
+	almostEq(t, "dual2", sol.Duals[1], -1.0/5, 1e-9)
+	// Strong duality: b·y = objective.
+	almostEq(t, "strong duality", 4*sol.Duals[0]+6*sol.Duals[1], sol.Objective, 1e-9)
+}
+
+func TestDualsSignsAndStrongDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 5))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(3)
+		p := NewProblem(n)
+		for j := range p.C {
+			p.C[j] = rng.Float64()*4 - 2
+		}
+		m := 1 + rng.IntN(3)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2
+			}
+			p.AddConstraint(row, LE, rng.Float64()*5+0.5)
+		}
+		box := make([]float64, n)
+		for j := range box {
+			box[j] = 1
+		}
+		p.AddConstraint(box, LE, 10)
+
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var by float64
+		for i, c := range p.Cons {
+			// Minimisation with ≤ rows: shadow prices are ≤ 0.
+			if sol.Duals[i] > 1e-7 {
+				t.Fatalf("trial %d: LE dual %g > 0", trial, sol.Duals[i])
+			}
+			by += sol.Duals[i] * c.RHS
+			// Complementary slackness: slack row ⇒ zero dual.
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += c.Coeffs[j] * sol.X[j]
+			}
+			if c.RHS-dot > 1e-6 && math.Abs(sol.Duals[i]) > 1e-6 {
+				t.Fatalf("trial %d: row %d slack %g but dual %g", trial, i, c.RHS-dot, sol.Duals[i])
+			}
+		}
+		if math.Abs(by-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: strong duality violated: b·y = %g, obj = %g", trial, by, sol.Objective)
+		}
+	}
+}
+
+func TestDualsEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 3 → x = 3, dual of the equality is 2
+	// (raising the RHS by 1 forces one more unit of the cheaper variable).
+	p := NewProblem(2)
+	p.C = []float64{2, 3}
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	sol := mustSolve(t, p)
+	almostEq(t, "eq dual", sol.Duals[0], 2, 1e-9)
+
+	// min 2x s.t. x ≥ 4: dual (shadow price) is +2.
+	q := NewProblem(1)
+	q.C = []float64{2}
+	q.AddConstraint([]float64{1}, GE, 4)
+	sol = mustSolve(t, q)
+	almostEq(t, "ge dual", sol.Duals[0], 2, 1e-9)
+}
+
+// --- brute-force cross-validation -----------------------------------------
+
+// gaussSolve solves a square system in-place, returning false if singular.
+func gaussSolve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Partial pivoting.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-9 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}
+
+// bruteForceLP solves min c·x, Ax ≤ b, x ≥ 0 by enumerating all vertices of
+// the polytope {Ax ≤ b, x ≥ 0}: every subset of n constraints (from the m
+// rows plus the n non-negativity bounds) that intersects in a single point.
+// Exponential; for tiny test problems only.
+func bruteForceLP(c []float64, a [][]float64, b []float64) (float64, bool) {
+	n := len(c)
+	m := len(a)
+	total := m + n
+	best := math.Inf(1)
+	found := false
+
+	idx := make([]int, n)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == n {
+			// Build and solve the active system.
+			sys := make([][]float64, n)
+			rhs := make([]float64, n)
+			for i, ci := range idx {
+				sys[i] = make([]float64, n)
+				if ci < m {
+					copy(sys[i], a[ci])
+					rhs[i] = b[ci]
+				} else {
+					sys[i][ci-m] = 1
+					rhs[i] = 0
+				}
+			}
+			x, ok := gaussSolve(sys, rhs)
+			if !ok {
+				return
+			}
+			// Check feasibility.
+			for _, v := range x {
+				if v < -1e-7 {
+					return
+				}
+			}
+			for i := 0; i < m; i++ {
+				var dot float64
+				for j := 0; j < n; j++ {
+					dot += a[i][j] * x[j]
+				}
+				if dot > b[i]+1e-7 {
+					return
+				}
+			}
+			var obj float64
+			for j := 0; j < n; j++ {
+				obj += c[j] * x[j]
+			}
+			if obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for i := start; i < total; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// TestRandomAgainstBruteForce cross-checks the simplex against vertex
+// enumeration on random bounded LPs.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(3) // 2..4 variables
+		m := 1 + rng.IntN(4) // 1..4 rows
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*4 - 2
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64() * 2 // non-negative rows keep it bounded-ish
+			}
+			b[i] = rng.Float64()*5 + 0.5
+		}
+		// Add a box row to guarantee boundedness.
+		box := make([]float64, n)
+		for j := range box {
+			box[j] = 1
+		}
+		a = append(a, box)
+		b = append(b, 10)
+		m++
+
+		want, ok := bruteForceLP(c, a, b)
+		if !ok {
+			t.Fatalf("trial %d: brute force found no vertex", trial)
+		}
+
+		p := NewProblem(n)
+		p.C = c
+		for i := 0; i < m; i++ {
+			p.AddConstraint(a[i], LE, b[i])
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %g, brute force %g", trial, sol.Objective, want)
+		}
+		// The returned point must be feasible and consistent with Objective.
+		var obj float64
+		for j := 0; j < n; j++ {
+			if sol.X[j] < -1e-9 {
+				t.Fatalf("trial %d: negative coordinate %g", trial, sol.X[j])
+			}
+			obj += c[j] * sol.X[j]
+		}
+		if math.Abs(obj-sol.Objective) > 1e-6*(1+math.Abs(obj)) {
+			t.Fatalf("trial %d: X inconsistent with Objective: %g vs %g", trial, obj, sol.Objective)
+		}
+		for i := 0; i < m; i++ {
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += a[i][j] * sol.X[j]
+			}
+			if dot > b[i]+1e-7 {
+				t.Fatalf("trial %d: row %d violated: %g > %g", trial, i, dot, b[i])
+			}
+		}
+	}
+}
+
+// TestRandomWithEqualities exercises phase one with equality rows.
+func TestRandomWithEqualities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 40; trial++ {
+		n := 3
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*2 - 1
+		}
+		// One equality through a random feasible point plus a box.
+		x0 := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		eq := []float64{rng.Float64() + 0.1, rng.Float64() + 0.1, rng.Float64() + 0.1}
+		rhs := eq[0]*x0[0] + eq[1]*x0[1] + eq[2]*x0[2]
+
+		p := NewProblem(n)
+		p.C = c
+		p.AddConstraint(eq, EQ, rhs)
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 2)
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		got := eq[0]*sol.X[0] + eq[1]*sol.X[1] + eq[2]*sol.X[2]
+		if math.Abs(got-rhs) > 1e-6 {
+			t.Fatalf("trial %d: equality violated: %g vs %g", trial, got, rhs)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package model
+
+import "math"
+
+// DefaultTol is the numerical tolerance used by integrality and feasibility
+// checks throughout the library. Solvers report solutions well inside this
+// tolerance.
+const DefaultTol = 1e-6
+
+// CachePlan is a per-slot cache placement x_{n,k}, indexed [n][k]. Values
+// are in [0, 1]; committed plans are integral (exactly 0 or 1 up to
+// tolerance), while intermediate primal-dual and averaged CHC iterates may
+// be fractional.
+type CachePlan [][]float64
+
+// NewCachePlan returns an all-zero placement for n SBSs and k contents.
+func NewCachePlan(n, k int) CachePlan {
+	p := make(CachePlan, n)
+	for i := range p {
+		p[i] = make([]float64, k)
+	}
+	return p
+}
+
+// Clone returns a deep copy of the placement.
+func (p CachePlan) Clone() CachePlan {
+	out := make(CachePlan, len(p))
+	for i := range p {
+		out[i] = append([]float64(nil), p[i]...)
+	}
+	return out
+}
+
+// IsIntegral reports whether every entry is within tol of 0 or 1.
+func (p CachePlan) IsIntegral(tol float64) bool {
+	for _, row := range p {
+		for _, v := range row {
+			if math.Abs(v) > tol && math.Abs(v-1) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Round snaps every entry to the nearer of 0 and 1, in place, and returns p.
+// It is intended for plans already integral up to solver tolerance; use the
+// online package's rounding policy for genuinely fractional plans.
+func (p CachePlan) Round() CachePlan {
+	for _, row := range p {
+		for k, v := range row {
+			if v >= 0.5 {
+				row[k] = 1
+			} else {
+				row[k] = 0
+			}
+		}
+	}
+	return p
+}
+
+// Items returns the indices of contents cached at SBS n (entries ≥ 0.5).
+func (p CachePlan) Items(n int) []int {
+	var items []int
+	for k, v := range p[n] {
+		if v >= 0.5 {
+			items = append(items, k)
+		}
+	}
+	return items
+}
+
+// LoadPlan is a per-slot load split y_{m_n,k} ∈ [0,1], indexed [n][m][k]:
+// the fraction of class-m requests for content k served by SBS n (the BS
+// serves the complement 1−y).
+type LoadPlan [][][]float64
+
+// NewLoadPlan returns an all-zero load split for the given per-SBS class
+// counts and k contents.
+func NewLoadPlan(classes []int, k int) LoadPlan {
+	p := make(LoadPlan, len(classes))
+	for n := range p {
+		p[n] = make([][]float64, classes[n])
+		for m := range p[n] {
+			p[n][m] = make([]float64, k)
+		}
+	}
+	return p
+}
+
+// Clone returns a deep copy of the load split.
+func (p LoadPlan) Clone() LoadPlan {
+	out := make(LoadPlan, len(p))
+	for n := range p {
+		out[n] = make([][]float64, len(p[n]))
+		for m := range p[n] {
+			out[n][m] = append([]float64(nil), p[n][m]...)
+		}
+	}
+	return out
+}
+
+// SlotDecision bundles the two coupled per-slot decisions.
+type SlotDecision struct {
+	X CachePlan
+	Y LoadPlan
+}
+
+// Clone returns a deep copy of the decision.
+func (d SlotDecision) Clone() SlotDecision {
+	return SlotDecision{X: d.X.Clone(), Y: d.Y.Clone()}
+}
+
+// Trajectory is a sequence of per-slot decisions covering a horizon.
+type Trajectory []SlotDecision
+
+// NewTrajectory returns an all-zero trajectory shaped for the instance.
+func NewTrajectory(in *Instance) Trajectory {
+	traj := make(Trajectory, in.T)
+	for t := range traj {
+		traj[t] = SlotDecision{
+			X: NewCachePlan(in.N, in.K),
+			Y: NewLoadPlan(in.Classes, in.K),
+		}
+	}
+	return traj
+}
+
+// Clone returns a deep copy of the trajectory.
+func (traj Trajectory) Clone() Trajectory {
+	out := make(Trajectory, len(traj))
+	for t := range traj {
+		out[t] = traj[t].Clone()
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testInstance builds a small, fully valid instance:
+// 2 SBSs, 3 contents, 2 slots, classes {2, 1}.
+func testInstance(t *testing.T) *Instance {
+	t.Helper()
+	d := NewDemand(2, []int{2, 1}, 3)
+	// SBS 0, class 0: rates 1, 2, 3 at slot 0; 2, 2, 2 at slot 1.
+	for k, v := range []float64{1, 2, 3} {
+		d.Set(0, 0, 0, k, v)
+	}
+	for k := 0; k < 3; k++ {
+		d.Set(1, 0, 0, k, 2)
+	}
+	// SBS 0, class 1: constant rate 1.
+	for tt := 0; tt < 2; tt++ {
+		for k := 0; k < 3; k++ {
+			d.Set(tt, 0, 1, k, 1)
+		}
+	}
+	// SBS 1, class 0: rate k+1 each slot.
+	for tt := 0; tt < 2; tt++ {
+		for k := 0; k < 3; k++ {
+			d.Set(tt, 1, 0, k, float64(k+1))
+		}
+	}
+	in := &Instance{
+		N:         2,
+		K:         3,
+		T:         2,
+		Classes:   []int{2, 1},
+		CacheCap:  []int{1, 2},
+		Bandwidth: []float64{10, 10},
+		OmegaBS:   [][]float64{{1, 0.5}, {2}},
+		OmegaSBS:  [][]float64{{0, 0}, {0.1}},
+		Beta:      []float64{10, 5},
+		Demand:    d,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("testInstance invalid: %v", err)
+	}
+	return in
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Instance)
+		wantSub string
+	}{
+		{"zero N", func(in *Instance) { in.N = 0 }, "N = 0"},
+		{"zero K", func(in *Instance) { in.K = 0 }, "K = 0"},
+		{"zero T", func(in *Instance) { in.T = 0 }, "T = 0"},
+		{"classes length", func(in *Instance) { in.Classes = []int{1} }, "len(Classes)"},
+		{"cachecap length", func(in *Instance) { in.CacheCap = []int{1} }, "len(CacheCap)"},
+		{"bandwidth length", func(in *Instance) { in.Bandwidth = []float64{1} }, "len(Bandwidth)"},
+		{"beta length", func(in *Instance) { in.Beta = nil }, "len(Beta)"},
+		{"negative bandwidth", func(in *Instance) { in.Bandwidth[1] = -1 }, "Bandwidth[1]"},
+		{"negative beta", func(in *Instance) { in.Beta[0] = -2 }, "Beta[0]"},
+		{"negative cap", func(in *Instance) { in.CacheCap[0] = -1 }, "CacheCap[0]"},
+		{"zero classes", func(in *Instance) { in.Classes[0] = 0 }, "Classes[0]"},
+		{"omega shape", func(in *Instance) { in.OmegaBS[0] = []float64{1} }, "OmegaBS[0]"},
+		{"negative omega", func(in *Instance) { in.OmegaBS[1][0] = -1 }, "OmegaBS[1][0]"},
+		{"negative omega sbs", func(in *Instance) { in.OmegaSBS[1][0] = -1 }, "OmegaSBS[1][0]"},
+		{"nil demand", func(in *Instance) { in.Demand = nil }, "nil Demand"},
+		{"demand shape", func(in *Instance) { in.Demand = NewDemand(1, []int{2, 1}, 3) }, "slots"},
+		{
+			"fractional initial cache",
+			func(in *Instance) {
+				in.InitialCache = NewCachePlan(2, 3)
+				in.InitialCache[0][0] = 0.5
+			},
+			"not integral",
+		},
+		{
+			"overfull initial cache",
+			func(in *Instance) {
+				in.InitialCache = NewCachePlan(2, 3)
+				in.InitialCache[0][0] = 1
+				in.InitialCache[0][1] = 1
+			},
+			"capacity",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := testInstance(t)
+			tc.mutate(in)
+			err := in.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsNilInitialCache(t *testing.T) {
+	in := testInstance(t)
+	in.InitialCache = nil
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestBSCostHandComputed(t *testing.T) {
+	in := testInstance(t)
+	y := NewLoadPlan(in.Classes, in.K)
+
+	// All served by BS: SBS0 load = 1·(1+2+3) + 0.5·(1+1+1) = 7.5 → 56.25;
+	// SBS1 load = 2·(1+2+3) = 12 → 144. Total 200.25.
+	if got, want := in.BSCost(0, y), 56.25+144.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BSCost(0, zero) = %g, want %g", got, want)
+	}
+
+	// Serve content 2 of class 0 at SBS 0 fully: load drops by 1·3 to 4.5.
+	y[0][0][2] = 1
+	if got, want := in.BSCost(0, y), 4.5*4.5+144.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BSCost(0, partial) = %g, want %g", got, want)
+	}
+}
+
+func TestSBSCostHandComputed(t *testing.T) {
+	in := testInstance(t)
+	y := NewLoadPlan(in.Classes, in.K)
+	if got := in.SBSCost(0, y); got != 0 {
+		t.Fatalf("SBSCost(0, zero) = %g, want 0", got)
+	}
+	// Serve content 1 (rate 2) at SBS 1, weight 0.1 → (0.1·2)² = 0.04.
+	y[1][0][1] = 1
+	if got, want := in.SBSCost(0, y), 0.04; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SBSCost = %g, want %g", got, want)
+	}
+}
+
+func TestReplacementCostAndCount(t *testing.T) {
+	in := testInstance(t)
+	prev := NewCachePlan(2, 3)
+	cur := NewCachePlan(2, 3)
+	prev[0][0] = 1
+	cur[0][1] = 1 // SBS 0: drop 0, insert 1 → β₀ = 10.
+	cur[1][0] = 1 // SBS 1: insert 0 → β₁ = 5.
+	cur[1][2] = 1 // SBS 1: insert 2 → β₁ = 5.
+	if got, want := in.ReplacementCost(prev, cur), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ReplacementCost = %g, want %g", got, want)
+	}
+	if got, want := ReplacementCount(prev, cur), 3; got != want {
+		t.Fatalf("ReplacementCount = %d, want %d", got, want)
+	}
+	// Evictions alone cost nothing.
+	if got := in.ReplacementCost(cur, prev); got != in.Beta[0]*1 {
+		// prev has one item cur lacks at SBS 0 (content 0) → one insert.
+		t.Fatalf("ReplacementCost(reverse) = %g, want %g", got, in.Beta[0])
+	}
+}
+
+func TestReplacementCostFractional(t *testing.T) {
+	in := testInstance(t)
+	prev := NewCachePlan(2, 3)
+	cur := NewCachePlan(2, 3)
+	prev[0][0] = 0.25
+	cur[0][0] = 0.75
+	if got, want := in.ReplacementCost(prev, cur), 10*0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fractional ReplacementCost = %g, want %g", got, want)
+	}
+}
+
+func TestTotalCostAccumulates(t *testing.T) {
+	in := testInstance(t)
+	traj := NewTrajectory(in)
+	traj[0].X[0][0] = 1
+	traj[1].X[0][1] = 1
+	br := in.TotalCost(traj)
+	if br.Replacements != 2 {
+		t.Fatalf("Replacements = %d, want 2", br.Replacements)
+	}
+	if math.Abs(br.Replacement-20) > 1e-12 {
+		t.Fatalf("Replacement = %g, want 20", br.Replacement)
+	}
+	wantBS := in.BSCost(0, traj[0].Y) + in.BSCost(1, traj[1].Y)
+	if math.Abs(br.BS-wantBS) > 1e-12 {
+		t.Fatalf("BS = %g, want %g", br.BS, wantBS)
+	}
+	if math.Abs(br.Total-(br.BS+br.SBS+br.Replacement)) > 1e-12 {
+		t.Fatalf("Total = %g does not match sum of parts", br.Total)
+	}
+}
+
+func TestNoCachingCostMatchesZeroTrajectory(t *testing.T) {
+	in := testInstance(t)
+	traj := NewTrajectory(in)
+	br := in.TotalCost(traj)
+	if got := in.NoCachingCost(); math.Abs(got-br.Total) > 1e-12 {
+		t.Fatalf("NoCachingCost = %g, want %g", got, br.Total)
+	}
+}
+
+func TestCheckSlotViolations(t *testing.T) {
+	in := testInstance(t)
+
+	feasible := func() SlotDecision {
+		dec := SlotDecision{X: NewCachePlan(2, 3), Y: NewLoadPlan(in.Classes, in.K)}
+		dec.X[0][2] = 1
+		dec.Y[0][0][2] = 0.5
+		return dec
+	}
+	if err := in.CheckSlot(0, feasible(), DefaultTol); err != nil {
+		t.Fatalf("CheckSlot(feasible) = %v, want nil", err)
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*SlotDecision)
+		wantSub string
+	}{
+		{"x out of range", func(d *SlotDecision) { d.X[0][0] = 1.5 }, "outside [0, 1]"},
+		{"x negative", func(d *SlotDecision) { d.X[0][0] = -0.5 }, "outside [0, 1]"},
+		{"y out of range", func(d *SlotDecision) { d.X[0][0] = 1; d.X[0][2] = 0; d.Y[0][0][2] = 0; d.Y[0][0][0] = 2 }, "outside [0, 1]"},
+		{"capacity", func(d *SlotDecision) { d.X[0][0], d.X[0][1] = 1, 1 }, "cache capacity"},
+		{"coupling", func(d *SlotDecision) { d.Y[0][1][0] = 0.5 }, "coupling"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := feasible()
+			tc.mutate(&dec)
+			err := in.CheckSlot(0, dec, DefaultTol)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("CheckSlot = %v, want error containing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckSlotBandwidth(t *testing.T) {
+	in := testInstance(t)
+	in.Bandwidth[0] = 2
+	dec := SlotDecision{X: NewCachePlan(2, 3), Y: NewLoadPlan(in.Classes, in.K)}
+	dec.X[0][2] = 1
+	dec.Y[0][0][2] = 1 // load 3 > bandwidth 2
+	err := in.CheckSlot(0, dec, DefaultTol)
+	if err == nil || !strings.Contains(err.Error(), "bandwidth") {
+		t.Fatalf("CheckSlot = %v, want bandwidth violation", err)
+	}
+}
+
+func TestCheckTrajectoryLength(t *testing.T) {
+	in := testInstance(t)
+	traj := NewTrajectory(in)[:1]
+	if err := in.CheckTrajectory(traj, DefaultTol); err == nil {
+		t.Fatal("CheckTrajectory accepted short trajectory")
+	}
+}
+
+func TestDemandAccessors(t *testing.T) {
+	in := testInstance(t)
+	d := in.Demand
+	if d.T() != 2 || d.N() != 2 || d.K() != 3 {
+		t.Fatalf("shape = (%d, %d, %d), want (2, 2, 3)", d.T(), d.N(), d.K())
+	}
+	if got := d.At(0, 0, 0, 2); got != 3 {
+		t.Fatalf("At = %g, want 3", got)
+	}
+	if got, want := d.SlotTotal(0, 0), 1+2+3+1+1+1.0; got != want {
+		t.Fatalf("SlotTotal = %g, want %g", got, want)
+	}
+	// ContentTotal at SBS 0, content 0: class0 rate 1 + class1 rate 1 = 2.
+	if got, want := d.ContentTotal(0, 0, 0), 2.0; got != want {
+		t.Fatalf("ContentTotal = %g, want %g", got, want)
+	}
+}
+
+func TestDemandSetRejectsInvalid(t *testing.T) {
+	d := NewDemand(1, []int{1}, 1)
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%g) did not panic", v)
+				}
+			}()
+			d.Set(0, 0, 0, 0, v)
+		}()
+	}
+}
+
+func TestDemandSliceIsDeepCopy(t *testing.T) {
+	in := testInstance(t)
+	s, err := in.Demand.Slice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set(0, 0, 0, 0, 99)
+	if got := in.Demand.At(0, 0, 0, 0); got != 1 {
+		t.Fatalf("Slice aliased storage: original demand changed to %g", got)
+	}
+}
+
+func TestDemandSliceBounds(t *testing.T) {
+	in := testInstance(t)
+	for _, rng := range [][2]int{{-1, 1}, {0, 3}, {1, 1}, {2, 1}} {
+		if _, err := in.Demand.Slice(rng[0], rng[1]); err == nil {
+			t.Errorf("Slice(%d, %d) = nil error, want out-of-range", rng[0], rng[1])
+		}
+	}
+}
+
+func TestDemandMap(t *testing.T) {
+	in := testInstance(t)
+	d := in.Demand.Clone()
+	d.Map(func(t, n, m, k int, v float64) float64 { return 2 * v })
+	if got := d.At(0, 0, 0, 2); got != 6 {
+		t.Fatalf("Map doubled rate = %g, want 6", got)
+	}
+	if got := in.Demand.At(0, 0, 0, 2); got != 3 {
+		t.Fatalf("Clone aliased storage: original rate = %g, want 3", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	in := testInstance(t)
+	init := NewCachePlan(2, 3)
+	init[0][1] = 1
+	w, err := in.Window(1, 2, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.T != 1 {
+		t.Fatalf("window T = %d, want 1", w.T)
+	}
+	if got := w.Demand.At(0, 0, 0, 0); got != 2 {
+		t.Fatalf("window demand = %g, want 2 (slot 1 of original)", got)
+	}
+	if got := w.InitialPlan()[0][1]; got != 1 {
+		t.Fatalf("window initial plan lost state: %g", got)
+	}
+	if _, err := in.Window(1, 3, nil, nil); err == nil {
+		t.Fatal("Window(1, 3) accepted out-of-horizon window")
+	}
+}
+
+func TestCachePlanHelpers(t *testing.T) {
+	p := NewCachePlan(1, 4)
+	p[0][1] = 0.9
+	p[0][3] = 0.2
+	if p.IsIntegral(DefaultTol) {
+		t.Fatal("IsIntegral = true for fractional plan")
+	}
+	p.Round()
+	if !p.IsIntegral(0) {
+		t.Fatal("Round did not produce integral plan")
+	}
+	if items := p.Items(0); len(items) != 1 || items[0] != 1 {
+		t.Fatalf("Items = %v, want [1]", items)
+	}
+	c := p.Clone()
+	c[0][0] = 1
+	if p[0][0] != 0 {
+		t.Fatal("Clone aliased storage")
+	}
+}
+
+func TestTrajectoryClone(t *testing.T) {
+	in := testInstance(t)
+	traj := NewTrajectory(in)
+	c := traj.Clone()
+	c[0].X[0][0] = 1
+	c[1].Y[0][0][0] = 0.5
+	if traj[0].X[0][0] != 0 || traj[1].Y[0][0][0] != 0 {
+		t.Fatal("Trajectory.Clone aliased storage")
+	}
+}
+
+// Property: the BS cost never increases when any y entry increases
+// (f_t is non-increasing in served fraction), and is always non-negative.
+func TestBSCostMonotoneProperty(t *testing.T) {
+	in := testInstance(t)
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		y := NewLoadPlan(in.Classes, in.K)
+		for n := range y {
+			for m := range y[n] {
+				for k := range y[n][m] {
+					y[n][m][k] = r.Float64()
+				}
+			}
+		}
+		base := in.BSCost(0, y)
+		if base < 0 {
+			return false
+		}
+		// Bump one random coordinate toward 1.
+		n := r.IntN(in.N)
+		m := r.IntN(in.Classes[n])
+		k := r.IntN(in.K)
+		y[n][m][k] = y[n][m][k] + (1-y[n][m][k])*r.Float64()
+		return in.BSCost(0, y) <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replacement cost satisfies the triangle-like inequality
+// h(a→c) ≤ h(a→b) + h(b→c) for arbitrary fractional plans, and h(a→a) = 0.
+func TestReplacementCostTriangleProperty(t *testing.T) {
+	in := testInstance(t)
+	randPlan := func(r *rand.Rand) CachePlan {
+		p := NewCachePlan(in.N, in.K)
+		for n := range p {
+			for k := range p[n] {
+				p[n][k] = r.Float64()
+			}
+		}
+		return p
+	}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		a, b, c := randPlan(r), randPlan(r), randPlan(r)
+		if in.ReplacementCost(a, a) != 0 {
+			return false
+		}
+		return in.ReplacementCost(a, c) <= in.ReplacementCost(a, b)+in.ReplacementCost(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalCost decomposes exactly into per-slot SlotCost terms.
+func TestTotalCostSlotAdditivityProperty(t *testing.T) {
+	in := testInstance(t)
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 23))
+		traj := NewTrajectory(in)
+		for tt := range traj {
+			for n := 0; n < in.N; n++ {
+				// Random (feasible-by-construction) placements and splits.
+				for _, k := range r.Perm(in.K)[:in.CacheCap[n]] {
+					traj[tt].X[n][k] = 1
+				}
+				for m := 0; m < in.Classes[n]; m++ {
+					for k := 0; k < in.K; k++ {
+						traj[tt].Y[n][m][k] = traj[tt].X[n][k] * r.Float64()
+					}
+				}
+			}
+		}
+		var sum float64
+		prev := in.InitialPlan()
+		for tt := range traj {
+			sum += in.SlotCost(tt, prev, traj[tt])
+			prev = traj[tt].X
+		}
+		br := in.TotalCost(traj)
+		return math.Abs(sum-br.Total) <= 1e-9*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package model
+
+import "fmt"
+
+// PerSBS extracts the single-SBS subproblem of SBS n as an independent
+// instance. The paper's objective and constraints separate across SBSs
+// (every term of f, g and h involves exactly one SBS), so the joint
+// optimum is the concatenation of the per-SBS optima — the structural
+// fact behind the distributed solver and the §VII future-work direction.
+func (in *Instance) PerSBS(n int) (*Instance, error) {
+	if n < 0 || n >= in.N {
+		return nil, fmt.Errorf("model: SBS %d outside [0, %d)", n, in.N)
+	}
+	d := NewDemand(in.T, []int{in.Classes[n]}, in.K)
+	for t := 0; t < in.T; t++ {
+		for m := 0; m < in.Classes[n]; m++ {
+			for k := 0; k < in.K; k++ {
+				d.Set(t, 0, m, k, in.Demand.At(t, n, m, k))
+			}
+		}
+	}
+	sub := &Instance{
+		N:         1,
+		K:         in.K,
+		T:         in.T,
+		Classes:   []int{in.Classes[n]},
+		CacheCap:  []int{in.CacheCap[n]},
+		Bandwidth: []float64{in.Bandwidth[n]},
+		OmegaBS:   [][]float64{in.OmegaBS[n]},
+		OmegaSBS:  [][]float64{in.OmegaSBS[n]},
+		Beta:      []float64{in.Beta[n]},
+		Demand:    d,
+	}
+	if in.InitialCache != nil {
+		sub.InitialCache = CachePlan{append([]float64(nil), in.InitialCache[n]...)}
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("model: PerSBS(%d): %w", n, err)
+	}
+	return sub, nil
+}

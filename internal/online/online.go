@@ -1,0 +1,429 @@
+// Package online implements the paper's online controllers (§IV): Receding
+// Horizon Control (RHC), Averaging Fixed Horizon Control (AFHC) and their
+// generalisation Committed Horizon Control (CHC), all in the integer
+// variants the paper introduces.
+//
+// All three share the Fixed Horizon Control building block: at decision
+// time τ, solve the joint problem (Algorithm 1, package core) over the
+// prediction window [τ, τ+w) using noisy demand forecasts, starting from
+// the controller's committed placement at τ−1. They differ in commitment:
+//
+//   - RHC (Algorithm 2) re-solves every slot and commits only the first
+//     action; it is CHC with commitment level r = 1.
+//   - CHC (Algorithm 3) runs r staggered FHC versions, each committing r
+//     consecutive slots per solve, and averages the r versions' actions at
+//     every slot.
+//   - AFHC is CHC with r = w.
+//
+// Averaged placements are fractional, so CHC/AFHC apply the paper's
+// rounding policy: x = 1 iff the average ≥ ρ with ρ = (3−√5)/2 (the
+// minimiser of the 2.62-approximation bound of Theorem 3), then y is
+// zeroed wherever x = 0. Two repairs the paper leaves implicit are made
+// explicit here and documented in DESIGN.md: rounding can exceed the cache
+// capacity (kept: top-C_n by average), and the committed load split can
+// exceed the true bandwidth because each version budgeted against
+// predicted demand (kept: proportional rescale).
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"edgecache/internal/core"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+	"edgecache/internal/parallel"
+	"edgecache/internal/workload"
+)
+
+// DefaultRho is the rounding threshold ρ = (3−√5)/2 ≈ 0.382 of Theorem 3.
+var DefaultRho = (3 - math.Sqrt(5)) / 2
+
+// LoadMode selects how the committed load split y is produced.
+type LoadMode int
+
+const (
+	// LoadPredicted commits the (averaged, rounded-consistent) load split
+	// computed from the prediction windows — the paper-literal behaviour.
+	// The split is rescaled if true demand would exceed the bandwidth.
+	LoadPredicted LoadMode = iota + 1
+	// LoadReactive recomputes the optimal load split for the committed
+	// placement against the realised demand of the slot. This models a
+	// system whose request routing reacts at per-slot timescale while only
+	// the cache is pre-positioned; it isolates prediction noise to the
+	// caching decision.
+	LoadReactive
+)
+
+// String names the mode.
+func (m LoadMode) String() string {
+	switch m {
+	case LoadPredicted:
+		return "predicted"
+	case LoadReactive:
+		return "reactive"
+	default:
+		return fmt.Sprintf("LoadMode(%d)", int(m))
+	}
+}
+
+// Config describes one online controller.
+type Config struct {
+	// Window is the prediction horizon w ≥ 1.
+	Window int
+	// Commitment is the level r ∈ [1, Window]: 1 = RHC, Window = AFHC.
+	Commitment int
+	// Rho is the rounding threshold ρ ∈ (0, 1); 0 selects DefaultRho.
+	Rho float64
+	// LoadMode defaults to LoadPredicted.
+	LoadMode LoadMode
+	// Core configures the per-window Algorithm 1 solves. A zero value gets
+	// window-appropriate defaults (fewer dual iterations than a full
+	// offline solve; the μ warm start across overlapping windows makes up
+	// the difference).
+	Core core.Options
+	// DisableMuWarmStart turns off carrying shifted dual multipliers
+	// between consecutive window solves of the same FHC version (kept as
+	// an ablation knob; warm starts change results only through solver
+	// accuracy).
+	DisableMuWarmStart bool
+	// SingleVersion runs only version v = 0 instead of the r staggered
+	// versions — plain Fixed Horizon Control, the classic baseline RHC
+	// and AFHC generalise. No averaging occurs, so no rounding is needed.
+	SingleVersion bool
+}
+
+// RHC returns the Receding Horizon Control configuration for window w.
+func RHC(w int) Config { return Config{Window: w, Commitment: 1} }
+
+// AFHC returns the Averaging Fixed Horizon Control configuration.
+func AFHC(w int) Config { return Config{Window: w, Commitment: w} }
+
+// CHC returns the Committed Horizon Control configuration with commitment
+// level r.
+func CHC(w, r int) Config { return Config{Window: w, Commitment: r} }
+
+// FHC returns plain Fixed Horizon Control: solve every w slots, commit
+// the whole window, no staggered averaging. It is the memoryless baseline
+// of the RHC/AFHC literature; AFHC is exactly the average of w staggered
+// copies of it.
+func FHC(w int) Config { return Config{Window: w, Commitment: w, SingleVersion: true} }
+
+// Name returns a short algorithm label ("RHC(w=10)", "CHC(w=10,r=5)", ...).
+func (c Config) Name() string {
+	switch {
+	case c.SingleVersion:
+		return fmt.Sprintf("FHC(w=%d)", c.Window)
+	case c.Commitment <= 1:
+		return fmt.Sprintf("RHC(w=%d)", c.Window)
+	case c.Commitment >= c.Window:
+		return fmt.Sprintf("AFHC(w=%d)", c.Window)
+	default:
+		return fmt.Sprintf("CHC(w=%d,r=%d)", c.Window, c.Commitment)
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Window < 1 {
+		return c, fmt.Errorf("online: window %d, want ≥ 1", c.Window)
+	}
+	if c.Commitment == 0 {
+		c.Commitment = 1
+	}
+	if c.Commitment < 1 || c.Commitment > c.Window {
+		return c, fmt.Errorf("online: commitment %d outside [1, %d]", c.Commitment, c.Window)
+	}
+	if c.Rho == 0 {
+		c.Rho = DefaultRho
+	}
+	if c.Rho <= 0 || c.Rho >= 1 {
+		return c, fmt.Errorf("online: rho %g outside (0, 1)", c.Rho)
+	}
+	if c.LoadMode == 0 {
+		c.LoadMode = LoadPredicted
+	}
+	if c.LoadMode != LoadPredicted && c.LoadMode != LoadReactive {
+		return c, fmt.Errorf("online: unknown load mode %d", int(c.LoadMode))
+	}
+	if c.Core.MaxIter == 0 {
+		c.Core.MaxIter = 25
+	}
+	if c.Core.Epsilon == 0 {
+		c.Core.Epsilon = 1e-3
+	}
+	if c.Core.StallIter == 0 {
+		// Window solves keep iterating a little longer than the generic
+		// default: committed actions feed future windows, so placement
+		// quality compounds.
+		c.Core.StallIter = 15
+	}
+	return c, nil
+}
+
+// Result is a completed online run.
+type Result struct {
+	// Trajectory is the committed, feasible decision sequence.
+	Trajectory model.Trajectory
+	// RelaxedCost is the objective value of the pre-rounding averaged
+	// trajectory (fractional x is legal in the relaxed objective). It is
+	// the C(X,Y)* of Theorem 3: the rounded trajectory's cost is provably
+	// at most 2.62× this value, and tests verify the bound empirically.
+	RelaxedCost float64
+	// WindowSolves counts Algorithm 1 invocations across all versions.
+	WindowSolves int
+	// DualIterations sums the dual iterations over all window solves.
+	DualIterations int
+}
+
+// Run executes the configured controller over the instance's horizon,
+// reading demand forecasts from pred (whose truth tensor must be the
+// instance's demand).
+func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		return nil, errors.New("online: nil predictor")
+	}
+	if pred.Truth() != in.Demand {
+		return nil, errors.New("online: predictor truth is not the instance demand")
+	}
+
+	res := &Result{}
+	r := cfg.Commitment
+	versions := r
+	if cfg.SingleVersion {
+		versions = 1
+	}
+
+	// Per-version committed actions for every real slot. Versions are
+	// mutually independent (each sees only its own committed state and the
+	// deterministic predictor), so they run in parallel.
+	xa := make([][]model.CachePlan, versions)
+	ya := make([][]model.LoadPlan, versions)
+	stats := make([]versionStats, versions)
+	err = parallel.For(versions, 0, func(v int) error {
+		xa[v] = make([]model.CachePlan, in.T)
+		ya[v] = make([]model.LoadPlan, in.T)
+		return runVersion(in, pred, cfg, v, xa[v], ya[v], &stats[v])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
+		res.WindowSolves += st.solves
+		res.DualIterations += st.dualIters
+	}
+
+	// Combine versions slot by slot: average, round, repair, commit.
+	traj := make(model.Trajectory, in.T)
+	prevAvgX := in.InitialPlan()
+	for t := 0; t < in.T; t++ {
+		avgX := model.NewCachePlan(in.N, in.K)
+		avgY := model.NewLoadPlan(in.Classes, in.K)
+		for v := 0; v < versions; v++ {
+			if xa[v][t] == nil || ya[v][t] == nil {
+				return nil, fmt.Errorf("online: version %d committed no action for slot %d", v, t)
+			}
+			for n := 0; n < in.N; n++ {
+				for k := 0; k < in.K; k++ {
+					avgX[n][k] += xa[v][t][n][k] / float64(versions)
+				}
+				for m := 0; m < in.Classes[n]; m++ {
+					for k := 0; k < in.K; k++ {
+						avgY[n][m][k] += ya[v][t][n][m][k] / float64(versions)
+					}
+				}
+			}
+		}
+
+		// Relaxed (pre-rounding) objective for the Theorem 3 bound. The
+		// averaged y may marginally exceed the true bandwidth (each version
+		// budgeted against predictions), which the relaxed objective
+		// tolerates.
+		res.RelaxedCost += in.BSCost(t, avgY) + in.SBSCost(t, avgY) +
+			in.ReplacementCost(prevAvgX, avgX)
+		prevAvgX = avgX
+
+		x := roundPlacement(in, avgX, cfg.Rho)
+		var y model.LoadPlan
+		if cfg.LoadMode == LoadReactive {
+			y, err = reactiveLoad(in, t, x, cfg)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			y = predictedLoad(in, t, x, avgY)
+		}
+		traj[t] = model.SlotDecision{X: x, Y: y}
+	}
+
+	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+		return nil, fmt.Errorf("online: committed trajectory infeasible: %w", err)
+	}
+	res.Trajectory = traj
+	return res, nil
+}
+
+// versionStats aggregates one FHC version's solver effort.
+type versionStats struct {
+	solves    int
+	dualIters int
+}
+
+// runVersion executes FHC version v: solve at times τ ≡ v (mod r), commit
+// slots [τ, τ+r). The start-up solve of versions v > 0 happens at τ = v−r
+// (per Ψ_v of Algorithm 3, with zero demand before slot 0), which reduces
+// to solving the clamped window [0, v−r+w) and committing [0, v).
+func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
+	xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
+
+	r := cfg.Commitment
+	virtualPrev := in.InitialPlan()
+	var warmMu [][][]float64
+	var prevFrom, prevTo int
+
+	first := v - r
+	if v == 0 {
+		first = 0
+	}
+	for tau := first; tau < in.T; tau += r {
+		from := max(tau, 0)
+		to := min(tau+cfg.Window, in.T)
+		if from >= to {
+			continue
+		}
+		commitEnd := min(tau+r, in.T)
+		if commitEnd <= from {
+			continue
+		}
+
+		forecast, err := pred.Predict(tau, from, to)
+		if err != nil {
+			return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
+		}
+		win, err := in.Window(from, to, virtualPrev, forecast)
+		if err != nil {
+			return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
+		}
+
+		opts := cfg.Core
+		if !cfg.DisableMuWarmStart && warmMu != nil {
+			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
+		}
+		sol, err := core.Solve(win, opts)
+		if err != nil {
+			return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
+		}
+		stats.solves++
+		stats.dualIters += sol.Iterations
+		warmMu, prevFrom, prevTo = sol.Mu, from, to
+
+		for t := from; t < commitEnd; t++ {
+			xa[t] = sol.Trajectory[t-from].X
+			ya[t] = sol.Trajectory[t-from].Y
+		}
+		virtualPrev = xa[commitEnd-1]
+	}
+	return nil
+}
+
+// shiftMu re-aligns the previous window's multipliers onto the next
+// window's slots (overlapping slots keep their values; new slots start at
+// zero).
+func shiftMu(mu [][][]float64, prevFrom, prevTo, from, to int, in *model.Instance) [][][]float64 {
+	out := make([][][]float64, to-from)
+	for t := range out {
+		out[t] = make([][]float64, in.N)
+		abs := from + t
+		for n := range out[t] {
+			out[t][n] = make([]float64, in.Classes[n]*in.K)
+			if abs >= prevFrom && abs < prevTo {
+				copy(out[t][n], mu[abs-prevFrom][n])
+			}
+		}
+	}
+	return out
+}
+
+// roundPlacement applies the CHC rounding policy with capacity repair:
+// candidates are entries with average ≥ ρ; if more than C_n qualify the
+// top C_n by average survive (ties broken toward smaller k for
+// determinism).
+func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) model.CachePlan {
+	x := model.NewCachePlan(in.N, in.K)
+	for n := 0; n < in.N; n++ {
+		type cand struct {
+			k int
+			v float64
+		}
+		var cands []cand
+		for k := 0; k < in.K; k++ {
+			if avg[n][k] >= rho {
+				cands = append(cands, cand{k, avg[n][k]})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].v != cands[j].v {
+				return cands[i].v > cands[j].v
+			}
+			return cands[i].k < cands[j].k
+		})
+		if len(cands) > in.CacheCap[n] {
+			cands = cands[:in.CacheCap[n]]
+		}
+		for _, c := range cands {
+			x[n][c.k] = 1
+		}
+	}
+	return x
+}
+
+// predictedLoad zeroes the averaged load split wherever the rounded
+// placement dropped the item (step (ii) of the rounding policy) and then
+// rescales per SBS so the realised demand fits the bandwidth.
+func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.LoadPlan) model.LoadPlan {
+	y := avgY.Clone()
+	for n := 0; n < in.N; n++ {
+		row := in.Demand.Slot(t, n)
+		var load float64
+		for m := 0; m < in.Classes[n]; m++ {
+			base := m * in.K
+			for k := 0; k < in.K; k++ {
+				if x[n][k] < 0.5 {
+					y[n][m][k] = 0
+					continue
+				}
+				if y[n][m][k] > 1 {
+					y[n][m][k] = 1
+				}
+				load += row[base+k] * y[n][m][k]
+			}
+		}
+		if load > in.Bandwidth[n] && load > 0 {
+			scale := in.Bandwidth[n] / load
+			for m := 0; m < in.Classes[n]; m++ {
+				for k := 0; k < in.K; k++ {
+					y[n][m][k] *= scale
+				}
+			}
+		}
+	}
+	return y
+}
+
+// reactiveLoad recomputes the optimal split for the committed placement
+// against realised demand.
+func reactiveLoad(in *model.Instance, t int, x model.CachePlan, cfg Config) (model.LoadPlan, error) {
+	y, err := loadbalance.OptimalGivenPlacement(in, t, x, cfg.Core.Convex)
+	if err != nil {
+		return nil, fmt.Errorf("online: reactive load at slot %d: %w", t, err)
+	}
+	return y, nil
+}

@@ -1,0 +1,320 @@
+package online
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+// smallInstance builds a quick-to-solve online test instance.
+func smallInstance(t *testing.T, mutate func(*workload.InstanceConfig)) (*model.Instance, *workload.Predictor) {
+	t.Helper()
+	cfg := workload.PaperDefault()
+	cfg.T = 12
+	cfg.K = 6
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 6
+	cfg.Beta = 5
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := workload.NewPredictor(in.Demand, 0.1, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, pred
+}
+
+func TestConfigNames(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{RHC(10), "RHC(w=10)"},
+		{AFHC(8), "AFHC(w=8)"},
+		{CHC(10, 5), "CHC(w=10,r=5)"},
+	}
+	for _, tc := range tests {
+		if got := tc.cfg.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	bad := []Config{
+		{Window: 0},
+		{Window: 4, Commitment: 5},
+		{Window: 4, Commitment: -1},
+		{Window: 4, Commitment: 2, Rho: 1.5},
+		{Window: 4, Commitment: 2, LoadMode: LoadMode(9)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(in, pred, cfg); err == nil {
+			t.Errorf("case %d: Run accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := Run(in, nil, RHC(4)); err == nil {
+		t.Error("Run accepted nil predictor")
+	}
+	other, _ := smallInstance(t, func(c *workload.InstanceConfig) { c.Seed = 99 })
+	if _, err := Run(in, mustPredictor(t, other), RHC(4)); err == nil {
+		t.Error("Run accepted predictor with foreign truth")
+	}
+}
+
+func mustPredictor(t *testing.T, in *model.Instance) *workload.Predictor {
+	t.Helper()
+	p, err := workload.NewPredictor(in.Demand, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRHCProducesFeasibleIntegralTrajectory(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	res, err := Run(in, pred, RHC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != in.T {
+		t.Fatalf("trajectory has %d slots, want %d", len(res.Trajectory), in.T)
+	}
+	for tt, dec := range res.Trajectory {
+		if !dec.X.IsIntegral(0) {
+			t.Fatalf("slot %d: fractional placement", tt)
+		}
+	}
+	if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowSolves != in.T {
+		t.Fatalf("RHC made %d window solves, want %d", res.WindowSolves, in.T)
+	}
+}
+
+func TestCHCAndAFHCFeasible(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	for _, cfg := range []Config{CHC(4, 2), AFHC(4)} {
+		res, err := Run(in, pred, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		for tt, dec := range res.Trajectory {
+			if !dec.X.IsIntegral(0) {
+				t.Fatalf("%s slot %d: fractional placement after rounding", cfg.Name(), tt)
+			}
+			for n := 0; n < in.N; n++ {
+				if len(dec.X.Items(n)) > in.CacheCap[n] {
+					t.Fatalf("%s slot %d: capacity exceeded after rounding", cfg.Name(), tt)
+				}
+			}
+		}
+	}
+}
+
+func TestReactiveMode(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	cfg := RHC(4)
+	cfg.LoadMode = LoadReactive
+	res, err := Run(in, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectPredictionRHCNearOffline(t *testing.T) {
+	in, _ := smallInstance(t, nil)
+	pred, err := workload.NewPredictor(in.Demand, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-horizon window + exact predictions ⇒ RHC should be close to the
+	// offline solve (same solver, same information).
+	res, err := Run(in, pred, RHC(in.T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := core.Solve(in, core.Options{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCost := in.TotalCost(res.Trajectory).Total
+	if onCost > off.Cost.Total*1.25+1e-9 {
+		t.Fatalf("full-window RHC %g much worse than offline %g", onCost, off.Cost.Total)
+	}
+}
+
+func TestRoundPlacement(t *testing.T) {
+	in, _ := smallInstance(t, nil)
+	avg := model.NewCachePlan(in.N, in.K)
+	avg[0][0] = 0.9
+	avg[0][1] = 0.5
+	avg[0][2] = 0.45
+	avg[0][3] = 0.2 // below ρ
+	x := roundPlacement(in, avg, DefaultRho)
+	// Capacity 2: top-2 of the three candidates survive.
+	if x[0][0] != 1 || x[0][1] != 1 {
+		t.Fatalf("top candidates dropped: %v", x[0])
+	}
+	if x[0][2] != 0 || x[0][3] != 0 {
+		t.Fatalf("capacity repair failed: %v", x[0])
+	}
+}
+
+func TestRoundPlacementTieBreak(t *testing.T) {
+	in, _ := smallInstance(t, nil)
+	avg := model.NewCachePlan(in.N, in.K)
+	for k := 0; k < 4; k++ {
+		avg[0][k] = 0.5
+	}
+	x := roundPlacement(in, avg, DefaultRho)
+	if x[0][0] != 1 || x[0][1] != 1 || x[0][2] != 0 {
+		t.Fatalf("tie break not deterministic toward low indices: %v", x[0])
+	}
+}
+
+func TestPredictedLoadZeroesAndRescales(t *testing.T) {
+	in, _ := smallInstance(t, func(c *workload.InstanceConfig) { c.Bandwidth = 1 })
+	x := model.NewCachePlan(in.N, in.K)
+	x[0][0] = 1
+	avgY := model.NewLoadPlan(in.Classes, in.K)
+	for m := 0; m < in.Classes[0]; m++ {
+		avgY[0][m][0] = 1
+		avgY[0][m][1] = 0.7 // not cached → must be zeroed
+	}
+	y := predictedLoad(in, 0, x, avgY)
+	row := in.Demand.Slot(0, 0)
+	var load float64
+	for m := 0; m < in.Classes[0]; m++ {
+		if y[0][m][1] != 0 {
+			t.Fatalf("uncached content served: %g", y[0][m][1])
+		}
+		load += row[m*in.K] * y[0][m][0]
+	}
+	if load > in.Bandwidth[0]+1e-9 {
+		t.Fatalf("load %g exceeds bandwidth %g after rescale", load, in.Bandwidth[0])
+	}
+}
+
+func TestLoadModeString(t *testing.T) {
+	if LoadPredicted.String() != "predicted" || LoadReactive.String() != "reactive" {
+		t.Fatal("LoadMode.String mismatch")
+	}
+	if !strings.Contains(LoadMode(7).String(), "7") {
+		t.Fatal("unknown LoadMode not reported")
+	}
+}
+
+func TestDefaultRhoValue(t *testing.T) {
+	if math.Abs(DefaultRho-0.381966) > 1e-5 {
+		t.Fatalf("DefaultRho = %g, want (3−√5)/2 ≈ 0.381966", DefaultRho)
+	}
+}
+
+func TestLargerWindowHelpsOnAverage(t *testing.T) {
+	// With drifting demand and modest noise, w = 6 should beat w = 1 — the
+	// central claim behind Fig. 3a. A single seed could be unlucky, so
+	// average over a few.
+	var short, long float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		in, pred := smallInstance(t, func(c *workload.InstanceConfig) {
+			c.Seed = seed
+			c.Workload.Jitter = 0.3
+			c.Beta = 20
+		})
+		rs, err := Run(in, pred, RHC(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Run(in, pred, RHC(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		short += in.TotalCost(rs.Trajectory).Total
+		long += in.TotalCost(rl.Trajectory).Total
+	}
+	if long > short*1.02 {
+		t.Fatalf("w=6 cost %g worse than w=1 cost %g", long, short)
+	}
+}
+
+func TestMuWarmStartAblationAgrees(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	warm, err := Run(in, pred, RHC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RHC(4)
+	cfg.DisableMuWarmStart = true
+	cold, err := Run(in, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := in.TotalCost(warm.Trajectory).Total
+	cc := in.TotalCost(cold.Trajectory).Total
+	// Warm starting changes solver accuracy, not the algorithm; costs must
+	// be in the same ballpark.
+	if math.Abs(cw-cc) > 0.2*math.Max(cw, cc) {
+		t.Fatalf("warm %g vs cold %g differ too much", cw, cc)
+	}
+}
+
+func TestFHCSingleVersion(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	res, err := Run(in, pred, FHC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// T = 12, w = 4 → exactly 3 window solves (one version).
+	if res.WindowSolves != 3 {
+		t.Fatalf("FHC made %d solves, want 3", res.WindowSolves)
+	}
+	if got := FHC(4).Name(); got != "FHC(w=4)" {
+		t.Fatalf("Name = %q", got)
+	}
+	// FHC's committed actions are integral window solutions: no rounding
+	// artefacts, so the relaxed and committed placements coincide.
+	for tt, dec := range res.Trajectory {
+		if !dec.X.IsIntegral(0) {
+			t.Fatalf("slot %d fractional", tt)
+		}
+	}
+}
+
+func TestAFHCAveragesFHCVersions(t *testing.T) {
+	// Sanity relation: AFHC's window-solve count is w× FHC's (staggered
+	// copies), modulo boundary effects.
+	in, pred := smallInstance(t, nil)
+	fhc, err := Run(in, pred, FHC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	afhc, err := Run(in, pred, AFHC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afhc.WindowSolves <= fhc.WindowSolves {
+		t.Fatalf("AFHC made %d solves, FHC %d", afhc.WindowSolves, fhc.WindowSolves)
+	}
+}

@@ -1,0 +1,129 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/workload"
+)
+
+// TestTheorem3RoundingBound verifies the paper's Theorem 3 empirically:
+// the rounded CHC trajectory's cost never exceeds 2.62× the cost of the
+// pre-rounding averaged (relaxed) trajectory. Generous bandwidth keeps the
+// feasibility repairs (which the theorem does not model) inactive.
+func TestTheorem3RoundingBound(t *testing.T) {
+	const bound = 2.62
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := workload.PaperDefault()
+		cfg.T = 12
+		cfg.K = 8
+		cfg.ClassesPerSBS = 5
+		cfg.CacheCap = 3
+		cfg.Bandwidth = 1000 // no rescale, theorem conditions hold
+		cfg.Beta = 10
+		cfg.Seed = seed
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := workload.NewPredictor(in.Demand, 0.2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []Config{CHC(4, 2), AFHC(4), CHC(6, 3)} {
+			res, err := Run(in, pred, c)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.Name(), err)
+			}
+			rounded := in.TotalCost(res.Trajectory).Total
+			if res.RelaxedCost <= 0 {
+				t.Fatalf("seed %d %s: relaxed cost %g not positive", seed, c.Name(), res.RelaxedCost)
+			}
+			if rounded > bound*res.RelaxedCost*(1+1e-9) {
+				t.Fatalf("seed %d %s: rounded %g > %g × relaxed %g — Theorem 3 violated",
+					seed, c.Name(), rounded, bound, res.RelaxedCost)
+			}
+		}
+	}
+}
+
+// TestRHCRelaxedEqualsCommitted checks that for RHC (r = 1, integral
+// actions, no averaging) the relaxed cost differs from the committed cost
+// only through the load-split feasibility repair.
+func TestRHCRelaxedEqualsCommitted(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.T = 8
+	cfg.K = 6
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 1000
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := workload.NewPredictor(in.Demand, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, pred, RHC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := in.TotalCost(res.Trajectory).Total
+	if math.Abs(committed-res.RelaxedCost) > 1e-6*(1+committed) {
+		t.Fatalf("RHC committed %g != relaxed %g with exact predictions and slack bandwidth",
+			committed, res.RelaxedCost)
+	}
+}
+
+// TestRHCCompetitiveTrend verifies the behaviour Theorem 2 implies: as
+// the window grows, RHC's cost ratio to the offline optimum approaches 1
+// on average (the O(1 + 1/w) competitive ratio of §IV-A).
+func TestRHCCompetitiveTrend(t *testing.T) {
+	var ratioShort, ratioLong float64
+	const seeds = 3
+	for seed := uint64(1); seed <= seeds; seed++ {
+		cfg := workload.PaperDefault()
+		cfg.T = 12
+		cfg.K = 8
+		cfg.ClassesPerSBS = 5
+		cfg.CacheCap = 2
+		cfg.Bandwidth = 6
+		cfg.Beta = 40
+		cfg.Seed = seed
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := workload.NewPredictor(in.Demand, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := core.Solve(in, core.Options{MaxIter: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 8} {
+			res, err := Run(in, pred, RHC(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := in.TotalCost(res.Trajectory).Total / off.Cost.Total
+			if ratio < 1-1e-6 {
+				t.Fatalf("seed %d w=%d: online beat offline: ratio %g", seed, w, ratio)
+			}
+			if w == 1 {
+				ratioShort += ratio / seeds
+			} else {
+				ratioLong += ratio / seeds
+			}
+		}
+	}
+	if ratioLong > ratioShort*1.01 {
+		t.Fatalf("competitive ratio did not improve with window: w=1 → %.4f, w=8 → %.4f", ratioShort, ratioLong)
+	}
+	if ratioLong > 1.2 {
+		t.Fatalf("w=8 exact-prediction RHC ratio %.4f far from 1", ratioLong)
+	}
+}

@@ -1,0 +1,86 @@
+// Package parallel provides the small fork-join helper used to fan
+// independent per-slot subproblem solves across CPUs. It exists because the
+// load-balancing subproblem P2 separates per (slot, SBS) — the dominant
+// cost of every solver in this repository — and the standard library offers
+// no errgroup.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for i in [0, n) using up to workers goroutines (0 means
+// GOMAXPROCS) and returns the error of the lowest index that failed, or
+// nil. All iterations run even after a failure (they are independent and
+// cheap to finish); panics in fn propagate to the caller.
+func For(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		next    int
+		errIdx  = -1
+		err     error
+		panicMu sync.Mutex
+		panicV  any
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			i := next
+			next++
+			mu.Unlock()
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicV == nil {
+							panicV = fmt.Sprintf("parallel: panic in iteration %d: %v", i, r)
+						}
+						panicMu.Unlock()
+					}
+				}()
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx, err = i, e
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return err
+}

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsAllIterations(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var count atomic.Int64
+		seen := make([]atomic.Bool, 100)
+		err := For(100, workers, func(i int) error {
+			count.Add(1)
+			seen[i].Store(true)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if count.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d iterations, want 100", workers, count.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: iteration %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForZeroIterations(t *testing.T) {
+	if err := For(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(-3, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := For(50, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 30:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want errA (lowest index)", workers, err)
+		}
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v does not mention cause", r)
+		}
+	}()
+	_ = For(10, 4, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+}
+
+func TestForConcurrencyBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_ = For(200, 3, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if peak.Load() > 3 {
+		t.Fatalf("peak concurrency %d > 3", peak.Load())
+	}
+}

@@ -1,0 +1,160 @@
+// Package projection provides Euclidean projections onto the feasible sets
+// that arise in the load-balancing subproblem P2 (eq. 19): box constraints
+// 0 ≤ y ≤ 1 (eq. 11, tightened to y ≤ x when the placement is fixed) and
+// the SBS bandwidth knapsack Σ λ y ≤ B (eq. 2). The first-order solver in
+// package convex composes these with gradient steps.
+package projection
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgecache/internal/mat"
+)
+
+// ErrInfeasible reports an empty feasible set (e.g. Σ c·lo > b).
+var ErrInfeasible = errors.New("projection: feasible set is empty")
+
+// bisectIters bounds the bisection loops; the loops also exit early once
+// the bracket or the constraint residual is inside float64 noise, so this
+// is a safety cap, not the typical iteration count.
+const bisectIters = 90
+
+// Box writes the projection of z onto the box [lo_i, hi_i] into dst and
+// returns dst. dst may alias z. It panics on length mismatch or on an
+// inverted box (lo > hi), which indicate solver construction bugs.
+func Box(dst, z, lo, hi []float64) []float64 {
+	if len(dst) != len(z) || len(z) != len(lo) || len(lo) != len(hi) {
+		panic(fmt.Sprintf("projection: Box length mismatch %d/%d/%d/%d", len(dst), len(z), len(lo), len(hi)))
+	}
+	for i, v := range z {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("projection: inverted box [%g, %g] at %d", lo[i], hi[i], i))
+		}
+		dst[i] = mat.Clamp(v, lo[i], hi[i])
+	}
+	return dst
+}
+
+// BoxKnapsack writes into dst the projection of z onto
+//
+//	{ y : lo ≤ y ≤ hi,  Σ_i c_i y_i ≤ b },   c ≥ 0,
+//
+// and returns dst. dst may alias z. The solution has the KKT form
+// y_i = clamp(z_i − θ c_i, lo_i, hi_i) for the smallest θ ≥ 0 that
+// satisfies the knapsack row; θ is located by monotone bisection.
+func BoxKnapsack(dst, z, lo, hi, c []float64, b float64) ([]float64, error) {
+	if len(dst) != len(z) || len(z) != len(lo) || len(lo) != len(hi) || len(hi) != len(c) {
+		panic(fmt.Sprintf("projection: BoxKnapsack length mismatch %d/%d/%d/%d/%d",
+			len(dst), len(z), len(lo), len(hi), len(c)))
+	}
+	for i, ci := range c {
+		if ci < 0 {
+			panic(fmt.Sprintf("projection: negative knapsack weight c[%d] = %g", i, ci))
+		}
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("projection: inverted box [%g, %g] at %d", lo[i], hi[i], i))
+		}
+	}
+
+	// Feasibility: the box's cheapest point must fit the knapsack.
+	var minLoad float64
+	for i, ci := range c {
+		minLoad += ci * lo[i]
+	}
+	if minLoad > b+1e-9*(1+math.Abs(b)) {
+		return nil, fmt.Errorf("%w: Σ c·lo = %g > b = %g", ErrInfeasible, minLoad, b)
+	}
+
+	load := func(theta float64) float64 {
+		var s float64
+		for i, ci := range c {
+			if ci == 0 {
+				continue
+			}
+			s += ci * mat.Clamp(z[i]-theta*ci, lo[i], hi[i])
+		}
+		return s
+	}
+
+	// θ = 0 is the plain box projection; accept it when it already fits.
+	if load(0) <= b {
+		return Box(dst, z, lo, hi), nil
+	}
+
+	// Bracket: at θmax every weighted coordinate is at its lower bound.
+	var thetaMax float64
+	for i, ci := range c {
+		if ci == 0 {
+			continue
+		}
+		if t := (z[i] - lo[i]) / ci; t > thetaMax {
+			thetaMax = t
+		}
+	}
+	loT, hiT := 0.0, thetaMax
+	resTol := 1e-10 * (1 + math.Abs(b))
+	for iter := 0; iter < bisectIters && hiT-loT > 1e-13*(1+hiT); iter++ {
+		mid := 0.5 * (loT + hiT)
+		l := load(mid)
+		if l > b {
+			loT = mid
+		} else {
+			hiT = mid
+			if b-l <= resTol {
+				break
+			}
+		}
+	}
+	theta := hiT // the feasible end of the bracket
+	for i := range z {
+		dst[i] = mat.Clamp(z[i]-theta*c[i], lo[i], hi[i])
+	}
+	return dst, nil
+}
+
+// Simplex writes into dst the projection of z onto the scaled simplex
+// { y ≥ 0, Σ y = r } (r > 0) and returns dst. dst may alias z. It uses the
+// classic sorted-threshold characterisation y_i = max(z_i − τ, 0).
+func Simplex(dst, z []float64, r float64) []float64 {
+	if len(dst) != len(z) {
+		panic(fmt.Sprintf("projection: Simplex length mismatch %d/%d", len(dst), len(z)))
+	}
+	if r <= 0 {
+		panic(fmt.Sprintf("projection: Simplex radius %g ≤ 0", r))
+	}
+	// Bisection on τ keeps the implementation allocation-light and mirrors
+	// BoxKnapsack; Σ max(z−τ, 0) is strictly decreasing until it hits 0.
+	sum := func(tau float64) float64 {
+		var s float64
+		for _, v := range z {
+			if v > tau {
+				s += v - tau
+			}
+		}
+		return s
+	}
+	hiT := mat.NormInf(z) // Σ at this τ is 0 ≤ r
+	loT := hiT - 1
+	for sum(loT) < r {
+		loT -= math.Max(1, math.Abs(loT))
+	}
+	for iter := 0; iter < bisectIters && hiT-loT > 1e-14*(1+math.Abs(hiT)); iter++ {
+		mid := 0.5 * (loT + hiT)
+		if sum(mid) > r {
+			loT = mid
+		} else {
+			hiT = mid
+		}
+	}
+	tau := 0.5 * (loT + hiT)
+	for i, v := range z {
+		dst[i] = math.Max(v-tau, 0)
+	}
+	// Rescale the tiny residual mismatch onto the support for an exact sum.
+	if s := mat.Sum(dst); s > 0 {
+		mat.Scale(r/s, dst)
+	}
+	return dst
+}

@@ -1,0 +1,265 @@
+// Package report turns measured experiment tables into the
+// EXPERIMENTS.md comparison document: for every figure of the paper it
+// renders the measured series, states the paper's published claim, and
+// machine-checks the claim against the measurement.
+//
+// Claims come in two strengths. Strict claims are the qualitative results
+// the reproduction stands on (cost orderings, monotonicities, flat
+// baselines) — a strict failure means the reproduction disagrees with the
+// paper. Informational claims record softer statements (approximate
+// ratios, saturation points) whose exact position legitimately depends on
+// the demand-scale calibration documented in DESIGN.md §3.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"edgecache/internal/experiments"
+)
+
+// Claim is one checkable statement about a measured table.
+type Claim struct {
+	// Description is the human-readable statement, phrased as the paper
+	// phrases it.
+	Description string
+	// Strict marks reproduction-critical claims.
+	Strict bool
+	// Check returns nil when the measurement supports the claim.
+	Check func(t *experiments.Table) error
+}
+
+// Verdict is the outcome of checking one claim.
+type Verdict struct {
+	Claim Claim
+	Err   error
+}
+
+// Status renders PASS / WARN / FAIL.
+func (v Verdict) Status() string {
+	switch {
+	case v.Err == nil:
+		return "PASS"
+	case v.Claim.Strict:
+		return "FAIL"
+	default:
+		return "WARN"
+	}
+}
+
+// column extracts a column's values in row order. Gaps are skipped (a
+// sweep may not define every algorithm at every x, e.g. CHC collapses
+// into AFHC when r = w); a column with fewer than one value errors.
+func column(t *experiments.Table, col string) ([]float64, error) {
+	out := make([]float64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		if v, ok := row.Cells[col]; ok {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("column %s has no values", col)
+	}
+	return out, nil
+}
+
+// NonIncreasing claims a column never rises along the sweep (within a
+// relative slack).
+func NonIncreasing(col string, slack float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		xs, err := column(t, col)
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] > xs[i-1]*(1+slack) {
+				return fmt.Errorf("%s rises at row %d: %g → %g", col, i, xs[i-1], xs[i])
+			}
+		}
+		return nil
+	}
+}
+
+// NonDecreasing claims a column never falls along the sweep.
+func NonDecreasing(col string, slack float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		xs, err := column(t, col)
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1]*(1-slack) {
+				return fmt.Errorf("%s falls at row %d: %g → %g", col, i, xs[i-1], xs[i])
+			}
+		}
+		return nil
+	}
+}
+
+// Flat claims a column is constant (within a relative band).
+func Flat(col string, band float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		xs, err := column(t, col)
+		if err != nil {
+			return err
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if lo <= 0 {
+			if hi-lo > band {
+				return fmt.Errorf("%s varies: [%g, %g]", col, lo, hi)
+			}
+			return nil
+		}
+		if hi/lo > 1+band {
+			return fmt.Errorf("%s varies: [%g, %g]", col, lo, hi)
+		}
+		return nil
+	}
+}
+
+// Dominates claims a ≤ b at every row where both are present (a is the
+// better algorithm), with relative slack for solver tolerance.
+func Dominates(a, b string, slack float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		compared := 0
+		for i, row := range t.Rows {
+			av, aok := row.Cells[a]
+			bv, bok := row.Cells[b]
+			if !aok || !bok {
+				continue
+			}
+			compared++
+			if av > bv*(1+slack) {
+				return fmt.Errorf("%s (%g) above %s (%g) at row %d", a, av, b, bv, i)
+			}
+		}
+		if compared == 0 {
+			return fmt.Errorf("no rows carry both %s and %s", a, b)
+		}
+		return nil
+	}
+}
+
+// Ordering claims cols are sorted best-to-worst at every row.
+func Ordering(slack float64, cols ...string) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		for i := 0; i+1 < len(cols); i++ {
+			if err := Dominates(cols[i], cols[i+1], slack)(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// LabeledCellBetween claims the labeled row's cell lies in [lo, hi] —
+// used for the headline ratio table.
+func LabeledCellBetween(label, col string, lo, hi float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		for _, row := range t.Rows {
+			if row.Label != label {
+				continue
+			}
+			v, ok := row.Cells[col]
+			if !ok {
+				return fmt.Errorf("row %s misses column %s", label, col)
+			}
+			if v < lo || v > hi {
+				return fmt.Errorf("%s[%s] = %g outside [%g, %g]", label, col, v, lo, hi)
+			}
+			return nil
+		}
+		return fmt.Errorf("no row labeled %s", label)
+	}
+}
+
+// MinimumNear claims a column attains its minimum at an x within tol of
+// x0 — used for the ρ ablation around (3−√5)/2.
+func MinimumNear(col string, x0, tol float64) func(*experiments.Table) error {
+	return func(t *experiments.Table) error {
+		best := math.Inf(1)
+		bestX := math.NaN()
+		for _, row := range t.Rows {
+			if v, ok := row.Cells[col]; ok && v < best {
+				best, bestX = v, row.X
+			}
+		}
+		if math.Abs(bestX-x0) > tol {
+			return fmt.Errorf("%s minimised at %g, expected near %g", col, bestX, x0)
+		}
+		return nil
+	}
+}
+
+// Section couples one table with its paper context.
+type Section struct {
+	// ID must match the table's experiment id.
+	ID string
+	// PaperStatement quotes/paraphrases what the paper reports.
+	PaperStatement string
+	// Claims are checked against the measured table.
+	Claims []Claim
+}
+
+// Check evaluates all claims of the section against the table.
+func (s Section) Check(t *experiments.Table) []Verdict {
+	out := make([]Verdict, len(s.Claims))
+	for i, c := range s.Claims {
+		out[i] = Verdict{Claim: c, Err: c.Check(t)}
+	}
+	return out
+}
+
+// Write renders the full markdown document for the given measured tables
+// (keyed by experiment id). Missing tables are reported as skipped; a
+// non-nil error is returned if any strict claim failed, after the
+// document is fully written.
+func Write(w io.Writer, sections []Section, tables map[string]*experiments.Table, header string) error {
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	var strictFailures []string
+	for _, sec := range sections {
+		t, ok := tables[sec.ID]
+		if !ok {
+			if _, err := fmt.Fprintf(w, "## %s\n\n*Not measured in this run.*\n\n", sec.ID); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "**Paper:** %s\n\n", sec.PaperStatement); err != nil {
+			return err
+		}
+		for _, v := range sec.Check(t) {
+			detail := ""
+			if v.Err != nil {
+				detail = " — " + v.Err.Error()
+			}
+			if _, err := fmt.Fprintf(w, "- [%s] %s%s\n", v.Status(), v.Claim.Description, detail); err != nil {
+				return err
+			}
+			if v.Status() == "FAIL" {
+				strictFailures = append(strictFailures, sec.ID+": "+v.Claim.Description)
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	if len(strictFailures) > 0 {
+		sort.Strings(strictFailures)
+		return fmt.Errorf("report: %d strict claim(s) failed:\n  %s",
+			len(strictFailures), strings.Join(strictFailures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edgecache/internal/experiments"
+)
+
+func table(id string, cols []string, rows ...map[string]float64) *experiments.Table {
+	t := experiments.NewTable(id, "T "+id, "x", cols)
+	for i, r := range rows {
+		t.Add(float64(i), r)
+	}
+	return t
+}
+
+func TestNonIncreasing(t *testing.T) {
+	tab := table("a", []string{"A"},
+		map[string]float64{"A": 10}, map[string]float64{"A": 9}, map[string]float64{"A": 9.05})
+	if err := NonIncreasing("A", 0.01)(tab); err != nil {
+		t.Fatalf("within slack: %v", err)
+	}
+	if err := NonIncreasing("A", 0.001)(tab); err == nil {
+		t.Fatal("rise beyond slack accepted")
+	}
+	if err := NonIncreasing("B", 0.01)(tab); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestNonDecreasing(t *testing.T) {
+	tab := table("a", []string{"A"},
+		map[string]float64{"A": 1}, map[string]float64{"A": 2}, map[string]float64{"A": 1.99})
+	if err := NonDecreasing("A", 0.01)(tab); err != nil {
+		t.Fatalf("within slack: %v", err)
+	}
+	if err := NonDecreasing("A", 0.001)(tab); err == nil {
+		t.Fatal("fall beyond slack accepted")
+	}
+}
+
+func TestFlat(t *testing.T) {
+	tab := table("a", []string{"A", "Z"},
+		map[string]float64{"A": 5, "Z": 0}, map[string]float64{"A": 5.001, "Z": 0})
+	if err := Flat("A", 0.01)(tab); err != nil {
+		t.Fatalf("flat within band: %v", err)
+	}
+	if err := Flat("A", 1e-9)(tab); err == nil {
+		t.Fatal("variation beyond band accepted")
+	}
+	if err := Flat("Z", 1e-9)(tab); err != nil {
+		t.Fatalf("all-zero column: %v", err)
+	}
+}
+
+func TestDominatesAndOrdering(t *testing.T) {
+	tab := table("a", []string{"A", "B", "C"},
+		map[string]float64{"A": 1, "B": 2, "C": 3},
+		map[string]float64{"A": 2, "B": 2, "C": 4})
+	if err := Ordering(0.01, "A", "B", "C")(tab); err != nil {
+		t.Fatalf("valid ordering: %v", err)
+	}
+	if err := Dominates("C", "A", 0.01)(tab); err == nil {
+		t.Fatal("inverted dominance accepted")
+	}
+}
+
+func TestLabeledCellBetween(t *testing.T) {
+	tab := experiments.NewTable("h", "H", "row", []string{"R"})
+	tab.AddLabeled(0, "RHC", map[string]float64{"R": 1.1})
+	if err := LabeledCellBetween("RHC", "R", 1, 1.25)(tab); err != nil {
+		t.Fatalf("in range: %v", err)
+	}
+	if err := LabeledCellBetween("RHC", "R", 1, 1.05)(tab); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if err := LabeledCellBetween("AFHC", "R", 0, 2)(tab); err == nil {
+		t.Fatal("missing label accepted")
+	}
+}
+
+func TestMinimumNear(t *testing.T) {
+	tab := experiments.NewTable("r", "R", "rho", []string{"C"})
+	tab.Add(0.2, map[string]float64{"C": 10})
+	tab.Add(0.4, map[string]float64{"C": 8})
+	tab.Add(0.8, map[string]float64{"C": 12})
+	if err := MinimumNear("C", 0.382, 0.1)(tab); err != nil {
+		t.Fatalf("minimum near rho*: %v", err)
+	}
+	if err := MinimumNear("C", 0.8, 0.05)(tab); err == nil {
+		t.Fatal("far minimum accepted")
+	}
+}
+
+func TestWriteRendersVerdicts(t *testing.T) {
+	sections := []Section{
+		{
+			ID:             "demo",
+			PaperStatement: "the paper says A is flat",
+			Claims: []Claim{
+				{"A flat", true, Flat("A", 0.01)},
+				{"A rises (informational, should warn)", false, NonDecreasing("A", 0.0001)},
+			},
+		},
+		{ID: "missing", PaperStatement: "not measured"},
+	}
+	tab := table("demo", []string{"A"},
+		map[string]float64{"A": 5}, map[string]float64{"A": 4.999})
+	var buf bytes.Buffer
+	err := Write(&buf, sections, map[string]*experiments.Table{"demo": tab}, "# doc\n\n")
+	if err != nil {
+		t.Fatalf("no strict failure expected: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# doc", "[PASS] A flat", "[WARN] A rises", "the paper says A is flat", "*Not measured in this run.*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReportsStrictFailure(t *testing.T) {
+	sections := []Section{{
+		ID:     "demo",
+		Claims: []Claim{{"A flat", true, Flat("A", 1e-12)}},
+	}}
+	tab := table("demo", []string{"A"},
+		map[string]float64{"A": 1}, map[string]float64{"A": 2})
+	var buf bytes.Buffer
+	err := Write(&buf, sections, map[string]*experiments.Table{"demo": tab}, "")
+	if err == nil {
+		t.Fatal("strict failure not reported")
+	}
+	if !strings.Contains(buf.String(), "[FAIL]") {
+		t.Fatal("FAIL marker missing from document")
+	}
+}
+
+func TestPaperSectionsWellFormed(t *testing.T) {
+	ids := map[string]bool{}
+	for _, s := range PaperSections() {
+		if s.ID == "" || s.PaperStatement == "" {
+			t.Fatalf("section %+v incomplete", s)
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate section %s", s.ID)
+		}
+		ids[s.ID] = true
+		if len(s.Claims) == 0 {
+			t.Fatalf("section %s has no claims", s.ID)
+		}
+		for _, c := range s.Claims {
+			if c.Description == "" || c.Check == nil {
+				t.Fatalf("section %s has malformed claim %+v", s.ID, c)
+			}
+		}
+	}
+	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "headline", "rho", "chc-r", "classic"} {
+		if !ids[want] {
+			t.Fatalf("missing section %s", want)
+		}
+	}
+}
+
+func TestVerdictStatus(t *testing.T) {
+	pass := Verdict{Claim: Claim{Strict: true}}
+	if pass.Status() != "PASS" {
+		t.Fatal("nil error should PASS")
+	}
+	fail := Verdict{Claim: Claim{Strict: true}, Err: errTest}
+	if fail.Status() != "FAIL" {
+		t.Fatal("strict error should FAIL")
+	}
+	warn := Verdict{Claim: Claim{Strict: false}, Err: errTest}
+	if warn.Status() != "WARN" {
+		t.Fatal("informational error should WARN")
+	}
+}
+
+var errTest = fmtError("boom")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }

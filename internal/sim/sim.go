@@ -1,0 +1,174 @@
+// Package sim runs caching/load-balancing policies over problem instances
+// and accounts their costs: it is the numerical-evaluation harness behind
+// §V. A Policy plans a full trajectory (offline solver, online controller
+// or rule-based baseline, via the adapters below); Run verifies
+// feasibility and produces the cost breakdown plus the per-slot series
+// that the paper's figures plot.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/online"
+	"edgecache/internal/workload"
+)
+
+// Policy plans a trajectory for an instance. Online policies read
+// forecasts from the predictor; offline policies and baselines use the
+// instance's exact demand and ignore it.
+type Policy interface {
+	// Name is the label used in result tables.
+	Name() string
+	// Plan returns a feasible trajectory over the instance's horizon.
+	Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error)
+}
+
+// Offline adapts the primal-dual solver (Algorithm 1) into a Policy: the
+// paper's "offline optimal" reference, which sees all information.
+func Offline(opts core.Options) Policy { return offlinePolicy{opts: opts} }
+
+type offlinePolicy struct{ opts core.Options }
+
+func (offlinePolicy) Name() string { return "Offline" }
+
+func (p offlinePolicy) Plan(in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+	res, err := core.Solve(in, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trajectory, nil
+}
+
+// Online adapts an online controller configuration into a Policy.
+func Online(cfg online.Config) Policy { return onlinePolicy{cfg: cfg} }
+
+type onlinePolicy struct{ cfg online.Config }
+
+func (p onlinePolicy) Name() string { return p.cfg.Name() }
+
+func (p onlinePolicy) Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
+	if pred == nil {
+		return nil, errors.New("sim: online policy requires a predictor")
+	}
+	res, err := online.Run(in, pred, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trajectory, nil
+}
+
+// FromBaseline adapts a rule-based baseline into a Policy.
+func FromBaseline(b baseline.Policy) Policy { return baselinePolicy{b: b} }
+
+type baselinePolicy struct{ b baseline.Policy }
+
+func (p baselinePolicy) Name() string { return p.b.Name() }
+
+func (p baselinePolicy) Plan(in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+	return p.b.Plan(in)
+}
+
+// SlotMetrics are the per-slot series plotted by the paper's figures.
+type SlotMetrics struct {
+	// BS and SBS are the operating costs f_t and g_t.
+	BS  float64 `json:"bsCost"`
+	SBS float64 `json:"sbsCost"`
+	// Replacement is the switching cost paid entering this slot;
+	// Replacements is the insertion count.
+	Replacement  float64 `json:"replacementCost"`
+	Replacements int     `json:"replacements"`
+	// CacheUtilization is cached items / total capacity.
+	CacheUtilization float64 `json:"cacheUtilization"`
+	// OffloadFraction is SBS-served demand / total demand.
+	OffloadFraction float64 `json:"offloadFraction"`
+}
+
+// Result is one policy's evaluated run.
+type Result struct {
+	// Policy is the planner's name.
+	Policy string `json:"policy"`
+	// Trajectory is the planned, verified decision sequence. It is
+	// excluded from JSON output (bulky and reproducible from the seed).
+	Trajectory model.Trajectory `json:"-"`
+	// Cost is the horizon-total breakdown (objective of eq. 9).
+	Cost model.CostBreakdown `json:"cost"`
+	// PerSlot holds the per-slot series.
+	PerSlot []SlotMetrics `json:"perSlot"`
+	// Runtime is the wall-clock planning time (JSON: nanoseconds, per
+	// time.Duration's integer encoding).
+	Runtime time.Duration `json:"runtimeNanos"`
+}
+
+// Run plans with the policy, verifies feasibility, and accounts costs.
+func Run(in *model.Instance, pred *workload.Predictor, p Policy) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	start := time.Now()
+	traj, err := p.Plan(in, pred)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
+	}
+	elapsed := time.Since(start)
+
+	perSlot, cost, err := Evaluate(in, traj)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
+	}
+	return &Result{
+		Policy:     p.Name(),
+		Trajectory: traj,
+		Cost:       cost,
+		PerSlot:    perSlot,
+		Runtime:    elapsed,
+	}, nil
+}
+
+// Evaluate verifies a trajectory and computes its per-slot series and
+// total cost breakdown.
+func Evaluate(in *model.Instance, traj model.Trajectory) ([]SlotMetrics, model.CostBreakdown, error) {
+	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+		return nil, model.CostBreakdown{}, err
+	}
+	perSlot := make([]SlotMetrics, in.T)
+	prev := in.InitialPlan()
+	var totalCap int
+	for n := 0; n < in.N; n++ {
+		totalCap += in.CacheCap[n]
+	}
+	for t := range traj {
+		m := SlotMetrics{
+			BS:           in.BSCost(t, traj[t].Y),
+			SBS:          in.SBSCost(t, traj[t].Y),
+			Replacement:  in.ReplacementCost(prev, traj[t].X),
+			Replacements: model.ReplacementCount(prev, traj[t].X),
+		}
+		var cached int
+		var served, demand float64
+		for n := 0; n < in.N; n++ {
+			cached += len(traj[t].X.Items(n))
+			row := in.Demand.Slot(t, n)
+			for mm := 0; mm < in.Classes[n]; mm++ {
+				base := mm * in.K
+				for k := 0; k < in.K; k++ {
+					served += row[base+k] * traj[t].Y[n][mm][k]
+					demand += row[base+k]
+				}
+			}
+		}
+		if totalCap > 0 {
+			m.CacheUtilization = float64(cached) / float64(totalCap)
+		}
+		if demand > 0 {
+			m.OffloadFraction = served / demand
+		}
+		perSlot[t] = m
+		prev = traj[t].X
+	}
+	return perSlot, in.TotalCost(traj), nil
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/online"
+	"edgecache/internal/workload"
+)
+
+func testSetup(t *testing.T) (*model.Instance, *workload.Predictor) {
+	t.Helper()
+	cfg := workload.PaperDefault()
+	cfg.T = 8
+	cfg.K = 6
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 6
+	cfg.Beta = 5
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := workload.NewPredictor(in.Demand, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, pred
+}
+
+func TestRunBaseline(t *testing.T) {
+	in, pred := testSetup(t)
+	res, err := Run(in, pred, FromBaseline(baseline.NewLRFU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "LRFU" {
+		t.Fatalf("Policy = %q", res.Policy)
+	}
+	if len(res.PerSlot) != in.T {
+		t.Fatalf("PerSlot has %d entries, want %d", len(res.PerSlot), in.T)
+	}
+	var bs, repl float64
+	var count int
+	for _, m := range res.PerSlot {
+		bs += m.BS
+		repl += m.Replacement
+		count += m.Replacements
+		if m.CacheUtilization < 0 || m.CacheUtilization > 1 {
+			t.Fatalf("CacheUtilization = %g", m.CacheUtilization)
+		}
+		if m.OffloadFraction < 0 || m.OffloadFraction > 1+1e-9 {
+			t.Fatalf("OffloadFraction = %g", m.OffloadFraction)
+		}
+	}
+	if math.Abs(bs-res.Cost.BS) > 1e-9 || math.Abs(repl-res.Cost.Replacement) > 1e-9 {
+		t.Fatal("per-slot series do not sum to the breakdown")
+	}
+	if count != res.Cost.Replacements {
+		t.Fatalf("per-slot replacements %d != total %d", count, res.Cost.Replacements)
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("no runtime recorded")
+	}
+}
+
+func TestRunOfflineAndOnline(t *testing.T) {
+	in, pred := testSetup(t)
+	off, err := Run(in, pred, Offline(core.Options{MaxIter: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(in, pred, Online(online.RHC(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Policy != "Offline" || on.Policy != "RHC(w=4)" {
+		t.Fatalf("names: %q, %q", off.Policy, on.Policy)
+	}
+	// The offline solver knows everything; it should not lose to the
+	// noisy-prediction controller by much (allow solver slack).
+	if off.Cost.Total > on.Cost.Total*1.1+1e-9 {
+		t.Fatalf("offline %g much worse than RHC %g", off.Cost.Total, on.Cost.Total)
+	}
+}
+
+func TestOnlineRequiresPredictor(t *testing.T) {
+	in, _ := testSetup(t)
+	if _, err := Run(in, nil, Online(online.RHC(4))); err == nil {
+		t.Fatal("online policy ran without predictor")
+	}
+}
+
+func TestRunValidatesInstance(t *testing.T) {
+	in, pred := testSetup(t)
+	in.T = 0
+	if _, err := Run(in, pred, FromBaseline(baseline.NoCaching{})); err == nil {
+		t.Fatal("Run accepted invalid instance")
+	}
+}
+
+func TestEvaluateRejectsInfeasible(t *testing.T) {
+	in, _ := testSetup(t)
+	traj := model.NewTrajectory(in)
+	traj[0].Y[0][0][0] = 1 // serve uncached content
+	if _, _, err := Evaluate(in, traj); err == nil {
+		t.Fatal("Evaluate accepted infeasible trajectory")
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats provides the summary statistics used when experiments
+// aggregate repeated seeded runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes a Summary of xs; it panics on an empty sample, which
+// always indicates a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range xs {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(xs))
+	var ssq float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ssq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ssq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = 0.5 * (sorted[mid-1] + sorted[mid])
+	}
+	return s
+}
+
+// String renders "mean ± std (n)" for tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// Ratio returns a/b, guarding the b = 0 case with NaN rather than ±Inf so
+// downstream formatting flags it clearly.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// Reduction returns the relative cost reduction of value against base,
+// e.g. Reduction(73, 100) = 0.27 — the quantity behind the paper's "by as
+// much as 27%" headline.
+func Reduction(value, base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return (base - value) / base
+}

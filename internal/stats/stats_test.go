@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", s.Std, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.Median != 7 || s.Mean != 7 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if s := Summarize([]float64{9, 1, 5}); s.Median != 5 {
+		t.Fatalf("Median = %g, want 5", s.Median)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := Summarize([]float64{1, 1}).String(); !strings.Contains(got, "n=2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != 2 {
+		t.Fatalf("Ratio = %g, want 2", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("Ratio(1, 0) should be NaN")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(73, 100); math.Abs(got-0.27) > 1e-12 {
+		t.Fatalf("Reduction = %g, want 0.27", got)
+	}
+	if !math.IsNaN(Reduction(1, 0)) {
+		t.Fatal("Reduction(1, 0) should be NaN")
+	}
+}

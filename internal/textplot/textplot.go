@@ -1,0 +1,133 @@
+// Package textplot renders experiment series as ASCII line charts so the
+// sweep commands can show the figures' shapes directly in a terminal,
+// without any plotting dependency (the module is stdlib-only).
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a set of series over shared x values.
+type Chart struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+
+	// Width and Height are the plot area size in characters; zero values
+	// default to 64×16.
+	Width, Height int
+}
+
+// markers label the series in plotting order.
+const markers = "ox*+#@%&"
+
+// Render draws the chart. Each series is plotted with its own marker;
+// collisions show the later series. Returns an error only when the chart
+// is malformed or the writer fails.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.X) == 0 {
+		return fmt.Errorf("textplot: no x values")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+	if len(c.Series) > len(markers) {
+		return fmt.Errorf("textplot: at most %d series supported, got %d", len(markers), len(c.Series))
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("textplot: series %q has %d points, want %d", s.Name, len(s.Y), len(c.X))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xMin, xMax := minMax(c.X)
+	var yMin, yMax float64
+	yMin, yMax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		return int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+	}
+	row := func(y float64) int {
+		return height - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(height-1)))
+	}
+	for si, s := range c.Series {
+		for i, y := range s.Y {
+			grid[row(y)][col(c.X[i])] = markers[si]
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", yMax)
+	yBot := fmt.Sprintf("%.4g", yMin)
+	labelWidth := max(len(yTop), len(yBot))
+	for i, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", labelWidth), width/2, xMin, width-width/2, xMax, c.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n\n", strings.Repeat(" ", labelWidth), strings.Join(legend, "  "))
+	return err
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

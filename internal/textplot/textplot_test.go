@@ -1,0 +1,81 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		XLabel: "beta",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "A", Y: []float64{1, 2, 3, 4}},
+			{Name: "B", Y: []float64{4, 3, 2, 1}},
+		},
+		Width:  20,
+		Height: 6,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "o=A", "x=B", "(beta)", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Increasing series A: its first point is on the bottom row, its last
+	// on the top row.
+	lines := strings.Split(out, "\n")
+	plotLines := lines[1 : 1+6]
+	if !strings.Contains(plotLines[0], "o") {
+		t.Fatalf("top row missing A's max:\n%s", out)
+	}
+	if !strings.Contains(plotLines[5], "o") {
+		t.Fatalf("bottom row missing A's min:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{X: []float64{2}, Series: []Series{{Name: "p", Y: []float64{3}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).Render(&buf); err == nil {
+		t.Fatal("accepted empty chart")
+	}
+	if err := (&Chart{X: []float64{1}}).Render(&buf); err == nil {
+		t.Fatal("accepted chart without series")
+	}
+	bad := &Chart{X: []float64{1, 2}, Series: []Series{{Name: "s", Y: []float64{1}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("accepted ragged series")
+	}
+	many := &Chart{X: []float64{1}}
+	for i := 0; i < 10; i++ {
+		many.Series = append(many.Series, Series{Name: "s", Y: []float64{1}})
+	}
+	if err := many.Render(&buf); err == nil {
+		t.Fatal("accepted too many series")
+	}
+}

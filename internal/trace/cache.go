@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+)
+
+// Cache is a request-driven cache replacement policy. Access records a
+// request for content k and reports whether it hit, and whether the access
+// inserted k into the cache (a demand-fill; insertions are what cost β in
+// the paper's model).
+type Cache interface {
+	// Name labels the policy in results.
+	Name() string
+	// Access processes one request.
+	Access(k int) (hit, inserted bool)
+	// Contents lists the cached items in unspecified order.
+	Contents() []int
+}
+
+// Factory builds a fresh cache of the given capacity; capacity 0 caches
+// nothing.
+type Factory func(capacity int) Cache
+
+// --- LRU ---------------------------------------------------------------------
+
+// lru evicts the least-recently-used item.
+type lru struct {
+	capacity int
+	order    *list.List // front = most recent
+	items    map[int]*list.Element
+}
+
+// NewLRU returns an LRU cache factory.
+func NewLRU() Factory {
+	return func(capacity int) Cache {
+		return &lru{capacity: capacity, order: list.New(), items: make(map[int]*list.Element, capacity)}
+	}
+}
+
+func (c *lru) Name() string { return "LRU" }
+
+func (c *lru) Access(k int) (hit, inserted bool) {
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return true, false
+	}
+	if c.capacity == 0 {
+		return false, false
+	}
+	if len(c.items) >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(int))
+	}
+	c.items[k] = c.order.PushFront(k)
+	return false, true
+}
+
+func (c *lru) Contents() []int {
+	out := make([]int, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- FIFO --------------------------------------------------------------------
+
+// fifo evicts the oldest-inserted item regardless of use.
+type fifo struct {
+	capacity int
+	order    *list.List // front = newest
+	items    map[int]*list.Element
+}
+
+// NewFIFO returns a FIFO cache factory.
+func NewFIFO() Factory {
+	return func(capacity int) Cache {
+		return &fifo{capacity: capacity, order: list.New(), items: make(map[int]*list.Element, capacity)}
+	}
+}
+
+func (c *fifo) Name() string { return "FIFO" }
+
+func (c *fifo) Access(k int) (hit, inserted bool) {
+	if _, ok := c.items[k]; ok {
+		return true, false
+	}
+	if c.capacity == 0 {
+		return false, false
+	}
+	if len(c.items) >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(int))
+	}
+	c.items[k] = c.order.PushFront(k)
+	return false, true
+}
+
+func (c *fifo) Contents() []int {
+	out := make([]int, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- LFU ---------------------------------------------------------------------
+
+// lfu evicts the least-frequently-used item; frequency persists across
+// evictions (classic "perfect LFU").
+type lfu struct {
+	capacity int
+	counts   map[int]int // all-time frequencies
+	cached   map[int]bool
+}
+
+// NewLFU returns a perfect-LFU cache factory.
+func NewLFU() Factory {
+	return func(capacity int) Cache {
+		return &lfu{capacity: capacity, counts: make(map[int]int), cached: make(map[int]bool, capacity)}
+	}
+}
+
+func (c *lfu) Name() string { return "LFU" }
+
+func (c *lfu) Access(k int) (hit, inserted bool) {
+	c.counts[k]++
+	if c.cached[k] {
+		return true, false
+	}
+	if c.capacity == 0 {
+		return false, false
+	}
+	if len(c.cached) < c.capacity {
+		c.cached[k] = true
+		return false, true
+	}
+	// Evict the cached item with the lowest frequency if the newcomer now
+	// exceeds it (ties keep the incumbent: avoids thrashing).
+	victim, victimCount := -1, math.MaxInt
+	for item := range c.cached {
+		if c.counts[item] < victimCount || (c.counts[item] == victimCount && item < victim) {
+			victim, victimCount = item, c.counts[item]
+		}
+	}
+	if c.counts[k] > victimCount {
+		delete(c.cached, victim)
+		c.cached[k] = true
+		return false, true
+	}
+	return false, false
+}
+
+func (c *lfu) Contents() []int {
+	out := make([]int, 0, len(c.cached))
+	for k := range c.cached {
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- classic LRFU (Lee et al.) -------------------------------------------------
+
+// classicLRFU implements the original LRFU of Lee et al. (1999): every
+// item carries a "combined recency and frequency" score
+// CRF(t) = Σ_accesses (1/2)^{λ·(t−t_access)}, updated lazily; the item
+// with the smallest CRF is evicted. λ → 0 degenerates to LFU, λ large to
+// LRU. This is the policy the paper's baseline borrows its name from.
+type classicLRFU struct {
+	capacity int
+	lambda   float64
+	clock    int
+	crf      map[int]float64
+	stamp    map[int]int
+	cached   map[int]bool
+}
+
+// NewClassicLRFU returns a Lee-et-al. LRFU factory with decay λ > 0.
+func NewClassicLRFU(lambda float64) Factory {
+	return func(capacity int) Cache {
+		return &classicLRFU{
+			capacity: capacity,
+			lambda:   lambda,
+			crf:      make(map[int]float64),
+			stamp:    make(map[int]int),
+			cached:   make(map[int]bool, capacity),
+		}
+	}
+}
+
+func (c *classicLRFU) Name() string { return fmt.Sprintf("LRFU(λ=%.2g)", c.lambda) }
+
+// score returns the item's CRF decayed to the current clock.
+func (c *classicLRFU) score(k int) float64 {
+	if s, ok := c.crf[k]; ok {
+		return s * math.Pow(0.5, c.lambda*float64(c.clock-c.stamp[k]))
+	}
+	return 0
+}
+
+func (c *classicLRFU) Access(k int) (hit, inserted bool) {
+	c.clock++
+	c.crf[k] = c.score(k) + 1
+	c.stamp[k] = c.clock
+	if c.cached[k] {
+		return true, false
+	}
+	if c.capacity == 0 {
+		return false, false
+	}
+	if len(c.cached) < c.capacity {
+		c.cached[k] = true
+		return false, true
+	}
+	victim, victimScore := -1, math.Inf(1)
+	for item := range c.cached {
+		if s := c.score(item); s < victimScore {
+			victim, victimScore = item, s
+		}
+	}
+	if c.crf[k] >= victimScore {
+		delete(c.cached, victim)
+		c.cached[k] = true
+		return false, true
+	}
+	return false, false
+}
+
+func (c *classicLRFU) Contents() []int {
+	out := make([]int, 0, len(c.cached))
+	for k := range c.cached {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package trace provides request-level simulation beneath the paper's
+// mean-rate model: Poisson sampling of discrete requests from a demand
+// tensor, classic request-driven cache replacement policies (LRU, FIFO,
+// LFU and the original LRFU of Lee et al. — the rule-based families the
+// paper's §VI surveys), trace replay with hit-ratio accounting, and a
+// bridge that evaluates any such cache under the paper's cost model.
+//
+// The paper itself works purely on mean rates; this package exists
+// because a downstream user of the library will want to sanity-check the
+// fluid model against discrete arrivals and to compare against the cache
+// policies that actually run in CDN software.
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// poisson draws a Poisson(λ) variate. Knuth's product method covers small
+// rates; larger rates use the normal approximation with continuity
+// correction, which is accurate well past λ = 30 and keeps the sampler
+// allocation-free.
+func poisson(rng *rand.Rand, lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		// Knuth: count multiplications until the product falls below e^-λ.
+		limit := math.Exp(-lambda)
+		product := rng.Float64()
+		count := 0
+		for product > limit {
+			product *= rng.Float64()
+			count++
+		}
+		return count
+	default:
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64() + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+}

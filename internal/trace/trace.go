@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"edgecache/internal/model"
+)
+
+// Request is one discrete content request.
+type Request struct {
+	// Slot is the time slot the request arrives in.
+	Slot int
+	// SBS and Class identify the requesting user class.
+	SBS, Class int
+	// Content is the requested item.
+	Content int
+}
+
+// Trace is a discrete request log sampled from a demand tensor.
+type Trace struct {
+	t, n, k int
+	classes []int
+	// perSlot[t][n] lists the slot's requests at SBS n in arrival order.
+	perSlot [][][]Request
+	total   int
+}
+
+// Generate samples a Poisson request trace from the demand tensor: the
+// number of class-m requests for content k in slot t is Poisson with mean
+// λ^t_{m,k}. Within a slot, requests are shuffled into a random arrival
+// order (classic caches are order-sensitive).
+func Generate(d *model.Demand, seed uint64) *Trace {
+	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	tr := &Trace{
+		t:       d.T(),
+		n:       d.N(),
+		k:       d.K(),
+		classes: d.Classes(),
+		perSlot: make([][][]Request, d.T()),
+	}
+	for t := 0; t < d.T(); t++ {
+		tr.perSlot[t] = make([][]Request, d.N())
+		for n := 0; n < d.N(); n++ {
+			var reqs []Request
+			for m := 0; m < tr.classes[n]; m++ {
+				for k := 0; k < d.K(); k++ {
+					for c := poisson(rng, d.At(t, n, m, k)); c > 0; c-- {
+						reqs = append(reqs, Request{Slot: t, SBS: n, Class: m, Content: k})
+					}
+				}
+			}
+			rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+			tr.perSlot[t][n] = reqs
+			tr.total += len(reqs)
+		}
+	}
+	return tr
+}
+
+// T returns the number of slots.
+func (tr *Trace) T() int { return tr.t }
+
+// N returns the number of SBSs.
+func (tr *Trace) N() int { return tr.n }
+
+// K returns the catalogue size.
+func (tr *Trace) K() int { return tr.k }
+
+// Len returns the total request count.
+func (tr *Trace) Len() int { return tr.total }
+
+// Slot returns the requests of (t, n) in arrival order. The returned
+// slice aliases internal storage and must be treated as read-only.
+func (tr *Trace) Slot(t, n int) []Request { return tr.perSlot[t][n] }
+
+// ContentCounts returns the per-content request counts of (t, n).
+func (tr *Trace) ContentCounts(t, n int) []int {
+	counts := make([]int, tr.k)
+	for _, r := range tr.perSlot[t][n] {
+		counts[r.Content]++
+	}
+	return counts
+}
+
+// EmpiricalDemand converts the trace back into a rate tensor (requests per
+// slot), the natural input for the paper's solvers when only logs are
+// available.
+func (tr *Trace) EmpiricalDemand() *model.Demand {
+	d := model.NewDemand(tr.t, tr.classes, tr.k)
+	for t := 0; t < tr.t; t++ {
+		for n := 0; n < tr.n; n++ {
+			for _, r := range tr.perSlot[t][n] {
+				d.Set(t, n, r.Class, r.Content, d.At(t, n, r.Class, r.Content)+1)
+			}
+		}
+	}
+	return d
+}
+
+// ReplayResult summarises one cache policy's pass over one SBS's trace.
+type ReplayResult struct {
+	// Requests and Hits count accesses and cache hits.
+	Requests, Hits int
+	// Insertions counts cache fills (each costs β in the paper's model).
+	Insertions int
+	// PerSlotHits[t] is the slot's hit count.
+	PerSlotHits []int
+}
+
+// HitRatio returns Hits/Requests (0 for an empty trace).
+func (r *ReplayResult) HitRatio() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Requests)
+}
+
+// Replay feeds SBS n's requests through a cache policy in arrival order.
+func Replay(tr *Trace, n int, c Cache) (*ReplayResult, error) {
+	if n < 0 || n >= tr.n {
+		return nil, fmt.Errorf("trace: SBS %d outside [0, %d)", n, tr.n)
+	}
+	res := &ReplayResult{PerSlotHits: make([]int, tr.t)}
+	for t := 0; t < tr.t; t++ {
+		for _, req := range tr.perSlot[t][n] {
+			res.Requests++
+			hit, inserted := c.Access(req.Content)
+			if hit {
+				res.Hits++
+				res.PerSlotHits[t]++
+			}
+			if inserted {
+				res.Insertions++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		const samples = 20000
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			v := float64(poisson(rng, lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / samples
+		variance := sumSq/samples - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("λ=%g: mean %g", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+0.1 {
+			t.Fatalf("λ=%g: variance %g", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive rate must yield 0")
+	}
+}
+
+func testDemand(t *testing.T) *model.Demand {
+	t.Helper()
+	cfg := workload.Config{
+		Classes:    []int{3, 2},
+		K:          6,
+		T:          5,
+		Zipf:       workload.ZipfMandelbrot{K: 6, Alpha: 0.8, Q: 2},
+		MaxDensity: 20,
+		Seed:       9,
+	}
+	d, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateMatchesRates(t *testing.T) {
+	d := testDemand(t)
+	tr := Generate(d, 1)
+	if tr.T() != 5 || tr.N() != 2 || tr.K() != 6 {
+		t.Fatalf("trace shape (%d, %d, %d)", tr.T(), tr.N(), tr.K())
+	}
+	// The empirical request volume should track the expected volume.
+	var expected float64
+	for tt := 0; tt < 5; tt++ {
+		for n := 0; n < 2; n++ {
+			expected += d.SlotTotal(tt, n)
+		}
+	}
+	ratio := float64(tr.Len()) / expected
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("trace volume %d vs expected %g (ratio %g)", tr.Len(), expected, ratio)
+	}
+	// Determinism.
+	if Generate(d, 1).Len() != tr.Len() {
+		t.Fatal("same seed, different trace")
+	}
+	if Generate(d, 2).Len() == tr.Len() {
+		t.Log("different seeds produced equal volume (possible but unlikely)")
+	}
+}
+
+func TestEmpiricalDemandRoundTrip(t *testing.T) {
+	d := testDemand(t)
+	tr := Generate(d, 7)
+	emp := tr.EmpiricalDemand()
+	var total float64
+	for tt := 0; tt < 5; tt++ {
+		for n := 0; n < 2; n++ {
+			total += emp.SlotTotal(tt, n)
+		}
+	}
+	if int(total) != tr.Len() {
+		t.Fatalf("empirical demand mass %g != trace length %d", total, tr.Len())
+	}
+	counts := tr.ContentCounts(0, 0)
+	var fromCounts int
+	for _, c := range counts {
+		fromCounts += c
+	}
+	if fromCounts != len(tr.Slot(0, 0)) {
+		t.Fatal("ContentCounts disagree with Slot")
+	}
+}
+
+func TestLRUSemantics(t *testing.T) {
+	c := NewLRU()(2)
+	if hit, ins := c.Access(1); hit || !ins {
+		t.Fatal("first access must miss+insert")
+	}
+	c.Access(2)
+	c.Access(1) // touch 1 → 2 is now LRU
+	c.Access(3) // evicts 2 → cache {1, 3}
+	if hit, _ := c.Access(1); !hit {
+		t.Fatal("1 should still be cached")
+	}
+	if hit, _ := c.Access(2); hit {
+		t.Fatal("2 should have been evicted")
+	}
+	if len(c.Contents()) != 2 {
+		t.Fatalf("contents %v", c.Contents())
+	}
+}
+
+func TestFIFOSemantics(t *testing.T) {
+	c := NewFIFO()(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // hit; does NOT refresh insertion order
+	c.Access(3) // evicts 1 (oldest inserted)
+	if hit, _ := c.Access(1); hit {
+		t.Fatal("FIFO should have evicted 1")
+	}
+}
+
+func TestLFUSemantics(t *testing.T) {
+	c := NewLFU()(2)
+	c.Access(1)
+	c.Access(1)
+	c.Access(2)
+	// 3 arrives once: count 1 vs incumbent 2's count 1 → tie keeps incumbent.
+	if _, ins := c.Access(3); ins {
+		t.Fatal("LFU admitted a tied newcomer")
+	}
+	// Second arrival: count 2 > 2's count 1 → replaces 2.
+	if _, ins := c.Access(3); !ins {
+		t.Fatal("LFU did not admit a more frequent item")
+	}
+	if hit, _ := c.Access(1); !hit {
+		t.Fatal("most frequent item evicted")
+	}
+}
+
+func TestClassicLRFUInterpolates(t *testing.T) {
+	// With heavy decay it behaves like LRU: recency dominates.
+	c := NewClassicLRFU(5)(2)
+	c.Access(1)
+	c.Access(1)
+	c.Access(1) // very frequent but will decay fast
+	c.Access(2)
+	for i := 0; i < 6; i++ {
+		c.Access(3) // hammer 3 to raise its CRF and age 1
+	}
+	c.Access(4) // with λ=5, item 1's CRF has decayed ≈ 0 → evicted
+	if hit, _ := c.Access(3); !hit {
+		t.Fatal("recently hammered item evicted under recency-heavy decay")
+	}
+}
+
+func TestZeroCapacityCaches(t *testing.T) {
+	for _, f := range []Factory{NewLRU(), NewFIFO(), NewLFU(), NewClassicLRFU(0.5)} {
+		c := f(0)
+		if hit, ins := c.Access(1); hit || ins {
+			t.Fatalf("%s: zero-capacity cache stored something", c.Name())
+		}
+		if len(c.Contents()) != 0 {
+			t.Fatalf("%s: contents not empty", c.Name())
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	d := testDemand(t)
+	tr := Generate(d, 3)
+	res, err := Replay(tr, 0, NewLRU()(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests replayed")
+	}
+	if res.Hits+res.Insertions > res.Requests+3 {
+		t.Fatalf("inconsistent accounting: %+v", res)
+	}
+	hr := res.HitRatio()
+	if hr < 0 || hr > 1 {
+		t.Fatalf("hit ratio %g", hr)
+	}
+	var perSlot int
+	for _, h := range res.PerSlotHits {
+		perSlot += h
+	}
+	if perSlot != res.Hits {
+		t.Fatal("per-slot hits do not sum to total")
+	}
+	if _, err := Replay(tr, 9, NewLRU()(3)); err == nil {
+		t.Fatal("accepted out-of-range SBS")
+	}
+}
+
+func TestReplayZipfFavoursSkewedCatalogue(t *testing.T) {
+	// A steeper Zipf gives every sane policy a higher hit ratio.
+	flat := workload.Config{Classes: []int{4}, K: 20, T: 20,
+		Zipf: workload.ZipfMandelbrot{K: 20, Alpha: 0.2}, MaxDensity: 10, Seed: 5}
+	steep := flat
+	steep.Zipf = workload.ZipfMandelbrot{K: 20, Alpha: 2.0}
+	df, err := workload.Generate(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Generate(steep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Factory{NewLRU(), NewLFU(), NewFIFO()} {
+		rf, err := Replay(Generate(df, 1), 0, f(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Replay(Generate(ds, 1), 0, f(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.HitRatio() <= rf.HitRatio() {
+			t.Fatalf("%s: steep Zipf hit ratio %g not above flat %g", f(1).Name(), rs.HitRatio(), rf.HitRatio())
+		}
+	}
+}
+
+func TestPolicyAdapterProducesFeasibleTrajectory(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.T = 6
+	cfg.K = 8
+	cfg.ClassesPerSBS = 4
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 8
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Factory{NewLRU(), NewFIFO(), NewLFU(), NewClassicLRFU(0.1)} {
+		p := NewPolicyAdapter(f, 42)
+		traj, err := p.Plan(in)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		br := in.TotalCost(traj)
+		if br.BS > in.NoCachingCost()+1e-9 {
+			t.Fatalf("%s: BS cost above null policy", p.Name())
+		}
+	}
+}
+
+func TestPolicyAdapterValidation(t *testing.T) {
+	in := &model.Instance{}
+	p := NewPolicyAdapter(NewLRU(), 1)
+	if _, err := p.Plan(in); err == nil {
+		t.Fatal("accepted invalid instance")
+	}
+	cfg := workload.PaperDefault()
+	cfg.T = 2
+	good, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &PolicyAdapter{label: "x"}
+	if _, err := bad.Plan(good); err == nil {
+		t.Fatal("accepted nil factory")
+	}
+}

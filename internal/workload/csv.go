@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"edgecache/internal/model"
+)
+
+// WriteDemandCSV serialises a demand tensor as long-format CSV with header
+// t,sbs,class,content,rate. Zero rates are omitted, keeping real traces
+// (which are sparse) compact.
+func WriteDemandCSV(w io.Writer, d *model.Demand) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "sbs", "class", "content", "rate"}); err != nil {
+		return fmt.Errorf("workload: write csv: %w", err)
+	}
+	for t := 0; t < d.T(); t++ {
+		for n := 0; n < d.N(); n++ {
+			for m := 0; m < d.Classes()[n]; m++ {
+				for k := 0; k < d.K(); k++ {
+					rate := d.At(t, n, m, k)
+					if rate == 0 {
+						continue
+					}
+					rec := []string{
+						strconv.Itoa(t),
+						strconv.Itoa(n),
+						strconv.Itoa(m),
+						strconv.Itoa(k),
+						strconv.FormatFloat(rate, 'g', -1, 64),
+					}
+					if err := cw.Write(rec); err != nil {
+						return fmt.Errorf("workload: write csv: %w", err)
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDemandCSV parses a long-format demand CSV (see WriteDemandCSV) into
+// a tensor of the given shape — the "bring your own trace" entry point:
+// export request rates from production logs in this format and feed them
+// straight to the solvers. Records outside the declared shape or with
+// invalid rates are rejected.
+func ReadDemandCSV(r io.Reader, t int, classes []int, k int) (*model.Demand, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv header: %w", err)
+	}
+	want := []string{"t", "sbs", "class", "content", "rate"}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("workload: csv header %v, want %v", header, want)
+		}
+	}
+
+	d := model.NewDemand(t, classes, k)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: read csv: %w", err)
+		}
+		ints := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("workload: csv line %d field %d: %w", line, i, err)
+			}
+			ints[i] = v
+		}
+		rate, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d rate: %w", line, err)
+		}
+		tt, n, m, kk := ints[0], ints[1], ints[2], ints[3]
+		if tt < 0 || tt >= t || n < 0 || n >= len(classes) || kk < 0 || kk >= k {
+			return nil, fmt.Errorf("workload: csv line %d outside shape (t=%d sbs=%d content=%d)", line, tt, n, kk)
+		}
+		if m < 0 || m >= classes[n] {
+			return nil, fmt.Errorf("workload: csv line %d class %d outside [0, %d)", line, m, classes[n])
+		}
+		if rate < 0 {
+			return nil, fmt.Errorf("workload: csv line %d negative rate %g", line, rate)
+		}
+		d.Set(tt, n, m, kk, rate)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+
+	"edgecache/internal/model"
+)
+
+// Predictor is the limited-lookahead demand oracle of §V-B: a prediction
+// of λ^t requested at decision time τ equals the true rate scaled by a
+// uniform factor from [1−η, 1+η]. The paper's offline algorithm and LRFU
+// consume exact demand (η = 0 path); the online controllers consume noisy
+// windows.
+//
+// Noise is a pure function of (seed, τ, t, n, m, k), so different
+// algorithms asking for the same prediction at the same decision time see
+// identical noise — sweeps compare algorithms, not noise realisations —
+// while re-predictions of the same slot from later decision times are
+// independently perturbed, as fresh forecasts would be.
+type Predictor struct {
+	truth *model.Demand
+	eta   float64
+	seed  uint64
+}
+
+// NewPredictor wraps the ground truth with noise level eta ∈ [0, 1).
+func NewPredictor(truth *model.Demand, eta float64, seed uint64) (*Predictor, error) {
+	if truth == nil {
+		return nil, fmt.Errorf("workload: nil truth demand")
+	}
+	if eta < 0 || eta >= 1 {
+		return nil, fmt.Errorf("workload: eta = %g, want [0, 1)", eta)
+	}
+	return &Predictor{truth: truth, eta: eta, seed: seed}, nil
+}
+
+// Eta returns the configured noise level.
+func (p *Predictor) Eta() float64 { return p.eta }
+
+// Truth returns the wrapped ground-truth demand (shared, read-only).
+func (p *Predictor) Truth() *model.Demand { return p.truth }
+
+// Predict returns the forecast, made at decision time tau, of demand over
+// absolute slots [from, to). The result is an independent tensor of length
+// to−from.
+func (p *Predictor) Predict(tau, from, to int) (*model.Demand, error) {
+	window, err := p.truth.Slice(from, to)
+	if err != nil {
+		return nil, err
+	}
+	if p.eta == 0 {
+		return window, nil
+	}
+	window.Map(func(t, n, m, k int, v float64) float64 {
+		u := uniform01(p.seed, uint64(tau), uint64(from+t), uint64(n), uint64(m), uint64(k))
+		return v * (1 + p.eta*(2*u-1))
+	})
+	return window, nil
+}
+
+// uniform01 hashes its arguments into a deterministic uniform [0, 1)
+// variate via splitmix64 finalisation.
+func uniform01(parts ...uint64) float64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix64(h)
+	}
+	// 53-bit mantissa → [0, 1).
+	return float64(h>>11) / float64(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

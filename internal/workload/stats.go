@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"edgecache/internal/model"
+)
+
+// DemandStats summarises a demand tensor — the numbers one checks before
+// trusting a synthetic (or imported) workload.
+type DemandStats struct {
+	// TotalVolume is Σ over all (t, n, m, k) of λ.
+	TotalVolume float64
+	// MeanPerSlot and PeakPerSlot aggregate Σ_{n,m,k} λ^t per slot.
+	MeanPerSlot, PeakPerSlot float64
+	// PeakSlot is the argmax slot.
+	PeakSlot int
+	// HeadMass[c] is the fraction of volume carried by the top-(c+1)
+	// contents (by total volume); HeadMass[K-1] = 1. It quantifies how
+	// cacheable the workload is: a C-item cache can offload at most
+	// HeadMass[C-1] of the demand.
+	HeadMass []float64
+	// Gini is the Gini coefficient of per-content volumes (0 = uniform,
+	// → 1 = concentrated), a scale-free skew measure.
+	Gini float64
+	// TemporalCV is the coefficient of variation of the per-slot volumes:
+	// 0 for a stationary workload, growing with jitter and drift.
+	TemporalCV float64
+}
+
+// Stats computes DemandStats for d.
+func Stats(d *model.Demand) DemandStats {
+	var s DemandStats
+	perSlot := make([]float64, d.T())
+	perContent := make([]float64, d.K())
+	for t := 0; t < d.T(); t++ {
+		for n := 0; n < d.N(); n++ {
+			perSlot[t] += d.SlotTotal(t, n)
+			for k := 0; k < d.K(); k++ {
+				perContent[k] += d.ContentTotal(t, n, k)
+			}
+		}
+		s.TotalVolume += perSlot[t]
+		if perSlot[t] > s.PeakPerSlot {
+			s.PeakPerSlot = perSlot[t]
+			s.PeakSlot = t
+		}
+	}
+	s.MeanPerSlot = s.TotalVolume / float64(d.T())
+
+	// Head mass: cumulative share of the sorted per-content volumes.
+	sorted := append([]float64(nil), perContent...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	s.HeadMass = make([]float64, d.K())
+	var cum float64
+	for i, v := range sorted {
+		cum += v
+		if s.TotalVolume > 0 {
+			s.HeadMass[i] = cum / s.TotalVolume
+		}
+	}
+
+	s.Gini = gini(perContent)
+
+	if d.T() > 1 && s.MeanPerSlot > 0 {
+		var ssq float64
+		for _, v := range perSlot {
+			dlt := v - s.MeanPerSlot
+			ssq += dlt * dlt
+		}
+		s.TemporalCV = math.Sqrt(ssq/float64(d.T()-1)) / s.MeanPerSlot
+	}
+	return s
+}
+
+// gini computes the Gini coefficient of non-negative values.
+func gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += v
+		weighted += float64(i+1) * v
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}

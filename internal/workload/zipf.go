@@ -1,0 +1,47 @@
+// Package workload synthesises the request workloads of the paper's
+// numerical evaluation (§V-B) and the prediction oracle the online
+// algorithms consume: Zipf–Mandelbrot content popularity, per-class demand
+// densities, slot-to-slot temporal jitter, optional popularity drift, and
+// multiplicative prediction noise η.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// ZipfMandelbrot is the shifted-Zipf popularity model of eq. (49):
+// p(i) ∝ K/(i+q)^α over ranks i = 1..K. The paper uses α = 0.8, q = 30.
+type ZipfMandelbrot struct {
+	// K is the catalogue size.
+	K int
+	// Alpha is the shape parameter (skew); larger concentrates demand on
+	// the head of the catalogue.
+	Alpha float64
+	// Q is the Mandelbrot shift; larger flattens the head.
+	Q float64
+}
+
+// Weights returns the normalised popularity mass of each rank, Σ = 1. Rank
+// r (0-based) corresponds to the paper's i = r+1.
+func (z ZipfMandelbrot) Weights() ([]float64, error) {
+	if z.K <= 0 {
+		return nil, fmt.Errorf("workload: zipf catalogue size %d, want > 0", z.K)
+	}
+	if z.Alpha < 0 {
+		return nil, fmt.Errorf("workload: zipf alpha %g, want ≥ 0", z.Alpha)
+	}
+	if z.Q < 0 {
+		return nil, fmt.Errorf("workload: zipf shift %g, want ≥ 0", z.Q)
+	}
+	w := make([]float64, z.K)
+	var sum float64
+	for r := range w {
+		w[r] = 1 / math.Pow(float64(r+1)+z.Q, z.Alpha)
+		sum += w[r]
+	}
+	for r := range w {
+		w[r] /= sum
+	}
+	return w, nil
+}
