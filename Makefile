@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover fuzz experiments report examples
+.PHONY: all build vet test test-short race ci bench cover fuzz experiments report examples
 
 all: build vet test
 
@@ -17,6 +17,13 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-enabled run of the concurrency-sensitive packages (what CI runs).
+race:
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core
+
+# Everything .github/workflows/ci.yml checks, locally.
+ci: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem .

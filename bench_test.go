@@ -9,6 +9,7 @@
 package edgecache_test
 
 import (
+	"io"
 	"math/rand/v2"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"edgecache/internal/loadbalance"
 	"edgecache/internal/mcflow"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/projection"
 	"edgecache/internal/trace"
@@ -225,6 +227,32 @@ func BenchmarkOffline_PrimalDual(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolve_Instrumented measures the cost of the telemetry layer on
+// the offline solver: "disabled" is the default nil-handle path (the one
+// every production solve takes unless -trace is passed) and must stay
+// within noise of BenchmarkOffline_PrimalDual; "enabled" streams every
+// solver_iteration event through the JSONL sink to io.Discard and bounds
+// the worst-case tracing cost.
+func BenchmarkSolve_Instrumented(b *testing.B) {
+	in, _ := benchInstance(b)
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		sink := obs.NewJSONL(io.Discard)
+		tel := obs.New(sink, nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6, Telemetry: tel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkOnline_Controllers(b *testing.B) {

@@ -7,12 +7,14 @@
 //	experiments -fig fig2a,fig5     # selected experiments
 //	experiments -scale paper -all   # full §V-B scale (T = 100; slow)
 //	experiments -csv out/           # also write one CSV per table
+//	experiments -all -trace run.jsonl -debug-addr localhost:6060
 //
 // Experiment identifiers: fig2a fig2b fig2c fig2d fig3a fig3b fig4a fig4b
 // fig5 headline rho chc-r classic loadmode hitratio competitive.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"edgecache/internal/experiments"
+	"edgecache/internal/obs"
 )
 
 func main() {
@@ -39,9 +42,12 @@ func run(args []string, out io.Writer) error {
 		csvDir   = fs.String("csv", "", "directory to write per-table CSVs (created if missing)")
 		progress = fs.Bool("progress", true, "log per-run progress to stderr")
 		plot     = fs.Bool("plot", false, "render each table as an ASCII chart too")
-		seed     = fs.Uint64("seed", 1, "workload seed")
-		seeds    = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
-		window   = fs.Int("w", 0, "override prediction window")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		seeds     = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
+		window    = fs.Int("w", 0, "override prediction window")
+		traceTo   = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		metrics   = fs.Bool("metrics", false, "print the metrics registry to stderr after the sweeps")
+		debugAddr = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +78,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if *progress {
 		setup.Progress = os.Stderr
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewJSONL(bufio.NewWriter(f))
+		defer func() {
+			sink.Close()
+			f.Close()
+		}()
+		setup.Telemetry = obs.New(sink, nil)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+	if *metrics {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nmetrics:")
+			_ = obs.Default.WriteText(os.Stderr)
+		}()
 	}
 
 	wanted := map[string]bool{}

@@ -7,9 +7,13 @@
 //	jocsim -T 50 -beta 50 -eta 0.2     # overrides
 //	jocsim -algs offline,rhc,lrfu      # subset
 //	jocsim -slots                      # also print the per-slot series
+//	jocsim -trace run.jsonl            # structured solver telemetry
+//	jocsim -metrics                    # metrics registry after the runs
+//	jocsim -debug-addr localhost:6060  # live expvar + pprof endpoint
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,9 +54,33 @@ func run(args []string, out io.Writer) error {
 		stats     = fs.Bool("stats", false, "print workload statistics before results")
 		config    = fs.String("config", "", "load scenario from a JSON file (flags below are ignored)")
 		saveTo    = fs.String("saveconfig", "", "write the effective scenario to a JSON file and continue")
+		traceTo   = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		metrics   = fs.Bool("metrics", false, "print the metrics registry after the runs")
+		debugAddr = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tel *edgecache.Telemetry
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		sink := edgecache.NewJSONLSink(bufio.NewWriter(f))
+		defer func() {
+			sink.Close()
+			f.Close()
+		}()
+		tel = edgecache.NewTelemetry(sink)
+	}
+	if *debugAddr != "" {
+		addr, err := edgecache.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	var scn *edgecache.Scenario
@@ -132,7 +160,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no algorithms selected")
 	}
 
-	runs, err := edgecache.Compare(inst, pred, planners...)
+	runs, err := edgecache.CompareObserved(inst, pred, tel, planners...)
 	if err != nil {
 		return err
 	}
@@ -184,6 +212,13 @@ func run(args []string, out io.Writer) error {
 				t, m.BS, m.Replacement, m.Replacements, m.OffloadFraction, m.CacheUtilization)
 		}
 		if err := sw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if *metrics {
+		fmt.Fprintln(out, "\nmetrics:")
+		if err := edgecache.DefaultMetrics().WriteText(out); err != nil {
 			return err
 		}
 	}

@@ -7,12 +7,14 @@
 //
 //	experiments -all -csv results/csv
 //	report -csv results/csv -out EXPERIMENTS.md
+//	report -csv results/csv -trace claims.jsonl   # structured verdicts
 //
 // The command exits non-zero if any strict claim fails — the document is
 // still written, with the failures marked.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 
 	"edgecache/internal/experiments"
+	"edgecache/internal/obs"
 	"edgecache/internal/report"
 )
 
@@ -73,8 +76,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		csvDir = fs.String("csv", "results/csv", "directory holding the experiment CSVs")
-		outPth = fs.String("out", "", "output markdown file (default stdout)")
+		csvDir  = fs.String("csv", "results/csv", "directory holding the experiment CSVs")
+		outPth  = fs.String("out", "", "output markdown file (default stdout)")
+		traceTo = fs.String("trace", "", "write structured claim-check events (JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +103,39 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(tables) == 0 {
 		return fmt.Errorf("no experiment CSVs found in %s", *csvDir)
+	}
+
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewJSONL(bufio.NewWriter(f))
+		tel := obs.New(sink, nil)
+		for _, sec := range report.PaperSections() {
+			t, ok := tables[sec.ID]
+			if !ok {
+				continue
+			}
+			for _, v := range sec.Check(t) {
+				fields := obs.Fields{
+					"table":  sec.ID,
+					"claim":  v.Claim.Description,
+					"strict": v.Claim.Strict,
+					"status": v.Status(),
+				}
+				if v.Err != nil {
+					fields["detail"] = v.Err.Error()
+				}
+				tel.Emit("report_claim", fields)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	out := stdout

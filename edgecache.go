@@ -42,6 +42,7 @@ import (
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/sim"
 	"edgecache/internal/trace"
@@ -75,6 +76,57 @@ type (
 	// WorkloadStats summarises a demand tensor (volume, head mass, skew).
 	WorkloadStats = workload.DemandStats
 )
+
+// Re-exported observability types. Telemetry is observational only: it
+// never changes solver behaviour, and the nil handle is a free no-op.
+type (
+	// Telemetry bundles a structured event sink with a metrics registry;
+	// pass it to SimulateObserved / CompareObserved to record per-
+	// iteration solver events, per-slot controller decisions and per-run
+	// summaries. See DESIGN.md §6 for the event schema.
+	Telemetry = obs.Telemetry
+	// TelemetrySink consumes structured events; implement it to stream
+	// telemetry into a custom backend. Implementations must be safe for
+	// concurrent use.
+	TelemetrySink = obs.Sink
+	// TelemetryEvent is one structured record (timestamp, type, fields).
+	TelemetryEvent = obs.Event
+	// TelemetryFields is an event's type-specific payload.
+	TelemetryFields = obs.Fields
+	// Metrics is a registry of counters, gauges and timing histograms.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// ObservablePlanner is implemented by planners that accept a
+	// telemetry handle (all planners in this package do).
+	ObservablePlanner = sim.Observable
+)
+
+// NewTelemetry returns a telemetry handle emitting into sink and
+// recording metrics into the process-wide default registry.
+func NewTelemetry(sink TelemetrySink) *Telemetry { return obs.New(sink, nil) }
+
+// NewJSONLSink returns a sink writing one JSON object per event to w —
+// the format behind the binaries' -trace flag. Call Close to flush when
+// w buffers.
+func NewJSONLSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONL(w) }
+
+// NewTextSink returns a sink rendering events as single human-readable
+// lines, optionally filtered to the given event types.
+func NewTextSink(w io.Writer, types ...string) *obs.TextSink { return obs.NewText(w, types...) }
+
+// TeeSinks duplicates events to several sinks.
+func TeeSinks(sinks ...TelemetrySink) TelemetrySink { return obs.Tee(sinks...) }
+
+// DefaultMetrics returns the process-wide metrics registry every solver
+// layer reports into (always on; atomic counters).
+func DefaultMetrics() *Metrics { return obs.Default }
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060")
+// exposing /debug/vars (expvar, including DefaultMetrics) and
+// /debug/pprof/ for live profiling of long solves. It returns the bound
+// address and does not block.
+func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
 
 // DemandStatistics summarises a demand tensor: total and per-slot volume,
 // head mass (how cacheable the catalogue is), Gini skew and temporal
@@ -284,12 +336,24 @@ func Simulate(in *Instance, pred *Predictor, p Planner) (*Run, error) {
 	return sim.Run(in, pred, p)
 }
 
+// SimulateObserved is Simulate with a telemetry handle threaded into the
+// planner's solvers; nil tel makes it identical to Simulate.
+func SimulateObserved(in *Instance, pred *Predictor, p Planner, tel *Telemetry) (*Run, error) {
+	return sim.RunObserved(in, pred, p, tel)
+}
+
 // Compare runs several planners on the same instance and predictions,
 // returning results in argument order.
 func Compare(in *Instance, pred *Predictor, planners ...Planner) ([]*Run, error) {
+	return CompareObserved(in, pred, nil, planners...)
+}
+
+// CompareObserved is Compare with a telemetry handle threaded into every
+// planner; nil tel makes it identical to Compare.
+func CompareObserved(in *Instance, pred *Predictor, tel *Telemetry, planners ...Planner) ([]*Run, error) {
 	runs := make([]*Run, len(planners))
 	for i, p := range planners {
-		r, err := sim.Run(in, pred, p)
+		r, err := sim.RunObserved(in, pred, p, tel)
 		if err != nil {
 			return nil, err
 		}

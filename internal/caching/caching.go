@@ -21,10 +21,18 @@ package caching
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"edgecache/internal/lp"
 	"edgecache/internal/mcflow"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
+)
+
+// Always-on P1 metrics (atomic; read by -metrics and /debug/vars).
+var (
+	mFlowSolves = obs.Default.Counter("caching.p1_flow_solves")
+	mFlowTime   = obs.Default.Timer("caching.p1_flow_solve")
 )
 
 // Subproblem is P1 for a single SBS over a horizon of len(Reward) slots.
@@ -113,6 +121,9 @@ func (sp *Subproblem) SolveFlow() ([][]float64, float64, error) {
 	if err := sp.validate(); err != nil {
 		return nil, 0, err
 	}
+	mFlowSolves.Inc()
+	start := time.Now()
+	defer func() { mFlowTime.Observe(time.Since(start)) }()
 	horizon := len(sp.Reward)
 
 	// Node layout: pools 0..horizon, then item in/out pairs.

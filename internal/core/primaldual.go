@@ -20,12 +20,26 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"edgecache/internal/caching"
 	"edgecache/internal/convex"
 	"edgecache/internal/loadbalance"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/parallel"
+)
+
+// Always-on solver metrics (atomic; read by -metrics and /debug/vars).
+var (
+	mSolves    = obs.Default.Counter("core.solves")
+	mIters     = obs.Default.Counter("core.iterations")
+	mConverged = obs.Default.Counter("core.converged")
+	mP1Time    = obs.Default.Timer("core.p1_solve")
+	mP2Time    = obs.Default.Timer("core.p2_solve")
+	mRecover   = obs.Default.Timer("core.recover")
+	mSolveTime = obs.Default.Timer("core.solve")
+	mLastGap   = obs.Default.Gauge("core.last_gap")
 )
 
 // Options tune Algorithm 1. The zero value selects the paper's defaults.
@@ -55,6 +69,12 @@ type Options struct {
 	// multipliers of the previous window, which typically cuts the
 	// iteration count several-fold.
 	InitialMu [][][]float64
+	// Telemetry receives one solver_iteration event per dual update
+	// (iteration, LB, UB, gap, step, subgradient norm, P1/P2/recovery
+	// durations) and a solver_done summary. Telemetry is observational
+	// only — it never alters the iterates — and the nil default costs
+	// nothing on the hot path.
+	Telemetry *obs.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +130,10 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 	if opts.StepScale <= 0 {
 		opts.StepScale = autoStepScale(in)
 	}
+	tel := opts.Telemetry
+	mSolves.Inc()
+	solveStart := time.Now()
+	defer func() { mSolveTime.Observe(time.Since(solveStart)) }()
 
 	// μ[t][n] is a flat (class, content) row like the demand layout.
 	mu := make([][][]float64, in.T)
@@ -161,6 +185,7 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 
 	for l := 1; l <= opts.MaxIter; l++ {
 		res.Iterations = l
+		mIters.Inc()
 
 		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1.
 		for t := 0; t < in.T; t++ {
@@ -179,14 +204,21 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 			}
 		}
 
+		p1Start := time.Now()
 		xPlans, objP1, err := caching.SolveAll(in, rewards)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
 		}
+		p1Dur := time.Since(p1Start)
+		mP1Time.Observe(p1Dur)
+
+		p2Start := time.Now()
 		yPlans, objP2, err := loadbalance.SolveAll(in, mu, warmY, opts.Convex)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
 		}
+		p2Dur := time.Since(p2Start)
+		mP2Time.Observe(p2Dur)
 		warmY = yPlans
 
 		// Dual value = P1 + P2 optima (weak duality ⇒ lower bound).
@@ -195,10 +227,13 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		}
 
 		// Primal recovery: keep x, re-solve y subject to y ≤ x.
+		recStart := time.Now()
 		traj, err := RecoverFeasible(in, xPlans, opts.Convex)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
 		}
+		recDur := time.Since(recStart)
+		mRecover.Observe(recDur)
 		if br := in.TotalCost(traj); res.Trajectory == nil || br.Total < best-1e-9*(1+math.Abs(best)) {
 			best = br.Total
 			res.Trajectory = traj
@@ -209,6 +244,25 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		}
 
 		res.Gap = math.Max(0, (best-res.LowerBound)/math.Max(math.Abs(best), 1))
+		mLastGap.Set(res.Gap)
+
+		// δ_l is a pure function of l, so the value reported for this
+		// iteration equals the step a continuing iteration would take.
+		delta := opts.StepScale / (1 + opts.StepAlpha*float64(l))
+		if tel.Enabled() {
+			tel.Emit("solver_iteration", obs.Fields{
+				"iter":         l,
+				"lb":           res.LowerBound,
+				"ub":           best,
+				"gap":          res.Gap,
+				"step":         delta,
+				"subgrad_norm": subgradNorm(in, xPlans, yPlans),
+				"p1_ms":        ms(p1Dur),
+				"p2_ms":        ms(p2Dur),
+				"recover_ms":   ms(recDur),
+			})
+		}
+
 		if res.Gap <= opts.Epsilon {
 			res.Converged = true
 			break
@@ -218,7 +272,6 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		}
 
 		// Projected subgradient step on μ (eqs. 15–17).
-		delta := opts.StepScale / (1 + opts.StepAlpha*float64(l))
 		for t := 0; t < in.T; t++ {
 			for n := 0; n < in.N; n++ {
 				muRow := mu[t][n]
@@ -241,8 +294,42 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		return nil, errors.New("core: no feasible solution recovered")
 	}
 	res.Mu = mu
+	if res.Converged {
+		mConverged.Inc()
+	}
+	if tel.Enabled() {
+		tel.Emit("solver_done", obs.Fields{
+			"iterations": res.Iterations,
+			"converged":  res.Converged,
+			"lb":         res.LowerBound,
+			"ub":         res.Cost.Total,
+			"gap":        res.Gap,
+			"total_ms":   ms(time.Since(solveStart)),
+		})
+	}
 	return res, nil
 }
+
+// subgradNorm is the L2 norm of the dual subgradient g = y − x — the
+// convergence diagnostic reported per iteration. It is computed only
+// when telemetry is enabled, so the disabled path never pays the pass.
+func subgradNorm(in *model.Instance, xPlans []model.CachePlan, yPlans []model.LoadPlan) float64 {
+	var sum float64
+	for t := 0; t < in.T; t++ {
+		for n := 0; n < in.N; n++ {
+			for m := 0; m < in.Classes[n]; m++ {
+				for k := 0; k < in.K; k++ {
+					g := yPlans[t][n][m][k] - xPlans[t][n][k]
+					sum += g * g
+				}
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ms converts a duration to fractional milliseconds for event payloads.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // RecoverFeasible completes integral placements into a fully feasible
 // trajectory by computing the optimal load split for each slot subject to

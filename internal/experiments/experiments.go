@@ -17,6 +17,7 @@ import (
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/sim"
 	"edgecache/internal/trace"
@@ -39,8 +40,28 @@ type Setup struct {
 	// Seeds, when non-empty, repeats every sweep point under each seed and
 	// reports per-cell means; empty uses Config.Seed once.
 	Seeds []uint64
-	// Progress, when non-nil, receives one line per completed run.
+	// Telemetry receives structured progress events plus everything the
+	// underlying solvers emit (run_summary, solver_iteration, ...).
+	Telemetry *obs.Telemetry
+	// Progress, when non-nil, receives one text line per progress event —
+	// the plain-text adapter for the structured stream above. Both may be
+	// set; events then go to both.
 	Progress io.Writer
+}
+
+// tel resolves the effective telemetry handle: the structured handle,
+// the Progress text adapter, or both tee'd together.
+func (s Setup) tel() *obs.Telemetry {
+	switch {
+	case s.Telemetry != nil && s.Progress != nil:
+		return obs.New(obs.Tee(s.Telemetry.Sink(), obs.NewText(s.Progress, "progress")), s.Telemetry.Registry())
+	case s.Telemetry != nil:
+		return s.Telemetry
+	case s.Progress != nil:
+		return obs.New(obs.NewText(s.Progress, "progress"), nil)
+	default:
+		return nil
+	}
 }
 
 // Default returns the evaluation setup at a horizon that keeps full
@@ -80,9 +101,11 @@ func Quick() Setup {
 	return s
 }
 
+// logf emits one structured progress event (rendered as a bare line by
+// the text adapter).
 func (s Setup) logf(format string, args ...any) {
-	if s.Progress != nil {
-		fmt.Fprintf(s.Progress, format+"\n", args...)
+	if t := s.tel(); t.Enabled() {
+		t.Emit("progress", obs.Fields{"msg": fmt.Sprintf(format, args...)})
 	}
 }
 
@@ -131,7 +154,7 @@ func (s Setup) point(mutate func(*workload.InstanceConfig), eta float64, window,
 			sim.FromBaseline(baseline.NewLRFU()),
 		}
 		for _, p := range policies {
-			res, err := sim.Run(in, pred, p)
+			res, err := sim.RunObserved(in, pred, p, s.tel())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", p.Name(), err)
 			}
@@ -307,6 +330,7 @@ func (s Setup) RhoSweep(rhos []float64) (*Table, error) {
 			c := alg.cfg
 			c.Rho = rho
 			c.Core = s.OnlineOpts
+			c.Telemetry = s.tel()
 			res, err := online.Run(in, pred, c)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rho=%g %s: %w", rho, alg.name, err)
@@ -335,6 +359,7 @@ func (s Setup) CommitmentSweep(rs []int) (*Table, error) {
 		s.logf("commitment sweep: r=%d", r)
 		c := online.CHC(s.Window, r)
 		c.Core = s.OnlineOpts
+		c.Telemetry = s.tel()
 		res, err := online.Run(in, pred, c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: r=%d: %w", r, err)
@@ -368,12 +393,13 @@ func (s Setup) Competitive(windows []int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			off, err := sim.Run(in, pred, sim.Offline(s.OfflineOpts))
+			off, err := sim.RunObserved(in, pred, sim.Offline(s.OfflineOpts), s.tel())
 			if err != nil {
 				return nil, err
 			}
 			rhc := online.RHC(w)
 			rhc.Core = s.OnlineOpts
+			rhc.Telemetry = s.tel()
 			res, err := online.Run(in, pred, rhc)
 			if err != nil {
 				return nil, err
@@ -415,6 +441,7 @@ func (s Setup) LoadModeComparison(etas []float64) (*Table, error) {
 				c := online.RHC(s.Window)
 				c.Core = s.OnlineOpts
 				c.LoadMode = mode
+				c.Telemetry = s.tel()
 				res, err := online.Run(in, pred, c)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: loadmode %v: %w", mode, err)
@@ -507,7 +534,7 @@ func (s Setup) ClassicComparison(betas []float64) (*Table, error) {
 		}
 		cells := make(map[string]float64, len(policies))
 		for name, p := range policies {
-			res, err := sim.Run(in, pred, p)
+			res, err := sim.RunObserved(in, pred, p, s.tel())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: classic %s: %w", name, err)
 			}

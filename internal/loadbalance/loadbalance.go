@@ -24,12 +24,21 @@ package loadbalance
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"edgecache/internal/convex"
 	"edgecache/internal/mat"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/parallel"
 	"edgecache/internal/projection"
+)
+
+// Always-on P2 metrics (atomic; read by -metrics and /debug/vars).
+var (
+	mSlotSolves = obs.Default.Counter("loadbalance.p2_solves")
+	mGradSteps  = obs.Default.Counter("loadbalance.p2_gradient_steps")
+	mSolveTime  = obs.Default.Timer("loadbalance.p2_solve")
 )
 
 // SlotProblem is P2 for one (SBS, slot) pair over M·K coordinates.
@@ -187,10 +196,14 @@ func (p *SlotProblem) Solve(start []float64, opts convex.Options) ([]float64, fl
 	if x0 == nil {
 		x0 = make([]float64, n)
 	}
+	solveStart := time.Now()
 	res, err := convex.Minimize(prob, x0, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("loadbalance: %w", err)
 	}
+	mSlotSolves.Inc()
+	mGradSteps.Add(int64(res.Iterations))
+	mSolveTime.Observe(time.Since(solveStart))
 	return res.X, res.Value, nil
 }
 

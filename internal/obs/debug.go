@@ -1,0 +1,41 @@
+// Live profiling endpoint: expvar for the metrics registry and
+// net/http/pprof for CPU/heap/goroutine profiles of long sweeps.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the Default registry's snapshot under the
+// "edgecache" expvar (GET /debug/vars). Safe to call repeatedly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("edgecache", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060")
+// serving /debug/vars (expvar, including the metrics registry) and
+// /debug/pprof/ (live profiling). It returns the bound address — useful
+// with ":0" — and never blocks; the server runs until the process exits.
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof and expvar handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

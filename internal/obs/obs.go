@@ -1,0 +1,245 @@
+// Package obs is the solver telemetry layer: a structured event stream
+// and a metrics registry threaded through the primal-dual solver
+// (package core), the online controllers (package online), the
+// simulation harness (package sim) and the experiment driver.
+//
+// Telemetry is strictly observational: events carry copies of solver
+// state and instruments are atomic accumulators, so enabling or
+// disabling telemetry never changes a solver's arithmetic or its
+// iteration order (a regression test in package sim asserts exactly
+// this). The disabled path is allocation-free: a nil *Telemetry handle
+// is the no-op default, Enabled() on it is false, and every hot loop
+// guards event construction behind that check.
+//
+// Event vocabulary (field-by-field schema in DESIGN.md §6):
+//
+//	solver_iteration  one dual iteration of Algorithm 1 (LB/UB/gap/step)
+//	solver_done       end-of-solve summary
+//	window_solve      one FHC window solve inside an online controller
+//	slot_decision     one committed slot (rounding, repairs, churn)
+//	run_summary       one evaluated policy run (package sim)
+//	progress          free-text progress from the experiment driver
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fields is an event's type-specific payload. Values should be plain
+// scalars (numbers, strings, bools) so every sink can render them.
+type Fields map[string]any
+
+// Event is one structured telemetry record.
+type Event struct {
+	// Time is the emission timestamp (wall clock).
+	Time time.Time
+	// Type names the event ("solver_iteration", "slot_decision", ...).
+	Type string
+	// Fields is the type-specific payload.
+	Fields Fields
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use:
+// parallel FHC versions and parallel slot solves emit concurrently.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Telemetry bundles an event sink with a metrics registry. The nil
+// handle is the no-op default: Emit on it does nothing and Registry
+// falls back to the process-wide Default registry.
+type Telemetry struct {
+	sink Sink
+	reg  *Registry
+}
+
+// New returns a telemetry handle emitting into sink and recording
+// metrics into reg (nil reg selects the Default registry).
+func New(sink Sink, reg *Registry) *Telemetry {
+	return &Telemetry{sink: sink, reg: reg}
+}
+
+// Enabled reports whether events are being recorded. Hot paths must
+// guard Fields construction behind this check to keep the disabled path
+// allocation-free.
+func (t *Telemetry) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit sends one event, stamping the current time. No-op when disabled.
+func (t *Telemetry) Emit(typ string, fields Fields) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(Event{Time: time.Now(), Type: typ, Fields: fields})
+}
+
+// Sink returns the underlying sink (nil when disabled).
+func (t *Telemetry) Sink() Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
+// Registry returns the metrics registry instruments should report into;
+// the Default registry when the handle is nil or carries none.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil || t.reg == nil {
+		return Default
+	}
+	return t.reg
+}
+
+// JSONLSink writes one JSON object per event: the ts and event keys plus
+// the event's fields, keys sorted (encoding/json map ordering), one line
+// per event. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// NewJSONL returns a sink writing JSON Lines to w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit writes the event as one JSON line. Marshal errors are swallowed:
+// telemetry must never fail a solve.
+func (s *JSONLSink) Emit(e Event) {
+	rec := make(map[string]any, len(e.Fields)+2)
+	for k, v := range e.Fields {
+		rec[k] = v
+	}
+	rec["ts"] = e.Time.Format(time.RFC3339Nano)
+	rec["event"] = e.Type
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(rec)
+}
+
+// Close flushes and closes the underlying writer when it supports it.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type flusher interface{ Flush() error }
+	if f, ok := s.w.(flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// TextSink renders events as single human-readable lines — the adapter
+// that keeps plain-text progress output working now that progress is a
+// structured event. When types are given only those event types are
+// rendered; progress events print their msg field bare.
+type TextSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	types map[string]bool
+}
+
+// NewText returns a text sink writing to w, filtered to the given event
+// types (none = all).
+func NewText(w io.Writer, types ...string) *TextSink {
+	s := &TextSink{w: w}
+	if len(types) > 0 {
+		s.types = make(map[string]bool, len(types))
+		for _, t := range types {
+			s.types[t] = true
+		}
+	}
+	return s
+}
+
+// Emit renders the event as one line.
+func (s *TextSink) Emit(e Event) {
+	if s.types != nil && !s.types[e.Type] {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Type == "progress" {
+		if msg, ok := e.Fields["msg"].(string); ok {
+			fmt.Fprintln(s.w, msg)
+			return
+		}
+	}
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(s.w, "%s", e.Type)
+	for _, k := range keys {
+		fmt.Fprintf(s.w, " %s=%v", k, e.Fields[k])
+	}
+	fmt.Fprintln(s.w)
+}
+
+// TeeSink fans every event out to several sinks.
+type TeeSink struct{ sinks []Sink }
+
+// Tee returns a sink duplicating events to all non-nil sinks. A single
+// sink (after dropping nils) is returned as-is.
+func Tee(sinks ...Sink) Sink {
+	var keep []Sink
+	for _, s := range sinks {
+		if s != nil {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) == 1 {
+		return keep[0]
+	}
+	return &TeeSink{sinks: keep}
+}
+
+// Emit forwards to every sink.
+func (s *TeeSink) Emit(e Event) {
+	for _, dst := range s.sinks {
+		dst.Emit(e)
+	}
+}
+
+// Collector buffers events in memory — the test sink.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+// Events returns a copy of everything collected.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// ByType returns collected events of one type, in emission order.
+func (c *Collector) ByType(typ string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTelemetryIsSafeAndFree(t *testing.T) {
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Fatal("nil telemetry reports enabled")
+	}
+	tel.Emit("x", Fields{"a": 1}) // must not panic
+	if tel.Registry() != Default {
+		t.Fatal("nil telemetry does not fall back to Default registry")
+	}
+	if tel.Sink() != nil {
+		t.Fatal("nil telemetry has a sink")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if tel.Enabled() {
+			tel.Emit("x", Fields{"a": 1})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emission path allocates %v times per call", allocs)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Timer("t").Observe(time.Second)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot has counters: %v", s.Counters)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("level").Set(float64(i))
+				r.Timer("lat").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	ts := r.Timer("lat").Stats()
+	if ts.Count != 8000 {
+		t.Fatalf("timer count = %d, want 8000", ts.Count)
+	}
+	if ts.Min > ts.Max || ts.Mean < ts.Min || ts.Mean > ts.Max {
+		t.Fatalf("inconsistent timer stats: %+v", ts)
+	}
+	if ts.P50 <= 0 || ts.P95 < ts.P50 {
+		t.Fatalf("inconsistent quantiles: %+v", ts)
+	}
+}
+
+func TestTimerStatsEmpty(t *testing.T) {
+	r := NewRegistry()
+	if s := r.Timer("t").Stats(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty timer stats = %+v", s)
+	}
+}
+
+func TestJSONLSinkWritesValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewJSONL(&buf), NewRegistry())
+	if !tel.Enabled() {
+		t.Fatal("telemetry with sink reports disabled")
+	}
+	tel.Emit("solver_iteration", Fields{"iter": 1, "lb": 10.5, "ub": 12.0, "gap": 0.125})
+	tel.Emit("solver_done", Fields{"iterations": 1, "converged": false})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if rec["event"] != "solver_iteration" || rec["lb"] != 10.5 {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["ts"].(string)); err != nil {
+		t.Fatalf("invalid ts: %v", err)
+	}
+}
+
+func TestJSONLSinkCloseFlushesBufferedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	s := NewJSONL(bw)
+	s.Emit(Event{Time: time.Now(), Type: "x"})
+	if buf.Len() != 0 {
+		t.Skip("writer flushed eagerly; nothing to assert")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Close did not flush the buffered writer")
+	}
+}
+
+func TestTextSinkFiltersAndRendersProgress(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewText(&buf, "progress")
+	s.Emit(Event{Type: "solver_iteration", Fields: Fields{"iter": 1}})
+	s.Emit(Event{Type: "progress", Fields: Fields{"msg": "fig2: beta=50"}})
+	if got := buf.String(); got != "fig2: beta=50\n" {
+		t.Fatalf("text sink output = %q", got)
+	}
+}
+
+func TestTeeDuplicates(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	s := Tee(a, nil, b)
+	s.Emit(Event{Type: "x"})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("tee delivered %d/%d events", len(a.Events()), len(b.Events()))
+	}
+	if single := Tee(nil, a); single != Sink(a) {
+		t.Fatal("tee of one sink is not the sink itself")
+	}
+}
+
+func TestCollectorByType(t *testing.T) {
+	c := &Collector{}
+	c.Emit(Event{Type: "a"})
+	c.Emit(Event{Type: "b"})
+	c.Emit(Event{Type: "a"})
+	if got := len(c.ByType("a")); got != 2 {
+		t.Fatalf("ByType(a) = %d events, want 2", got)
+	}
+}
+
+func TestWriteTextSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.solves").Add(3)
+	r.Gauge("core.last_gap").Set(0.01)
+	r.Timer("core.p1_solve").Observe(2 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"core.solves", "core.last_gap", "core.p1_solve", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeDebugServesExpvarAndPprof(t *testing.T) {
+	Default.Counter("test.debug_endpoint").Inc()
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body[:n]), "edgecache") {
+			t.Fatalf("expvar output missing edgecache registry:\n%s", body[:n])
+		}
+	}
+}

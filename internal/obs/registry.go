@@ -1,0 +1,294 @@
+// Metrics registry: named counters, gauges and timing histograms shared
+// by every solver layer. Instruments are cheap lock-free atomics so the
+// solvers keep them always on; whether anything *reads* them (the
+// -metrics flag, the expvar endpoint) is the operator's choice. All
+// instruments are nil-safe: methods on a nil instrument are no-ops, so a
+// missing registry never needs guarding at the call site.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 (last-write-wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// timerBuckets is the number of power-of-two latency buckets: bucket i
+// counts observations with ceil(log2(d/µs)) = i, i.e. sub-microsecond
+// through ~18 minutes; the last bucket absorbs everything longer.
+const timerBuckets = 31
+
+// Timer is a duration histogram with power-of-two microsecond buckets
+// plus exact count/sum/min/max.
+type Timer struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 until first observation
+	max     atomic.Int64
+	buckets [timerBuckets]atomic.Int64
+}
+
+func newTimer() *Timer {
+	t := &Timer{}
+	t.min.Store(math.MaxInt64)
+	return t
+}
+
+// Observe records one duration. Nil-safe.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.sum.Add(ns)
+	for {
+		cur := t.min.Load()
+		if ns >= cur || t.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := t.max.Load()
+		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(ns) / uint64(time.Microsecond))
+	if b >= timerBuckets {
+		b = timerBuckets - 1
+	}
+	t.buckets[b].Add(1)
+}
+
+// Time runs fn and records its duration. Nil-safe (fn still runs).
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// TimerStats is a point-in-time summary of a Timer.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"totalNanos"`
+	Min   time.Duration `json:"minNanos"`
+	Max   time.Duration `json:"maxNanos"`
+	Mean  time.Duration `json:"meanNanos"`
+	// P50 and P95 are estimated from the power-of-two histogram (upper
+	// bucket bounds), so they are conservative to within a factor of two.
+	P50 time.Duration `json:"p50Nanos"`
+	P95 time.Duration `json:"p95Nanos"`
+}
+
+// Stats summarises the timer (zero value for nil or empty).
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	s := TimerStats{Count: t.count.Load(), Total: time.Duration(t.sum.Load())}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = time.Duration(t.min.Load())
+	s.Max = time.Duration(t.max.Load())
+	s.Mean = s.Total / time.Duration(s.Count)
+	s.P50 = t.quantile(s.Count, 0.50)
+	s.P95 = t.quantile(s.Count, 0.95)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func (t *Timer) quantile(count int64, q float64) time.Duration {
+	target := int64(math.Ceil(q * float64(count)))
+	var seen int64
+	for i := 0; i < timerBuckets; i++ {
+		seen += t.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(1<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(t.max.Load())
+}
+
+// Registry is a concurrency-safe namespace of instruments. Instruments
+// are created on first use and live for the registry's lifetime, so
+// callers should look them up once (package-level vars) rather than per
+// operation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// Default is the process-wide registry every solver layer reports into.
+// The -metrics flags and the expvar endpoint read it.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry (tests use private ones).
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Nil-safe
+// (returns a nil instrument whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it if needed. Nil-safe.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = newTimer()
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]float64    `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = t.Stats()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as an aligned table, instruments sorted
+// by name — the -metrics flag output.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tvalue")
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(tw, "%s\t%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(tw, "%s\t%g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		ts := s.Timers[name]
+		fmt.Fprintf(tw, "%s\tn=%d total=%s mean=%s min=%s max=%s p50≤%s p95≤%s\n",
+			name, ts.Count, round(ts.Total), round(ts.Mean), round(ts.Min), round(ts.Max), round(ts.P50), round(ts.P95))
+	}
+	return tw.Flush()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -30,12 +30,23 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"edgecache/internal/core"
 	"edgecache/internal/loadbalance"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/parallel"
 	"edgecache/internal/workload"
+)
+
+// Always-on controller metrics (atomic; read by -metrics, /debug/vars).
+var (
+	mWindowSolves = obs.Default.Counter("online.window_solves")
+	mDualIters    = obs.Default.Counter("online.dual_iterations")
+	mWindowTime   = obs.Default.Timer("online.window_solve")
+	mCapDrops     = obs.Default.Counter("online.capacity_drops")
+	mBWRepairs    = obs.Default.Counter("online.bandwidth_repairs")
 )
 
 // DefaultRho is the rounding threshold ρ = (3−√5)/2 ≈ 0.382 of Theorem 3.
@@ -93,6 +104,12 @@ type Config struct {
 	// versions — plain Fixed Horizon Control, the classic baseline RHC
 	// and AFHC generalise. No averaging occurs, so no rounding is needed.
 	SingleVersion bool
+	// Telemetry receives one window_solve event per FHC window solve and
+	// one slot_decision event per committed slot (rounding decisions at
+	// ρ, capacity/bandwidth repairs, cache churn). It is also forwarded
+	// to the per-window Algorithm 1 solves, which then emit their own
+	// solver_iteration events. Observational only; nil disables events.
+	Telemetry *obs.Telemetry
 }
 
 // RHC returns the Receding Horizon Control configuration for window w.
@@ -224,6 +241,7 @@ func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, err
 	// Combine versions slot by slot: average, round, repair, commit.
 	traj := make(model.Trajectory, in.T)
 	prevAvgX := in.InitialPlan()
+	prevX := in.InitialPlan()
 	for t := 0; t < in.T; t++ {
 		avgX := model.NewCachePlan(in.N, in.K)
 		avgY := model.NewLoadPlan(in.Classes, in.K)
@@ -251,17 +269,41 @@ func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, err
 			in.ReplacementCost(prevAvgX, avgX)
 		prevAvgX = avgX
 
-		x := roundPlacement(in, avgX, cfg.Rho)
+		x, candidates, capDropped := roundPlacement(in, avgX, cfg.Rho)
 		var y model.LoadPlan
+		var bwRepaired int
 		if cfg.LoadMode == LoadReactive {
 			y, err = reactiveLoad(in, t, x, cfg)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			y = predictedLoad(in, t, x, avgY)
+			y, bwRepaired = predictedLoad(in, t, x, avgY)
 		}
 		traj[t] = model.SlotDecision{X: x, Y: y}
+
+		mCapDrops.Add(int64(capDropped))
+		mBWRepairs.Add(int64(bwRepaired))
+		if cfg.Telemetry.Enabled() {
+			var cached int
+			for n := 0; n < in.N; n++ {
+				cached += len(x.Items(n))
+			}
+			cfg.Telemetry.Emit("slot_decision", obs.Fields{
+				"controller":  cfg.Name(),
+				"slot":        t,
+				"window":      cfg.Window,
+				"commitment":  cfg.Commitment,
+				"rho":         cfg.Rho,
+				"load_mode":   cfg.LoadMode.String(),
+				"candidates":  candidates,
+				"cached":      cached,
+				"cap_dropped": capDropped,
+				"bw_repaired": bwRepaired,
+				"churn":       model.ReplacementCount(prevX, x),
+			})
+		}
+		prevX = x
 	}
 
 	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
@@ -314,15 +356,35 @@ func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 		}
 
 		opts := cfg.Core
+		opts.Telemetry = cfg.Telemetry
 		if !cfg.DisableMuWarmStart && warmMu != nil {
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
 		}
+		solveStart := time.Now()
 		sol, err := core.Solve(win, opts)
 		if err != nil {
 			return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
 		}
+		solveDur := time.Since(solveStart)
 		stats.solves++
 		stats.dualIters += sol.Iterations
+		mWindowSolves.Inc()
+		mDualIters.Add(int64(sol.Iterations))
+		mWindowTime.Observe(solveDur)
+		if cfg.Telemetry.Enabled() {
+			cfg.Telemetry.Emit("window_solve", obs.Fields{
+				"controller": cfg.Name(),
+				"version":    v,
+				"tau":        tau,
+				"from":       from,
+				"to":         to,
+				"commit_to":  commitEnd,
+				"iterations": sol.Iterations,
+				"converged":  sol.Converged,
+				"gap":        sol.Gap,
+				"solve_ms":   float64(solveDur) / float64(time.Millisecond),
+			})
+		}
 		warmMu, prevFrom, prevTo = sol.Mu, from, to
 
 		for t := from; t < commitEnd; t++ {
@@ -355,9 +417,11 @@ func shiftMu(mu [][][]float64, prevFrom, prevTo, from, to int, in *model.Instanc
 // roundPlacement applies the CHC rounding policy with capacity repair:
 // candidates are entries with average ≥ ρ; if more than C_n qualify the
 // top C_n by average survive (ties broken toward smaller k for
-// determinism).
-func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) model.CachePlan {
-	x := model.NewCachePlan(in.N, in.K)
+// determinism). It also reports the total number of candidates and how
+// many the capacity repair dropped — the telemetry of the two repairs
+// DESIGN.md documents.
+func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped int) {
+	x = model.NewCachePlan(in.N, in.K)
 	for n := 0; n < in.N; n++ {
 		type cand struct {
 			k int
@@ -369,6 +433,7 @@ func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) model.
 				cands = append(cands, cand{k, avg[n][k]})
 			}
 		}
+		candidates += len(cands)
 		sort.Slice(cands, func(i, j int) bool {
 			if cands[i].v != cands[j].v {
 				return cands[i].v > cands[j].v
@@ -376,19 +441,22 @@ func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) model.
 			return cands[i].k < cands[j].k
 		})
 		if len(cands) > in.CacheCap[n] {
+			dropped += len(cands) - in.CacheCap[n]
 			cands = cands[:in.CacheCap[n]]
 		}
 		for _, c := range cands {
 			x[n][c.k] = 1
 		}
 	}
-	return x
+	return x, candidates, dropped
 }
 
 // predictedLoad zeroes the averaged load split wherever the rounded
 // placement dropped the item (step (ii) of the rounding policy) and then
-// rescales per SBS so the realised demand fits the bandwidth.
-func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.LoadPlan) model.LoadPlan {
+// rescales per SBS so the realised demand fits the bandwidth. It reports
+// how many SBSs needed the bandwidth rescale.
+func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.LoadPlan) (model.LoadPlan, int) {
+	repaired := 0
 	y := avgY.Clone()
 	for n := 0; n < in.N; n++ {
 		row := in.Demand.Slot(t, n)
@@ -407,6 +475,7 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 			}
 		}
 		if load > in.Bandwidth[n] && load > 0 {
+			repaired++
 			scale := in.Bandwidth[n] / load
 			for m := 0; m < in.Classes[n]; m++ {
 				for k := 0; k < in.K; k++ {
@@ -415,7 +484,7 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 			}
 		}
 	}
-	return y
+	return y, repaired
 }
 
 // reactiveLoad recomputes the optimal split for the committed placement

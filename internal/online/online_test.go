@@ -169,13 +169,16 @@ func TestRoundPlacement(t *testing.T) {
 	avg[0][1] = 0.5
 	avg[0][2] = 0.45
 	avg[0][3] = 0.2 // below ρ
-	x := roundPlacement(in, avg, DefaultRho)
+	x, candidates, dropped := roundPlacement(in, avg, DefaultRho)
 	// Capacity 2: top-2 of the three candidates survive.
 	if x[0][0] != 1 || x[0][1] != 1 {
 		t.Fatalf("top candidates dropped: %v", x[0])
 	}
 	if x[0][2] != 0 || x[0][3] != 0 {
 		t.Fatalf("capacity repair failed: %v", x[0])
+	}
+	if candidates != 3 || dropped != 1 {
+		t.Fatalf("repair stats = (%d candidates, %d dropped), want (3, 1)", candidates, dropped)
 	}
 }
 
@@ -185,7 +188,7 @@ func TestRoundPlacementTieBreak(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		avg[0][k] = 0.5
 	}
-	x := roundPlacement(in, avg, DefaultRho)
+	x, _, _ := roundPlacement(in, avg, DefaultRho)
 	if x[0][0] != 1 || x[0][1] != 1 || x[0][2] != 0 {
 		t.Fatalf("tie break not deterministic toward low indices: %v", x[0])
 	}
@@ -200,8 +203,15 @@ func TestPredictedLoadZeroesAndRescales(t *testing.T) {
 		avgY[0][m][0] = 1
 		avgY[0][m][1] = 0.7 // not cached → must be zeroed
 	}
-	y := predictedLoad(in, 0, x, avgY)
+	y, repaired := predictedLoad(in, 0, x, avgY)
 	row := in.Demand.Slot(0, 0)
+	var rawLoad float64
+	for m := 0; m < in.Classes[0]; m++ {
+		rawLoad += row[m*in.K] // avgY = 1 for the cached content
+	}
+	if wantRepair := rawLoad > in.Bandwidth[0]; wantRepair != (repaired == 1) {
+		t.Fatalf("repaired = %d with raw load %g vs bandwidth %g", repaired, rawLoad, in.Bandwidth[0])
+	}
 	var load float64
 	for m := 0; m < in.Classes[0]; m++ {
 		if y[0][m][1] != 0 {

@@ -76,6 +76,50 @@ func TestForPropagatesPanic(t *testing.T) {
 	})
 }
 
+func TestForPropagatesPanicAllWorkers(t *testing.T) {
+	// Every iteration panics, so every worker hits the recover path
+	// concurrently. For must still join all workers (no deadlock), run the
+	// whole index range, and re-panic with exactly one recorded value.
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "parallel: panic in iteration") {
+			t.Fatalf("panic value %v not wrapped with iteration context", r)
+		}
+		if ran.Load() != 64 {
+			t.Fatalf("ran %d of 64 iterations before joining", ran.Load())
+		}
+	}()
+	_ = For(64, 8, func(i int) error {
+		ran.Add(1)
+		panic(i)
+	})
+}
+
+func TestForPropagatesPanicSingleWorker(t *testing.T) {
+	// The workers==1 fast path has no recover wrapper: the panic value must
+	// reach the caller unmodified.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if r != "boom-serial" {
+			t.Fatalf("panic value = %v, want raw \"boom-serial\"", r)
+		}
+	}()
+	_ = For(10, 1, func(i int) error {
+		if i == 5 {
+			panic("boom-serial")
+		}
+		return nil
+	})
+}
+
 func TestForConcurrencyBound(t *testing.T) {
 	var inFlight, peak atomic.Int64
 	_ = For(200, 3, func(i int) error {

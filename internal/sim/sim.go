@@ -14,8 +14,15 @@ import (
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/workload"
+)
+
+// Always-on harness metrics (atomic; read by -metrics, /debug/vars).
+var (
+	mRuns     = obs.Default.Counter("sim.runs")
+	mPlanTime = obs.Default.Timer("sim.plan")
 )
 
 // Policy plans a trajectory for an instance. Online policies read
@@ -28,6 +35,15 @@ type Policy interface {
 	Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error)
 }
 
+// Observable is implemented by policies that can carry a telemetry
+// handle into their solver. RunObserved uses it to thread the handle
+// through without changing the Policy interface; custom planners may
+// implement it to receive the same handle.
+type Observable interface {
+	// Observe returns a copy of the policy wired to tel.
+	Observe(tel *obs.Telemetry) Policy
+}
+
 // Offline adapts the primal-dual solver (Algorithm 1) into a Policy: the
 // paper's "offline optimal" reference, which sees all information.
 func Offline(opts core.Options) Policy { return offlinePolicy{opts: opts} }
@@ -35,6 +51,11 @@ func Offline(opts core.Options) Policy { return offlinePolicy{opts: opts} }
 type offlinePolicy struct{ opts core.Options }
 
 func (offlinePolicy) Name() string { return "Offline" }
+
+func (p offlinePolicy) Observe(tel *obs.Telemetry) Policy {
+	p.opts.Telemetry = tel
+	return p
+}
 
 func (p offlinePolicy) Plan(in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
 	res, err := core.Solve(in, p.opts)
@@ -50,6 +71,11 @@ func Online(cfg online.Config) Policy { return onlinePolicy{cfg: cfg} }
 type onlinePolicy struct{ cfg online.Config }
 
 func (p onlinePolicy) Name() string { return p.cfg.Name() }
+
+func (p onlinePolicy) Observe(tel *obs.Telemetry) Policy {
+	p.cfg.Telemetry = tel
+	return p
+}
 
 func (p onlinePolicy) Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
 	if pred == nil {
@@ -106,19 +132,44 @@ type Result struct {
 
 // Run plans with the policy, verifies feasibility, and accounts costs.
 func Run(in *model.Instance, pred *workload.Predictor, p Policy) (*Result, error) {
+	return RunObserved(in, pred, p, nil)
+}
+
+// RunObserved is Run with telemetry: the handle is threaded into the
+// policy's solvers (when the policy implements Observable) and one
+// run_summary event is emitted per evaluated run. A nil handle makes it
+// identical to Run.
+func RunObserved(in *model.Instance, pred *workload.Predictor, p Policy, tel *obs.Telemetry) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	if o, ok := p.(Observable); ok && tel.Enabled() {
+		p = o.Observe(tel)
+	}
+	mRuns.Inc()
 	start := time.Now()
 	traj, err := p.Plan(in, pred)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
 	}
 	elapsed := time.Since(start)
+	mPlanTime.Observe(elapsed)
 
 	perSlot, cost, err := Evaluate(in, traj)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
+	}
+	if tel.Enabled() {
+		tel.Emit("run_summary", obs.Fields{
+			"policy":           p.Name(),
+			"slots":            in.T,
+			"total_cost":       cost.Total,
+			"bs_cost":          cost.BS,
+			"sbs_cost":         cost.SBS,
+			"replacement_cost": cost.Replacement,
+			"replacements":     cost.Replacements,
+			"plan_ms":          float64(elapsed) / float64(time.Millisecond),
+		})
 	}
 	return &Result{
 		Policy:     p.Name(),

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/workload"
 )
@@ -84,6 +87,61 @@ func TestRunOfflineAndOnline(t *testing.T) {
 	// noisy-prediction controller by much (allow solver slack).
 	if off.Cost.Total > on.Cost.Total*1.1+1e-9 {
 		t.Fatalf("offline %g much worse than RHC %g", off.Cost.Total, on.Cost.Total)
+	}
+}
+
+// TestRunDeterministic is the regression guard for reproducibility: two
+// runs from the same seed must produce byte-identical trajectories and
+// cost breakdowns, and attaching telemetry must not perturb either — the
+// instrumentation is observational only.
+func TestRunDeterministic(t *testing.T) {
+	marshal := func(v any) []byte {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	policies := []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"Offline", func() Policy { return Offline(core.Options{MaxIter: 20}) }},
+		{"RHC", func() Policy { return Online(online.RHC(4)) }},
+	}
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			// Rebuild the instance and predictor from scratch each time so
+			// the comparison covers workload generation too.
+			run := func(tel *obs.Telemetry) *Result {
+				in, pred := testSetup(t)
+				res, err := RunObserved(in, pred, pc.mk(), tel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(nil), run(nil)
+			if !bytes.Equal(marshal(a.Trajectory), marshal(b.Trajectory)) {
+				t.Fatal("same seed produced different trajectories")
+			}
+			if a.Cost != b.Cost {
+				t.Fatalf("same seed produced different costs: %+v vs %+v", a.Cost, b.Cost)
+			}
+
+			var col obs.Collector
+			c := run(obs.New(&col, nil))
+			if !bytes.Equal(marshal(a.Trajectory), marshal(c.Trajectory)) {
+				t.Fatal("telemetry perturbed the trajectory")
+			}
+			if a.Cost != c.Cost {
+				t.Fatalf("telemetry perturbed the cost: %+v vs %+v", a.Cost, c.Cost)
+			}
+			if len(col.ByType("run_summary")) != 1 {
+				t.Fatalf("observed run emitted %d run_summary events, want 1", len(col.ByType("run_summary")))
+			}
+		})
 	}
 }
 
