@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race ci bench cover fuzz experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz experiments report examples
 
 all: build vet test
 
@@ -20,10 +20,19 @@ test-short:
 
 # Race-enabled run of the concurrency-sensitive packages (what CI runs).
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core ./internal/online
+
+# Static analysis; CI installs the binary, locally this no-ops with a
+# notice when staticcheck is not on PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race
+ci: build vet test race staticcheck
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,7 @@
 package edgecache_test
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 	"testing"
@@ -33,7 +34,7 @@ import (
 func BenchmarkFig2_BetaSweep(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Fig2([]float64{0, 20, 60}); err != nil {
+		if _, err := s.Fig2(context.Background(), []float64{0, 20, 60}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +43,7 @@ func BenchmarkFig2_BetaSweep(b *testing.B) {
 func BenchmarkFig3_WindowSweep(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Fig3([]int{2, 4, 6}); err != nil {
+		if _, err := s.Fig3(context.Background(), []int{2, 4, 6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +52,7 @@ func BenchmarkFig3_WindowSweep(b *testing.B) {
 func BenchmarkFig4_BandwidthSweep(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Fig4([]float64{3, 5, 10}); err != nil {
+		if _, err := s.Fig4(context.Background(), []float64{3, 5, 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +61,7 @@ func BenchmarkFig4_BandwidthSweep(b *testing.B) {
 func BenchmarkFig5_NoiseSweep(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Fig5([]float64{0, 0.2, 0.4}); err != nil {
+		if _, err := s.Fig5(context.Background(), []float64{0, 0.2, 0.4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func BenchmarkFig5_NoiseSweep(b *testing.B) {
 func BenchmarkHeadline_CostRatios(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Headline(20); err != nil {
+		if _, err := s.Headline(context.Background(), 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func BenchmarkP2_FISTAvsPGD(b *testing.B) {
 func BenchmarkRounding_RhoSweep(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RhoSweep([]float64{0.25, 0.382, 0.6}); err != nil {
+		if _, err := s.RhoSweep(context.Background(), []float64{0.25, 0.382, 0.6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func BenchmarkDual_StepSchedule(b *testing.B) {
 	for _, alpha := range []float64{0.02, 0.05, 0.2} {
 		b.Run(stepName(alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(in, core.Options{MaxIter: 20, StallIter: -1, StepAlpha: alpha}); err != nil {
+				if _, err := core.Solve(context.Background(), in, core.Options{MaxIter: 20, StallIter: -1, StepAlpha: alpha}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -192,7 +193,7 @@ func stepName(alpha float64) string {
 func BenchmarkCHC_Commitment(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.CommitmentSweep([]int{1, 2, 4}); err != nil {
+		if _, err := s.CommitmentSweep(context.Background(), []int{1, 2, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,7 +224,7 @@ func benchInstance(b *testing.B) (*model.Instance, *workload.Predictor) {
 func BenchmarkOffline_PrimalDual(b *testing.B) {
 	in, _ := benchInstance(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
+		if _, err := core.Solve(context.Background(), in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,7 +240,7 @@ func BenchmarkSolve_Instrumented(b *testing.B) {
 	in, _ := benchInstance(b)
 	b.Run("disabled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
+			if _, err := core.Solve(context.Background(), in, core.Options{MaxIter: 15, StallIter: 6}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -248,7 +249,7 @@ func BenchmarkSolve_Instrumented(b *testing.B) {
 		sink := obs.NewJSONL(io.Discard)
 		tel := obs.New(sink, nil)
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Solve(in, core.Options{MaxIter: 15, StallIter: 6, Telemetry: tel}); err != nil {
+			if _, err := core.Solve(context.Background(), in, core.Options{MaxIter: 15, StallIter: 6, Telemetry: tel}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -260,7 +261,7 @@ func BenchmarkOnline_Controllers(b *testing.B) {
 	for _, cfg := range []online.Config{online.RHC(4), online.CHC(4, 2), online.AFHC(4)} {
 		b.Run(cfg.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := online.Run(in, pred, cfg); err != nil {
+				if _, err := online.Run(context.Background(), in, pred, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -366,7 +367,7 @@ func BenchmarkBaseline_LRFUPlan(b *testing.B) {
 	pol := baseline.NewLRFU()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pol.Plan(in); err != nil {
+		if _, err := pol.Plan(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}

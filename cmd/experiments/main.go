@@ -8,6 +8,7 @@
 //	experiments -scale paper -all   # full §V-B scale (T = 100; slow)
 //	experiments -csv out/           # also write one CSV per table
 //	experiments -all -trace run.jsonl -debug-addr localhost:6060
+//	experiments -all -timeout 10m -slot-budget 100ms
 //
 // Experiment identifiers: fig2a fig2b fig2c fig2d fig3a fig3b fig4a fig4b
 // fig5 headline rho chc-r classic loadmode hitratio competitive.
@@ -15,42 +16,54 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"edgecache/internal/experiments"
 	"edgecache/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		all      = fs.Bool("all", false, "run every experiment")
-		figs     = fs.String("fig", "", "comma-separated experiment ids (fig2a..fig5, headline, rho, chc-r)")
-		scale    = fs.String("scale", "default", "instance scale: quick, default, paper")
-		csvDir   = fs.String("csv", "", "directory to write per-table CSVs (created if missing)")
-		progress = fs.Bool("progress", true, "log per-run progress to stderr")
-		plot     = fs.Bool("plot", false, "render each table as an ASCII chart too")
-		seed      = fs.Uint64("seed", 1, "workload seed")
-		seeds     = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
-		window    = fs.Int("w", 0, "override prediction window")
-		traceTo   = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
-		metrics   = fs.Bool("metrics", false, "print the metrics registry to stderr after the sweeps")
-		debugAddr = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		all        = fs.Bool("all", false, "run every experiment")
+		figs       = fs.String("fig", "", "comma-separated experiment ids (fig2a..fig5, headline, rho, chc-r)")
+		scale      = fs.String("scale", "default", "instance scale: quick, default, paper")
+		csvDir     = fs.String("csv", "", "directory to write per-table CSVs (created if missing)")
+		progress   = fs.Bool("progress", true, "log per-run progress to stderr")
+		plot       = fs.Bool("plot", false, "render each table as an ASCII chart too")
+		seed       = fs.Uint64("seed", 1, "workload seed")
+		seeds      = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
+		window     = fs.Int("w", 0, "override prediction window")
+		traceTo    = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		metrics    = fs.Bool("metrics", false, "print the metrics registry to stderr after the sweeps")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var setup experiments.Setup
@@ -79,6 +92,7 @@ func run(args []string, out io.Writer) error {
 	if *progress {
 		setup.Progress = os.Stderr
 	}
+	setup.SlotBudget = *slotBudget
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -169,22 +183,22 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if want("fig2a", "fig2b", "fig2c", "fig2d") {
-		if err := add(setup.Fig2([]float64{0, 25, 50, 75, 100, 150, 200})); err != nil {
+		if err := add(setup.Fig2(ctx, []float64{0, 25, 50, 75, 100, 150, 200})); err != nil {
 			return err
 		}
 	}
 	if want("fig3a", "fig3b") {
-		if err := add(setup.Fig3([]int{2, 4, 6, 8, 10, 14, 20})); err != nil {
+		if err := add(setup.Fig3(ctx, []int{2, 4, 6, 8, 10, 14, 20})); err != nil {
 			return err
 		}
 	}
 	if want("fig4a", "fig4b") {
-		if err := add(setup.Fig4([]float64{5, 10, 15, 20, 30, 40, 50})); err != nil {
+		if err := add(setup.Fig4(ctx, []float64{5, 10, 15, 20, 30, 40, 50})); err != nil {
 			return err
 		}
 	}
 	if want("fig5") {
-		t, err := setup.Fig5([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5})
+		t, err := setup.Fig5(ctx, []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5})
 		if err != nil {
 			return err
 		}
@@ -193,7 +207,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want("headline") {
-		t, err := setup.Headline(50)
+		t, err := setup.Headline(ctx, 50)
 		if err != nil {
 			return err
 		}
@@ -202,7 +216,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want("rho") {
-		t, err := setup.RhoSweep([]float64{0.2, 0.3, 0.382, 0.5, 0.65, 0.8})
+		t, err := setup.RhoSweep(ctx, []float64{0.2, 0.3, 0.382, 0.5, 0.65, 0.8})
 		if err != nil {
 			return err
 		}
@@ -218,7 +232,7 @@ func run(args []string, out io.Writer) error {
 				valid = append(valid, r)
 			}
 		}
-		t, err := setup.CommitmentSweep(valid)
+		t, err := setup.CommitmentSweep(ctx, valid)
 		if err != nil {
 			return err
 		}
@@ -235,7 +249,7 @@ func run(args []string, out io.Writer) error {
 				valid = append(valid, w)
 			}
 		}
-		t, err := setup.Competitive(valid)
+		t, err := setup.Competitive(ctx, valid)
 		if err != nil {
 			return err
 		}
@@ -244,7 +258,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want("loadmode") {
-		t, err := setup.LoadModeComparison([]float64{0, 0.2, 0.4})
+		t, err := setup.LoadModeComparison(ctx, []float64{0, 0.2, 0.4})
 		if err != nil {
 			return err
 		}
@@ -253,7 +267,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want("hitratio") {
-		t, err := setup.HitRatioSweep([]int{1, 2, 5, 10, 15})
+		t, err := setup.HitRatioSweep(ctx, []int{1, 2, 5, 10, 15})
 		if err != nil {
 			return err
 		}
@@ -262,7 +276,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want("classic") {
-		t, err := setup.ClassicComparison([]float64{0, 50, 100})
+		t, err := setup.ClassicComparison(ctx, []float64{0, 50, 100})
 		if err != nil {
 			return err
 		}

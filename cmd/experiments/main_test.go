@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSelectedFigures(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-scale", "quick", "-fig", "headline", "-progress=false"}, &buf)
+	err := run(context.Background(), []string{"-scale", "quick", "-fig", "headline", "-progress=false"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestRunSelectedFigures(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	err := run([]string{"-scale", "quick", "-fig", "chc-r", "-progress=false", "-csv", dir, "-w", "3"}, &buf)
+	err := run(context.Background(), []string{"-scale", "quick", "-fig", "chc-r", "-progress=false", "-csv", dir, "-w", "3"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,28 +41,28 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunRejectsNothingSelected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "quick"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "quick"}, &buf); err == nil {
 		t.Fatal("accepted empty selection")
 	}
 }
 
 func TestRunRejectsUnknownScale(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "galactic", "-all"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "galactic", "-all"}, &buf); err == nil {
 		t.Fatal("accepted unknown scale")
 	}
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "quick", "-fig", "fig99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "quick", "-fig", "fig99"}, &buf); err == nil {
 		t.Fatal("accepted unknown figure id")
 	}
 }
 
 func TestRunRejectsBadFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &buf); err == nil {
 		t.Fatal("accepted unknown flag")
 	}
 }

@@ -10,56 +10,73 @@
 //	jocsim -trace run.jsonl            # structured solver telemetry
 //	jocsim -metrics                    # metrics registry after the runs
 //	jocsim -debug-addr localhost:6060  # live expvar + pprof endpoint
+//	jocsim -timeout 30s                # cancel the whole run after 30s
+//	jocsim -slot-budget 50ms           # bound each window solve; degrade on overrun
+//
+// Ctrl-C (SIGINT) cancels the run cleanly: in-flight solves stop within
+// one solver iteration and the command exits with the context error.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"edgecache"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "jocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("jocsim", flag.ContinueOnError)
 	var (
-		horizon   = fs.Int("T", 60, "time slots")
-		catalogue = fs.Int("K", 30, "catalogue size")
-		classes   = fs.Int("classes", 30, "user classes per SBS")
-		sbs       = fs.Int("sbs", 1, "number of SBSs")
-		cache     = fs.Int("C", 5, "cache capacity per SBS")
-		bandwidth = fs.Float64("B", 30, "SBS bandwidth per slot")
-		beta      = fs.Float64("beta", 100, "cache replacement cost β")
-		eta       = fs.Float64("eta", 0.1, "prediction noise η")
-		window    = fs.Int("w", 10, "prediction window")
-		commit    = fs.Int("r", 5, "CHC commitment level")
-		jitter    = fs.Float64("jitter", 0.4, "demand temporal jitter")
-		drift     = fs.Int("drift", 0, "popularity drift period (0 = off)")
-		seed      = fs.Uint64("seed", 1, "workload seed")
-		algsFlag  = fs.String("algs", "offline,rhc,chc,afhc,lrfu", "algorithms: offline,rhc,chc,afhc,fhc,lrfu,lfu,static,nocache,lru,fifo,clfu,clrfu")
-		slots     = fs.Bool("slots", false, "print per-slot series")
-		asJSON    = fs.Bool("json", false, "emit results as JSON instead of tables")
-		stats     = fs.Bool("stats", false, "print workload statistics before results")
-		config    = fs.String("config", "", "load scenario from a JSON file (flags below are ignored)")
-		saveTo    = fs.String("saveconfig", "", "write the effective scenario to a JSON file and continue")
-		traceTo   = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
-		metrics   = fs.Bool("metrics", false, "print the metrics registry after the runs")
-		debugAddr = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		horizon    = fs.Int("T", 60, "time slots")
+		catalogue  = fs.Int("K", 30, "catalogue size")
+		classes    = fs.Int("classes", 30, "user classes per SBS")
+		sbs        = fs.Int("sbs", 1, "number of SBSs")
+		cache      = fs.Int("C", 5, "cache capacity per SBS")
+		bandwidth  = fs.Float64("B", 30, "SBS bandwidth per slot")
+		beta       = fs.Float64("beta", 100, "cache replacement cost β")
+		eta        = fs.Float64("eta", 0.1, "prediction noise η")
+		window     = fs.Int("w", 10, "prediction window")
+		commit     = fs.Int("r", 5, "CHC commitment level")
+		jitter     = fs.Float64("jitter", 0.4, "demand temporal jitter")
+		drift      = fs.Int("drift", 0, "popularity drift period (0 = off)")
+		seed       = fs.Uint64("seed", 1, "workload seed")
+		algsFlag   = fs.String("algs", "offline,rhc,chc,afhc,lrfu", "algorithms: offline,rhc,chc,afhc,fhc,lrfu,lfu,static,nocache,lru,fifo,clfu,clrfu")
+		slots      = fs.Bool("slots", false, "print per-slot series")
+		asJSON     = fs.Bool("json", false, "emit results as JSON instead of tables")
+		stats      = fs.Bool("stats", false, "print workload statistics before results")
+		config     = fs.String("config", "", "load scenario from a JSON file (flags below are ignored)")
+		saveTo     = fs.String("saveconfig", "", "write the effective scenario to a JSON file and continue")
+		traceTo    = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		metrics    = fs.Bool("metrics", false, "print the metrics registry after the runs")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var tel *edgecache.Telemetry
@@ -160,7 +177,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no algorithms selected")
 	}
 
-	runs, err := edgecache.CompareObserved(inst, pred, tel, planners...)
+	opts := []edgecache.RunOption{edgecache.WithTelemetry(tel)}
+	if *slotBudget > 0 {
+		opts = append(opts, edgecache.WithSlotBudget(*slotBudget))
+	}
+	runs, err := edgecache.Compare(ctx, inst, pred, planners, opts...)
 	if err != nil {
 		return err
 	}

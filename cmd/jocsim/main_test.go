@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -16,7 +18,7 @@ var quickArgs = []string{
 func TestRunAllAlgorithms(t *testing.T) {
 	var buf bytes.Buffer
 	args := append([]string{"-algs", "offline,rhc,chc,afhc,lrfu,lfu,static,nocache"}, quickArgs...)
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -30,7 +32,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunSlotsFlag(t *testing.T) {
 	var buf bytes.Buffer
 	args := append([]string{"-algs", "lrfu", "-slots"}, quickArgs...)
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "per-slot series") {
@@ -40,21 +42,21 @@ func TestRunSlotsFlag(t *testing.T) {
 
 func TestRunRejectsUnknownAlgorithm(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(append([]string{"-algs", "nonsense"}, quickArgs...), &buf); err == nil {
+	if err := run(context.Background(), append([]string{"-algs", "nonsense"}, quickArgs...), &buf); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
 }
 
 func TestRunRejectsEmptyAlgorithms(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(append([]string{"-algs", ","}, quickArgs...), &buf); err == nil {
+	if err := run(context.Background(), append([]string{"-algs", ","}, quickArgs...), &buf); err == nil {
 		t.Fatal("accepted empty algorithm list")
 	}
 }
 
 func TestRunRejectsBadScenario(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-T", "0"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-T", "0"}, &buf); err == nil {
 		t.Fatal("accepted zero horizon")
 	}
 }
@@ -65,12 +67,12 @@ func TestRunConfigRoundTrip(t *testing.T) {
 
 	var first bytes.Buffer
 	args := append([]string{"-algs", "lrfu", "-saveconfig", path}, quickArgs...)
-	if err := run(args, &first); err != nil {
+	if err := run(context.Background(), args, &first); err != nil {
 		t.Fatal(err)
 	}
 	// -w is controller state, not scenario state; pass it again on replay.
 	var second bytes.Buffer
-	if err := run([]string{"-algs", "lrfu", "-config", path, "-w", "3"}, &second); err != nil {
+	if err := run(context.Background(), []string{"-algs", "lrfu", "-config", path, "-w", "3"}, &second); err != nil {
 		t.Fatal(err)
 	}
 	if first.String() != second.String() {
@@ -80,14 +82,14 @@ func TestRunConfigRoundTrip(t *testing.T) {
 
 func TestRunConfigMissingFile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-config", "/does/not/exist.json"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-config", "/does/not/exist.json"}, &buf); err == nil {
 		t.Fatal("accepted missing config file")
 	}
 }
 
 func TestRunRejectsBadFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &buf); err == nil {
 		t.Fatal("accepted unknown flag")
 	}
 }
@@ -95,7 +97,7 @@ func TestRunRejectsBadFlag(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
 	args := append([]string{"-algs", "lrfu,nocache", "-json"}, quickArgs...)
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var payload struct {
@@ -116,5 +118,35 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if payload.Scenario["horizon"].(float64) != 6 {
 		t.Fatal("scenario not embedded")
+	}
+}
+
+func TestSlotBudgetFlagDegradesGracefully(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "rhc", "-slot-budget", "1ns"}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("budgeted run failed instead of degrading: %v", err)
+	}
+	if !strings.Contains(buf.String(), "RHC(w=3)") {
+		t.Fatalf("output missing the degraded run:\n%s", buf.String())
+	}
+}
+
+func TestTimeoutFlagCancelsRun(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "offline,rhc", "-timeout", "1ns"}, quickArgs...)
+	err := run(context.Background(), args, &buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestCancelledContextAbortsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, append([]string{"-algs", "offline"}, quickArgs...), &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }

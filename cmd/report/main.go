@@ -15,11 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"edgecache/internal/experiments"
 	"edgecache/internal/obs"
@@ -67,25 +70,39 @@ informational claim failed (expected to be sensitive to scale/noise);
 `
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
 		csvDir  = fs.String("csv", "results/csv", "directory holding the experiment CSVs")
 		outPth  = fs.String("out", "", "output markdown file (default stdout)")
 		traceTo = fs.String("trace", "", "write structured claim-check events (JSONL) to this file")
+		timeout = fs.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 
 	tables := make(map[string]*experiments.Table)
 	for id, title := range titles {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		path := filepath.Join(*csvDir, id+".csv")
 		f, err := os.Open(path)
 		if os.IsNotExist(err) {

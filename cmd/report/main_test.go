@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ func TestRunGeneratesReport(t *testing.T) {
 		"eta,Offline,RHC,CHC,AFHC,LRFU\n0,100,101,102,103,130\n0.5,100,105,106,107,130\n")
 
 	var buf bytes.Buffer
-	if err := run([]string{"-csv", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-csv", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -40,7 +41,7 @@ func TestRunStrictFailureExitsNonNil(t *testing.T) {
 	writeCSV(t, dir, "fig5",
 		"eta,Offline,RHC,CHC,AFHC,LRFU\n0,100,101,102,103,130\n0.5,120,105,106,107,130\n")
 	var buf bytes.Buffer
-	if err := run([]string{"-csv", dir}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-csv", dir}, &buf); err == nil {
 		t.Fatal("strict failure not propagated")
 	}
 	if !strings.Contains(buf.String(), "[FAIL] offline flat in η") {
@@ -53,7 +54,7 @@ func TestRunWritesFile(t *testing.T) {
 	writeCSV(t, dir, "chc-r", "r,CHC\n1,10\n2,11\n")
 	out := filepath.Join(dir, "EXPERIMENTS.md")
 	var buf bytes.Buffer
-	if err := run([]string{"-csv", dir, "-out", out}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-csv", dir, "-out", out}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -67,7 +68,7 @@ func TestRunWritesFile(t *testing.T) {
 
 func TestRunNoCSVs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-csv", t.TempDir()}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-csv", t.TempDir()}, &buf); err == nil {
 		t.Fatal("accepted empty CSV directory")
 	}
 }

@@ -25,19 +25,28 @@
 //	scn := edgecache.PaperScenario().WithHorizon(50).WithSeed(7)
 //	inst, pred, err := scn.Build()
 //	// handle err
-//	runs, err := edgecache.Compare(inst, pred,
-//		edgecache.Offline(),
-//		edgecache.RHC(10),
-//		edgecache.LRFU(),
-//	)
+//	runs, err := edgecache.Compare(context.Background(), inst, pred,
+//		[]edgecache.Planner{
+//			edgecache.Offline(),
+//			edgecache.RHC(10),
+//			edgecache.LRFU(),
+//		})
+//
+// Every run entry point is context-first: cancelling the context aborts
+// the underlying solves within one solver iteration, and WithSlotBudget
+// bounds each solve's wall-clock time with graceful degradation instead
+// of failure (see DESIGN.md §7 for the deadline semantics and the
+// degradation ladder).
 //
 // See examples/ for complete programs and DESIGN.md for the mapping from
 // the paper's equations to packages.
 package edgecache
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
@@ -252,10 +261,39 @@ func (s *Scenario) Build() (*Instance, *Predictor, error) {
 	return in, pred, nil
 }
 
+// SolverOption tunes the offline primal-dual solver returned by Offline.
+type SolverOption func(*core.Options)
+
+// MaxIterations caps the dual-ascent iteration budget L (default 60).
+func MaxIterations(n int) SolverOption { return func(o *core.Options) { o.MaxIter = n } }
+
+// Tolerance sets the relative duality-gap stopping tolerance ε
+// (paper: 1e-4).
+func Tolerance(eps float64) SolverOption { return func(o *core.Options) { o.Epsilon = eps } }
+
+// StepAlpha sets α in the diminishing dual step δ_l = 1/(1+αl)
+// (default 0.05); smaller values take larger steps for longer.
+func StepAlpha(a float64) SolverOption { return func(o *core.Options) { o.StepAlpha = a } }
+
+// WarmStart warm-starts the dual multipliers μ (shape [T][N][M_n·K]);
+// nil starts from zero. Passing the (shifted) multipliers of a previous
+// solve of a nearby instance typically cuts the iteration count
+// several-fold.
+func WarmStart(mu [][][]float64) SolverOption {
+	return func(o *core.Options) { o.InitialMu = mu }
+}
+
 // Offline returns the paper's offline primal-dual solver (Algorithm 1) as
 // a planner: the full-information reference every online algorithm is
-// measured against.
-func Offline() Planner { return sim.Offline(core.Options{}) }
+// measured against. With no options it uses the paper's defaults; pass
+// MaxIterations, Tolerance, StepAlpha or WarmStart to tune it.
+func Offline(opts ...SolverOption) Planner {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.Offline(o)
+}
 
 // RHC returns Receding Horizon Control with prediction window w
 // (Algorithm 2; commits one slot per solve).
@@ -330,34 +368,78 @@ func WriteDemandCSV(w io.Writer, d *Demand) error {
 	return workload.WriteDemandCSV(w, d)
 }
 
-// Simulate plans with one planner, verifies feasibility and accounts all
-// cost components.
-func Simulate(in *Instance, pred *Predictor, p Planner) (*Run, error) {
-	return sim.Run(in, pred, p)
+// RunOption configures a Simulate or Compare call. Options are
+// orthogonal and composable; zero options reproduce the plain
+// feasibility-checked simulation.
+type RunOption func(*sim.Config)
+
+// WithTelemetry threads a telemetry handle into the planners' solvers,
+// recording per-iteration solver events, per-slot controller decisions
+// and per-run summaries. A nil handle is a free no-op.
+func WithTelemetry(tel *Telemetry) RunOption {
+	return func(c *sim.Config) { c.Telemetry = tel }
 }
 
-// SimulateObserved is Simulate with a telemetry handle threaded into the
-// planner's solvers; nil tel makes it identical to Simulate.
-func SimulateObserved(in *Instance, pred *Predictor, p Planner, tel *Telemetry) (*Run, error) {
-	return sim.RunObserved(in, pred, p, tel)
+// WithSlotBudget bounds each solve's wall-clock time to d. A solver that
+// overruns its budget degrades gracefully instead of failing: it commits
+// its best feasible iterate when the duality gap is finite, and otherwise
+// falls back to a rule-based plan (LRFU placement with the reactive
+// optimal load split, or the planner given to WithFallback). Degraded
+// solves emit a solve_degraded telemetry event and bump the
+// solver.degraded counter. See DESIGN.md §7.
+func WithSlotBudget(d time.Duration) RunOption {
+	return func(c *sim.Config) { c.SlotBudget = d }
+}
+
+// WithFallback replaces the default LRFU fallback used when a budgeted
+// solve overruns with no usable iterate. The planner is invoked on the
+// window's instance with no predictor; it must be cheap and must not
+// itself require a solver (a baseline such as LRFU, LFU or StaticTop).
+func WithFallback(p Planner) RunOption {
+	return func(c *sim.Config) {
+		c.Fallback = func(ctx context.Context, win *model.Instance) (model.Trajectory, error) {
+			return p.Plan(ctx, win, nil)
+		}
+	}
+}
+
+// Simulate plans with one planner, verifies feasibility and accounts all
+// cost components. Cancelling ctx aborts the underlying solves within
+// one solver iteration; the returned error then wraps ctx.Err().
+func Simulate(ctx context.Context, in *Instance, pred *Predictor, p Planner, opts ...RunOption) (*Run, error) {
+	var cfg sim.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return sim.RunWith(ctx, in, pred, p, cfg)
 }
 
 // Compare runs several planners on the same instance and predictions,
-// returning results in argument order.
-func Compare(in *Instance, pred *Predictor, planners ...Planner) ([]*Run, error) {
-	return CompareObserved(in, pred, nil, planners...)
-}
-
-// CompareObserved is Compare with a telemetry handle threaded into every
-// planner; nil tel makes it identical to Compare.
-func CompareObserved(in *Instance, pred *Predictor, tel *Telemetry, planners ...Planner) ([]*Run, error) {
+// returning results in argument order. Options apply to every planner.
+// Cancelling ctx aborts the in-flight solve within one iteration and
+// skips the remaining planners.
+func Compare(ctx context.Context, in *Instance, pred *Predictor, planners []Planner, opts ...RunOption) ([]*Run, error) {
 	runs := make([]*Run, len(planners))
 	for i, p := range planners {
-		r, err := sim.RunObserved(in, pred, p, tel)
+		r, err := Simulate(ctx, in, pred, p, opts...)
 		if err != nil {
 			return nil, err
 		}
 		runs[i] = r
 	}
 	return runs, nil
+}
+
+// SimulateObserved is Simulate with a telemetry handle.
+//
+// Deprecated: use Simulate(ctx, in, pred, p, WithTelemetry(tel)).
+func SimulateObserved(in *Instance, pred *Predictor, p Planner, tel *Telemetry) (*Run, error) {
+	return Simulate(context.Background(), in, pred, p, WithTelemetry(tel))
+}
+
+// CompareObserved is Compare with a telemetry handle.
+//
+// Deprecated: use Compare(ctx, in, pred, planners, WithTelemetry(tel)).
+func CompareObserved(in *Instance, pred *Predictor, tel *Telemetry, planners ...Planner) ([]*Run, error) {
+	return Compare(context.Background(), in, pred, planners, WithTelemetry(tel))
 }

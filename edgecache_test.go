@@ -2,8 +2,12 @@ package edgecache
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
+	"time"
 )
 
 func smallScenario() *Scenario {
@@ -67,7 +71,7 @@ func TestSimulateAndCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := Compare(in, pred,
+	runs, err := Compare(context.Background(), in, pred, []Planner{
 		Offline(),
 		RHC(4),
 		CHC(4, 2),
@@ -77,7 +81,7 @@ func TestSimulateAndCompare(t *testing.T) {
 		EMACache(0.5),
 		StaticTop(),
 		NoCaching(),
-	)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +150,12 @@ func TestClassicPlanners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := Compare(in, pred,
+	runs, err := Compare(context.Background(), in, pred, []Planner{
 		ClassicLRU(1),
 		ClassicFIFO(1),
 		ClassicLFU(1),
 		ClassicLRFU(0.1, 1),
-	)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +175,7 @@ func TestSimulateSinglePlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := Simulate(in, pred, RHC(3))
+	run, err := Simulate(context.Background(), in, pred, RHC(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,5 +188,138 @@ func TestSimulateSinglePlanner(t *testing.T) {
 	recomputed := in.TotalCost(run.Trajectory)
 	if math.Abs(recomputed.Total-run.Cost.Total) > 1e-9 {
 		t.Fatalf("reported cost %g does not match trajectory %g", run.Cost.Total, recomputed.Total)
+	}
+}
+
+// memSink collects events for assertions; safe for concurrent emitters.
+type memSink struct {
+	mu     sync.Mutex
+	events []TelemetryEvent
+}
+
+func (s *memSink) Emit(e TelemetryEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *memSink) count(typ string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCancelledCompareReturnsContextError(t *testing.T) {
+	in, pred, err := smallScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Compare(ctx, in, pred, []Planner{Offline(), RHC(3)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if _, err := Simulate(ctx, in, pred, LRFU()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestSlotBudgetDegradesButStaysFeasible is the headline acceptance
+// check: an impossibly small per-slot budget must not fail the run — the
+// controller degrades window by window, the committed trajectory stays
+// feasible (the harness re-verifies it), and telemetry announces every
+// degradation.
+func TestSlotBudgetDegradesButStaysFeasible(t *testing.T) {
+	in, pred, err := smallScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	for _, p := range []Planner{RHC(3), Offline()} {
+		run, err := Simulate(context.Background(), in, pred, p,
+			WithTelemetry(NewTelemetry(sink)), WithSlotBudget(time.Nanosecond))
+		if err != nil {
+			t.Fatalf("%T: budgeted run failed instead of degrading: %v", p, err)
+		}
+		recomputed := in.TotalCost(run.Trajectory)
+		if math.Abs(recomputed.Total-run.Cost.Total) > 1e-9 {
+			t.Fatalf("degraded run cost %g does not match its trajectory %g", run.Cost.Total, recomputed.Total)
+		}
+	}
+	if sink.count("solve_degraded") == 0 {
+		t.Fatal("no solve_degraded events under a 1ns budget")
+	}
+}
+
+func TestWithFallbackPlannerIsUsed(t *testing.T) {
+	in, pred, err := smallScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Simulate(context.Background(), in, pred, Offline(),
+		WithSlotBudget(time.Nanosecond), WithFallback(NoCaching()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < in.T; slot++ {
+		for k := 0; k < in.K; k++ {
+			if run.Trajectory[slot].X[0][k] != 0 {
+				t.Fatalf("slot %d caches content %d; NoCaching fallback was not committed", slot, k)
+			}
+		}
+	}
+}
+
+func TestOfflineSolverOptions(t *testing.T) {
+	in, pred, err := smallScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Simulate(context.Background(), in, pred,
+		Offline(MaxIterations(2), Tolerance(1e-2), StepAlpha(0.2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deflt, err := Simulate(context.Background(), in, pred, Offline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two dual iterations cannot beat the fully converged solve; both
+	// must still be feasible (verified by the harness) and costed.
+	if tuned.Cost.Total < deflt.Cost.Total-1e-9 {
+		t.Fatalf("2-iteration solve %g beat the converged solve %g", tuned.Cost.Total, deflt.Cost.Total)
+	}
+}
+
+// TestDeprecatedWrappersStillWork pins the compatibility contract: the
+// pre-context entry points keep their exact signatures and behaviour.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	in, pred, err := smallScenario().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	run, err := SimulateObserved(in, pred, LRFU(), NewTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Policy != "LRFU" {
+		t.Fatalf("policy = %q", run.Policy)
+	}
+	runs, err := CompareObserved(in, pred, nil, LRFU(), NoCaching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	if sink.count("run_summary") == 0 {
+		t.Fatal("deprecated wrapper dropped telemetry")
 	}
 }

@@ -1,6 +1,7 @@
 package edgecache_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,11 +23,12 @@ func ExampleCompare() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runs, err := edgecache.Compare(instance, predictions,
-		edgecache.Offline(),
-		edgecache.RHC(4),
-		edgecache.LRFU(),
-	)
+	runs, err := edgecache.Compare(context.Background(), instance, predictions,
+		[]edgecache.Planner{
+			edgecache.Offline(),
+			edgecache.RHC(4),
+			edgecache.LRFU(),
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,12 +50,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runs, err := edgecache.Compare(instance, predictions,
-		edgecache.Offline(),
-		edgecache.RHC(6),
-		edgecache.AFHC(6),
-		edgecache.LRFU(),
-	)
+	runs, err := edgecache.Compare(context.Background(), instance, predictions,
+		[]edgecache.Planner{
+			edgecache.Offline(),
+			edgecache.RHC(6),
+			edgecache.AFHC(6),
+			edgecache.LRFU(),
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

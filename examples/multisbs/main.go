@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,11 +40,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runs, err := edgecache.Compare(instance, predictions,
-		edgecache.Offline(),
-		edgecache.RHC(8),
-		edgecache.LRFU(),
-	)
+	runs, err := edgecache.Compare(context.Background(), instance, predictions,
+		[]edgecache.Planner{
+			edgecache.Offline(),
+			edgecache.RHC(8),
+			edgecache.LRFU(),
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

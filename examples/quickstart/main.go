@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runs, err := edgecache.Compare(instance, predictions,
-		edgecache.Offline(), // Algorithm 1 with full information
-		edgecache.RHC(10),   // receding horizon, 10-slot forecasts
-		edgecache.LRFU(),    // the paper's rule-based baseline
-	)
+	runs, err := edgecache.Compare(context.Background(), instance, predictions,
+		[]edgecache.Planner{
+			edgecache.Offline(), // Algorithm 1 with full information
+			edgecache.RHC(10),   // receding horizon, 10-slot forecasts
+			edgecache.LRFU(),    // the paper's rule-based baseline
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

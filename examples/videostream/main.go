@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,13 +42,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runs, err := edgecache.Compare(instance, predictions,
-		edgecache.Offline(),
-		edgecache.RHC(8),
-		edgecache.CHC(8, 4),
-		edgecache.LRFU(),
-		edgecache.StaticTop(), // never replaces: suffers most under drift
-	)
+	runs, err := edgecache.Compare(context.Background(), instance, predictions,
+		[]edgecache.Planner{
+			edgecache.Offline(),
+			edgecache.RHC(8),
+			edgecache.CHC(8, 4),
+			edgecache.LRFU(),
+			edgecache.StaticTop(), // never replaces: suffers most under drift
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

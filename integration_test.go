@@ -4,6 +4,7 @@
 package edgecache_test
 
 import (
+	"context"
 	"testing"
 
 	"edgecache"
@@ -33,7 +34,7 @@ func buildSmall(t *testing.T, mutate func(*edgecache.Scenario)) (*edgecache.Inst
 
 func totalOf(t *testing.T, in *edgecache.Instance, pred *edgecache.Predictor, p edgecache.Planner) edgecache.CostBreakdown {
 	t.Helper()
-	run, err := edgecache.Simulate(in, pred, p)
+	run, err := edgecache.Simulate(context.Background(), in, pred, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestShapeNoiseHurtsOnlineOnly(t *testing.T) {
 func TestEdgeZeroDemand(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithDensity(0) })
 	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.AFHC(3), edgecache.LRFU()} {
-		run, err := edgecache.Simulate(in, pred, p)
+		run, err := edgecache.Simulate(context.Background(), in, pred, p)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -138,7 +139,7 @@ func TestEdgeZeroCacheCapacity(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithCache(0) })
 	null := in.NoCachingCost()
 	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.LRFU()} {
-		run, err := edgecache.Simulate(in, pred, p)
+		run, err := edgecache.Simulate(context.Background(), in, pred, p)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -150,7 +151,7 @@ func TestEdgeZeroCacheCapacity(t *testing.T) {
 
 func TestEdgeZeroBandwidth(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBandwidth(0) })
-	run, err := edgecache.Simulate(in, pred, edgecache.Offline())
+	run, err := edgecache.Simulate(context.Background(), in, pred, edgecache.Offline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestEdgeZeroBandwidth(t *testing.T) {
 
 func TestEdgeCapacityExceedsCatalogue(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithCache(20) })
-	run, err := edgecache.Simulate(in, pred, edgecache.RHC(3))
+	run, err := edgecache.Simulate(context.Background(), in, pred, edgecache.RHC(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestEdgeCapacityExceedsCatalogue(t *testing.T) {
 func TestEdgeSingleSlotHorizon(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithHorizon(1) })
 	for _, p := range []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.CHC(3, 2), edgecache.LRFU()} {
-		if _, err := edgecache.Simulate(in, pred, p); err != nil {
+		if _, err := edgecache.Simulate(context.Background(), in, pred, p); err != nil {
 			t.Fatalf("T=1: %v", err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestEdgeSingleSlotHorizon(t *testing.T) {
 
 func TestEdgeWindowExceedsHorizon(t *testing.T) {
 	in, pred := buildSmall(t, nil)
-	run, err := edgecache.Simulate(in, pred, edgecache.RHC(50))
+	run, err := edgecache.Simulate(context.Background(), in, pred, edgecache.RHC(50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestEdgeInitialCachePropagates(t *testing.T) {
 	in, pred := buildSmall(t, func(s *edgecache.Scenario) { s.WithBeta(1000) })
 	// Pre-warm the cache with the offline solution's first placement: an
 	// instance starting warm should pay less replacement cost.
-	coldRun, err := edgecache.Simulate(in, pred, edgecache.Offline())
+	coldRun, err := edgecache.Simulate(context.Background(), in, pred, edgecache.Offline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestEdgeInitialCachePropagates(t *testing.T) {
 	if err := warm.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	warmRun, err := edgecache.Simulate(&warm, pred, edgecache.Offline())
+	warmRun, err := edgecache.Simulate(context.Background(), &warm, pred, edgecache.Offline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestEdgeMultiSBSWithSBSCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := edgecache.Compare(in, pred, edgecache.Offline(), edgecache.RHC(3), edgecache.LRFU())
+	runs, err := edgecache.Compare(context.Background(), in, pred, []edgecache.Planner{edgecache.Offline(), edgecache.RHC(3), edgecache.LRFU()})
 	if err != nil {
 		t.Fatal(err)
 	}

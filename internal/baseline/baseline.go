@@ -20,6 +20,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"edgecache/internal/convex"
@@ -29,12 +30,15 @@ import (
 )
 
 // Policy plans a full caching/load-balancing trajectory for an instance
-// using only rule-based logic (no optimization of the placement).
+// using only rule-based logic (no optimization of the placement). It is
+// also the shape of the online controllers' degradation fallback: cheap,
+// deterministic, and guaranteed feasible.
 type Policy interface {
 	// Name is a short label for tables ("LRFU", "LFU", ...).
 	Name() string
-	// Plan returns a feasible trajectory over the instance's horizon.
-	Plan(in *model.Instance) (model.Trajectory, error)
+	// Plan returns a feasible trajectory over the instance's horizon,
+	// honouring ctx cancellation in its (parallel) load-split solves.
+	Plan(ctx context.Context, in *model.Instance) (model.Trajectory, error)
 }
 
 // ScoreCaching caches, at every slot, the top-C_n contents by a running
@@ -65,7 +69,7 @@ func NewEMA(decay float64) *ScoreCaching {
 func (s *ScoreCaching) Name() string { return s.Label }
 
 // Plan implements Policy.
-func (s *ScoreCaching) Plan(in *model.Instance) (model.Trajectory, error) {
+func (s *ScoreCaching) Plan(ctx context.Context, in *model.Instance) (model.Trajectory, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
@@ -92,7 +96,7 @@ func (s *ScoreCaching) Plan(in *model.Instance) (model.Trajectory, error) {
 		}
 		placements[t] = x
 	}
-	return completeWithOptimalLoad(in, placements, s.Convex)
+	return completeWithOptimalLoad(ctx, in, placements, s.Convex)
 }
 
 // StaticTop caches the top-C_n contents by average demand over the whole
@@ -107,7 +111,7 @@ type StaticTop struct {
 func (*StaticTop) Name() string { return "StaticTop" }
 
 // Plan implements Policy.
-func (s *StaticTop) Plan(in *model.Instance) (model.Trajectory, error) {
+func (s *StaticTop) Plan(ctx context.Context, in *model.Instance) (model.Trajectory, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
@@ -127,7 +131,7 @@ func (s *StaticTop) Plan(in *model.Instance) (model.Trajectory, error) {
 	for t := range placements {
 		placements[t] = x
 	}
-	return completeWithOptimalLoad(in, placements, s.Convex)
+	return completeWithOptimalLoad(ctx, in, placements, s.Convex)
 }
 
 // NoCaching serves everything from the BS: the x = y = 0 null policy whose
@@ -138,7 +142,7 @@ type NoCaching struct{}
 func (NoCaching) Name() string { return "NoCaching" }
 
 // Plan implements Policy.
-func (NoCaching) Plan(in *model.Instance) (model.Trajectory, error) {
+func (NoCaching) Plan(_ context.Context, in *model.Instance) (model.Trajectory, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
@@ -176,9 +180,9 @@ func topK(scores []float64, k int) []int {
 
 // completeWithOptimalLoad fills each slot's load split with the optimum
 // for its placement.
-func completeWithOptimalLoad(in *model.Instance, placements []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
+func completeWithOptimalLoad(ctx context.Context, in *model.Instance, placements []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
 	traj := make(model.Trajectory, in.T)
-	err := parallel.For(in.T, 0, func(t int) error {
+	err := parallel.For(ctx, in.T, 0, func(t int) error {
 		y, err := loadbalance.OptimalGivenPlacement(in, t, placements[t], opts)
 		if err != nil {
 			return fmt.Errorf("baseline: slot %d: %w", t, err)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestTopK(t *testing.T) {
 
 func TestLRFUCachesCurrentTopDemand(t *testing.T) {
 	in := testInstance(t, nil)
-	traj, err := NewLRFU().Plan(in)
+	traj, err := NewLRFU().Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestLFUUsesCumulativeDemand(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lfu, err := NewLFU().Plan(in)
+	lfu, err := NewLFU().Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestLFUUsesCumulativeDemand(t *testing.T) {
 		t.Fatalf("LFU ignored new cumulative leader: %v", lfu[3].X[0])
 	}
 
-	lrfu, err := NewLRFU().Plan(in)
+	lrfu, err := NewLRFU().Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,13 +116,13 @@ func TestLFUUsesCumulativeDemand(t *testing.T) {
 
 func TestEMADecayValidation(t *testing.T) {
 	in := testInstance(t, nil)
-	if _, err := NewEMA(1.5).Plan(in); err == nil {
+	if _, err := NewEMA(1.5).Plan(context.Background(), in); err == nil {
 		t.Fatal("accepted decay > 1")
 	}
-	if _, err := NewEMA(-0.1).Plan(in); err == nil {
+	if _, err := NewEMA(-0.1).Plan(context.Background(), in); err == nil {
 		t.Fatal("accepted decay < 0")
 	}
-	traj, err := NewEMA(0.5).Plan(in)
+	traj, err := NewEMA(0.5).Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestEMADecayValidation(t *testing.T) {
 
 func TestStaticTopNeverReplaces(t *testing.T) {
 	in := testInstance(t, nil)
-	traj, err := (&StaticTop{}).Plan(in)
+	traj, err := (&StaticTop{}).Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestStaticTopNeverReplaces(t *testing.T) {
 
 func TestNoCachingMatchesNullCost(t *testing.T) {
 	in := testInstance(t, nil)
-	traj, err := (NoCaching{}).Plan(in)
+	traj, err := (NoCaching{}).Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestBaselinesBeatNoCaching(t *testing.T) {
 	in := testInstance(t, nil)
 	null := in.NoCachingCost()
 	for _, p := range []Policy{NewLRFU(), NewLFU(), NewEMA(0.7), &StaticTop{}} {
-		traj, err := p.Plan(in)
+		traj, err := p.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -195,7 +196,7 @@ func TestPlanValidatesInstance(t *testing.T) {
 	in := testInstance(t, nil)
 	in.N = 0
 	for _, p := range []Policy{NewLRFU(), &StaticTop{}, NoCaching{}} {
-		if _, err := p.Plan(in); err == nil {
+		if _, err := p.Plan(context.Background(), in); err == nil {
 			t.Errorf("%s accepted invalid instance", p.Name())
 		}
 	}

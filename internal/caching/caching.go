@@ -19,6 +19,7 @@
 package caching
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -243,8 +244,9 @@ func (sp *Subproblem) SolveLP() ([][]float64, float64, error) {
 
 // SolveAll solves P1 for every SBS of an instance given per-(t, n) rewards
 // ρ^t_{n,k} (rewards[t][n][k]) and returns per-slot placements plus the
-// total P1 objective value.
-func SolveAll(in *model.Instance, rewards [][][]float64) ([]model.CachePlan, float64, error) {
+// total P1 objective value. Cancellation is checked before each per-SBS
+// flow solve; a done ctx returns a wrapped ctx.Err().
+func SolveAll(ctx context.Context, in *model.Instance, rewards [][][]float64) ([]model.CachePlan, float64, error) {
 	if len(rewards) != in.T {
 		return nil, 0, fmt.Errorf("caching: rewards cover %d slots, want %d", len(rewards), in.T)
 	}
@@ -256,6 +258,11 @@ func SolveAll(in *model.Instance, rewards [][][]float64) ([]model.CachePlan, flo
 
 	var total float64
 	for n := 0; n < in.N; n++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("caching: SBS %d: %w", n, err)
+			}
+		}
 		reward := make([][]float64, in.T)
 		for t := 0; t < in.T; t++ {
 			if len(rewards[t]) != in.N || len(rewards[t][n]) != in.K {

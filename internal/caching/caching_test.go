@@ -1,6 +1,7 @@
 package caching
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -308,7 +309,7 @@ func TestSolveAll(t *testing.T) {
 			}
 		}
 	}
-	plans, obj, err := SolveAll(in, rewards)
+	plans, obj, err := SolveAll(context.Background(), in, rewards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestSolveAll(t *testing.T) {
 	}
 
 	// Mismatched reward shape must error.
-	if _, _, err := SolveAll(in, rewards[:2]); err == nil {
+	if _, _, err := SolveAll(context.Background(), in, rewards[:2]); err == nil {
 		t.Fatal("SolveAll accepted short rewards")
 	}
 }

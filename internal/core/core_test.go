@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestSolveMatchesBruteForceOnTinyInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Solve(in, Options{MaxIter: 120})
+		got, err := Solve(context.Background(), in, Options{MaxIter: 120})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestSolveMatchesBruteForceOnTinyInstances(t *testing.T) {
 
 func TestSolvePlacementsAreIntegralAndWithinCapacity(t *testing.T) {
 	in := tinyInstance(t, nil)
-	res, err := Solve(in, Options{MaxIter: 40})
+	res, err := Solve(context.Background(), in, Options{MaxIter: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestSolveRespectsInitialCache(t *testing.T) {
 	init := model.NewCachePlan(in.N, in.K)
 	init[0][0] = 1
 	in.InitialCache = init
-	res, err := Solve(in, Options{MaxIter: 30})
+	res, err := Solve(context.Background(), in, Options{MaxIter: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSolveRespectsInitialCache(t *testing.T) {
 func TestSolveValidatesInstance(t *testing.T) {
 	in := tinyInstance(t, nil)
 	in.N = 0
-	if _, err := Solve(in, Options{}); err == nil {
+	if _, err := Solve(context.Background(), in, Options{}); err == nil {
 		t.Fatal("Solve accepted invalid instance")
 	}
 	if _, _, err := BruteForce(in, convex.Options{}); err == nil {
@@ -129,7 +130,7 @@ func TestSolveValidatesInstance(t *testing.T) {
 
 func TestRecoverFeasibleShapeCheck(t *testing.T) {
 	in := tinyInstance(t, nil)
-	if _, err := RecoverFeasible(in, make([]model.CachePlan, 1), convex.Options{}); err == nil {
+	if _, err := RecoverFeasible(context.Background(), in, make([]model.CachePlan, 1), convex.Options{}); err == nil {
 		t.Fatal("RecoverFeasible accepted short placements")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,12 +19,15 @@ import (
 // The returned Result aggregates the per-SBS runs: LowerBound and Cost
 // are sums, Iterations is the maximum across SBSs (the distributed
 // wall-clock), and Gap is recomputed from the aggregates.
-func SolveDistributed(in *model.Instance, opts Options) (*Result, error) {
+func SolveDistributed(ctx context.Context, in *model.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if in.N == 1 {
-		return Solve(in, opts)
+		return Solve(ctx, in, opts)
 	}
 
 	type outcome struct {
@@ -41,7 +45,7 @@ func SolveDistributed(in *model.Instance, opts Options) (*Result, error) {
 				outcomes[n] = outcome{err: err}
 				return
 			}
-			res, err := Solve(sub, opts)
+			res, err := Solve(ctx, sub, opts)
 			outcomes[n] = outcome{res: res, err: err}
 		}(n)
 	}

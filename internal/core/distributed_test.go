@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,11 +54,11 @@ func TestPerSBSExtraction(t *testing.T) {
 func TestDistributedMatchesJoint(t *testing.T) {
 	in := multiInstance(t)
 	opts := Options{MaxIter: 30}
-	joint, err := Solve(in, opts)
+	joint, err := Solve(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, err := SolveDistributed(in, opts)
+	dist, err := SolveDistributed(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestDistributedSingleSBSDelegates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Solve(in, Options{MaxIter: 10})
+	a, err := Solve(context.Background(), in, Options{MaxIter: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SolveDistributed(in, Options{MaxIter: 10})
+	b, err := SolveDistributed(context.Background(), in, Options{MaxIter: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestDistributedSingleSBSDelegates(t *testing.T) {
 func TestDistributedValidates(t *testing.T) {
 	in := multiInstance(t)
 	in.T = 0
-	if _, err := SolveDistributed(in, Options{}); err == nil {
+	if _, err := SolveDistributed(context.Background(), in, Options{}); err == nil {
 		t.Fatal("accepted invalid instance")
 	}
 }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,7 +102,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is the outcome of an offline solve.
+// Result is the outcome of an offline solve. A cancelled or deadline-
+// expired solve returns the best-so-far Result alongside the wrapped
+// context error (see Solve); all fields then describe the partial run.
 type Result struct {
 	// Trajectory is the best feasible (integral-x) solution found.
 	Trajectory model.Trajectory
@@ -110,7 +113,9 @@ type Result struct {
 	// LowerBound is the best dual value (a certified lower bound on the
 	// optimum of eq. 9).
 	LowerBound float64
-	// Gap is (UB − LB) / max(|UB|, 1), clamped at 0.
+	// Gap is (UB − LB) / max(|UB|, 1), clamped at 0. It is +Inf until the
+	// first dual iteration completes (no lower bound exists yet) — the
+	// condition the degradation ladder of package online keys on.
 	Gap float64
 	// Iterations is the number of dual updates performed.
 	Iterations int
@@ -122,7 +127,19 @@ type Result struct {
 }
 
 // Solve runs Algorithm 1 on the full horizon of the instance.
-func Solve(in *model.Instance, opts Options) (*Result, error) {
+//
+// Cancellation is checked at the start of every dual iteration and inside
+// every inner P1/P2/recovery solve. When ctx is cancelled or its deadline
+// expires mid-solve, Solve returns a wrapped ctx.Err(); the returned
+// *Result is then non-nil iff at least one feasible trajectory had been
+// recovered, and holds the best-so-far primal iterate together with the
+// bounds achieved up to the interruption. Callers implementing graceful
+// degradation (the per-slot budget of package online) commit that iterate
+// when its duality gap is finite. A nil ctx means context.Background().
+func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -156,17 +173,28 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{LowerBound: math.Inf(-1)}
+	res := &Result{LowerBound: math.Inf(-1), Gap: math.Inf(1)}
 	best := math.Inf(1)
 	stall := 0
 	var warmY []model.LoadPlan
+
+	// partial is the best-so-far result handed back alongside a context
+	// error: nil until a feasible trajectory exists, so callers can
+	// distinguish "nothing usable" from "usable but unfinished".
+	partial := func() *Result {
+		if res.Trajectory == nil {
+			return nil
+		}
+		res.Mu = mu
+		return res
+	}
 
 	// Seed the upper bound with the linearised-reward heuristic before any
 	// dual iteration: the Lagrangian placements can carry an integrality
 	// gap that the subgradient never closes, while the seed is near-optimal
 	// at both β extremes (myopic top-C at β = 0, near-static as β → ∞).
-	if seed, err := LinearizedPlacements(in); err == nil {
-		if traj, err := RecoverFeasible(in, seed, opts.Convex); err == nil {
+	if seed, err := LinearizedPlacements(ctx, in); err == nil {
+		if traj, err := RecoverFeasible(ctx, in, seed, opts.Convex); err == nil {
 			if br := in.TotalCost(traj); br.Total < best {
 				best = br.Total
 				res.Trajectory = traj
@@ -184,6 +212,9 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 	}
 
 	for l := 1; l <= opts.MaxIter; l++ {
+		if err := ctx.Err(); err != nil {
+			return partial(), fmt.Errorf("core: solve interrupted before iteration %d: %w", l, err)
+		}
 		res.Iterations = l
 		mIters.Inc()
 
@@ -205,17 +236,17 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 		}
 
 		p1Start := time.Now()
-		xPlans, objP1, err := caching.SolveAll(in, rewards)
+		xPlans, objP1, err := caching.SolveAll(ctx, in, rewards)
 		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
 		p1Dur := time.Since(p1Start)
 		mP1Time.Observe(p1Dur)
 
 		p2Start := time.Now()
-		yPlans, objP2, err := loadbalance.SolveAll(in, mu, warmY, opts.Convex)
+		yPlans, objP2, err := loadbalance.SolveAll(ctx, in, mu, warmY, opts.Convex)
 		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
 		p2Dur := time.Since(p2Start)
 		mP2Time.Observe(p2Dur)
@@ -228,9 +259,9 @@ func Solve(in *model.Instance, opts Options) (*Result, error) {
 
 		// Primal recovery: keep x, re-solve y subject to y ≤ x.
 		recStart := time.Now()
-		traj, err := RecoverFeasible(in, xPlans, opts.Convex)
+		traj, err := RecoverFeasible(ctx, in, xPlans, opts.Convex)
 		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", l, err)
+			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
 		recDur := time.Since(recStart)
 		mRecover.Observe(recDur)
@@ -331,16 +362,27 @@ func subgradNorm(in *model.Instance, xPlans []model.CachePlan, yPlans []model.Lo
 // ms converts a duration to fractional milliseconds for event payloads.
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// partialOnCtx returns the best-so-far result when an inner solve failed
+// because the context is done (the partial iterate is still valid and
+// valuable), and nil for genuine solver failures (nothing trustworthy to
+// return).
+func partialOnCtx(ctx context.Context, partial func() *Result) *Result {
+	if ctx.Err() != nil {
+		return partial()
+	}
+	return nil
+}
+
 // RecoverFeasible completes integral placements into a fully feasible
 // trajectory by computing the optimal load split for each slot subject to
 // y ≤ x — the UB evaluation step of Algorithm 1. Slots are independent and
-// solved in parallel.
-func RecoverFeasible(in *model.Instance, xPlans []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
+// solved in parallel; cancellation is honoured at per-slot granularity.
+func RecoverFeasible(ctx context.Context, in *model.Instance, xPlans []model.CachePlan, opts convex.Options) (model.Trajectory, error) {
 	if len(xPlans) != in.T {
 		return nil, fmt.Errorf("core: %d placements for horizon %d", len(xPlans), in.T)
 	}
 	traj := make(model.Trajectory, in.T)
-	err := parallel.For(in.T, 0, func(t int) error {
+	err := parallel.For(ctx, in.T, 0, func(t int) error {
 		y, err := loadbalance.OptimalGivenPlacement(in, t, xPlans[t], opts)
 		if err != nil {
 			return err
@@ -361,7 +403,7 @@ func RecoverFeasible(in *model.Instance, xPlans []model.CachePlan, opts convex.O
 // at y = 0 (so ∂f/∂u = 2A_t). It is exact at β = 0 up to bandwidth
 // effects, switching-cost aware at every β, and serves as the upper-bound
 // seed of Solve.
-func LinearizedPlacements(in *model.Instance) ([]model.CachePlan, error) {
+func LinearizedPlacements(ctx context.Context, in *model.Instance) ([]model.CachePlan, error) {
 	rewards := make([][][]float64, in.T)
 	for t := 0; t < in.T; t++ {
 		rewards[t] = make([][]float64, in.N)
@@ -385,7 +427,7 @@ func LinearizedPlacements(in *model.Instance) ([]model.CachePlan, error) {
 			rewards[t][n] = r
 		}
 	}
-	plans, _, err := caching.SolveAll(in, rewards)
+	plans, _, err := caching.SolveAll(ctx, in, rewards)
 	return plans, err
 }
 

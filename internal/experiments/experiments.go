@@ -12,11 +12,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/model"
 	"edgecache/internal/obs"
 	"edgecache/internal/online"
 	"edgecache/internal/sim"
@@ -40,6 +43,11 @@ type Setup struct {
 	// Seeds, when non-empty, repeats every sweep point under each seed and
 	// reports per-cell means; empty uses Config.Seed once.
 	Seeds []uint64
+	// SlotBudget bounds each window solve's wall-clock time. A solve that
+	// overruns degrades gracefully (best feasible iterate, then the LRFU
+	// fallback — see DESIGN.md §7) instead of failing the sweep. Zero
+	// disables budgeting.
+	SlotBudget time.Duration
 	// Telemetry receives structured progress events plus everything the
 	// underlying solvers emit (run_summary, solver_iteration, ...).
 	Telemetry *obs.Telemetry
@@ -117,12 +125,17 @@ func (s Setup) seedList() []uint64 {
 	return []uint64{s.Config.Seed}
 }
 
+// run evaluates one policy under the setup's telemetry and slot budget.
+func (s Setup) run(ctx context.Context, in *model.Instance, pred *workload.Predictor, p sim.Policy) (*sim.Result, error) {
+	return sim.RunWith(ctx, in, pred, p, sim.Config{Telemetry: s.tel(), SlotBudget: s.SlotBudget})
+}
+
 // pointResults holds, per canonical algorithm name, one result per seed.
 type pointResults map[string][]*sim.Result
 
 // point runs every algorithm on one instance variant — once per seed —
 // and returns results keyed by the canonical column names.
-func (s Setup) point(mutate func(*workload.InstanceConfig), eta float64, window, commitment int) (pointResults, error) {
+func (s Setup) point(ctx context.Context, mutate func(*workload.InstanceConfig), eta float64, window, commitment int) (pointResults, error) {
 	out := make(pointResults)
 	for _, seed := range s.seedList() {
 		cfg := s.Config
@@ -154,7 +167,7 @@ func (s Setup) point(mutate func(*workload.InstanceConfig), eta float64, window,
 			sim.FromBaseline(baseline.NewLRFU()),
 		}
 		for _, p := range policies {
-			res, err := sim.RunObserved(in, pred, p, s.tel())
+			res, err := s.run(ctx, in, pred, p)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", p.Name(), err)
 			}
@@ -197,7 +210,7 @@ func bsCost(r *sim.Result) float64 { return r.Cost.BS }
 // Fig2 sweeps the cache replacement cost β and reports the four panels of
 // Fig. 2: (a) total operating cost, (b) cache replacement cost, (c) number
 // of cache replacements, (d) BS operating cost.
-func (s Setup) Fig2(betas []float64) ([]*Table, error) {
+func (s Setup) Fig2(ctx context.Context, betas []float64) ([]*Table, error) {
 	panels := []struct {
 		id, title string
 		m         metric
@@ -213,7 +226,7 @@ func (s Setup) Fig2(betas []float64) ([]*Table, error) {
 	}
 	for _, beta := range betas {
 		s.logf("fig2: beta=%g", beta)
-		res, err := s.point(func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
+		res, err := s.point(ctx, func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +240,7 @@ func (s Setup) Fig2(betas []float64) ([]*Table, error) {
 // Fig3 sweeps the prediction window w and reports (a) total operating
 // cost and (b) replacement count for the online algorithms, with the
 // offline optimum as the reference line.
-func (s Setup) Fig3(windows []int) ([]*Table, error) {
+func (s Setup) Fig3(ctx context.Context, windows []int) ([]*Table, error) {
 	cols := append([]string{"Offline"}, onlineAlgorithms...)
 	ta := NewTable("fig3a", "Total operating cost vs prediction window w", "w", cols)
 	tb := NewTable("fig3b", "Number of cache replacements vs prediction window w", "w", cols)
@@ -237,7 +250,7 @@ func (s Setup) Fig3(windows []int) ([]*Table, error) {
 		}
 		s.logf("fig3: w=%d", w)
 		r := min(s.Commitment, w)
-		res, err := s.point(nil, s.Eta, w, r)
+		res, err := s.point(ctx, nil, s.Eta, w, r)
 		if err != nil {
 			return nil, err
 		}
@@ -249,12 +262,12 @@ func (s Setup) Fig3(windows []int) ([]*Table, error) {
 
 // Fig4 sweeps the SBS bandwidth B and reports (a) total operating cost
 // and (b) replacement count.
-func (s Setup) Fig4(bandwidths []float64) ([]*Table, error) {
+func (s Setup) Fig4(ctx context.Context, bandwidths []float64) ([]*Table, error) {
 	ta := NewTable("fig4a", "Total operating cost vs SBS bandwidth B", "B", allAlgorithms)
 	tb := NewTable("fig4b", "Number of cache replacements vs SBS bandwidth B", "B", allAlgorithms)
 	for _, b := range bandwidths {
 		s.logf("fig4: B=%g", b)
-		res, err := s.point(func(c *workload.InstanceConfig) { c.Bandwidth = b }, s.Eta, s.Window, s.Commitment)
+		res, err := s.point(ctx, func(c *workload.InstanceConfig) { c.Bandwidth = b }, s.Eta, s.Window, s.Commitment)
 		if err != nil {
 			return nil, err
 		}
@@ -267,11 +280,11 @@ func (s Setup) Fig4(bandwidths []float64) ([]*Table, error) {
 // Fig5 sweeps the prediction perturbation η and reports the total
 // operating cost; LRFU and the offline optimum consume exact demand, so
 // their rows are flat by construction.
-func (s Setup) Fig5(etas []float64) (*Table, error) {
+func (s Setup) Fig5(ctx context.Context, etas []float64) (*Table, error) {
 	t := NewTable("fig5", "Total operating cost vs prediction noise η", "eta", allAlgorithms)
 	for _, eta := range etas {
 		s.logf("fig5: eta=%g", eta)
-		res, err := s.point(nil, eta, s.Window, s.Commitment)
+		res, err := s.point(ctx, nil, eta, s.Window, s.Commitment)
 		if err != nil {
 			return nil, err
 		}
@@ -283,9 +296,9 @@ func (s Setup) Fig5(etas []float64) (*Table, error) {
 // Headline reproduces §V-C(1): at one β, the cost of every algorithm, its
 // ratio to the offline optimum (paper: RHC 1.02, CHC 1.08, AFHC 1.11,
 // LRFU 1.3) and its reduction relative to LRFU (paper: 27%, 20%, 17%).
-func (s Setup) Headline(beta float64) (*Table, error) {
+func (s Setup) Headline(ctx context.Context, beta float64) (*Table, error) {
 	s.logf("headline: beta=%g", beta)
-	res, err := s.point(func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
+	res, err := s.point(ctx, func(c *workload.InstanceConfig) { c.Beta = beta }, s.Eta, s.Window, s.Commitment)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +319,7 @@ func (s Setup) Headline(beta float64) (*Table, error) {
 
 // RhoSweep ablates the CHC/AFHC rounding threshold around the theoretical
 // optimum ρ* = (3−√5)/2 of Theorem 3.
-func (s Setup) RhoSweep(rhos []float64) (*Table, error) {
+func (s Setup) RhoSweep(ctx context.Context, rhos []float64) (*Table, error) {
 	t := NewTable("rho", "Total operating cost vs rounding threshold ρ", "rho", []string{"CHC", "AFHC"})
 	for _, rho := range rhos {
 		s.logf("rho sweep: rho=%g", rho)
@@ -331,7 +344,8 @@ func (s Setup) RhoSweep(rhos []float64) (*Table, error) {
 			c.Rho = rho
 			c.Core = s.OnlineOpts
 			c.Telemetry = s.tel()
-			res, err := online.Run(in, pred, c)
+			c.SlotBudget = s.SlotBudget
+			res, err := online.Run(ctx, in, pred, c)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rho=%g %s: %w", rho, alg.name, err)
 			}
@@ -344,7 +358,7 @@ func (s Setup) RhoSweep(rhos []float64) (*Table, error) {
 
 // CommitmentSweep ablates CHC's commitment level r from RHC (r = 1) to
 // AFHC (r = w).
-func (s Setup) CommitmentSweep(rs []int) (*Table, error) {
+func (s Setup) CommitmentSweep(ctx context.Context, rs []int) (*Table, error) {
 	t := NewTable("chc-r", "Total operating cost vs CHC commitment r", "r", []string{"CHC"})
 	cfg := s.Config
 	in, err := workload.BuildInstance(cfg)
@@ -360,7 +374,8 @@ func (s Setup) CommitmentSweep(rs []int) (*Table, error) {
 		c := online.CHC(s.Window, r)
 		c.Core = s.OnlineOpts
 		c.Telemetry = s.tel()
-		res, err := online.Run(in, pred, c)
+		c.SlotBudget = s.SlotBudget
+		res, err := online.Run(ctx, in, pred, c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: r=%d: %w", r, err)
 		}
@@ -373,7 +388,7 @@ func (s Setup) CommitmentSweep(rs []int) (*Table, error) {
 // (η = 0), RHC's cost ratio to the offline optimum should approach 1 as
 // the window grows, staying within the O(1 + 1/w) competitive regime. The
 // table reports the measured ratio next to the 1 + 1/w reference curve.
-func (s Setup) Competitive(windows []int) (*Table, error) {
+func (s Setup) Competitive(ctx context.Context, windows []int) (*Table, error) {
 	t := NewTable("competitive", "RHC/offline cost ratio vs window (exact predictions)", "w",
 		[]string{"Ratio", "OnePlusOneOverW"})
 	for _, w := range windows {
@@ -393,14 +408,15 @@ func (s Setup) Competitive(windows []int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			off, err := sim.RunObserved(in, pred, sim.Offline(s.OfflineOpts), s.tel())
+			off, err := s.run(ctx, in, pred, sim.Offline(s.OfflineOpts))
 			if err != nil {
 				return nil, err
 			}
 			rhc := online.RHC(w)
 			rhc.Core = s.OnlineOpts
 			rhc.Telemetry = s.tel()
-			res, err := online.Run(in, pred, rhc)
+			rhc.SlotBudget = s.SlotBudget
+			res, err := online.Run(ctx, in, pred, rhc)
 			if err != nil {
 				return nil, err
 			}
@@ -420,7 +436,7 @@ func (s Setup) Competitive(windows []int) (*Table, error) {
 // placement under realised demand), swept over prediction noise η. It
 // quantifies how much of Fig. 5's degradation comes from mis-split load
 // versus mis-placed caches.
-func (s Setup) LoadModeComparison(etas []float64) (*Table, error) {
+func (s Setup) LoadModeComparison(ctx context.Context, etas []float64) (*Table, error) {
 	t := NewTable("loadmode", "Predicted vs reactive load split (RHC total cost)", "eta",
 		[]string{"Predicted", "Reactive"})
 	for _, eta := range etas {
@@ -442,7 +458,8 @@ func (s Setup) LoadModeComparison(etas []float64) (*Table, error) {
 				c.Core = s.OnlineOpts
 				c.LoadMode = mode
 				c.Telemetry = s.tel()
-				res, err := online.Run(in, pred, c)
+				c.SlotBudget = s.SlotBudget
+				res, err := online.Run(ctx, in, pred, c)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: loadmode %v: %w", mode, err)
 				}
@@ -462,7 +479,7 @@ func (s Setup) LoadModeComparison(etas []float64) (*Table, error) {
 // ratios versus cache capacity on a Poisson trace of the configured
 // workload — the metric CDN operators actually monitor, complementing the
 // paper's cost-based comparison.
-func (s Setup) HitRatioSweep(capacities []int) (*Table, error) {
+func (s Setup) HitRatioSweep(ctx context.Context, capacities []int) (*Table, error) {
 	cols := []string{"LRU", "FIFO", "LFU", "CLRFU"}
 	t := NewTable("hitratio", "Classic cache hit ratio vs capacity", "C", cols)
 	cfg := s.Config
@@ -506,7 +523,7 @@ func (s Setup) HitRatioSweep(capacities []int) (*Table, error) {
 // optimization-based policies against the request-driven classics of its
 // related-work section (LRU, FIFO, perfect LFU, Lee-et-al. LRFU), all
 // costed under the same objective, swept over β.
-func (s Setup) ClassicComparison(betas []float64) (*Table, error) {
+func (s Setup) ClassicComparison(ctx context.Context, betas []float64) (*Table, error) {
 	cols := []string{"Offline", "RHC", "LRFU", "LRU", "FIFO", "CLFU", "CLRFU"}
 	t := NewTable("classic", "Optimization vs classic request-driven caches (total cost)", "beta", cols)
 	for _, beta := range betas {
@@ -534,7 +551,7 @@ func (s Setup) ClassicComparison(betas []float64) (*Table, error) {
 		}
 		cells := make(map[string]float64, len(policies))
 		for name, p := range policies {
-			res, err := sim.RunObserved(in, pred, p, s.tel())
+			res, err := s.run(ctx, in, pred, p)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: classic %s: %w", name, err)
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -138,7 +139,7 @@ func TestCanonical(t *testing.T) {
 // central shape claims must hold even on the miniature instance.
 func TestQuickFig2EndToEnd(t *testing.T) {
 	s := Quick()
-	tables, err := s.Fig2([]float64{0, 20})
+	tables, err := s.Fig2(context.Background(), []float64{0, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestQuickFig2EndToEnd(t *testing.T) {
 
 func TestQuickFig5NoiseMonotonicityForLRFU(t *testing.T) {
 	s := Quick()
-	tab, err := s.Fig5([]float64{0, 0.4})
+	tab, err := s.Fig5(context.Background(), []float64{0, 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestQuickFig5NoiseMonotonicityForLRFU(t *testing.T) {
 
 func TestQuickHeadline(t *testing.T) {
 	s := Quick()
-	tab, err := s.Headline(10)
+	tab, err := s.Headline(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestQuickHeadline(t *testing.T) {
 
 func TestQuickCommitmentSweepEndpoints(t *testing.T) {
 	s := Quick()
-	tab, err := s.CommitmentSweep([]int{1, s.Window})
+	tab, err := s.CommitmentSweep(context.Background(), []int{1, s.Window})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,19 +222,19 @@ func TestQuickCommitmentSweepEndpoints(t *testing.T) {
 func TestMultiSeedAveraging(t *testing.T) {
 	s := Quick()
 	s.Seeds = []uint64{1, 2}
-	tab, err := s.Fig5([]float64{0.1})
+	tab, err := s.Fig5(context.Background(), []float64{0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	avg := tab.Rows[0].Cells["LRFU"]
 
 	s.Seeds = []uint64{1}
-	t1, err := s.Fig5([]float64{0.1})
+	t1, err := s.Fig5(context.Background(), []float64{0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Seeds = []uint64{2}
-	t2, err := s.Fig5([]float64{0.1})
+	t2, err := s.Fig5(context.Background(), []float64{0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestMultiSeedAveraging(t *testing.T) {
 
 func TestQuickClassicComparison(t *testing.T) {
 	s := Quick()
-	tab, err := s.ClassicComparison([]float64{5})
+	tab, err := s.ClassicComparison(context.Background(), []float64{5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestQuickClassicComparison(t *testing.T) {
 
 func TestQuickLoadModeComparison(t *testing.T) {
 	s := Quick()
-	tab, err := s.LoadModeComparison([]float64{0.1})
+	tab, err := s.LoadModeComparison(context.Background(), []float64{0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestQuickLoadModeComparison(t *testing.T) {
 
 func TestQuickHitRatioSweep(t *testing.T) {
 	s := Quick()
-	tab, err := s.HitRatioSweep([]int{1, 4})
+	tab, err := s.HitRatioSweep(context.Background(), []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,21 +301,21 @@ func TestQuickHitRatioSweep(t *testing.T) {
 	if tab.Rows[1].Cells["LRU"] < tab.Rows[0].Cells["LRU"] {
 		t.Fatal("LRU hit ratio fell with capacity")
 	}
-	if _, err := s.HitRatioSweep([]int{-1}); err == nil {
+	if _, err := s.HitRatioSweep(context.Background(), []int{-1}); err == nil {
 		t.Fatal("accepted negative capacity")
 	}
 }
 
 func TestFig3RejectsBadWindow(t *testing.T) {
 	s := Quick()
-	if _, err := s.Fig3([]int{0}); err == nil {
+	if _, err := s.Fig3(context.Background(), []int{0}); err == nil {
 		t.Fatal("Fig3 accepted window 0")
 	}
 }
 
 func TestQuickCompetitive(t *testing.T) {
 	s := Quick()
-	tab, err := s.Competitive([]int{1, 4})
+	tab, err := s.Competitive(context.Background(), []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestQuickCompetitive(t *testing.T) {
 	if tab.Rows[0].Cells["OnePlusOneOverW"] != 2 {
 		t.Fatalf("reference curve wrong: %g", tab.Rows[0].Cells["OnePlusOneOverW"])
 	}
-	if _, err := s.Competitive([]int{0}); err == nil {
+	if _, err := s.Competitive(context.Background(), []int{0}); err == nil {
 		t.Fatal("accepted window 0")
 	}
 }

@@ -22,6 +22,7 @@
 package loadbalance
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -226,8 +227,9 @@ func ForInstance(in *model.Instance, t, n int, mu, upper []float64) *SlotProblem
 // mu[t][n] (each of length M_n·K; the outer slices may be nil for zero
 // duals) and returns per-slot load plans plus the total P2 objective.
 // warm, when non-nil, supplies the previous iterate's load plans as warm
-// starts. Slots are independent and solved in parallel.
-func SolveAll(in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts convex.Options) ([]model.LoadPlan, float64, error) {
+// starts. Slots are independent and solved in parallel; cancellation is
+// checked at per-slot granularity and surfaces as a wrapped ctx.Err().
+func SolveAll(ctx context.Context, in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts convex.Options) ([]model.LoadPlan, float64, error) {
 	if mu != nil && len(mu) != in.T {
 		return nil, 0, fmt.Errorf("loadbalance: mu covers %d slots, want %d", len(mu), in.T)
 	}
@@ -236,7 +238,7 @@ func SolveAll(in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts 
 	}
 	plans := make([]model.LoadPlan, in.T)
 	totals := make([]float64, in.T)
-	err := parallel.For(in.T, 0, func(t int) error {
+	err := parallel.For(ctx, in.T, 0, func(t int) error {
 		plans[t] = model.NewLoadPlan(in.Classes, in.K)
 		for n := 0; n < in.N; n++ {
 			var muRow []float64
@@ -263,6 +265,9 @@ func SolveAll(in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts 
 		return nil
 	})
 	if err != nil {
+		if ctx != nil && ctx.Err() != nil && err == ctx.Err() {
+			return nil, 0, fmt.Errorf("loadbalance: %w", err)
+		}
 		return nil, 0, err
 	}
 	var total float64

@@ -1,6 +1,7 @@
 package loadbalance
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -167,7 +168,7 @@ func paperInstance(t *testing.T, mutate func(*workload.InstanceConfig)) *model.I
 
 func TestSolveAllShapesAndFeasibility(t *testing.T) {
 	in := paperInstance(t, nil)
-	plans, total, err := SolveAll(in, nil, nil, convex.Options{})
+	plans, total, err := SolveAll(context.Background(), in, nil, nil, convex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSolveAllShapesAndFeasibility(t *testing.T) {
 
 func TestSolveAllMuShape(t *testing.T) {
 	in := paperInstance(t, nil)
-	if _, _, err := SolveAll(in, make([][][]float64, 1), nil, convex.Options{}); err == nil {
+	if _, _, err := SolveAll(context.Background(), in, make([][][]float64, 1), nil, convex.Options{}); err == nil {
 		t.Fatal("SolveAll accepted short mu")
 	}
 }

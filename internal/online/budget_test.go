@@ -1,0 +1,176 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+)
+
+// recordSink collects events by type, concurrency-safe (staggered FHC
+// versions emit in parallel).
+type recordSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *recordSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *recordSink) byType(typ string) []obs.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []obs.Event
+	for _, e := range s.events {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestImpossibleSlotBudgetDegradesGracefully is the issue's acceptance
+// scenario: a budget no solver can meet must still yield a feasible
+// trajectory — every window falls back — and each degraded window must
+// announce itself via a solve_degraded event.
+func TestImpossibleSlotBudgetDegradesGracefully(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	sink := &recordSink{}
+	cfg := RHC(4)
+	cfg.SlotBudget = time.Nanosecond
+	cfg.Telemetry = obs.New(sink, obs.NewRegistry())
+	res, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatalf("budgeted run failed instead of degrading: %v", err)
+	}
+	if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+		t.Fatalf("degraded trajectory infeasible: %v", err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("1ns budget degraded no windows")
+	}
+	if res.Degraded != res.WindowSolves {
+		t.Fatalf("degraded %d of %d window solves; a 1ns budget must degrade all", res.Degraded, res.WindowSolves)
+	}
+	events := sink.byType("solve_degraded")
+	if len(events) != res.Degraded {
+		t.Fatalf("%d solve_degraded events for %d degraded windows", len(events), res.Degraded)
+	}
+	for _, e := range events {
+		if e.Fields["mode"] != "best_iterate" && e.Fields["mode"] != "fallback" {
+			t.Fatalf("solve_degraded mode = %v, want best_iterate or fallback", e.Fields["mode"])
+		}
+	}
+}
+
+// TestDegradedRunIsDeterministic: under a fixed seed the degraded
+// trajectory must be reproducible — the fallback path contains no
+// time- or scheduling-dependent choices.
+func TestDegradedRunIsDeterministic(t *testing.T) {
+	run := func() *Result {
+		in, pred := smallInstance(t, nil)
+		cfg := CHC(4, 2)
+		cfg.SlotBudget = time.Nanosecond
+		res, err := Run(context.Background(), in, pred, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Degraded != b.Degraded {
+		t.Fatalf("degraded counts differ: %d vs %d", a.Degraded, b.Degraded)
+	}
+	if !reflect.DeepEqual(a.Trajectory, b.Trajectory) {
+		t.Fatal("degraded trajectories differ across identical runs")
+	}
+}
+
+// TestCustomFallbackIsUsed: a caller-supplied fallback replaces the LRFU
+// default and its (feasible) plan is committed verbatim.
+func TestCustomFallbackIsUsed(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	var calls int
+	cfg := RHC(4)
+	cfg.SlotBudget = time.Nanosecond
+	cfg.Fallback = func(ctx context.Context, win *model.Instance) (model.Trajectory, error) {
+		calls++
+		// Cache nothing, serve everything from the BS: trivially feasible.
+		traj := model.NewTrajectory(win)
+		return traj, nil
+	}
+	res, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("custom fallback never invoked")
+	}
+	for t0 := 0; t0 < in.T; t0++ {
+		for k := 0; k < in.K; k++ {
+			if res.Trajectory[t0].X[0][k] != 0 {
+				t.Fatalf("slot %d caches content %d; custom no-caching fallback was not committed", t0, k)
+			}
+		}
+	}
+}
+
+// TestFallbackErrorFailsRun: a fallback that cannot produce a feasible
+// plan is a hard error, not a silent hole in the trajectory.
+func TestFallbackErrorFailsRun(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	cfg := RHC(4)
+	cfg.SlotBudget = time.Nanosecond
+	cfg.Fallback = func(ctx context.Context, win *model.Instance) (model.Trajectory, error) {
+		return nil, fmt.Errorf("fallback exploded")
+	}
+	if _, err := Run(context.Background(), in, pred, cfg); err == nil {
+		t.Fatal("run succeeded with a failing fallback")
+	}
+}
+
+// TestRunCancelledMidWindow: cancelling the parent context — as opposed
+// to a per-window budget expiry — must abort the run with a wrapped
+// context error, not degrade it.
+func TestRunCancelledMidWindow(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, in, pred, RHC(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestParentDeadlineIsNotDegraded: when the whole-run context itself
+// carries the deadline that expires, the run must fail (the caller's
+// deadline is gone) rather than degrade-and-continue.
+func TestParentDeadlineIsNotDegraded(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cfg := RHC(4)
+	cfg.SlotBudget = time.Minute
+	_, err := Run(ctx, in, pred, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestNegativeSlotBudgetRejected(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	cfg := RHC(4)
+	cfg.SlotBudget = -time.Second
+	if _, err := Run(context.Background(), in, pred, cfg); err == nil {
+		t.Fatal("accepted negative slot budget")
+	}
+}

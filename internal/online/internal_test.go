@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"testing"
 
 	"edgecache/internal/model"
@@ -44,7 +45,7 @@ func TestRunVersionStartupCoversEarlySlots(t *testing.T) {
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
 	var stats versionStats
-	if err := runVersion(in, pred, cfg, 1, xa, ya, &stats); err != nil {
+	if err := runVersion(context.Background(), in, pred, cfg, 1, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
 	for tt := 0; tt < in.T; tt++ {
@@ -68,7 +69,7 @@ func TestVersionsCommitDisjointBlocks(t *testing.T) {
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
 	var stats versionStats
-	if err := runVersion(in, pred, cfg, 0, xa, ya, &stats); err != nil {
+	if err := runVersion(context.Background(), in, pred, cfg, 0, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
 	for tt, x := range xa {
@@ -91,11 +92,11 @@ func TestPredictorSharedAcrossVersionsIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Run(in, pred, CHC(4, 2))
+	a, err := Run(context.Background(), in, pred, CHC(4, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(in, pred, CHC(4, 2))
+	b, err := Run(context.Background(), in, pred, CHC(4, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

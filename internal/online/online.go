@@ -26,12 +26,14 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/loadbalance"
 	"edgecache/internal/model"
@@ -47,6 +49,7 @@ var (
 	mWindowTime   = obs.Default.Timer("online.window_solve")
 	mCapDrops     = obs.Default.Counter("online.capacity_drops")
 	mBWRepairs    = obs.Default.Counter("online.bandwidth_repairs")
+	mDegraded     = obs.Default.Counter("solver.degraded")
 )
 
 // DefaultRho is the rounding threshold ρ = (3−√5)/2 ≈ 0.382 of Theorem 3.
@@ -80,6 +83,23 @@ func (m LoadMode) String() string {
 	}
 }
 
+// FallbackPlanner plans a feasible trajectory for a window instance when
+// a budgeted solve had to be abandoned with no usable iterate — the last
+// rung of the degradation ladder. The window's demand tensor holds the
+// predicted rates and its initial plan the controller's committed state,
+// so a fallback needs no other context. Implementations must be cheap
+// (they run inside an already-blown slot budget) and deterministic.
+type FallbackPlanner func(ctx context.Context, win *model.Instance) (model.Trajectory, error)
+
+// DefaultFallback is the paper-native degraded mode: the LRFU placement
+// of §V-A (top-C contents by predicted request volume, per slot) with the
+// reactive load split (the optimal split for that placement, package
+// loadbalance). It is the ladder's bottom rung — rule-based, feasible by
+// construction, and orders of magnitude cheaper than a window solve.
+func DefaultFallback(ctx context.Context, win *model.Instance) (model.Trajectory, error) {
+	return baseline.NewLRFU().Plan(ctx, win)
+}
+
 // Config describes one online controller.
 type Config struct {
 	// Window is the prediction horizon w ≥ 1.
@@ -104,6 +124,17 @@ type Config struct {
 	// versions — plain Fixed Horizon Control, the classic baseline RHC
 	// and AFHC generalise. No averaging occurs, so no rounding is needed.
 	SingleVersion bool
+	// SlotBudget bounds each window solve's wall-clock time — the
+	// controller's per-slot compute deadline. When a solve overruns it the
+	// controller degrades instead of erroring, walking the ladder
+	// best-so-far iterate (finite duality gap) → Fallback, and emits a
+	// solve_degraded event plus a solver.degraded counter increment.
+	// 0 disables the budget (solves run to convergence or MaxIter).
+	SlotBudget time.Duration
+	// Fallback plans the degraded window when the budget expires before
+	// any feasible iterate exists; nil selects DefaultFallback (the LRFU
+	// placement with the reactive load split).
+	Fallback FallbackPlanner
 	// Telemetry receives one window_solve event per FHC window solve and
 	// one slot_decision event per committed slot (rounding decisions at
 	// ρ, capacity/bandwidth repairs, cache churn). It is also forwarded
@@ -164,6 +195,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LoadMode != LoadPredicted && c.LoadMode != LoadReactive {
 		return c, fmt.Errorf("online: unknown load mode %d", int(c.LoadMode))
 	}
+	if c.SlotBudget < 0 {
+		return c, fmt.Errorf("online: negative slot budget %v", c.SlotBudget)
+	}
 	if c.Core.MaxIter == 0 {
 		c.Core.MaxIter = 25
 	}
@@ -192,12 +226,24 @@ type Result struct {
 	WindowSolves int
 	// DualIterations sums the dual iterations over all window solves.
 	DualIterations int
+	// Degraded counts window solves that blew their SlotBudget and were
+	// committed through the degradation ladder instead (best-so-far
+	// iterate or fallback). Zero when no budget is set.
+	Degraded int
 }
 
 // Run executes the configured controller over the instance's horizon,
 // reading demand forecasts from pred (whose truth tensor must be the
 // instance's demand).
-func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, error) {
+//
+// Cancelling ctx aborts the run within one solver iteration, returning a
+// wrapped ctx.Err(); cfg.SlotBudget bounds each window solve
+// individually without failing the run (see Config.SlotBudget). A nil
+// ctx means context.Background().
+func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("online: %w", err)
 	}
@@ -225,17 +271,21 @@ func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, err
 	xa := make([][]model.CachePlan, versions)
 	ya := make([][]model.LoadPlan, versions)
 	stats := make([]versionStats, versions)
-	err = parallel.For(versions, 0, func(v int) error {
+	err = parallel.For(ctx, versions, 0, func(v int) error {
 		xa[v] = make([]model.CachePlan, in.T)
 		ya[v] = make([]model.LoadPlan, in.T)
-		return runVersion(in, pred, cfg, v, xa[v], ya[v], &stats[v])
+		return runVersion(ctx, in, pred, cfg, v, xa[v], ya[v], &stats[v])
 	})
 	if err != nil {
+		if err == ctx.Err() { // bare dispatch-time cancellation from parallel.For
+			return nil, fmt.Errorf("online: %w", err)
+		}
 		return nil, err
 	}
 	for _, st := range stats {
 		res.WindowSolves += st.solves
 		res.DualIterations += st.dualIters
+		res.Degraded += st.degraded
 	}
 
 	// Combine versions slot by slot: average, round, repair, commit.
@@ -243,6 +293,9 @@ func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, err
 	prevAvgX := in.InitialPlan()
 	prevX := in.InitialPlan()
 	for t := 0; t < in.T; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("online: commit at slot %d: %w", t, err)
+		}
 		avgX := model.NewCachePlan(in.N, in.K)
 		avgY := model.NewLoadPlan(in.Classes, in.K)
 		for v := 0; v < versions; v++ {
@@ -317,13 +370,19 @@ func Run(in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, err
 type versionStats struct {
 	solves    int
 	dualIters int
+	degraded  int
 }
 
 // runVersion executes FHC version v: solve at times τ ≡ v (mod r), commit
 // slots [τ, τ+r). The start-up solve of versions v > 0 happens at τ = v−r
 // (per Ψ_v of Algorithm 3, with zero demand before slot 0), which reduces
 // to solving the clamped window [0, v−r+w) and committing [0, v).
-func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
+//
+// With a SlotBudget, each window solve runs under a deadline-carrying
+// child context; an overrun degrades the window (degradeWindow) rather
+// than failing the version. Cancellation of the parent ctx always fails
+// the version with a wrapped ctx.Err().
+func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 	xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
 
 	r := cfg.Commitment
@@ -360,19 +419,56 @@ func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 		if !cfg.DisableMuWarmStart && warmMu != nil {
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
 		}
+
+		solveCtx, cancel := ctx, context.CancelFunc(nil)
+		if cfg.SlotBudget > 0 {
+			solveCtx, cancel = context.WithTimeout(ctx, cfg.SlotBudget)
+		}
 		solveStart := time.Now()
-		sol, err := core.Solve(win, opts)
-		if err != nil {
-			return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
+		sol, err := core.Solve(solveCtx, win, opts)
+		if cancel != nil {
+			cancel()
 		}
 		solveDur := time.Since(solveStart)
+		if err != nil {
+			if ctx.Err() != nil || !errors.Is(err, context.DeadlineExceeded) {
+				// Parent cancellation or a genuine solver failure: fail the
+				// version. (A budget overrun surfaces as DeadlineExceeded
+				// with the parent still live.)
+				return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
+			}
+			var mode string
+			sol, mode, err = degradeWindow(ctx, cfg, win, sol)
+			if err != nil {
+				return fmt.Errorf("online: version %d window [%d, %d): degraded solve: %w", v, from, to, err)
+			}
+			stats.degraded++
+			mDegraded.Inc()
+			if cfg.Telemetry.Enabled() {
+				fields := obs.Fields{
+					"controller": cfg.Name(),
+					"version":    v,
+					"tau":        tau,
+					"from":       from,
+					"to":         to,
+					"budget_ms":  float64(cfg.SlotBudget) / float64(time.Millisecond),
+					"mode":       mode,
+					"iterations": sol.Iterations,
+					"solve_ms":   float64(solveDur) / float64(time.Millisecond),
+				}
+				if !math.IsInf(sol.Gap, 1) {
+					fields["gap"] = sol.Gap
+				}
+				cfg.Telemetry.Emit("solve_degraded", fields)
+			}
+		}
 		stats.solves++
 		stats.dualIters += sol.Iterations
 		mWindowSolves.Inc()
 		mDualIters.Add(int64(sol.Iterations))
 		mWindowTime.Observe(solveDur)
 		if cfg.Telemetry.Enabled() {
-			cfg.Telemetry.Emit("window_solve", obs.Fields{
+			fields := obs.Fields{
 				"controller": cfg.Name(),
 				"version":    v,
 				"tau":        tau,
@@ -381,9 +477,12 @@ func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 				"commit_to":  commitEnd,
 				"iterations": sol.Iterations,
 				"converged":  sol.Converged,
-				"gap":        sol.Gap,
 				"solve_ms":   float64(solveDur) / float64(time.Millisecond),
-			})
+			}
+			if !math.IsInf(sol.Gap, 1) {
+				fields["gap"] = sol.Gap
+			}
+			cfg.Telemetry.Emit("window_solve", fields)
 		}
 		warmMu, prevFrom, prevTo = sol.Mu, from, to
 
@@ -394,6 +493,42 @@ func runVersion(in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 		virtualPrev = xa[commitEnd-1]
 	}
 	return nil
+}
+
+// degradeWindow walks the degradation ladder for a window solve that
+// exceeded its budget:
+//
+//  1. best-so-far iterate — when the interrupted solve recovered a
+//     feasible trajectory with a finite duality gap, commit it; it is
+//     feasible by construction and carries a quality certificate.
+//  2. fallback — otherwise plan the window with cfg.Fallback (default:
+//     LRFU placement + reactive load split), verifying feasibility so a
+//     misbehaving custom fallback fails loudly rather than corrupting
+//     the committed trajectory.
+//
+// The fallback runs under the parent ctx (the budget is already spent;
+// only full cancellation may stop it).
+func degradeWindow(ctx context.Context, cfg Config, win *model.Instance, interrupted *core.Result) (*core.Result, string, error) {
+	if interrupted != nil && interrupted.Trajectory != nil && !math.IsInf(interrupted.Gap, 1) {
+		return interrupted, "best_iterate", nil
+	}
+	fb := cfg.Fallback
+	if fb == nil {
+		fb = DefaultFallback
+	}
+	traj, err := fb(ctx, win)
+	if err != nil {
+		return nil, "", fmt.Errorf("online: fallback: %w", err)
+	}
+	if err := win.CheckTrajectory(traj, 1e-6); err != nil {
+		return nil, "", fmt.Errorf("online: fallback produced infeasible trajectory: %w", err)
+	}
+	return &core.Result{
+		Trajectory: traj,
+		Cost:       win.TotalCost(traj),
+		LowerBound: math.Inf(-1),
+		Gap:        math.Inf(1),
+	}, "fallback", nil
 }
 
 // shiftMu re-aligns the previous window's multipliers onto the next

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -60,15 +61,15 @@ func TestConfigValidation(t *testing.T) {
 		{Window: 4, Commitment: 2, LoadMode: LoadMode(9)},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(in, pred, cfg); err == nil {
+		if _, err := Run(context.Background(), in, pred, cfg); err == nil {
 			t.Errorf("case %d: Run accepted invalid config %+v", i, cfg)
 		}
 	}
-	if _, err := Run(in, nil, RHC(4)); err == nil {
+	if _, err := Run(context.Background(), in, nil, RHC(4)); err == nil {
 		t.Error("Run accepted nil predictor")
 	}
 	other, _ := smallInstance(t, func(c *workload.InstanceConfig) { c.Seed = 99 })
-	if _, err := Run(in, mustPredictor(t, other), RHC(4)); err == nil {
+	if _, err := Run(context.Background(), in, mustPredictor(t, other), RHC(4)); err == nil {
 		t.Error("Run accepted predictor with foreign truth")
 	}
 }
@@ -84,7 +85,7 @@ func mustPredictor(t *testing.T, in *model.Instance) *workload.Predictor {
 
 func TestRHCProducesFeasibleIntegralTrajectory(t *testing.T) {
 	in, pred := smallInstance(t, nil)
-	res, err := Run(in, pred, RHC(4))
+	res, err := Run(context.Background(), in, pred, RHC(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRHCProducesFeasibleIntegralTrajectory(t *testing.T) {
 func TestCHCAndAFHCFeasible(t *testing.T) {
 	in, pred := smallInstance(t, nil)
 	for _, cfg := range []Config{CHC(4, 2), AFHC(4)} {
-		res, err := Run(in, pred, cfg)
+		res, err := Run(context.Background(), in, pred, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name(), err)
 		}
@@ -131,7 +132,7 @@ func TestReactiveMode(t *testing.T) {
 	in, pred := smallInstance(t, nil)
 	cfg := RHC(4)
 	cfg.LoadMode = LoadReactive
-	res, err := Run(in, pred, cfg)
+	res, err := Run(context.Background(), in, pred, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestPerfectPredictionRHCNearOffline(t *testing.T) {
 	}
 	// Full-horizon window + exact predictions ⇒ RHC should be close to the
 	// offline solve (same solver, same information).
-	res, err := Run(in, pred, RHC(in.T))
+	res, err := Run(context.Background(), in, pred, RHC(in.T))
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := core.Solve(in, core.Options{MaxIter: 40})
+	off, err := core.Solve(context.Background(), in, core.Options{MaxIter: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,11 +251,11 @@ func TestLargerWindowHelpsOnAverage(t *testing.T) {
 			c.Workload.Jitter = 0.3
 			c.Beta = 20
 		})
-		rs, err := Run(in, pred, RHC(1))
+		rs, err := Run(context.Background(), in, pred, RHC(1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		rl, err := Run(in, pred, RHC(6))
+		rl, err := Run(context.Background(), in, pred, RHC(6))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,13 +269,13 @@ func TestLargerWindowHelpsOnAverage(t *testing.T) {
 
 func TestMuWarmStartAblationAgrees(t *testing.T) {
 	in, pred := smallInstance(t, nil)
-	warm, err := Run(in, pred, RHC(4))
+	warm, err := Run(context.Background(), in, pred, RHC(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := RHC(4)
 	cfg.DisableMuWarmStart = true
-	cold, err := Run(in, pred, cfg)
+	cold, err := Run(context.Background(), in, pred, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestMuWarmStartAblationAgrees(t *testing.T) {
 
 func TestFHCSingleVersion(t *testing.T) {
 	in, pred := smallInstance(t, nil)
-	res, err := Run(in, pred, FHC(4))
+	res, err := Run(context.Background(), in, pred, FHC(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,11 +317,11 @@ func TestAFHCAveragesFHCVersions(t *testing.T) {
 	// Sanity relation: AFHC's window-solve count is w× FHC's (staggered
 	// copies), modulo boundary effects.
 	in, pred := smallInstance(t, nil)
-	fhc, err := Run(in, pred, FHC(4))
+	fhc, err := Run(context.Background(), in, pred, FHC(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	afhc, err := Run(in, pred, AFHC(4))
+	afhc, err := Run(context.Background(), in, pred, AFHC(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestTheorem3RoundingBound(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range []Config{CHC(4, 2), AFHC(4), CHC(6, 3)} {
-			res, err := Run(in, pred, c)
+			res, err := Run(context.Background(), in, pred, c)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, c.Name(), err)
 			}
@@ -66,7 +67,7 @@ func TestRHCRelaxedEqualsCommitted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(in, pred, RHC(3))
+	res, err := Run(context.Background(), in, pred, RHC(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +101,12 @@ func TestRHCCompetitiveTrend(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := core.Solve(in, core.Options{MaxIter: 40})
+		off, err := core.Solve(context.Background(), in, core.Options{MaxIter: 40})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, w := range []int{1, 8} {
-			res, err := Run(in, pred, RHC(w))
+			res, err := Run(context.Background(), in, pred, RHC(w))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,9 +14,20 @@ import (
 
 // For runs fn(i) for i in [0, n) using up to workers goroutines (0 means
 // GOMAXPROCS) and returns the error of the lowest index that failed, or
-// nil. All iterations run even after a failure (they are independent and
-// cheap to finish); panics in fn propagate to the caller.
-func For(n, workers int, fn func(i int) error) error {
+// nil. Panics in fn propagate to the caller.
+//
+// Cancellation: once ctx is done no new iteration is dispatched and For
+// returns ctx.Err() (iteration errors of already-dispatched work take
+// precedence, lowest index first). If every iteration had already
+// completed, the work is whole and For reports success regardless of the
+// context. In-flight iterations are allowed to finish — fn is never
+// abandoned mid-call — so For never leaks a goroutine: every worker has
+// returned by the time For returns. A nil ctx is treated as
+// context.Background().
+func For(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -28,6 +40,12 @@ func For(n, workers int, fn func(i int) error) error {
 	if workers == 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if firstErr != nil {
+					return firstErr
+				}
+				return err
+			}
 			if err := fn(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -36,17 +54,21 @@ func For(n, workers int, fn func(i int) error) error {
 	}
 
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		next    int
-		errIdx  = -1
-		err     error
-		panicMu sync.Mutex
-		panicV  any
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		next      int
+		completed int
+		errIdx    = -1
+		err       error
+		panicMu   sync.Mutex
+		panicV    any
 	)
 	worker := func() {
 		defer wg.Done()
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			mu.Lock()
 			i := next
 			next++
@@ -64,13 +86,13 @@ func For(n, workers int, fn func(i int) error) error {
 						panicMu.Unlock()
 					}
 				}()
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if errIdx == -1 || i < errIdx {
-						errIdx, err = i, e
-					}
-					mu.Unlock()
+				e := fn(i)
+				mu.Lock()
+				completed++
+				if e != nil && (errIdx == -1 || i < errIdx) {
+					errIdx, err = i, e
 				}
+				mu.Unlock()
 			}()
 		}
 	}
@@ -82,5 +104,11 @@ func For(n, workers int, fn func(i int) error) error {
 	if panicV != nil {
 		panic(panicV)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if completed < n {
+		return ctx.Err()
+	}
+	return nil
 }

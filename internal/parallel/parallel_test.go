@@ -1,17 +1,20 @@
 package parallel
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForRunsAllIterations(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		var count atomic.Int64
 		seen := make([]atomic.Bool, 100)
-		err := For(100, workers, func(i int) error {
+		err := For(context.Background(), 100, workers, func(i int) error {
 			count.Add(1)
 			seen[i].Store(true)
 			return nil
@@ -31,10 +34,10 @@ func TestForRunsAllIterations(t *testing.T) {
 }
 
 func TestForZeroIterations(t *testing.T) {
-	if err := For(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := For(context.Background(), 0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := For(-3, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := For(context.Background(), -3, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,7 +46,7 @@ func TestForReturnsLowestIndexError(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")
 	for _, workers := range []int{1, 4} {
-		err := For(50, workers, func(i int) error {
+		err := For(context.Background(), 50, workers, func(i int) error {
 			switch i {
 			case 7:
 				return errA
@@ -68,7 +71,7 @@ func TestForPropagatesPanic(t *testing.T) {
 			t.Fatalf("panic value %v does not mention cause", r)
 		}
 	}()
-	_ = For(10, 4, func(i int) error {
+	_ = For(context.Background(), 10, 4, func(i int) error {
 		if i == 5 {
 			panic("boom")
 		}
@@ -94,7 +97,7 @@ func TestForPropagatesPanicAllWorkers(t *testing.T) {
 			t.Fatalf("ran %d of 64 iterations before joining", ran.Load())
 		}
 	}()
-	_ = For(64, 8, func(i int) error {
+	_ = For(context.Background(), 64, 8, func(i int) error {
 		ran.Add(1)
 		panic(i)
 	})
@@ -112,7 +115,7 @@ func TestForPropagatesPanicSingleWorker(t *testing.T) {
 			t.Fatalf("panic value = %v, want raw \"boom-serial\"", r)
 		}
 	}()
-	_ = For(10, 1, func(i int) error {
+	_ = For(context.Background(), 10, 1, func(i int) error {
 		if i == 5 {
 			panic("boom-serial")
 		}
@@ -122,7 +125,7 @@ func TestForPropagatesPanicSingleWorker(t *testing.T) {
 
 func TestForConcurrencyBound(t *testing.T) {
 	var inFlight, peak atomic.Int64
-	_ = For(200, 3, func(i int) error {
+	_ = For(context.Background(), 200, 3, func(i int) error {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -135,5 +138,90 @@ func TestForConcurrencyBound(t *testing.T) {
 	})
 	if peak.Load() > 3 {
 		t.Fatalf("peak concurrency %d > 3", peak.Load())
+	}
+}
+
+func TestForCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	err := For(ctx, 100, 4, func(i int) error {
+		count.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if count.Load() == 100 {
+		t.Fatal("all iterations ran despite pre-cancelled context")
+	}
+}
+
+func TestForCancelMidwayStopsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var count atomic.Int64
+		err := For(ctx, 10000, workers, func(i int) error {
+			if count.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Only in-flight iterations (at most one per worker) may finish
+		// after the cancel; the rest must never be dispatched.
+		if c := count.Load(); c >= 10000 {
+			t.Fatalf("workers=%d: %d iterations ran despite cancellation", workers, c)
+		}
+	}
+}
+
+// TestForNoGoroutineLeak pins down the join guarantee: every worker has
+// returned by the time For returns, even when the context is cancelled
+// mid-run, so repeated calls do not accumulate goroutines.
+func TestForNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = For(ctx, 500, 8, func(i int) error {
+			if i == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestForLateCancelAfterCompletion: a context that expires only after
+// every iteration has completed must not fail the call — the work is
+// whole.
+func TestForLateCancelAfterCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	err := For(ctx, 8, 4, func(i int) error {
+		if count.Add(1) == 8 {
+			cancel() // fires inside the final iteration
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("completed work reported error: %v", err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ran %d of 8 iterations", count.Load())
 	}
 }

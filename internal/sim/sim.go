@@ -4,11 +4,20 @@
 // or rule-based baseline, via the adapters below); Run verifies
 // feasibility and produces the cost breakdown plus the per-slot series
 // that the paper's figures plot.
+//
+// Every entry point is context-first: cancelling the context aborts the
+// underlying solves within one solver iteration and surfaces a wrapped
+// ctx.Err(). Policies that support deadline-budgeted solving (the
+// offline solver and the online controllers) additionally implement
+// Budgeted, which RunWith uses to wire a per-slot solve budget and
+// degradation fallback through without changing the Policy interface.
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"edgecache/internal/baseline"
@@ -23,6 +32,7 @@ import (
 var (
 	mRuns     = obs.Default.Counter("sim.runs")
 	mPlanTime = obs.Default.Timer("sim.plan")
+	mDegraded = obs.Default.Counter("solver.degraded")
 )
 
 // Policy plans a trajectory for an instance. Online policies read
@@ -31,12 +41,14 @@ var (
 type Policy interface {
 	// Name is the label used in result tables.
 	Name() string
-	// Plan returns a feasible trajectory over the instance's horizon.
-	Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error)
+	// Plan returns a feasible trajectory over the instance's horizon,
+	// honouring ctx cancellation (a done ctx surfaces as a wrapped
+	// ctx.Err() within one solver iteration).
+	Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error)
 }
 
 // Observable is implemented by policies that can carry a telemetry
-// handle into their solver. RunObserved uses it to thread the handle
+// handle into their solver. RunWith uses it to thread the handle
 // through without changing the Policy interface; custom planners may
 // implement it to receive the same handle.
 type Observable interface {
@@ -44,11 +56,27 @@ type Observable interface {
 	Observe(tel *obs.Telemetry) Policy
 }
 
+// Budgeted is implemented by policies whose solves can run under a
+// wall-clock budget with graceful degradation (best-so-far iterate,
+// then fallback). RunWith uses it to wire Config.SlotBudget through.
+type Budgeted interface {
+	// WithBudget returns a copy of the policy whose solves degrade
+	// gracefully after d of wall-clock time each; fb (nil = the LRFU +
+	// reactive default) plans a window when nothing usable exists.
+	WithBudget(d time.Duration, fb online.FallbackPlanner) Policy
+}
+
 // Offline adapts the primal-dual solver (Algorithm 1) into a Policy: the
-// paper's "offline optimal" reference, which sees all information.
+// paper's "offline optimal" reference, which sees all information. Under
+// a budget (Budgeted) the whole-horizon solve runs against one deadline
+// and commits its best-so-far iterate when the deadline strikes.
 func Offline(opts core.Options) Policy { return offlinePolicy{opts: opts} }
 
-type offlinePolicy struct{ opts core.Options }
+type offlinePolicy struct {
+	opts     core.Options
+	budget   time.Duration
+	fallback online.FallbackPlanner
+}
 
 func (offlinePolicy) Name() string { return "Offline" }
 
@@ -57,12 +85,69 @@ func (p offlinePolicy) Observe(tel *obs.Telemetry) Policy {
 	return p
 }
 
-func (p offlinePolicy) Plan(in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
-	res, err := core.Solve(in, p.opts)
+func (p offlinePolicy) WithBudget(d time.Duration, fb online.FallbackPlanner) Policy {
+	p.budget = d
+	p.fallback = fb
+	return p
+}
+
+func (p offlinePolicy) Plan(ctx context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+	solveCtx, cancel := ctx, context.CancelFunc(nil)
+	if p.budget > 0 {
+		solveCtx, cancel = context.WithTimeout(ctx, p.budget)
+	}
+	res, err := core.Solve(solveCtx, in, p.opts)
+	if cancel != nil {
+		cancel()
+	}
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil || !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		// Budget overrun with the parent context still live: degrade.
+		return p.degrade(ctx, in, res)
 	}
 	return res.Trajectory, nil
+}
+
+// degrade commits the best-so-far iterate when it exists with a finite
+// duality gap, else plans the whole horizon with the fallback — the same
+// ladder the online controllers walk per window.
+func (p offlinePolicy) degrade(ctx context.Context, in *model.Instance, partial *core.Result) (model.Trajectory, error) {
+	tel := p.opts.Telemetry
+	if partial != nil && partial.Trajectory != nil && !math.IsInf(partial.Gap, 1) {
+		mDegraded.Inc()
+		if tel.Enabled() {
+			tel.Emit("solve_degraded", obs.Fields{
+				"controller": p.Name(),
+				"budget_ms":  float64(p.budget) / float64(time.Millisecond),
+				"mode":       "best_iterate",
+				"iterations": partial.Iterations,
+				"gap":        partial.Gap,
+			})
+		}
+		return partial.Trajectory, nil
+	}
+	fb := p.fallback
+	if fb == nil {
+		fb = online.DefaultFallback
+	}
+	traj, err := fb(ctx, in)
+	if err != nil {
+		return nil, fmt.Errorf("fallback: %w", err)
+	}
+	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
+		return nil, fmt.Errorf("fallback produced infeasible trajectory: %w", err)
+	}
+	mDegraded.Inc()
+	if tel.Enabled() {
+		tel.Emit("solve_degraded", obs.Fields{
+			"controller": p.Name(),
+			"budget_ms":  float64(p.budget) / float64(time.Millisecond),
+			"mode":       "fallback",
+		})
+	}
+	return traj, nil
 }
 
 // Online adapts an online controller configuration into a Policy.
@@ -77,11 +162,17 @@ func (p onlinePolicy) Observe(tel *obs.Telemetry) Policy {
 	return p
 }
 
-func (p onlinePolicy) Plan(in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
+func (p onlinePolicy) WithBudget(d time.Duration, fb online.FallbackPlanner) Policy {
+	p.cfg.SlotBudget = d
+	p.cfg.Fallback = fb
+	return p
+}
+
+func (p onlinePolicy) Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
 	if pred == nil {
 		return nil, errors.New("sim: online policy requires a predictor")
 	}
-	res, err := online.Run(in, pred, p.cfg)
+	res, err := online.Run(ctx, in, pred, p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -95,8 +186,8 @@ type baselinePolicy struct{ b baseline.Policy }
 
 func (p baselinePolicy) Name() string { return p.b.Name() }
 
-func (p baselinePolicy) Plan(in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
-	return p.b.Plan(in)
+func (p baselinePolicy) Plan(ctx context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+	return p.b.Plan(ctx, in)
 }
 
 // SlotMetrics are the per-slot series plotted by the paper's figures.
@@ -130,25 +221,54 @@ type Result struct {
 	Runtime time.Duration `json:"runtimeNanos"`
 }
 
-// Run plans with the policy, verifies feasibility, and accounts costs.
-func Run(in *model.Instance, pred *workload.Predictor, p Policy) (*Result, error) {
-	return RunObserved(in, pred, p, nil)
+// Config tunes one evaluated run beyond the policy itself — the options
+// behind the public API's functional RunOptions.
+type Config struct {
+	// Telemetry is threaded into the policy's solvers (Observable) and
+	// receives one run_summary event per evaluated run. nil disables.
+	Telemetry *obs.Telemetry
+	// SlotBudget bounds each solve's wall-clock time for Budgeted
+	// policies (per window for online controllers, whole-horizon for the
+	// offline solver); overruns degrade gracefully. 0 disables.
+	SlotBudget time.Duration
+	// Fallback overrides the degraded-mode planner (nil = LRFU placement
+	// + reactive load split). Only consulted when SlotBudget is set.
+	Fallback online.FallbackPlanner
 }
 
-// RunObserved is Run with telemetry: the handle is threaded into the
-// policy's solvers (when the policy implements Observable) and one
-// run_summary event is emitted per evaluated run. A nil handle makes it
-// identical to Run.
-func RunObserved(in *model.Instance, pred *workload.Predictor, p Policy, tel *obs.Telemetry) (*Result, error) {
+// Run plans with the policy, verifies feasibility, and accounts costs.
+func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy) (*Result, error) {
+	return RunWith(ctx, in, pred, p, Config{})
+}
+
+// RunObserved is Run with telemetry threaded into the policy's solvers;
+// a nil handle makes it identical to Run.
+func RunObserved(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy, tel *obs.Telemetry) (*Result, error) {
+	return RunWith(ctx, in, pred, p, Config{Telemetry: tel})
+}
+
+// RunWith plans with the policy under the given run configuration,
+// verifies feasibility, and accounts costs. One run_summary event is
+// emitted per evaluated run when telemetry is enabled.
+func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	tel := cfg.Telemetry
 	if o, ok := p.(Observable); ok && tel.Enabled() {
 		p = o.Observe(tel)
 	}
+	if cfg.SlotBudget > 0 {
+		if b, ok := p.(Budgeted); ok {
+			p = b.WithBudget(cfg.SlotBudget, cfg.Fallback)
+		}
+	}
 	mRuns.Inc()
 	start := time.Now()
-	traj, err := p.Plan(in, pred)
+	traj, err := p.Plan(ctx, in, pred)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
 	}

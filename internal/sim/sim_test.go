@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -36,7 +37,7 @@ func testSetup(t *testing.T) (*model.Instance, *workload.Predictor) {
 
 func TestRunBaseline(t *testing.T) {
 	in, pred := testSetup(t)
-	res, err := Run(in, pred, FromBaseline(baseline.NewLRFU()))
+	res, err := Run(context.Background(), in, pred, FromBaseline(baseline.NewLRFU()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestRunBaseline(t *testing.T) {
 
 func TestRunOfflineAndOnline(t *testing.T) {
 	in, pred := testSetup(t)
-	off, err := Run(in, pred, Offline(core.Options{MaxIter: 20}))
+	off, err := Run(context.Background(), in, pred, Offline(core.Options{MaxIter: 20}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := Run(in, pred, Online(online.RHC(4)))
+	on, err := Run(context.Background(), in, pred, Online(online.RHC(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRunDeterministic(t *testing.T) {
 			// the comparison covers workload generation too.
 			run := func(tel *obs.Telemetry) *Result {
 				in, pred := testSetup(t)
-				res, err := RunObserved(in, pred, pc.mk(), tel)
+				res, err := RunObserved(context.Background(), in, pred, pc.mk(), tel)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -147,7 +148,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestOnlineRequiresPredictor(t *testing.T) {
 	in, _ := testSetup(t)
-	if _, err := Run(in, nil, Online(online.RHC(4))); err == nil {
+	if _, err := Run(context.Background(), in, nil, Online(online.RHC(4))); err == nil {
 		t.Fatal("online policy ran without predictor")
 	}
 }
@@ -155,7 +156,7 @@ func TestOnlineRequiresPredictor(t *testing.T) {
 func TestRunValidatesInstance(t *testing.T) {
 	in, pred := testSetup(t)
 	in.T = 0
-	if _, err := Run(in, pred, FromBaseline(baseline.NoCaching{})); err == nil {
+	if _, err := Run(context.Background(), in, pred, FromBaseline(baseline.NoCaching{})); err == nil {
 		t.Fatal("Run accepted invalid instance")
 	}
 }

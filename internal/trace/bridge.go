@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"edgecache/internal/convex"
@@ -41,7 +42,7 @@ func NewPolicyAdapter(f Factory, seed uint64) *PolicyAdapter {
 func (p *PolicyAdapter) Name() string { return p.label }
 
 // Plan implements baseline.Policy.
-func (p *PolicyAdapter) Plan(in *model.Instance) (model.Trajectory, error) {
+func (p *PolicyAdapter) Plan(ctx context.Context, in *model.Instance) (model.Trajectory, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
@@ -67,7 +68,7 @@ func (p *PolicyAdapter) Plan(in *model.Instance) (model.Trajectory, error) {
 	}
 
 	traj := make(model.Trajectory, in.T)
-	err := parallel.For(in.T, 0, func(t int) error {
+	err := parallel.For(ctx, in.T, 0, func(t int) error {
 		y, err := loadbalance.OptimalGivenPlacement(in, t, placements[t], p.Convex)
 		if err != nil {
 			return fmt.Errorf("trace: slot %d: %w", t, err)

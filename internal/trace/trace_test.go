@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -250,7 +251,7 @@ func TestPolicyAdapterProducesFeasibleTrajectory(t *testing.T) {
 	}
 	for _, f := range []Factory{NewLRU(), NewFIFO(), NewLFU(), NewClassicLRFU(0.1)} {
 		p := NewPolicyAdapter(f, 42)
-		traj, err := p.Plan(in)
+		traj, err := p.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -267,7 +268,7 @@ func TestPolicyAdapterProducesFeasibleTrajectory(t *testing.T) {
 func TestPolicyAdapterValidation(t *testing.T) {
 	in := &model.Instance{}
 	p := NewPolicyAdapter(NewLRU(), 1)
-	if _, err := p.Plan(in); err == nil {
+	if _, err := p.Plan(context.Background(), in); err == nil {
 		t.Fatal("accepted invalid instance")
 	}
 	cfg := workload.PaperDefault()
@@ -277,7 +278,7 @@ func TestPolicyAdapterValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := &PolicyAdapter{label: "x"}
-	if _, err := bad.Plan(good); err == nil {
+	if _, err := bad.Plan(context.Background(), good); err == nil {
 		t.Fatal("accepted nil factory")
 	}
 }
