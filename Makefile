@@ -32,10 +32,17 @@ staticcheck:
 	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race staticcheck
+ci: build vet test race staticcheck bench
 
+# Benchmark run recorded as JSON (see cmd/bench and DESIGN.md §8). CI uses
+# the short BENCHTIME as a smoke pass; for tracked numbers use the default
+# go benchtime:  make bench BENCHTIME=1s BENCH_LABEL=post-workspace
+BENCHTIME ?= 100ms
+BENCH_LABEL ?= local
+BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/bench -label "$(BENCH_LABEL)" -out "$(BENCH_OUT)" -merge
 
 cover:
 	$(GO) test -short -cover ./...

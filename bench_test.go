@@ -372,3 +372,71 @@ func BenchmarkBaseline_LRFUPlan(b *testing.B) {
 		}
 	}
 }
+
+// --- workspace (zero-reallocation) benches ----------------------------------
+
+// BenchmarkOffline_PrimalDualWorkspace is BenchmarkOffline_PrimalDual with
+// one solver workspace carried across solves — the steady state of a
+// receding-horizon controller, where the P1 flow networks, the P2
+// subproblem state and all solver scratch are recycled between windows.
+func BenchmarkOffline_PrimalDualWorkspace(b *testing.B) {
+	in, _ := benchInstance(b)
+	ws := core.NewWorkspace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(context.Background(), in, core.Options{MaxIter: 15, StallIter: 6, Workspace: ws}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP2_DualSweep compares one full dual iteration of P2 (all T×N
+// slot solves) on the per-call path ("fresh": bind + solve, what a cold
+// SolveAll pays) against a pre-bound workspace ("reused": the steady-state
+// dual iteration of Algorithm 1, zero allocations).
+func BenchmarkP2_DualSweep(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 10
+	cfg.K = 12
+	cfg.ClassesPerSBS = 8
+	cfg.Bandwidth = 8
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu := make([][][]float64, in.T)
+	rng := rand.New(rand.NewPCG(51, 52))
+	for t := range mu {
+		mu[t] = make([][]float64, in.N)
+		for n := range mu[t] {
+			mu[t][n] = make([]float64, in.Classes[n]*in.K)
+			for i := range mu[t][n] {
+				mu[t][n][i] = rng.Float64()
+			}
+		}
+	}
+	opts := convex.Options{MaxIter: 600, StepTol: 1e-6}
+
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := loadbalance.SolveAll(context.Background(), in, mu, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		ws := loadbalance.NewWorkspace()
+		ws.Bind(in)
+		if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

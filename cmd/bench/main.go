@@ -1,0 +1,163 @@
+// Command bench converts `go test -bench -benchmem` output on stdin into
+// the repository's tracked benchmark JSON (BENCH_<date>.json): one suite
+// per invocation, each benchmark reduced to ns/op, B/op and allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem . | go run ./cmd/bench \
+//	    -label post-workspace -out BENCH_2026-08-06.json -merge
+//
+// With -merge the suite is appended to an existing file (matching labels
+// are replaced), which is how before/after pairs are recorded; without it
+// the file is overwritten with a single-suite document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Suite is one labelled benchmark run.
+type Suite struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	CPUModel   string      `json:"cpu_model,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Document is the tracked file: a list of suites sharing a machine.
+type Document struct {
+	Suites []Suite `json:"suites"`
+}
+
+func main() {
+	label := flag.String("label", "local", "suite label (e.g. pre-workspace, post-workspace, ci)")
+	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")), "output file")
+	merge := flag.Bool("merge", false, "merge into an existing file instead of overwriting")
+	flag.Parse()
+
+	suite := Suite{
+		Label:     *label,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			suite.CPUModel = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if bm, ok := parseLine(line); ok {
+			suite.Benchmarks = append(suite.Benchmarks, bm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(suite.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	var doc Document
+	if *merge {
+		if raw, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				fatal("parse existing %s: %v", *out, err)
+			}
+		}
+	}
+	replaced := false
+	for i := range doc.Suites {
+		if doc.Suites[i].Label == suite.Label {
+			doc.Suites[i] = suite
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Suites = append(doc.Suites, suite)
+	}
+
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote suite %q (%d benchmarks) to %s\n", suite.Label, len(suite.Benchmarks), *out)
+}
+
+// parseLine parses one `BenchmarkName-P  N  V unit  [V unit ...]` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix when it is numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	bm := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			bm.NsPerOp = v
+		case "B/op":
+			bm.BytesPerOp = v
+		case "allocs/op":
+			bm.AllocsPerOp = v
+		}
+	}
+	if bm.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return bm, true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+package caching
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"edgecache/internal/mcflow"
+	"edgecache/internal/model"
+)
+
+// Workspace holds the per-instance state of the P1 caching subproblem so
+// that repeated solves under changing dual rewards — one per primal-dual
+// iteration — reuse one time-expanded flow network per SBS instead of
+// rebuilding it. Only the hold-arc costs depend on μ; topology, capacities
+// and fetch costs are fixed by the instance, so each iteration is a
+// Reset + SetCost pass followed by a solve on recycled solver scratch.
+//
+// A Workspace is not safe for concurrent use. The zero value is usable
+// after Bind.
+type Workspace struct {
+	in *model.Instance
+
+	// graphs[n] is SBS n's cache-slot network; holdArcs[n][t][k] the arc
+	// whose flow indicates item k cached at slot t.
+	graphs   []*mcflow.Graph
+	holdArcs [][][]mcflow.Arc
+
+	// plans is the placement buffer returned by SolveAll; every entry is
+	// rewritten on each call.
+	plans []model.CachePlan
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Bind sizes the workspace for an instance and builds the per-SBS flow
+// networks. It must be called before SolveAll and again whenever the
+// instance changes. The construction replicates Subproblem.SolveFlow's arc
+// order exactly so the solved flows — and hence the placements — match the
+// per-call path bit for bit.
+func (ws *Workspace) Bind(in *model.Instance) {
+	ws.in = in
+	horizon := in.T
+
+	if cap(ws.graphs) < in.N {
+		ws.graphs = make([]*mcflow.Graph, in.N)
+		ws.holdArcs = make([][][]mcflow.Arc, in.N)
+	} else {
+		ws.graphs = ws.graphs[:in.N]
+		ws.holdArcs = ws.holdArcs[:in.N]
+	}
+	initial := in.InitialPlan()
+	for n := 0; n < in.N; n++ {
+		// Node layout mirrors SolveFlow: pools 0..horizon, then item
+		// in/out pairs.
+		pool := func(t int) int { return t }
+		itemIn := func(t, k int) int { return horizon + 1 + 2*(t*in.K+k) }
+		itemOut := func(t, k int) int { return itemIn(t, k) + 1 }
+		g := mcflow.NewGraph(horizon + 1 + 2*horizon*in.K)
+
+		hold := make([][]mcflow.Arc, horizon)
+		for t := 0; t < horizon; t++ {
+			hold[t] = make([]mcflow.Arc, in.K)
+			g.AddArc(pool(t), pool(t+1), in.CacheCap[n], 0) // idle
+			for k := 0; k < in.K; k++ {
+				fetchCost := in.Beta[n]
+				if t == 0 && initial[n][k] >= 0.5 {
+					fetchCost = 0
+				}
+				g.AddArc(pool(t), itemIn(t, k), 1, fetchCost)
+				// Hold cost is the per-iteration −ρ^t_{n,k}, installed by
+				// SolveAll via SetCost.
+				hold[t][k] = g.AddArc(itemIn(t, k), itemOut(t, k), 1, 0)
+				g.AddArc(itemOut(t, k), pool(t+1), 1, 0) // evict
+				if t+1 < horizon {
+					g.AddArc(itemOut(t, k), itemIn(t+1, k), 1, 0) // keep
+				}
+			}
+		}
+		ws.graphs[n] = g
+		ws.holdArcs[n] = hold
+	}
+
+	if cap(ws.plans) < in.T {
+		ws.plans = make([]model.CachePlan, in.T)
+	} else {
+		ws.plans = ws.plans[:in.T]
+	}
+	for t := range ws.plans {
+		p := ws.plans[t]
+		if len(p) != in.N || (in.N > 0 && cap(p[0]) < in.K) {
+			ws.plans[t] = model.NewCachePlan(in.N, in.K)
+			continue
+		}
+		for n := range p {
+			p[n] = p[n][:in.K]
+		}
+	}
+}
+
+// SolveAll is the workspace counterpart of the package-level SolveAll: it
+// solves P1 for every SBS under the given rewards and returns the per-slot
+// placements (aliasing workspace memory, overwritten by the next call) and
+// the total P1 objective. Behaviour, summation order and solutions are
+// identical to the per-call path.
+func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]model.CachePlan, float64, error) {
+	in := ws.in
+	if in == nil {
+		panic("caching: Workspace.SolveAll before Bind")
+	}
+	if len(rewards) != in.T {
+		return nil, 0, fmt.Errorf("caching: rewards cover %d slots, want %d", len(rewards), in.T)
+	}
+
+	var total float64
+	for n := 0; n < in.N; n++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("caching: SBS %d: %w", n, err)
+			}
+		}
+		for t := 0; t < in.T; t++ {
+			if len(rewards[t]) != in.N || len(rewards[t][n]) != in.K {
+				return nil, 0, fmt.Errorf("caching: rewards[%d] shaped (%d SBS)", t, len(rewards[t]))
+			}
+			for k, v := range rewards[t][n] {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, 0, fmt.Errorf("caching: SBS %d: caching: reward[%d][%d] = %g, want finite ≥ 0", n, t, k, v)
+				}
+			}
+		}
+
+		mFlowSolves.Inc()
+		start := time.Now()
+		g := ws.graphs[n]
+		g.Reset()
+		hold := ws.holdArcs[n]
+		for t := 0; t < in.T; t++ {
+			row := rewards[t][n]
+			for k := 0; k < in.K; k++ {
+				g.SetCost(hold[t][k], -row[k])
+			}
+		}
+		res, err := g.Solve(0, in.T, in.CacheCap[n])
+		mFlowTime.Observe(time.Since(start))
+		if err != nil {
+			return nil, 0, fmt.Errorf("caching: SBS %d: caching: flow solve: %w", n, err)
+		}
+		total += res.Cost
+		for t := 0; t < in.T; t++ {
+			dst := ws.plans[t][n]
+			for k := 0; k < in.K; k++ {
+				if g.Flow(hold[t][k]) > 0 {
+					dst[k] = 1
+				} else {
+					dst[k] = 0
+				}
+			}
+		}
+	}
+	return ws.plans, total, nil
+}

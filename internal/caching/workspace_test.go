@@ -1,0 +1,126 @@
+package caching
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"edgecache/internal/workload"
+)
+
+// TestWorkspaceMatchesSolveAll drives a bound workspace through a sequence
+// of reward updates — the shape of a primal-dual run — and checks every
+// iteration reproduces the per-call SolveAll path exactly: identical
+// placements and identical objective, including across graph reuse.
+func TestWorkspaceMatchesSolveAll(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 3
+	cfg.T = 5
+	cfg.K = 7
+	cfg.ClassesPerSBS = 3
+	cfg.CacheCap = 2
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rng := rand.New(rand.NewPCG(7, 11))
+	rewards := make([][][]float64, in.T)
+	for tt := range rewards {
+		rewards[tt] = make([][]float64, in.N)
+		for n := range rewards[tt] {
+			rewards[tt][n] = make([]float64, in.K)
+		}
+	}
+	for iter := 0; iter < 8; iter++ {
+		for tt := range rewards {
+			for n := range rewards[tt] {
+				for k := range rewards[tt][n] {
+					rewards[tt][n][k] = rng.Float64() * 40
+				}
+			}
+		}
+		wantPlans, wantObj, err := SolveAll(context.Background(), in, rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPlans, gotObj, err := ws.SolveAll(context.Background(), rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotObj != wantObj {
+			t.Fatalf("iter %d: workspace objective %v, per-call %v", iter, gotObj, wantObj)
+		}
+		if len(gotPlans) != len(wantPlans) {
+			t.Fatalf("iter %d: %d plans, want %d", iter, len(gotPlans), len(wantPlans))
+		}
+		for tt := range wantPlans {
+			if !reflect.DeepEqual(gotPlans[tt], wantPlans[tt]) {
+				t.Fatalf("iter %d slot %d: workspace plan diverges:\n got %v\nwant %v",
+					iter, tt, gotPlans[tt], wantPlans[tt])
+			}
+		}
+	}
+
+	// Rebinding to a differently-shaped instance must resize cleanly.
+	cfg.T = 3
+	cfg.K = 5
+	in2, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Bind(in2)
+	rewards2 := make([][][]float64, in2.T)
+	for tt := range rewards2 {
+		rewards2[tt] = make([][]float64, in2.N)
+		for n := range rewards2[tt] {
+			rewards2[tt][n] = make([]float64, in2.K)
+			for k := range rewards2[tt][n] {
+				rewards2[tt][n][k] = rng.Float64() * 40
+			}
+		}
+	}
+	wantPlans, wantObj, err := SolveAll(context.Background(), in2, rewards2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPlans, gotObj, err := ws.SolveAll(context.Background(), rewards2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotObj != wantObj || !reflect.DeepEqual(gotPlans, wantPlans) {
+		t.Fatalf("after rebind: workspace diverges from per-call path")
+	}
+}
+
+// TestWorkspaceCancellation mirrors the per-call path's cancellation
+// contract: a done context returns a wrapped ctx.Err().
+func TestWorkspaceCancellation(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 2
+	cfg.T = 3
+	cfg.K = 4
+	cfg.ClassesPerSBS = 2
+	cfg.CacheCap = 1
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rewards := make([][][]float64, in.T)
+	for tt := range rewards {
+		rewards[tt] = make([][]float64, in.N)
+		for n := range rewards[tt] {
+			rewards[tt][n] = make([]float64, in.K)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ws.SolveAll(ctx, rewards); err == nil {
+		t.Fatal("workspace SolveAll ignored cancelled context")
+	}
+}

@@ -103,25 +103,69 @@ type Result struct {
 // least projectable) and returns the final iterate. The only error sources
 // are an invalid configuration and a failing projection oracle.
 func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
+	var ws Workspace
+	out := make([]float64, len(x0))
+	res, err := ws.Minimize(p, x0, out, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Workspace owns the iterate and scratch buffers of a solve so that
+// repeated Minimize calls of the same (or smaller) dimension perform no
+// steady-state heap allocations. The zero value is ready to use; buffers
+// grow on demand and are retained across calls. A Workspace must not be
+// used by concurrent solves.
+type Workspace struct {
+	x, y, xPrev, grad, trial []float64
+}
+
+// grow returns buf resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Minimize is the workspace form of the package-level Minimize: scratch
+// comes from ws and the final iterate is written into out (len(out) ==
+// len(x0); out may alias x0), which the returned Result aliases as X. It
+// performs the exact float64 operation sequence of the allocating path —
+// buffer rotation replaces the per-iteration copies, and when
+// Options.Lipschitz fixes the step the objective value at the extrapolated
+// point, which only the backtracking test consumes, is not evaluated at
+// all. On error the Result is meaningless.
+func (ws *Workspace) Minimize(p Problem, x0, out []float64, opts Options) (Result, error) {
+	var res Result
 	if p.Func == nil || p.Grad == nil || p.Project == nil {
-		return nil, errors.New("convex: Problem requires Func, Grad and Project")
+		return res, errors.New("convex: Problem requires Func, Grad and Project")
 	}
 	opts = opts.withDefaults()
 	if opts.Method != FISTA && opts.Method != PGD {
-		return nil, fmt.Errorf("convex: unknown method %d", int(opts.Method))
+		return res, fmt.Errorf("convex: unknown method %d", int(opts.Method))
 	}
-
 	n := len(x0)
-	x := append([]float64(nil), x0...)
-	if _, err := p.Project(x, x); err != nil {
-		return nil, fmt.Errorf("convex: projecting start point: %w", err)
+	if len(out) != n {
+		return res, fmt.Errorf("convex: out has %d entries, want %d", len(out), n)
 	}
 
-	// y is the extrapolated point (equals x for PGD).
-	y := append([]float64(nil), x...)
-	xPrev := append([]float64(nil), x...)
-	grad := make([]float64, n)
-	trial := make([]float64, n)
+	ws.x = grow(ws.x, n)
+	ws.y = grow(ws.y, n)
+	ws.xPrev = grow(ws.xPrev, n)
+	ws.grad = grow(ws.grad, n)
+	ws.trial = grow(ws.trial, n)
+	x, y, xPrev, grad, trial := ws.x, ws.y, ws.xPrev, ws.grad, ws.trial
+
+	copy(x, x0)
+	if _, err := p.Project(x, x); err != nil {
+		return res, fmt.Errorf("convex: projecting start point: %w", err)
+	}
+	// y is the extrapolated point (equals x for PGD). xPrev and trial hold
+	// stale data until the first iteration overwrites them.
+	copy(y, x)
 
 	// Backtracking state: L grows by ×2 on failure, shrinks by ×0.9 across
 	// iterations to re-probe longer steps.
@@ -132,8 +176,10 @@ func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
 	}
 
 	tk := 1.0
-	res := &Result{}
-	fy := p.Func(y)
+	var fy float64
+	if backtrack {
+		fy = p.Func(y)
+	}
 	fxPrev := math.Inf(1)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iterations = iter + 1
@@ -145,7 +191,7 @@ func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
 			copy(trial, y)
 			mat.Axpy(-1/l, grad, trial)
 			if _, err := p.Project(trial, trial); err != nil {
-				return nil, fmt.Errorf("convex: projection failed at iteration %d: %w", iter, err)
+				return res, fmt.Errorf("convex: projection failed at iteration %d: %w", iter, err)
 			}
 			if !backtrack {
 				break
@@ -161,13 +207,15 @@ func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
 			}
 			l *= 2
 			if l > 1e18 {
-				return nil, errors.New("convex: backtracking failed (non-smooth objective?)")
+				return res, errors.New("convex: backtracking failed (non-smooth objective?)")
 			}
 		}
 
 		step := mat.Dist2(trial, x)
-		copy(xPrev, x)
-		copy(x, trial)
+		// Rotate instead of copying: trial becomes the new x, the old x the
+		// new xPrev, and the old xPrev the next iteration's trial buffer
+		// (fully overwritten before any read).
+		xPrev, x, trial = x, trial, xPrev
 
 		if opts.Method == PGD {
 			copy(y, x)
@@ -189,9 +237,8 @@ func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
 			}
 			fxPrev = fx
 		}
-		fy = p.Func(y)
-
 		if backtrack {
+			fy = p.Func(y)
 			l *= 0.9
 		}
 		if step <= opts.StepTol*(1+mat.Norm2(x)) {
@@ -200,7 +247,8 @@ func Minimize(p Problem, x0 []float64, opts Options) (*Result, error) {
 		}
 	}
 
-	res.X = x
+	copy(out, x)
+	res.X = out
 	res.Value = p.Func(x)
 	return res, nil
 }

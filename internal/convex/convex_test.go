@@ -243,3 +243,85 @@ func TestInfeasibleStartIsProjected(t *testing.T) {
 		t.Fatalf("X = %v, want 0", res.X)
 	}
 }
+
+// TestWorkspaceMinimizeMatchesPackage pins the reusable-workspace solver to
+// the package-level entry point: identical iterates, values and iteration
+// counts on random quadratics, for both methods and with buffer reuse
+// across differently-sized problems.
+func TestWorkspaceMinimizeMatchesPackage(t *testing.T) {
+	r := rand.New(rand.NewPCG(41, 42))
+	var ws Workspace
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.IntN(12)
+		q := randomPSD(r, n)
+		b := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+			x0[i] = r.Float64()
+		}
+		p := quadratic(q, b)
+		opts := Options{MaxIter: 400, StepTol: 1e-10}
+		if trial%2 == 1 {
+			opts.Method = PGD
+		}
+		want, err := Minimize(p, x0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, n)
+		got, err := ws.Minimize(p, x0, out, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != want.Value || got.Iterations != want.Iterations || got.Converged != want.Converged {
+			t.Fatalf("trial %d: workspace result (%v, %d, %v) != package (%v, %d, %v)",
+				trial, got.Value, got.Iterations, got.Converged, want.Value, want.Iterations, want.Converged)
+		}
+		for i := range out {
+			if out[i] != want.X[i] {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, out[i], want.X[i])
+			}
+		}
+		if &got.X[0] != &out[0] {
+			t.Fatalf("trial %d: workspace result does not alias the out buffer", trial)
+		}
+	}
+}
+
+// TestWorkspaceMinimizeZeroAllocs verifies the steady-state promise: after
+// the first solve sized the scratch, further solves do not allocate.
+func TestWorkspaceMinimizeZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewPCG(43, 44))
+	const n = 8
+	q := randomPSD(r, n)
+	b := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+		x0[i] = r.Float64()
+	}
+	p := quadratic(q, b)
+	out := make([]float64, n)
+	var ws Workspace
+	opts := Options{MaxIter: 300, StepTol: 1e-10}
+	if _, err := ws.Minimize(p, x0, out, opts); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ws.Minimize(p, x0, out, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state Workspace.Minimize allocates %.0f objects/op, want 0", allocs)
+	}
+}
+
+// TestWorkspaceMinimizeValidatesOut pins the out-length contract.
+func TestWorkspaceMinimizeValidatesOut(t *testing.T) {
+	p := quadratic(randomPSD(rand.New(rand.NewPCG(1, 2)), 3), []float64{1, 1, 1})
+	var ws Workspace
+	if _, err := ws.Minimize(p, []float64{0, 0, 0}, make([]float64, 2), Options{}); err == nil {
+		t.Fatal("Workspace.Minimize accepted a short out buffer")
+	}
+}

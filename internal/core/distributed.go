@@ -29,6 +29,9 @@ func SolveDistributed(ctx context.Context, in *model.Instance, opts Options) (*R
 	if in.N == 1 {
 		return Solve(ctx, in, opts)
 	}
+	// Per-SBS solves run concurrently; a caller-supplied workspace cannot
+	// be shared between them, so each solve allocates its own.
+	opts.Workspace = nil
 
 	type outcome struct {
 		res *Result

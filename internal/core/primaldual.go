@@ -76,6 +76,13 @@ type Options struct {
 	// only — it never alters the iterates — and the nil default costs
 	// nothing on the hot path.
 	Telemetry *obs.Telemetry
+	// Workspace supplies reusable solver state (see NewWorkspace). Nil
+	// allocates a fresh workspace inside Solve. Receding-horizon
+	// controllers pass one workspace across their overlapping window
+	// solves to amortise per-instance precomputation; results are
+	// bit-identical either way. A workspace must not be shared by
+	// concurrent Solves (SolveDistributed therefore ignores this field).
+	Workspace *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +159,12 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	solveStart := time.Now()
 	defer func() { mSolveTime.Observe(time.Since(solveStart)) }()
 
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.bind(in)
+
 	// μ[t][n] is a flat (class, content) row like the demand layout.
 	mu := make([][][]float64, in.T)
 	for t := range mu {
@@ -176,7 +189,6 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	res := &Result{LowerBound: math.Inf(-1), Gap: math.Inf(1)}
 	best := math.Inf(1)
 	stall := 0
-	var warmY []model.LoadPlan
 
 	// partial is the best-so-far result handed back alongside a context
 	// error: nil until a feasible trajectory exists, so callers can
@@ -193,21 +205,13 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	// dual iteration: the Lagrangian placements can carry an integrality
 	// gap that the subgradient never closes, while the seed is near-optimal
 	// at both β extremes (myopic top-C at β = 0, near-static as β → ∞).
-	if seed, err := LinearizedPlacements(ctx, in); err == nil {
-		if traj, err := RecoverFeasible(ctx, in, seed, opts.Convex); err == nil {
+	if seed, err := ws.linearizedPlacements(ctx, in); err == nil {
+		if traj, err := ws.p2.Recover(ctx, seed, opts.Convex); err == nil {
 			if br := in.TotalCost(traj); br.Total < best {
 				best = br.Total
 				res.Trajectory = traj
 				res.Cost = br
 			}
-		}
-	}
-
-	rewards := make([][][]float64, in.T)
-	for t := range rewards {
-		rewards[t] = make([][]float64, in.N)
-		for n := range rewards[t] {
-			rewards[t][n] = make([]float64, in.K)
 		}
 	}
 
@@ -221,7 +225,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1.
 		for t := 0; t < in.T; t++ {
 			for n := 0; n < in.N; n++ {
-				row := rewards[t][n]
+				row := ws.rewards[t][n]
 				for k := range row {
 					row[k] = 0
 				}
@@ -236,21 +240,22 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		}
 
 		p1Start := time.Now()
-		xPlans, objP1, err := caching.SolveAll(ctx, in, rewards)
+		xPlans, objP1, err := ws.p1.SolveAll(ctx, ws.rewards)
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
 		p1Dur := time.Since(p1Start)
 		mP1Time.Observe(p1Dur)
 
+		// The dual iterates warm-start from the previous iteration by
+		// staying in place inside the workspace; no plan copies change hands.
 		p2Start := time.Now()
-		yPlans, objP2, err := loadbalance.SolveAll(ctx, in, mu, warmY, opts.Convex)
+		objP2, err := ws.p2.SolveDual(ctx, mu, opts.Convex)
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
 		p2Dur := time.Since(p2Start)
 		mP2Time.Observe(p2Dur)
-		warmY = yPlans
 
 		// Dual value = P1 + P2 optima (weak duality ⇒ lower bound).
 		if dual := objP1 + objP2; dual > res.LowerBound {
@@ -259,7 +264,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 
 		// Primal recovery: keep x, re-solve y subject to y ≤ x.
 		recStart := time.Now()
-		traj, err := RecoverFeasible(ctx, in, xPlans, opts.Convex)
+		traj, err := ws.p2.Recover(ctx, xPlans, opts.Convex)
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
@@ -287,7 +292,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 				"ub":           best,
 				"gap":          res.Gap,
 				"step":         delta,
-				"subgrad_norm": subgradNorm(in, xPlans, yPlans),
+				"subgrad_norm": subgradNorm(in, xPlans, ws),
 				"p1_ms":        ms(p1Dur),
 				"p2_ms":        ms(p2Dur),
 				"recover_ms":   ms(recDur),
@@ -306,10 +311,12 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		for t := 0; t < in.T; t++ {
 			for n := 0; n < in.N; n++ {
 				muRow := mu[t][n]
+				yRow := ws.p2.DualY(t, n)
+				xRow := xPlans[t][n]
 				for m := 0; m < in.Classes[n]; m++ {
 					base := m * in.K
 					for k := 0; k < in.K; k++ {
-						g := yPlans[t][n][m][k] - xPlans[t][n][k]
+						g := yRow[base+k] - xRow[k]
 						v := muRow[base+k] + delta*g
 						if v < 0 {
 							v = 0
@@ -344,13 +351,16 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 // subgradNorm is the L2 norm of the dual subgradient g = y − x — the
 // convergence diagnostic reported per iteration. It is computed only
 // when telemetry is enabled, so the disabled path never pays the pass.
-func subgradNorm(in *model.Instance, xPlans []model.CachePlan, yPlans []model.LoadPlan) float64 {
+func subgradNorm(in *model.Instance, xPlans []model.CachePlan, ws *Workspace) float64 {
 	var sum float64
 	for t := 0; t < in.T; t++ {
 		for n := 0; n < in.N; n++ {
+			yRow := ws.p2.DualY(t, n)
+			xRow := xPlans[t][n]
 			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
 				for k := 0; k < in.K; k++ {
-					g := yPlans[t][n][m][k] - xPlans[t][n][k]
+					g := yRow[base+k] - xRow[k]
 					sum += g * g
 				}
 			}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+
+	"edgecache/internal/caching"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+)
+
+// Workspace bundles the reusable solver state of one primal-dual run: the
+// P1 flow networks, the P2 per-(t, n) subproblem state with its FISTA and
+// projection scratch, and the dual-reward buffer. Solve binds it to the
+// instance on entry, so one workspace amortises all per-instance
+// precomputation and steady-state allocation across the ~MaxIter dual
+// iterations — and, when carried across calls (Options.Workspace), across
+// the overlapping window solves of a receding-horizon controller.
+//
+// A workspace serves one Solve at a time; concurrent Solves need separate
+// workspaces.
+type Workspace struct {
+	p1      caching.Workspace
+	p2      loadbalance.Workspace
+	rewards [][][]float64 // ρ^t_{n,k} buffer, [t][n][k]
+}
+
+// NewWorkspace returns an empty workspace, ready to be passed via
+// Options.Workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// bind sizes the workspace for an instance, reusing buffers whose capacity
+// suffices.
+func (ws *Workspace) bind(in *model.Instance) {
+	ws.p1.Bind(in)
+	ws.p2.Bind(in)
+	if cap(ws.rewards) < in.T {
+		ws.rewards = make([][][]float64, in.T)
+	} else {
+		ws.rewards = ws.rewards[:in.T]
+	}
+	for t := range ws.rewards {
+		if cap(ws.rewards[t]) < in.N {
+			ws.rewards[t] = make([][]float64, in.N)
+		} else {
+			ws.rewards[t] = ws.rewards[t][:in.N]
+		}
+		for n := range ws.rewards[t] {
+			if cap(ws.rewards[t][n]) < in.K {
+				ws.rewards[t][n] = make([]float64, in.K)
+			} else {
+				ws.rewards[t][n] = ws.rewards[t][n][:in.K]
+			}
+		}
+	}
+}
+
+// linearizedPlacements is LinearizedPlacements on workspace state: the
+// same reward arithmetic written into the reused buffer, solved on the
+// reused P1 networks. The returned plans alias the workspace.
+func (ws *Workspace) linearizedPlacements(ctx context.Context, in *model.Instance) ([]model.CachePlan, error) {
+	for t := 0; t < in.T; t++ {
+		for n := 0; n < in.N; n++ {
+			row := in.Demand.Slot(t, n)
+			var a float64
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				for k := 0; k < in.K; k++ {
+					a += in.OmegaBS[n][m] * row[base+k]
+				}
+			}
+			r := ws.rewards[t][n]
+			for k := range r {
+				r[k] = 0
+			}
+			for m := 0; m < in.Classes[n]; m++ {
+				base := m * in.K
+				w := in.OmegaBS[n][m]
+				for k := 0; k < in.K; k++ {
+					r[k] += 2 * a * w * row[base+k]
+				}
+			}
+		}
+	}
+	plans, _, err := ws.p1.SolveAll(ctx, ws.rewards)
+	return plans, err
+}

@@ -25,13 +25,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"edgecache/internal/convex"
 	"edgecache/internal/mat"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
-	"edgecache/internal/parallel"
 	"edgecache/internal/projection"
 )
 
@@ -227,8 +227,13 @@ func ForInstance(in *model.Instance, t, n int, mu, upper []float64) *SlotProblem
 // mu[t][n] (each of length M_n·K; the outer slices may be nil for zero
 // duals) and returns per-slot load plans plus the total P2 objective.
 // warm, when non-nil, supplies the previous iterate's load plans as warm
-// starts. Slots are independent and solved in parallel; cancellation is
-// checked at per-slot granularity and surfaces as a wrapped ctx.Err().
+// starts. The (slot, SBS) subproblems are independent and solved in
+// parallel on the shared worker pool; cancellation is checked at per-slot
+// granularity and surfaces as a wrapped ctx.Err().
+//
+// SolveAll builds a throwaway Workspace per call; the primal-dual loop
+// holds one across its iterations instead, which is where the warm starts
+// and precomputations pay off.
 func SolveAll(ctx context.Context, in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts convex.Options) ([]model.LoadPlan, float64, error) {
 	if mu != nil && len(mu) != in.T {
 		return nil, 0, fmt.Errorf("loadbalance: mu covers %d slots, want %d", len(mu), in.T)
@@ -236,45 +241,16 @@ func SolveAll(ctx context.Context, in *model.Instance, mu [][][]float64, warm []
 	if warm != nil && len(warm) != in.T {
 		return nil, 0, fmt.Errorf("loadbalance: warm start covers %d slots, want %d", len(warm), in.T)
 	}
-	plans := make([]model.LoadPlan, in.T)
-	totals := make([]float64, in.T)
-	err := parallel.For(ctx, in.T, 0, func(t int) error {
-		plans[t] = model.NewLoadPlan(in.Classes, in.K)
-		for n := 0; n < in.N; n++ {
-			var muRow []float64
-			if mu != nil && mu[t] != nil {
-				muRow = mu[t][n]
-			}
-			var start []float64
-			if warm != nil && warm[t] != nil {
-				start = make([]float64, in.Classes[n]*in.K)
-				for m := 0; m < in.Classes[n]; m++ {
-					copy(start[m*in.K:(m+1)*in.K], warm[t][n][m])
-				}
-			}
-			sp := ForInstance(in, t, n, muRow, nil)
-			y, obj, err := sp.Solve(start, opts)
-			if err != nil {
-				return fmt.Errorf("loadbalance: slot %d SBS %d: %w", t, n, err)
-			}
-			totals[t] += obj
-			for m := 0; m < in.Classes[n]; m++ {
-				copy(plans[t][n][m], y[m*in.K:(m+1)*in.K])
-			}
-		}
-		return nil
-	})
+	ws := NewWorkspace()
+	ws.Bind(in)
+	if warm != nil {
+		ws.seedWarm(warm)
+	}
+	total, err := ws.SolveDual(ctx, mu, opts)
 	if err != nil {
-		if ctx != nil && ctx.Err() != nil && err == ctx.Err() {
-			return nil, 0, fmt.Errorf("loadbalance: %w", err)
-		}
 		return nil, 0, err
 	}
-	var total float64
-	for _, v := range totals {
-		total += v
-	}
-	return plans, total, nil
+	return ws.ExportPlans(), total, nil
 }
 
 // OptimalGivenPlacement returns the cost-minimal feasible load split for
@@ -322,28 +298,29 @@ func allZero(v []float64) bool {
 // greedyGivenPlacement fills yn with the exact fractional-knapsack optimum
 // for ŵ = 0: serve cached demand in decreasing ω_m until the bandwidth is
 // exhausted. Ties in ω are broken by class index for determinism.
+// Zero-rate cached items are always served — they add no load and save
+// their (zero) cost — even once the bandwidth is spent.
 func greedyGivenPlacement(in *model.Instance, t, n int, xn []float64, yn [][]float64) {
 	row := in.Demand.Slot(t, n)
 	order := make([]int, in.Classes[n])
 	for m := range order {
 		order[m] = m
 	}
-	// Stable sort by descending ω.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && in.OmegaBS[n][order[j]] > in.OmegaBS[n][order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	omega := in.OmegaBS[n]
+	sort.SliceStable(order, func(i, j int) bool { return omega[order[i]] > omega[order[j]] })
 	remaining := in.Bandwidth[n]
 	for _, m := range order {
 		base := m * in.K
 		for k := 0; k < in.K; k++ {
-			if xn[k] < 0.5 || remaining <= 0 {
+			if xn[k] < 0.5 {
 				continue
 			}
 			rate := row[base+k]
 			if rate <= 0 {
 				yn[m][k] = 1 // free to serve: zero load, zero cost
+				continue
+			}
+			if remaining <= 0 {
 				continue
 			}
 			frac := remaining / rate

@@ -1,0 +1,266 @@
+package loadbalance
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"edgecache/internal/convex"
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+// referenceSolveAll is the pre-workspace SolveAll loop, kept verbatim as
+// the byte-exactness oracle: per (t, n) it constructs the subproblem and
+// solves it with SlotProblem.Solve, warm-starting from the previous
+// iteration's plans.
+func referenceSolveAll(t *testing.T, in *model.Instance, mu [][][]float64, warm []model.LoadPlan, opts convex.Options) ([]model.LoadPlan, float64) {
+	t.Helper()
+	plans := make([]model.LoadPlan, in.T)
+	var total float64
+	for tt := 0; tt < in.T; tt++ {
+		plans[tt] = model.NewLoadPlan(in.Classes, in.K)
+		var slot float64
+		for n := 0; n < in.N; n++ {
+			var muRow []float64
+			if mu != nil && mu[tt] != nil {
+				muRow = mu[tt][n]
+			}
+			var start []float64
+			if warm != nil && warm[tt] != nil {
+				start = make([]float64, in.Classes[n]*in.K)
+				for m := 0; m < in.Classes[n]; m++ {
+					copy(start[m*in.K:(m+1)*in.K], warm[tt][n][m])
+				}
+			}
+			sp := ForInstance(in, tt, n, muRow, nil)
+			y, obj, err := sp.Solve(start, opts)
+			if err != nil {
+				t.Fatalf("reference solve (t=%d, n=%d): %v", tt, n, err)
+			}
+			slot += obj
+			for m := 0; m < in.Classes[n]; m++ {
+				copy(plans[tt][n][m], y[m*in.K:(m+1)*in.K])
+			}
+		}
+		total += slot
+	}
+	return plans, total
+}
+
+func randomMu(rng *rand.Rand, in *model.Instance, scale float64) [][][]float64 {
+	mu := make([][][]float64, in.T)
+	for t := range mu {
+		mu[t] = make([][]float64, in.N)
+		for n := range mu[t] {
+			mu[t][n] = make([]float64, in.Classes[n]*in.K)
+			for i := range mu[t][n] {
+				mu[t][n][i] = rng.Float64() * scale
+			}
+		}
+	}
+	return mu
+}
+
+// TestWorkspaceDualMatchesReference drives a workspace through a warm-
+// started dual-iteration sequence — the access pattern of Algorithm 1 —
+// and checks each iteration is byte-identical to the reference path:
+// same iterates, same total objective.
+func TestWorkspaceDualMatchesReference(t *testing.T) {
+	for _, sbsCost := range []float64{0, 0.3} {
+		cfg := workload.PaperDefault()
+		cfg.N = 2
+		cfg.T = 4
+		cfg.K = 10
+		cfg.ClassesPerSBS = 3
+		cfg.OmegaSBSRatio = sbsCost
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ws := NewWorkspace()
+		ws.Bind(in)
+		rng := rand.New(rand.NewPCG(5, uint64(sbsCost*10)))
+		opts := convex.Options{StepTol: 1e-6, MaxIter: 600}
+		var warm []model.LoadPlan
+		for iter := 0; iter < 6; iter++ {
+			mu := randomMu(rng, in, 2.0)
+			wantPlans, wantTotal := referenceSolveAll(t, in, mu, warm, opts)
+			warm = wantPlans
+
+			gotTotal, err := ws.SolveDual(context.Background(), mu, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotTotal != wantTotal {
+				t.Fatalf("ωSBS=%g iter %d: workspace total %v, reference %v", sbsCost, iter, gotTotal, wantTotal)
+			}
+			for tt := 0; tt < in.T; tt++ {
+				for n := 0; n < in.N; n++ {
+					y := ws.DualY(tt, n)
+					for m := 0; m < in.Classes[n]; m++ {
+						for k := 0; k < in.K; k++ {
+							if y[m*in.K+k] != wantPlans[tt][n][m][k] {
+								t.Fatalf("ωSBS=%g iter %d (t=%d, n=%d, m=%d, k=%d): workspace %v, reference %v",
+									sbsCost, iter, tt, n, m, k, y[m*in.K+k], wantPlans[tt][n][m][k])
+							}
+						}
+					}
+				}
+			}
+			if exported := ws.ExportPlans(); !reflect.DeepEqual(exported, wantPlans) {
+				t.Fatalf("ωSBS=%g iter %d: exported plans diverge from reference", sbsCost, iter)
+			}
+		}
+	}
+}
+
+// TestWorkspaceRecoverMatchesReference checks the workspace recovery —
+// greedy and FISTA paths — against OptimalGivenPlacement, and that it
+// leaves the dual iterates untouched.
+func TestWorkspaceRecoverMatchesReference(t *testing.T) {
+	for _, sbsCost := range []float64{0, 0.3} {
+		cfg := workload.PaperDefault()
+		cfg.N = 2
+		cfg.T = 4
+		cfg.K = 10
+		cfg.ClassesPerSBS = 3
+		cfg.OmegaSBSRatio = sbsCost
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ws := NewWorkspace()
+		ws.Bind(in)
+		opts := convex.Options{StepTol: 1e-6, MaxIter: 600}
+		rng := rand.New(rand.NewPCG(9, uint64(sbsCost*10)))
+		if _, err := ws.SolveDual(context.Background(), randomMu(rng, in, 2.0), opts); err != nil {
+			t.Fatal(err)
+		}
+		savedY := make([][]float64, in.T*in.N)
+		for i := range savedY {
+			savedY[i] = append([]float64(nil), ws.slots[i].y...)
+		}
+
+		xPlans := make([]model.CachePlan, in.T)
+		for tt := range xPlans {
+			xPlans[tt] = model.NewCachePlan(in.N, in.K)
+			for n := 0; n < in.N; n++ {
+				for k := 0; k < in.K; k++ {
+					if rng.Float64() < 0.4 {
+						xPlans[tt][n][k] = 1
+					}
+				}
+			}
+		}
+
+		traj, err := ws.Recover(context.Background(), xPlans, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt < in.T; tt++ {
+			wantY, err := OptimalGivenPlacement(in, tt, xPlans[tt], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(traj[tt].Y, wantY) {
+				t.Fatalf("ωSBS=%g slot %d: recovered split diverges from OptimalGivenPlacement", sbsCost, tt)
+			}
+			if !reflect.DeepEqual(traj[tt].X, xPlans[tt]) {
+				t.Fatalf("ωSBS=%g slot %d: recovered X diverges", sbsCost, tt)
+			}
+		}
+		for i := range savedY {
+			if !reflect.DeepEqual(savedY[i], ws.slots[i].y) {
+				t.Fatalf("ωSBS=%g: recovery clobbered the dual iterate of slot %d", sbsCost, i)
+			}
+		}
+	}
+}
+
+// TestSolveAllMatchesReference pins the rewritten package-level SolveAll
+// (workspace-backed) to the reference loop, including warm starts.
+func TestSolveAllMatchesReference(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 2
+	cfg.T = 3
+	cfg.K = 8
+	cfg.ClassesPerSBS = 3
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(21, 22))
+	opts := convex.Options{StepTol: 1e-6, MaxIter: 600}
+	mu := randomMu(rng, in, 2.0)
+
+	wantPlans, wantTotal := referenceSolveAll(t, in, mu, nil, opts)
+	gotPlans, gotTotal, err := SolveAll(context.Background(), in, mu, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal != wantTotal || !reflect.DeepEqual(gotPlans, wantPlans) {
+		t.Fatal("cold SolveAll diverges from reference")
+	}
+
+	mu2 := randomMu(rng, in, 2.0)
+	wantPlans2, wantTotal2 := referenceSolveAll(t, in, mu2, wantPlans, opts)
+	gotPlans2, gotTotal2, err := SolveAll(context.Background(), in, mu2, gotPlans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal2 != wantTotal2 || !reflect.DeepEqual(gotPlans2, wantPlans2) {
+		t.Fatal("warm SolveAll diverges from reference")
+	}
+}
+
+// TestSteadyStateDualSolveZeroAllocs is the allocation regression guard of
+// the perf work: once a workspace is warm, a per-slot dual solve must not
+// touch the heap at all.
+func TestSteadyStateDualSolveZeroAllocs(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 2
+	cfg.T = 3
+	cfg.K = 10
+	cfg.ClassesPerSBS = 3
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rng := rand.New(rand.NewPCG(13, 14))
+	opts := convex.Options{StepTol: 1e-6, MaxIter: 600}
+	mu := randomMu(rng, in, 2.0)
+	// Warm every slot (grows all scratch to its steady-state size).
+	if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &ws.slots[0]
+	muRow := mu[0][0]
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.solveDual(muRow, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state slot dual solve allocates %.0f objects/op, want 0", allocs)
+	}
+
+	// The full (t, n) sweep is also allocation-free when it runs on the
+	// caller's goroutine (the worker pool spawns helpers only when spare
+	// cores exist, which is a legitimate allocation).
+	if runtime.GOMAXPROCS(0) == 1 {
+		if allocs := testing.AllocsPerRun(20, func() {
+			if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("steady-state SolveDual allocates %.0f objects/op, want 0", allocs)
+		}
+	}
+}

@@ -17,7 +17,6 @@
 package mcflow
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -46,11 +45,21 @@ type arc struct {
 }
 
 // Graph is a directed flow network under construction. The zero value is
-// not usable; call NewGraph.
+// not usable; call NewGraph. A graph is not safe for concurrent use (Solve
+// mutates residual capacities and reuses internal scratch).
 type Graph struct {
 	head []int // per node: last arc index, -1 if none
 	arcs []arc
 	caps []int // original capacity of each forward arc, for flow queries
+
+	// Solver scratch, lazily sized to the node count and reused across
+	// Solve calls so repeated solves on a reused graph allocate nothing.
+	pi, dist     []float64
+	prevArc      []int
+	done         []bool
+	q            []pqItem
+	indeg, order []int
+	queue        []int
 }
 
 // NewGraph returns an empty network with n nodes, numbered 0..n−1.
@@ -92,6 +101,47 @@ func (g *Graph) Flow(id Arc) int {
 	return g.caps[id] - g.arcs[2*id].cap
 }
 
+// Reset restores every arc's residual capacity to its construction value
+// (forward = capacity, reverse = 0), erasing all routed flow so the graph
+// can be solved afresh. Costs are kept. Together with SetCost this lets a
+// caller reuse one network across solves that differ only in arc costs —
+// the dual-reward updates of the caching subproblem P1.
+func (g *Graph) Reset() {
+	for i, c := range g.caps {
+		g.arcs[2*i].cap = c
+		g.arcs[2*i+1].cap = 0
+	}
+}
+
+// SetCost replaces the cost of arc id (and of its residual reverse). Call
+// it only between solves: changing costs mid-solve corrupts the
+// potentials.
+func (g *Graph) SetCost(id Arc, cost float64) {
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		panic(fmt.Sprintf("mcflow: non-finite cost %g", cost))
+	}
+	g.arcs[2*id].cost = cost
+	g.arcs[2*id+1].cost = -cost
+}
+
+// scratch sizes the reusable solver buffers to the node count.
+func (g *Graph) scratch() {
+	n := len(g.head)
+	if cap(g.dist) < n {
+		g.pi = make([]float64, n)
+		g.dist = make([]float64, n)
+		g.prevArc = make([]int, n)
+		g.done = make([]bool, n)
+		g.indeg = make([]int, n)
+	} else {
+		g.pi = g.pi[:n]
+		g.dist = g.dist[:n]
+		g.prevArc = g.prevArc[:n]
+		g.done = g.done[:n]
+		g.indeg = g.indeg[:n]
+	}
+}
+
 // Result summarises a solve.
 type Result struct {
 	// Cost is the total cost of the routed flow.
@@ -116,14 +166,14 @@ func (g *Graph) Solve(source, sink, supply int) (*Result, error) {
 		return &Result{}, nil
 	}
 
+	g.scratch()
 	pi, err := g.initialPotentials(source)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{}
-	dist := make([]float64, len(g.head))
-	prevArc := make([]int, len(g.head))
+	dist, prevArc := g.dist, g.prevArc
 	for res.Flow < supply {
 		ok := g.dijkstra(source, pi, dist, prevArc)
 		if !ok {
@@ -172,10 +222,14 @@ func (g *Graph) initialPotentials(source int) ([]float64, error) {
 
 // topoOrder returns a topological order of nodes over residual arcs with
 // positive capacity, or ok = false if the residual graph has a cycle (which
-// is always the case after at least one augmentation).
+// is always the case after at least one augmentation). The returned slice
+// aliases graph scratch.
 func (g *Graph) topoOrder() ([]int, bool) {
 	n := len(g.head)
-	indeg := make([]int, n)
+	indeg := g.indeg
+	for i := range indeg {
+		indeg[i] = 0
+	}
 	for u := 0; u < n; u++ {
 		for e := g.head[u]; e != -1; e = g.arcs[e].next {
 			if g.arcs[e].cap > 0 {
@@ -183,8 +237,12 @@ func (g *Graph) topoOrder() ([]int, bool) {
 			}
 		}
 	}
-	order := make([]int, 0, n)
-	queue := make([]int, 0, n)
+	if cap(g.order) < n {
+		g.order = make([]int, 0, n)
+		g.queue = make([]int, 0, n)
+	}
+	order := g.order[:0]
+	queue := g.queue[:0]
 	for v, d := range indeg {
 		if d == 0 {
 			queue = append(queue, v)
@@ -209,10 +267,9 @@ func (g *Graph) topoOrder() ([]int, bool) {
 
 // dagPotentials relaxes arcs in topological order. Nodes unreachable from
 // the source keep potential 0, which is safe because no residual arc into
-// them exists yet.
+// them exists yet. The returned slice aliases graph scratch.
 func (g *Graph) dagPotentials(source int, order []int) []float64 {
-	n := len(g.head)
-	dist := make([]float64, n)
+	dist := g.pi
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -239,10 +296,11 @@ func (g *Graph) dagPotentials(source int, order []int) []float64 {
 }
 
 // bellmanFord computes potentials on general graphs and detects negative
-// cycles reachable from the source.
+// cycles reachable from the source. The returned slice aliases graph
+// scratch.
 func (g *Graph) bellmanFord(source int) ([]float64, error) {
 	n := len(g.head)
-	dist := make([]float64, n)
+	dist := g.pi
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -281,13 +339,48 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// pqPush appends it and sifts it up. The sift replicates container/heap's
+// order of comparisons and swaps exactly, so equal-distance tie-breaks —
+// and therefore the augmenting paths Dijkstra selects — are unchanged from
+// the previous container/heap-based implementation.
+func pqPush(q []pqItem, it pqItem) []pqItem {
+	q = append(q, it)
+	j := len(q) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	return q
+}
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+// pqPop removes and returns the minimum element, sifting down in
+// container/heap's exact order (swap root with last, sift over the
+// shortened prefix, then strip the last element).
+func pqPop(q []pqItem) (pqItem, []pqItem) {
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2
+		}
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return q[n], q[:n]
+}
 
 // dijkstra computes reduced-cost shortest paths over the residual graph.
 // It fills dist (potential-adjusted) and prevArc, returning false if a
@@ -298,10 +391,14 @@ func (g *Graph) dijkstra(source int, pi, dist []float64, prevArc []int) bool {
 		prevArc[i] = -1
 	}
 	dist[source] = 0
-	q := pq{{node: source}}
-	done := make([]bool, len(dist))
+	done := g.done
+	for i := range done {
+		done[i] = false
+	}
+	q := append(g.q[:0], pqItem{node: source})
 	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+		var it pqItem
+		it, q = pqPop(q)
 		u := it.node
 		if done[u] {
 			continue
@@ -314,6 +411,7 @@ func (g *Graph) dijkstra(source int, pi, dist []float64, prevArc []int) bool {
 			}
 			rc := a.cost + pi[u] - pi[a.to]
 			if rc < -1e-7 {
+				g.q = q
 				return false
 			}
 			if rc < 0 {
@@ -322,9 +420,10 @@ func (g *Graph) dijkstra(source int, pi, dist []float64, prevArc []int) bool {
 			if d := dist[u] + rc; d < dist[a.to]-1e-15 {
 				dist[a.to] = d
 				prevArc[a.to] = e
-				heap.Push(&q, pqItem{node: a.to, dist: d})
+				q = pqPush(q, pqItem{node: a.to, dist: d})
 			}
 		}
 	}
+	g.q = q
 	return true
 }

@@ -311,3 +311,61 @@ func TestRandomAgainstLP(t *testing.T) {
 		t.Fatalf("only %d random trials had positive max flow; generator too sparse", checked)
 	}
 }
+
+// TestResetSetCostMatchesFresh checks the graph-reuse contract behind the
+// caching workspace: after Reset (and optional SetCost updates) a solved
+// graph must behave exactly like a freshly built one — same cost, same flow
+// on every arc — across repeated rounds.
+func TestResetSetCostMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	const nodes = 12
+	type edge struct{ from, to, cap int }
+	var edges []edge
+	// Layered DAG (arcs go low → high index) so negative costs are safe.
+	for u := 0; u < nodes-1; u++ {
+		edges = append(edges, edge{u, u + 1, 2 + rng.IntN(3)})
+		for extra := 0; extra < 2; extra++ {
+			v := u + 1 + rng.IntN(nodes-u-1)
+			edges = append(edges, edge{u, v, 1 + rng.IntN(2)})
+		}
+	}
+	costs := make([]float64, len(edges))
+
+	reused := NewGraph(nodes)
+	reusedIDs := make([]Arc, len(edges))
+	for i, e := range edges {
+		reusedIDs[i] = reused.AddArc(e.from, e.to, e.cap, 0)
+	}
+	for round := 0; round < 6; round++ {
+		for i := range costs {
+			costs[i] = rng.Float64()*10 - 5
+		}
+		fresh := NewGraph(nodes)
+		freshIDs := make([]Arc, len(edges))
+		for i, e := range edges {
+			freshIDs[i] = fresh.AddArc(e.from, e.to, e.cap, costs[i])
+		}
+		reused.Reset()
+		for i := range edges {
+			reused.SetCost(reusedIDs[i], costs[i])
+		}
+		want, errW := fresh.Solve(0, nodes-1, 2)
+		got, errG := reused.Solve(0, nodes-1, 2)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("round %d: fresh err %v, reused err %v", round, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		if got.Cost != want.Cost || got.Flow != want.Flow {
+			t.Fatalf("round %d: reused (cost %v, flow %d) != fresh (cost %v, flow %d)",
+				round, got.Cost, got.Flow, want.Cost, want.Flow)
+		}
+		for i := range edges {
+			if reused.Flow(reusedIDs[i]) != fresh.Flow(freshIDs[i]) {
+				t.Fatalf("round %d arc %d: reused flow %d != fresh flow %d",
+					round, i, reused.Flow(reusedIDs[i]), fresh.Flow(freshIDs[i]))
+			}
+		}
+	}
+}

@@ -14,19 +14,30 @@ const DefaultTol = 1e-6
 type CachePlan [][]float64
 
 // NewCachePlan returns an all-zero placement for n SBSs and k contents.
+// Rows share one contiguous backing array (two allocations total, cache-
+// friendly iteration); each row is capacity-clipped so appends cannot
+// bleed into a neighbour.
 func NewCachePlan(n, k int) CachePlan {
 	p := make(CachePlan, n)
+	buf := make([]float64, n*k)
 	for i := range p {
-		p[i] = make([]float64, k)
+		p[i] = buf[i*k : (i+1)*k : (i+1)*k]
 	}
 	return p
 }
 
-// Clone returns a deep copy of the placement.
+// Clone returns a deep copy of the placement, flattened onto one backing
+// array regardless of the source's layout.
 func (p CachePlan) Clone() CachePlan {
 	out := make(CachePlan, len(p))
+	var total int
 	for i := range p {
-		out[i] = append([]float64(nil), p[i]...)
+		total += len(p[i])
+	}
+	buf := make([]float64, 0, total)
+	for i := range p {
+		buf = append(buf, p[i]...)
+		out[i] = buf[len(buf)-len(p[i]) : len(buf) : len(buf)]
 	}
 	return out
 }
@@ -76,26 +87,48 @@ func (p CachePlan) Items(n int) []int {
 type LoadPlan [][][]float64
 
 // NewLoadPlan returns an all-zero load split for the given per-SBS class
-// counts and k contents.
+// counts and k contents. All class rows share one contiguous backing array
+// and all per-SBS row tables one backing table (three allocations total
+// instead of 1 + N + Σ M_n); rows are capacity-clipped against appends.
 func NewLoadPlan(classes []int, k int) LoadPlan {
 	p := make(LoadPlan, len(classes))
+	var rows int
+	for _, m := range classes {
+		rows += m
+	}
+	tab := make([][]float64, rows)
+	buf := make([]float64, rows*k)
+	idx := 0
 	for n := range p {
-		p[n] = make([][]float64, classes[n])
-		for m := range p[n] {
-			p[n][m] = make([]float64, k)
+		p[n] = tab[idx : idx+classes[n] : idx+classes[n]]
+		for m := 0; m < classes[n]; m++ {
+			off := (idx + m) * k
+			tab[idx+m] = buf[off : off+k : off+k]
 		}
+		idx += classes[n]
 	}
 	return p
 }
 
-// Clone returns a deep copy of the load split.
+// Clone returns a deep copy of the load split, flattened onto contiguous
+// backing arrays regardless of the source's layout.
 func (p LoadPlan) Clone() LoadPlan {
 	out := make(LoadPlan, len(p))
+	var rows, total int
 	for n := range p {
-		out[n] = make([][]float64, len(p[n]))
+		rows += len(p[n])
 		for m := range p[n] {
-			out[n][m] = append([]float64(nil), p[n][m]...)
+			total += len(p[n][m])
 		}
+	}
+	tab := make([][]float64, 0, rows)
+	buf := make([]float64, 0, total)
+	for n := range p {
+		for m := range p[n] {
+			buf = append(buf, p[n][m]...)
+			tab = append(tab, buf[len(buf)-len(p[n][m]):len(buf):len(buf)])
+		}
+		out[n] = tab[len(tab)-len(p[n]) : len(tab) : len(tab)]
 	}
 	return out
 }

@@ -277,7 +277,10 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		return runVersion(ctx, in, pred, cfg, v, xa[v], ya[v], &stats[v])
 	})
 	if err != nil {
-		if err == ctx.Err() { // bare dispatch-time cancellation from parallel.For
+		// A bare dispatch-time cancellation from parallel.For needs the
+		// package prefix; version errors arrive already wrapped. errors.Is
+		// (rather than ==) also matches cause-carrying context errors.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, fmt.Errorf("online: %w", err)
 		}
 		return nil, err
@@ -288,16 +291,31 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		res.Degraded += st.degraded
 	}
 
-	// Combine versions slot by slot: average, round, repair, commit.
+	// Combine versions slot by slot: average, round, repair, commit. The
+	// averaging buffers are allocated once and rotated: avgX swaps with
+	// prevAvgX at the end of each slot (the replacement-cost term needs
+	// last slot's average), avgY is consumed within the slot.
 	traj := make(model.Trajectory, in.T)
+	avgX := model.NewCachePlan(in.N, in.K)
+	avgY := model.NewLoadPlan(in.Classes, in.K)
 	prevAvgX := in.InitialPlan()
 	prevX := in.InitialPlan()
 	for t := 0; t < in.T; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("online: commit at slot %d: %w", t, err)
 		}
-		avgX := model.NewCachePlan(in.N, in.K)
-		avgY := model.NewLoadPlan(in.Classes, in.K)
+		for n := 0; n < in.N; n++ {
+			row := avgX[n]
+			for k := range row {
+				row[k] = 0
+			}
+			for m := 0; m < in.Classes[n]; m++ {
+				yRow := avgY[n][m]
+				for k := range yRow {
+					yRow[k] = 0
+				}
+			}
+		}
 		for v := 0; v < versions; v++ {
 			if xa[v][t] == nil || ya[v][t] == nil {
 				return nil, fmt.Errorf("online: version %d committed no action for slot %d", v, t)
@@ -320,7 +338,6 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		// tolerates.
 		res.RelaxedCost += in.BSCost(t, avgY) + in.SBSCost(t, avgY) +
 			in.ReplacementCost(prevAvgX, avgX)
-		prevAvgX = avgX
 
 		x, candidates, capDropped := roundPlacement(in, avgX, cfg.Rho)
 		var y model.LoadPlan
@@ -357,6 +374,7 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 			})
 		}
 		prevX = x
+		prevAvgX, avgX = avgX, prevAvgX
 	}
 
 	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
@@ -389,6 +407,10 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 	virtualPrev := in.InitialPlan()
 	var warmMu [][][]float64
 	var prevFrom, prevTo int
+	// One solver workspace serves all of this version's window solves: the
+	// overlapping windows share shapes, so the P1 networks, P2 subproblem
+	// state and solver scratch are recycled instead of rebuilt per window.
+	ws := core.NewWorkspace()
 
 	first := v - r
 	if v == 0 {
@@ -416,6 +438,7 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 
 		opts := cfg.Core
 		opts.Telemetry = cfg.Telemetry
+		opts.Workspace = ws
 		if !cfg.DisableMuWarmStart && warmMu != nil {
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
 		}
@@ -549,6 +572,12 @@ func shiftMu(mu [][][]float64, prevFrom, prevTo, from, to int, in *model.Instanc
 	return out
 }
 
+// cand is a rounding candidate: content k with averaged placement value v.
+type cand struct {
+	k int
+	v float64
+}
+
 // roundPlacement applies the CHC rounding policy with capacity repair:
 // candidates are entries with average ≥ ρ; if more than C_n qualify the
 // top C_n by average survive (ties broken toward smaller k for
@@ -557,12 +586,9 @@ func shiftMu(mu [][][]float64, prevFrom, prevTo, from, to int, in *model.Instanc
 // DESIGN.md documents.
 func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped int) {
 	x = model.NewCachePlan(in.N, in.K)
+	cands := make([]cand, 0, in.K)
 	for n := 0; n < in.N; n++ {
-		type cand struct {
-			k int
-			v float64
-		}
-		var cands []cand
+		cands = cands[:0]
 		for k := 0; k < in.K; k++ {
 			if avg[n][k] >= rho {
 				cands = append(cands, cand{k, avg[n][k]})

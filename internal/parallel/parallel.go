@@ -3,6 +3,13 @@
 // load-balancing subproblem P2 separates per (slot, SBS) — the dominant
 // cost of every solver in this repository — and the standard library offers
 // no errgroup.
+//
+// All For calls in the process share one bounded pool of helper permits
+// sized to GOMAXPROCS−1: the caller of For always works through the index
+// range itself, and extra goroutines are spawned only while permits are
+// available. Nested fan-outs (online versions → dual iterations → per-slot
+// solves) therefore degrade gracefully to running inline in their caller
+// instead of oversubscribing the scheduler multiplicatively.
 package parallel
 
 import (
@@ -12,16 +19,35 @@ import (
 	"sync"
 )
 
-// For runs fn(i) for i in [0, n) using up to workers goroutines (0 means
-// GOMAXPROCS) and returns the error of the lowest index that failed, or
-// nil. Panics in fn propagate to the caller.
+// tokens is the process-wide pool of helper-goroutine permits shared by
+// every For call. Its capacity is GOMAXPROCS−1 (at init), so the total
+// number of goroutines actively working across all concurrent and nested
+// For calls — callers included — never exceeds GOMAXPROCS.
+var tokens chan struct{}
+
+func init() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	tokens = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// For runs fn(i) for i in [0, n) and returns the error of the lowest index
+// that failed, or nil. The caller's goroutine always participates; up to
+// workers−1 helpers (workers ≤ 0 means GOMAXPROCS) are added while the
+// shared permit pool allows, so workers is an upper bound on this call's
+// concurrency, never a demand. Panics in fn propagate to the caller.
 //
 // Cancellation: once ctx is done no new iteration is dispatched and For
 // returns ctx.Err() (iteration errors of already-dispatched work take
 // precedence, lowest index first). If every iteration had already
 // completed, the work is whole and For reports success regardless of the
 // context. In-flight iterations are allowed to finish — fn is never
-// abandoned mid-call — so For never leaks a goroutine: every worker has
+// abandoned mid-call — so For never leaks a goroutine: every helper has
 // returned by the time For returns. A nil ctx is treated as
 // context.Background().
 func For(ctx context.Context, n, workers int, fn func(i int) error) error {
@@ -64,7 +90,6 @@ func For(ctx context.Context, n, workers int, fn func(i int) error) error {
 		panicV    any
 	)
 	worker := func() {
-		defer wg.Done()
 		for {
 			if ctx.Err() != nil {
 				return
@@ -96,11 +121,29 @@ func For(ctx context.Context, n, workers int, fn func(i int) error) error {
 			}()
 		}
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
+
+	// Helpers beyond the caller each need a permit from the shared pool;
+	// when the pool is drained (typically because enclosing For calls
+	// already hold the permits) the call runs entirely in the caller.
+	drained := false
+	for h := 0; h < workers-1 && !drained; h++ {
+		select {
+		case <-tokens:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					tokens <- struct{}{}
+					wg.Done()
+				}()
+				worker()
+			}()
+		default:
+			drained = true
+		}
 	}
+	worker() // the caller always works too
 	wg.Wait()
+
 	if panicV != nil {
 		panic(panicV)
 	}

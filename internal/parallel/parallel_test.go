@@ -225,3 +225,42 @@ func TestForLateCancelAfterCompletion(t *testing.T) {
 		t.Fatalf("ran %d of 8 iterations", count.Load())
 	}
 }
+
+// TestForNestedBoundsGlobalConcurrency exercises the nested fan-out shape
+// the solver used to create (a For inside a For): it must complete without
+// deadlock, run every iteration exactly once, and keep total concurrency
+// within the global token pool's bound (GOMAXPROCS callers at most — inner
+// calls always run on their caller, extra goroutines only on spare
+// tokens).
+func TestForNestedBoundsGlobalConcurrency(t *testing.T) {
+	const outer, inner = 8, 16
+	var inFlight, peak atomic.Int64
+	var runs atomic.Int64
+	err := For(context.Background(), outer, 4, func(i int) error {
+		return For(context.Background(), inner, 4, func(j int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			runs.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != outer*inner {
+		t.Fatalf("ran %d iterations, want %d", got, outer*inner)
+	}
+	// Each of up to GOMAXPROCS concurrently-live For calls contributes its
+	// caller; every extra worker holds one of the GOMAXPROCS−1 tokens.
+	limit := int64(2*runtime.GOMAXPROCS(0) - 1)
+	if peak.Load() > limit {
+		t.Fatalf("peak nested concurrency %d > %d", peak.Load(), limit)
+	}
+}

@@ -67,19 +67,8 @@ func BoxKnapsack(dst, z, lo, hi, c []float64, b float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: Σ c·lo = %g > b = %g", ErrInfeasible, minLoad, b)
 	}
 
-	load := func(theta float64) float64 {
-		var s float64
-		for i, ci := range c {
-			if ci == 0 {
-				continue
-			}
-			s += ci * mat.Clamp(z[i]-theta*ci, lo[i], hi[i])
-		}
-		return s
-	}
-
 	// θ = 0 is the plain box projection; accept it when it already fits.
-	if load(0) <= b {
+	if knapsackLoad(z, lo, hi, c, 0) <= b {
 		return Box(dst, z, lo, hi), nil
 	}
 
@@ -97,7 +86,7 @@ func BoxKnapsack(dst, z, lo, hi, c []float64, b float64) ([]float64, error) {
 	resTol := 1e-10 * (1 + math.Abs(b))
 	for iter := 0; iter < bisectIters && hiT-loT > 1e-13*(1+hiT); iter++ {
 		mid := 0.5 * (loT + hiT)
-		l := load(mid)
+		l := knapsackLoad(z, lo, hi, c, mid)
 		if l > b {
 			loT = mid
 		} else {
@@ -110,6 +99,108 @@ func BoxKnapsack(dst, z, lo, hi, c []float64, b float64) ([]float64, error) {
 	theta := hiT // the feasible end of the bracket
 	for i := range z {
 		dst[i] = mat.Clamp(z[i]-theta*c[i], lo[i], hi[i])
+	}
+	return dst, nil
+}
+
+// knapsackLoad evaluates the knapsack row Σ_i c_i·clamp(z_i − θ c_i, lo_i,
+// hi_i) — one bisection probe of BoxKnapsack. The slices are re-sliced to a
+// common length so the compiler drops the per-element bounds checks: this
+// probe runs up to bisectIters times per projection and dominates the P2
+// solve profile.
+func knapsackLoad(z, lo, hi, c []float64, theta float64) float64 {
+	z = z[:len(c)]
+	lo = lo[:len(c)]
+	hi = hi[:len(c)]
+	var s float64
+	for i, ci := range c {
+		if ci == 0 {
+			continue
+		}
+		v := z[i] - theta*ci
+		if v < lo[i] {
+			v = lo[i]
+		} else if v > hi[i] {
+			v = hi[i]
+		}
+		s += ci * v
+	}
+	return s
+}
+
+// unitLoad is knapsackLoad for the unit box lo ≡ 0, hi ≡ 1.
+func unitLoad(z, c []float64, theta float64) float64 {
+	z = z[:len(c)]
+	var s float64
+	for i, ci := range c {
+		if ci == 0 {
+			continue
+		}
+		v := z[i] - theta*ci
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		s += ci * v
+	}
+	return s
+}
+
+// UnitBoxKnapsack writes into dst the projection of z onto the unit-box
+// knapsack { y : 0 ≤ y ≤ 1, Σ_i c_i y_i ≤ b }, c ≥ 0 — the dual-iteration
+// fast path of P2, where the box never tightens. It executes the same
+// float64 operation sequence as BoxKnapsack with lo ≡ 0, hi ≡ 1 (so the
+// two are interchangeable bit for bit), minus the two bound-vector loads
+// per probed coordinate.
+func UnitBoxKnapsack(dst, z, c []float64, b float64) ([]float64, error) {
+	if len(dst) != len(z) || len(z) != len(c) {
+		panic(fmt.Sprintf("projection: UnitBoxKnapsack length mismatch %d/%d/%d", len(dst), len(z), len(c)))
+	}
+	for i, ci := range c {
+		if ci < 0 {
+			panic(fmt.Sprintf("projection: negative knapsack weight c[%d] = %g", i, ci))
+		}
+	}
+	// Feasibility: Σ c·lo = 0 must fit the knapsack (b may be negative).
+	if 0 > b+1e-9*(1+math.Abs(b)) {
+		return nil, fmt.Errorf("%w: Σ c·lo = %g > b = %g", ErrInfeasible, 0.0, b)
+	}
+
+	if unitLoad(z, c, 0) <= b {
+		z = z[:len(dst)]
+		for i, v := range z {
+			dst[i] = mat.Clamp(v, 0, 1)
+		}
+		return dst, nil
+	}
+
+	var thetaMax float64
+	for i, ci := range c {
+		if ci == 0 {
+			continue
+		}
+		if t := z[i] / ci; t > thetaMax {
+			thetaMax = t
+		}
+	}
+	loT, hiT := 0.0, thetaMax
+	resTol := 1e-10 * (1 + math.Abs(b))
+	for iter := 0; iter < bisectIters && hiT-loT > 1e-13*(1+hiT); iter++ {
+		mid := 0.5 * (loT + hiT)
+		l := unitLoad(z, c, mid)
+		if l > b {
+			loT = mid
+		} else {
+			hiT = mid
+			if b-l <= resTol {
+				break
+			}
+		}
+	}
+	theta := hiT // the feasible end of the bracket
+	for i := range z {
+		dst[i] = mat.Clamp(z[i]-theta*c[i], 0, 1)
 	}
 	return dst, nil
 }
