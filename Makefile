@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz audit experiments report examples
 
 all: build vet test
 
@@ -47,11 +47,23 @@ bench:
 cover:
 	$(GO) test -short -cover ./...
 
-# Short fuzzing bursts over the numerical substrates.
+# Short fuzzing bursts over the numerical substrates and the
+# differential solver cross-checks (solvers vs the exact oracle and the
+# trajectory auditor; seed corpora live in each package's testdata/fuzz).
 fuzz:
 	$(GO) test -fuzz FuzzBoxKnapsack -fuzztime 30s ./internal/projection
 	$(GO) test -fuzz FuzzSimplexProjection -fuzztime 30s ./internal/projection
 	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/lp
+	$(GO) test -fuzz FuzzDifferentialOffline -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzDifferentialOnline -fuzztime 30s ./internal/online
+
+# Differentially audit real runs end to end: every committed trajectory
+# is re-derived (feasibility, integrality, independent cost recomputation)
+# and any violation fails the command (DESIGN.md §9).
+audit:
+	$(GO) run ./cmd/jocsim -T 30 -audit -algs offline,rhc,chc,afhc,lrfu
+	$(GO) run ./cmd/jocsim -T 30 -audit -slot-budget 5ms -algs rhc,chc
+	$(GO) run ./cmd/experiments -scale quick -fig headline,rho -audit -progress=false
 
 # Regenerate every figure (slow: full sweeps on the default scale), then
 # assemble EXPERIMENTS.md with machine-checked paper claims.

@@ -9,6 +9,7 @@
 //	experiments -csv out/           # also write one CSV per table
 //	experiments -all -trace run.jsonl -debug-addr localhost:6060
 //	experiments -all -timeout 10m -slot-budget 100ms
+//	experiments -all -audit          # differentially audit every run; fail on violations
 //
 // Experiment identifiers: fig2a fig2b fig2c fig2d fig3a fig3b fig4a fig4b
 // fig5 headline rho chc-r classic loadmode hitratio competitive.
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
+		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; fail the sweep on violations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +95,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		setup.Progress = os.Stderr
 	}
 	setup.SlotBudget = *slotBudget
+	setup.Audit = *auditRuns
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {

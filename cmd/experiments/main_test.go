@@ -66,3 +66,14 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Fatal("accepted unknown flag")
 	}
 }
+
+func TestAuditFlagCleanSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-scale", "quick", "-fig", "headline", "-progress=false", "-audit"}, &buf)
+	if err != nil {
+		t.Fatalf("audited sweep reported violations or failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "[headline]") {
+		t.Fatal("audited sweep lost its normal output")
+	}
+}

@@ -12,6 +12,7 @@
 //	jocsim -debug-addr localhost:6060  # live expvar + pprof endpoint
 //	jocsim -timeout 30s                # cancel the whole run after 30s
 //	jocsim -slot-budget 50ms           # bound each window solve; degrade on overrun
+//	jocsim -audit                      # differentially audit every committed run
 //
 // Ctrl-C (SIGINT) cancels the run cleanly: in-flight solves stop within
 // one solver iteration and the command exits with the context error.
@@ -69,6 +70,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
+		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; exit non-zero on violations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,18 +183,43 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *slotBudget > 0 {
 		opts = append(opts, edgecache.WithSlotBudget(*slotBudget))
 	}
+	if *auditRuns {
+		opts = append(opts, edgecache.WithAudit())
+	}
 	runs, err := edgecache.Compare(ctx, inst, pred, planners, opts...)
 	if err != nil {
 		return err
 	}
 
+	var auditErr error
+	if *auditRuns {
+		total := 0
+		for _, r := range runs {
+			if r.Audit == nil {
+				continue
+			}
+			total += len(r.Audit.Violations)
+			for _, v := range r.Audit.Violations {
+				fmt.Fprintf(os.Stderr, "audit: %s: %s\n", r.Policy, v)
+			}
+		}
+		if total > 0 {
+			auditErr = fmt.Errorf("audit found %d violation(s)", total)
+		} else {
+			fmt.Fprintf(os.Stderr, "audit: %d run(s) clean\n", len(runs))
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
+		if err := enc.Encode(struct {
 			Scenario edgecache.ScenarioConfig `json:"scenario"`
 			Runs     []*edgecache.Run         `json:"runs"`
-		}{scn.Config(), runs})
+		}{scn.Config(), runs}); err != nil {
+			return err
+		}
+		return auditErr
 	}
 
 	cfg := scn.Config()
@@ -243,5 +270,5 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return auditErr
 }

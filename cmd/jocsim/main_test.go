@@ -150,3 +150,44 @@ func TestCancelledContextAbortsRun(t *testing.T) {
 		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }
+
+func TestAuditFlagCleanRuns(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "offline,rhc,lrfu", "-audit"}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("audited run reported violations or failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "relative to Offline") {
+		t.Fatal("audited run lost its normal output")
+	}
+}
+
+func TestAuditFlagWithJSONAttachesReports(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "lrfu", "-audit", "-json"}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Runs []map[string]any `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	rep, ok := payload.Runs[0]["audit"].(map[string]any)
+	if !ok {
+		t.Fatalf("audit report missing from JSON run: %v", payload.Runs[0])
+	}
+	if _, ok := rep["recomputed"]; !ok {
+		t.Fatal("audit report misses the recomputed breakdown")
+	}
+}
+
+func TestAuditFlagWithBudgetedDegradation(t *testing.T) {
+	// The degraded path must still commit trajectories that audit clean.
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "rhc", "-audit", "-slot-budget", "1ns"}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("degraded audited run failed: %v", err)
+	}
+}

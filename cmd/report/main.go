@@ -8,9 +8,12 @@
 //	experiments -all -csv results/csv
 //	report -csv results/csv -out EXPERIMENTS.md
 //	report -csv results/csv -trace claims.jsonl   # structured verdicts
+//	report -csv results/csv -audit                # fail on ANY non-PASS verdict
 //
-// The command exits non-zero if any strict claim fails — the document is
-// still written, with the failures marked.
+// The command exits non-zero if any strict claim fails or is undefined
+// (NaN inputs, e.g. a ratio over a zero-cost baseline) — the document is
+// still written, with the failures marked. With -audit even
+// informational WARN/UNDEF verdicts fail the command.
 package main
 
 import (
@@ -65,7 +68,8 @@ DESIGN.md §3 documents the calibration); every claim below is therefore a
 
 Legend: **PASS** — reproduction-critical claim holds; **WARN** —
 informational claim failed (expected to be sensitive to scale/noise);
-**FAIL** — reproduction-critical claim violated.
+**FAIL** — reproduction-critical claim violated; **UNDEF** — claim
+could not be evaluated (NaN input, e.g. a ratio over a zero base).
 
 `
 
@@ -81,10 +85,11 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		csvDir  = fs.String("csv", "results/csv", "directory holding the experiment CSVs")
-		outPth  = fs.String("out", "", "output markdown file (default stdout)")
-		traceTo = fs.String("trace", "", "write structured claim-check events (JSONL) to this file")
-		timeout = fs.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+		csvDir   = fs.String("csv", "results/csv", "directory holding the experiment CSVs")
+		outPth   = fs.String("out", "", "output markdown file (default stdout)")
+		traceTo  = fs.String("trace", "", "write structured claim-check events (JSONL) to this file")
+		auditAll = fs.Bool("audit", false, "audit-grade strictness: exit non-zero on any non-PASS verdict, informational ones included")
+		timeout  = fs.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,5 +169,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		defer f.Close()
 		out = f
 	}
-	return report.Write(out, report.PaperSections(), tables, header)
+	writeErr := report.Write(out, report.PaperSections(), tables, header)
+	if *auditAll {
+		// Audit-grade strictness: informational verdicts count too.
+		var bad int
+		for _, sec := range report.PaperSections() {
+			t, ok := tables[sec.ID]
+			if !ok {
+				continue
+			}
+			for _, v := range sec.Check(t) {
+				if v.Err != nil {
+					bad++
+					fmt.Fprintf(os.Stderr, "audit: %s [%s] %s — %v\n", sec.ID, v.Status(), v.Claim.Description, v.Err)
+				}
+			}
+		}
+		if bad > 0 && writeErr == nil {
+			writeErr = fmt.Errorf("audit: %d non-PASS verdict(s)", bad)
+		}
+	}
+	return writeErr
 }

@@ -72,3 +72,38 @@ func TestRunNoCSVs(t *testing.T) {
 		t.Fatal("accepted empty CSV directory")
 	}
 }
+
+// TestRunUndefinedStrictClaim: NaN measurements (e.g. ratios over a
+// zero-cost baseline) must surface as UNDEF and fail the document, not
+// silently pass the bound checks.
+func TestRunUndefinedStrictClaim(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(t, dir, "fig5",
+		"eta,Offline,RHC,CHC,AFHC,LRFU\n0,NaN,101,102,103,130\n0.5,NaN,105,106,107,130\n")
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-csv", dir}, &buf); err == nil {
+		t.Fatal("strict undefined claim did not fail the command")
+	}
+	if !strings.Contains(buf.String(), "[UNDEF] offline flat in η") {
+		t.Fatalf("UNDEF verdict missing:\n%s", buf.String())
+	}
+}
+
+// TestAuditFlagFailsOnWarn: -audit upgrades informational WARN verdicts
+// to command failures.
+func TestAuditFlagFailsOnWarn(t *testing.T) {
+	dir := t.TempDir()
+	// CHC cost falling sharply in r → the informational chc-r claim warns.
+	writeCSV(t, dir, "chc-r", "r,CHC\n1,10\n2,5\n")
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-csv", dir}, &buf); err != nil {
+		t.Fatalf("informational failure failed the default run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "[WARN]") {
+		t.Fatal("WARN verdict missing")
+	}
+	var auditBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-csv", dir, "-audit"}, &auditBuf); err == nil {
+		t.Fatal("-audit did not fail on a WARN verdict")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"io"
 	"time"
 
+	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
@@ -84,6 +85,12 @@ type (
 	SlotMetrics = sim.SlotMetrics
 	// WorkloadStats summarises a demand tensor (volume, head mass, skew).
 	WorkloadStats = workload.DemandStats
+	// AuditReport is the differential auditor's verdict on a run (see
+	// WithAudit): the violations found plus an independently recomputed
+	// cost breakdown.
+	AuditReport = audit.Report
+	// AuditViolation is one failed auditor invariant.
+	AuditViolation = audit.Violation
 )
 
 // Re-exported observability types. Telemetry is observational only: it
@@ -401,6 +408,17 @@ func WithFallback(p Planner) RunOption {
 			return p.Plan(ctx, win, nil)
 		}
 	}
+}
+
+// WithAudit re-derives everything each committed run claims (the
+// differential auditor, DESIGN.md §9): every slot's constraints, the
+// integrality of committed placements and an independent recomputation
+// of the cost breakdown. The report lands in Run.Audit; violations are
+// additionally published as audit_violation telemetry events and the
+// audit.violations counter. The audit is observational — a violating
+// run still returns its result — and costs well under 5% of a solve.
+func WithAudit() RunOption {
+	return func(c *sim.Config) { c.Audit = true }
 }
 
 // Simulate plans with one planner, verifies feasibility and accounts all

@@ -1,0 +1,329 @@
+// Package audit re-derives everything a committed trajectory claims and
+// reports every discrepancy as a structured violation. It is the second
+// half of the differential correctness harness (internal/oracle is the
+// first): where the oracle checks *optimality* on tiny instances, the
+// auditor checks *correctness* of any committed run at any scale —
+// feasibility of every slot, integrality of every committed placement,
+// and an independent recomputation of the cost breakdown compared
+// against model.Instance.TotalCost.
+//
+// The cost recomputation deliberately does not call the model package's
+// cost methods: it evaluates eqs. (5), (6) and (8) with its own loops in
+// a different accumulation order, so a bug in either implementation
+// shows up as a mismatch instead of cancelling out.
+//
+// Wiring: sim.Config.Audit runs Trajectory on every committed run and
+// publishes the result through internal/obs — one "audit_violation"
+// event per violation plus the "audit.violations" counter. The
+// CheckCounterDeltas helper pins the accounting of the online repair
+// counters (once per (slot, SBS)) in the differential test suites.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+)
+
+// Violation kinds, one per auditor invariant (DESIGN.md §9).
+const (
+	// KindConstraint: a per-slot constraint of §II-A failed (eqs. 1–3,
+	// domains 10–11), as reported by model.CheckSlot.
+	KindConstraint = "constraint"
+	// KindIntegrality: a committed placement entry is fractional,
+	// violating the integrality that Theorem 1 guarantees and the
+	// rounding step is supposed to restore.
+	KindIntegrality = "integrality"
+	// KindCost: the auditor's independent recomputation of the cost
+	// breakdown disagrees with model.Instance.TotalCost or with the
+	// breakdown the run claimed.
+	KindCost = "cost"
+	// KindCounter: an online repair counter moved backwards or by more
+	// than once per (slot, SBS).
+	KindCounter = "counter"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Slot is the slot index the violation anchors to, or -1 for
+	// trajectory-level violations (cost mismatches, counter accounting).
+	Slot int `json:"slot"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Detail is a human-readable description with the numbers involved.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	if v.Slot < 0 {
+		return fmt.Sprintf("[%s] %s", v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("[%s] slot %d: %s", v.Kind, v.Slot, v.Detail)
+}
+
+// Report is the outcome of auditing one trajectory.
+type Report struct {
+	// Violations lists every failed invariant, in slot order.
+	Violations []Violation `json:"violations,omitempty"`
+	// Recomputed is the auditor's independent cost breakdown.
+	Recomputed model.CostBreakdown `json:"recomputed"`
+}
+
+// OK reports whether the audit found no violations.
+func (r *Report) OK() bool { return r == nil || len(r.Violations) == 0 }
+
+// Err returns nil when the audit passed, otherwise an error summarising
+// the first violation and the total count.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("%w: %d, first: %s", ErrViolations, len(r.Violations), r.Violations[0])
+}
+
+// Options tunes the auditor's tolerances. The zero value is ready to use.
+type Options struct {
+	// Tol is the absolute feasibility/integrality tolerance; 0 selects
+	// model.DefaultTol.
+	Tol float64
+	// CostTol is the relative tolerance for cost comparisons; 0 selects
+	// 1e-9 (the recomputation differs only by floating-point ordering).
+	CostTol float64
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return model.DefaultTol
+}
+
+func (o Options) costTol() float64 {
+	if o.CostTol > 0 {
+		return o.CostTol
+	}
+	return 1e-9
+}
+
+// Trajectory audits a committed trajectory end to end: every slot's
+// constraints (via model.CheckSlot), integrality of every committed
+// placement, and an independent recomputation of the cost breakdown
+// cross-checked against model.Instance.TotalCost. When claimed is
+// non-nil it is additionally compared against the recomputation — pass
+// the breakdown the run reported to catch stale or corrupted accounting.
+//
+// Trajectory is a pure function: it emits nothing and touches no
+// counters. Use Report.Publish to surface the result through obs.
+func Trajectory(in *model.Instance, traj model.Trajectory, claimed *model.CostBreakdown, opts Options) *Report {
+	rep := &Report{}
+	tol := opts.tol()
+
+	if len(traj) != in.T {
+		rep.Violations = append(rep.Violations, Violation{
+			Slot: -1, Kind: KindConstraint,
+			Detail: fmt.Sprintf("trajectory has %d slots, horizon is %d", len(traj), in.T),
+		})
+		return rep
+	}
+	for t := range traj {
+		if err := in.CheckSlot(t, traj[t], tol); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Slot: t, Kind: KindConstraint, Detail: err.Error()})
+		}
+		if !traj[t].X.IsIntegral(tol) {
+			rep.Violations = append(rep.Violations, Violation{
+				Slot: t, Kind: KindIntegrality,
+				Detail: fmt.Sprintf("committed placement is fractional: %s", fractionalEntries(traj[t].X, tol)),
+			})
+		}
+	}
+
+	rep.Recomputed = recomputeCost(in, traj)
+	compareBreakdowns(rep, "model.TotalCost", in.TotalCost(traj), opts)
+	if claimed != nil {
+		compareBreakdowns(rep, "claimed", *claimed, opts)
+	}
+	return rep
+}
+
+// Publish surfaces the report through telemetry: one "audit_violation"
+// event per violation (policy tags the run) and the "audit.violations"
+// counter in tel's registry. Safe on a nil report or nil telemetry.
+func (r *Report) Publish(tel *obs.Telemetry, policy string) {
+	if r == nil || len(r.Violations) == 0 {
+		return
+	}
+	tel.Registry().Counter("audit.violations").Add(int64(len(r.Violations)))
+	if !tel.Enabled() {
+		return
+	}
+	for _, v := range r.Violations {
+		tel.Emit("audit_violation", obs.Fields{
+			"policy": policy,
+			"slot":   v.Slot,
+			"kind":   v.Kind,
+			"detail": v.Detail,
+		})
+	}
+}
+
+// compareBreakdowns appends a cost violation for every component of want
+// that disagrees with the auditor's recomputation beyond the relative
+// tolerance.
+func compareBreakdowns(rep *Report, source string, want model.CostBreakdown, opts Options) {
+	check := func(component string, got, want float64) {
+		if !closeRel(got, want, opts.costTol()) {
+			rep.Violations = append(rep.Violations, Violation{
+				Slot: -1, Kind: KindCost,
+				Detail: fmt.Sprintf("%s cost mismatch vs %s: recomputed %.12g, %s %.12g", component, source, got, source, want),
+			})
+		}
+	}
+	check("BS", rep.Recomputed.BS, want.BS)
+	check("SBS", rep.Recomputed.SBS, want.SBS)
+	check("replacement", rep.Recomputed.Replacement, want.Replacement)
+	check("total", rep.Recomputed.Total, want.Total)
+	if rep.Recomputed.Replacements != want.Replacements {
+		rep.Violations = append(rep.Violations, Violation{
+			Slot: -1, Kind: KindCost,
+			Detail: fmt.Sprintf("replacement count mismatch vs %s: recomputed %d, %s %d", source, rep.Recomputed.Replacements, source, want.Replacements),
+		})
+	}
+}
+
+// closeRel reports |a−b| ≤ tol·max(1, |a|, |b|); NaN never matches.
+func closeRel(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// recomputeCost evaluates eqs. (5), (6) and (8) independently of the
+// model package's cost methods: per-item demand lookups through
+// Demand.At (not the flat Slot rows) and per-SBS accumulation before
+// squaring, in a different association order.
+func recomputeCost(in *model.Instance, traj model.Trajectory) model.CostBreakdown {
+	var br model.CostBreakdown
+	prev := in.InitialPlan()
+	for t := range traj {
+		for n := 0; n < in.N; n++ {
+			// f_t term (eq. 5): weighted unserved demand, squared.
+			var bsLoad float64
+			for m := 0; m < in.Classes[n]; m++ {
+				for k := 0; k < in.K; k++ {
+					bsLoad += in.OmegaBS[n][m] * in.Demand.At(t, n, m, k) * (1 - traj[t].Y[n][m][k])
+				}
+			}
+			br.BS += bsLoad * bsLoad
+			// g_t term (eq. 6): weighted served demand, squared.
+			var sbsLoad float64
+			for m := 0; m < in.Classes[n]; m++ {
+				for k := 0; k < in.K; k++ {
+					sbsLoad += in.OmegaSBS[n][m] * in.Demand.At(t, n, m, k) * traj[t].Y[n][m][k]
+				}
+			}
+			br.SBS += sbsLoad * sbsLoad
+			// h term (eq. 8): β_n per positive placement delta, counting
+			// integral insertions along the way.
+			for k := 0; k < in.K; k++ {
+				if d := traj[t].X[n][k] - prev[n][k]; d > 0 {
+					br.Replacement += in.Beta[n] * d
+				}
+				if traj[t].X[n][k] >= 0.5 && prev[n][k] < 0.5 {
+					br.Replacements++
+				}
+			}
+		}
+		prev = traj[t].X
+	}
+	br.Total = br.BS + br.SBS + br.Replacement
+	return br
+}
+
+// fractionalEntries lists up to three fractional placement entries.
+func fractionalEntries(x model.CachePlan, tol float64) string {
+	var out string
+	count := 0
+	for n := range x {
+		for k, v := range x[n] {
+			if math.Abs(v) <= tol || math.Abs(v-1) <= tol {
+				continue
+			}
+			if count < 3 {
+				if out != "" {
+					out += ", "
+				}
+				out += fmt.Sprintf("x[%d][%d]=%g", n, k, v)
+			}
+			count++
+		}
+	}
+	if count > 3 {
+		out += fmt.Sprintf(" (+%d more)", count-3)
+	}
+	return out
+}
+
+// CounterSnapshot captures the online repair and degradation counters of
+// a registry at one point in time. Take one before and one after a run
+// and feed the pair to CheckCounterDeltas.
+type CounterSnapshot struct {
+	CapacityDrops    int64
+	BandwidthRepairs int64
+	Degraded         int64
+}
+
+// Counters reads the current repair/degradation counter values from reg
+// (nil selects obs.Default).
+func Counters(reg *obs.Registry) CounterSnapshot {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return CounterSnapshot{
+		CapacityDrops:    reg.Counter("online.capacity_drops").Value(),
+		BandwidthRepairs: reg.Counter("online.bandwidth_repairs").Value(),
+		Degraded:         reg.Counter("solver.degraded").Value(),
+	}
+}
+
+// CheckCounterDeltas validates the accounting of the online repair
+// counters across one run on in: counters are monotone (deltas ≥ 0) and
+// each repair counter fires at most once per (slot, SBS), so a single
+// run can add at most T·N to each (DESIGN.md §6). It returns the
+// violations found (nil when the accounting is sound). The caller must
+// ensure no concurrent run shares the registry between the snapshots.
+func CheckCounterDeltas(in *model.Instance, before, after CounterSnapshot) []Violation {
+	var out []Violation
+	bound := int64(in.T) * int64(in.N)
+	check := func(name string, b, a int64, max int64) {
+		d := a - b
+		if d < 0 {
+			out = append(out, Violation{
+				Slot: -1, Kind: KindCounter,
+				Detail: fmt.Sprintf("%s moved backwards: %d -> %d", name, b, a),
+			})
+		} else if d > max {
+			out = append(out, Violation{
+				Slot: -1, Kind: KindCounter,
+				Detail: fmt.Sprintf("%s advanced by %d in one run, max is %d (once per (slot, SBS))", name, d, max),
+			})
+		}
+	}
+	check("online.capacity_drops", before.CapacityDrops, after.CapacityDrops, bound)
+	check("online.bandwidth_repairs", before.BandwidthRepairs, after.BandwidthRepairs, bound)
+	if after.Degraded < before.Degraded {
+		out = append(out, Violation{
+			Slot: -1, Kind: KindCounter,
+			Detail: fmt.Sprintf("solver.degraded moved backwards: %d -> %d", before.Degraded, after.Degraded),
+		})
+	}
+	return out
+}
+
+// ErrViolations is wrapped by errors returned from audit-enabled runs so
+// callers can distinguish audit failures from solve failures.
+var ErrViolations = errors.New("audit violations")

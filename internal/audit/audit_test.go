@@ -1,0 +1,218 @@
+package audit
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"edgecache/internal/core"
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+	"edgecache/internal/workload"
+)
+
+// solvedInstance builds a small instance with a committed, feasible,
+// integral trajectory from the primal-dual solver.
+func solvedInstance(t *testing.T) (*model.Instance, model.Trajectory, model.CostBreakdown) {
+	t.Helper()
+	cfg := workload.PaperDefault()
+	cfg.T = 4
+	cfg.K = 4
+	cfg.ClassesPerSBS = 3
+	cfg.CacheCap = 2
+	cfg.Bandwidth = 6
+	cfg.Beta = 3
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(context.Background(), in, core.Options{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, res.Trajectory, res.Cost
+}
+
+func kinds(rep *Report) map[string]int {
+	out := map[string]int{}
+	for _, v := range rep.Violations {
+		out[v.Kind]++
+	}
+	return out
+}
+
+func TestCleanTrajectoryPasses(t *testing.T) {
+	in, traj, cost := solvedInstance(t)
+	rep := Trajectory(in, traj, &cost, Options{})
+	if !rep.OK() {
+		t.Fatalf("clean trajectory flagged: %v", rep.Err())
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v on a clean report", rep.Err())
+	}
+	// The independent recomputation must agree with the model's accounting.
+	want := in.TotalCost(traj)
+	if math.Abs(rep.Recomputed.Total-want.Total) > 1e-9*(1+math.Abs(want.Total)) {
+		t.Fatalf("recomputed total %g != model total %g", rep.Recomputed.Total, want.Total)
+	}
+	if rep.Recomputed.Replacements != want.Replacements {
+		t.Fatalf("recomputed %d replacements, model %d", rep.Recomputed.Replacements, want.Replacements)
+	}
+}
+
+func TestDetectsFractionalPlacement(t *testing.T) {
+	in, traj, _ := solvedInstance(t)
+	traj[1].X[0][0] = 0.5
+	rep := Trajectory(in, traj, nil, Options{})
+	if kinds(rep)[KindIntegrality] == 0 {
+		t.Fatalf("fractional placement not flagged: %v", rep.Violations)
+	}
+	for _, v := range rep.Violations {
+		if v.Kind == KindIntegrality && v.Slot != 1 {
+			t.Fatalf("integrality violation anchored to slot %d, want 1", v.Slot)
+		}
+	}
+}
+
+func TestDetectsCouplingViolation(t *testing.T) {
+	in, traj, _ := solvedInstance(t)
+	// Serve an uncached content: violates y ≤ x (eq. 3).
+	var doctored bool
+	for k := 0; k < in.K && !doctored; k++ {
+		if traj[2].X[0][k] < 0.5 {
+			traj[2].Y[0][0][k] = 1
+			doctored = true
+		}
+	}
+	if !doctored {
+		t.Fatal("no uncached content to doctor")
+	}
+	rep := Trajectory(in, traj, nil, Options{})
+	if kinds(rep)[KindConstraint] == 0 {
+		t.Fatalf("coupling violation not flagged: %v", rep.Violations)
+	}
+}
+
+func TestDetectsCorruptedClaimedBreakdown(t *testing.T) {
+	in, traj, cost := solvedInstance(t)
+	cost.Total += 1 // stale/corrupted accounting
+	rep := Trajectory(in, traj, &cost, Options{})
+	if kinds(rep)[KindCost] == 0 {
+		t.Fatalf("corrupted claimed breakdown not flagged: %v", rep.Violations)
+	}
+	var mentionsClaimed bool
+	for _, v := range rep.Violations {
+		if v.Kind == KindCost && strings.Contains(v.Detail, "claimed") {
+			mentionsClaimed = true
+		}
+	}
+	if !mentionsClaimed {
+		t.Fatalf("cost violation does not name the claimed source: %v", rep.Violations)
+	}
+}
+
+func TestDetectsWrongHorizonLength(t *testing.T) {
+	in, traj, _ := solvedInstance(t)
+	rep := Trajectory(in, traj[:len(traj)-1], nil, Options{})
+	if rep.OK() {
+		t.Fatal("short trajectory passed")
+	}
+	if rep.Violations[0].Slot != -1 || rep.Violations[0].Kind != KindConstraint {
+		t.Fatalf("unexpected violation: %+v", rep.Violations[0])
+	}
+}
+
+func TestErrWrapsErrViolations(t *testing.T) {
+	rep := &Report{Violations: []Violation{{Slot: 0, Kind: KindConstraint, Detail: "x"}}}
+	if !errors.Is(rep.Err(), ErrViolations) {
+		t.Fatalf("Err() = %v, does not wrap ErrViolations", rep.Err())
+	}
+	var nilRep *Report
+	if !nilRep.OK() || nilRep.Err() != nil {
+		t.Fatal("nil report must be OK")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Slot: 3, Kind: KindConstraint, Detail: "boom"}
+	if got := v.String(); !strings.Contains(got, "slot 3") || !strings.Contains(got, "boom") {
+		t.Fatalf("String() = %q", got)
+	}
+	v.Slot = -1
+	if got := v.String(); strings.Contains(got, "slot") {
+		t.Fatalf("trajectory-level violation mentions a slot: %q", got)
+	}
+}
+
+func TestPublishEmitsEventsAndCounter(t *testing.T) {
+	var col obs.Collector
+	reg := obs.NewRegistry()
+	tel := obs.New(&col, reg)
+	rep := &Report{Violations: []Violation{
+		{Slot: 0, Kind: KindConstraint, Detail: "a"},
+		{Slot: -1, Kind: KindCost, Detail: "b"},
+	}}
+	rep.Publish(tel, "RHC(w=4)")
+	if got := reg.Counter("audit.violations").Value(); got != 2 {
+		t.Fatalf("audit.violations = %d, want 2", got)
+	}
+	events := col.ByType("audit_violation")
+	if len(events) != 2 {
+		t.Fatalf("%d audit_violation events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Fields["policy"] != "RHC(w=4)" {
+			t.Fatalf("event policy = %v", e.Fields["policy"])
+		}
+	}
+	// A clean or nil report publishes nothing and must not panic.
+	(&Report{}).Publish(tel, "x")
+	var nilRep *Report
+	nilRep.Publish(tel, "x")
+	nilRep.Publish(nil, "x")
+	if got := reg.Counter("audit.violations").Value(); got != 2 {
+		t.Fatalf("clean publishes moved the counter to %d", got)
+	}
+}
+
+func TestCountersReadsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("online.capacity_drops").Add(3)
+	reg.Counter("online.bandwidth_repairs").Add(5)
+	reg.Counter("solver.degraded").Add(7)
+	snap := Counters(reg)
+	if snap.CapacityDrops != 3 || snap.BandwidthRepairs != 5 || snap.Degraded != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestCheckCounterDeltas(t *testing.T) {
+	in := &model.Instance{T: 4, N: 2} // bound = 8; only T and N are read
+	ok := CheckCounterDeltas(in,
+		CounterSnapshot{CapacityDrops: 1, BandwidthRepairs: 0, Degraded: 2},
+		CounterSnapshot{CapacityDrops: 9, BandwidthRepairs: 8, Degraded: 5})
+	if len(ok) != 0 {
+		t.Fatalf("sound accounting flagged: %v", ok)
+	}
+	backwards := CheckCounterDeltas(in,
+		CounterSnapshot{CapacityDrops: 5},
+		CounterSnapshot{CapacityDrops: 4})
+	if len(backwards) != 1 || backwards[0].Kind != KindCounter {
+		t.Fatalf("backwards counter not flagged: %v", backwards)
+	}
+	// Per-entry accounting (the pre-fix bug) can exceed T·N in one run.
+	excessive := CheckCounterDeltas(in,
+		CounterSnapshot{},
+		CounterSnapshot{CapacityDrops: 9})
+	if len(excessive) != 1 || !strings.Contains(excessive[0].Detail, "once per (slot, SBS)") {
+		t.Fatalf("excessive delta not flagged: %v", excessive)
+	}
+	degradedBack := CheckCounterDeltas(in,
+		CounterSnapshot{Degraded: 3},
+		CounterSnapshot{Degraded: 1})
+	if len(degradedBack) != 1 {
+		t.Fatalf("backwards degraded counter not flagged: %v", degradedBack)
+	}
+}

@@ -1,157 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 
 	"edgecache/internal/convex"
-	"edgecache/internal/loadbalance"
 	"edgecache/internal/model"
+	"edgecache/internal/oracle"
 )
 
-// maxBruteForceK bounds the catalogue size accepted by BruteForce: the DP
-// state space is every ≤C-subset of K items, which grows as 2^K.
-const maxBruteForceK = 14
-
-// BruteForce computes the exact offline optimum of eq. (9) by dynamic
-// programming over cache-placement states, and serves as the test oracle
-// for Algorithm 1 and the online controllers.
-//
-// It exploits two structural facts: the objective and constraints separate
-// across SBSs (each term of f, g and h involves one SBS only), and the
-// only temporal coupling is the replacement cost h between consecutive
-// placements. Per SBS the DP state is the set of cached items; the
-// per-state slot cost is the exact optimal load split from package
-// loadbalance. Exponential in K — intended for tiny instances.
+// BruteForce computes the exact offline optimum of eq. (9) and serves as
+// the test oracle for Algorithm 1 and the online controllers. It is a
+// thin wrapper over oracle.Solve (see internal/oracle for the DP
+// formulation and its size limits); the differential harness calls the
+// oracle directly, this entry point remains for core's own tests and
+// callers that predate the oracle package.
 func BruteForce(in *model.Instance, opts convex.Options) (model.Trajectory, model.CostBreakdown, error) {
-	if err := in.Validate(); err != nil {
+	traj, br, err := oracle.Solve(context.Background(), in, opts)
+	if err != nil {
 		return nil, model.CostBreakdown{}, fmt.Errorf("core: %w", err)
 	}
-	if in.K > maxBruteForceK {
-		return nil, model.CostBreakdown{}, fmt.Errorf("core: brute force limited to K ≤ %d, got %d", maxBruteForceK, in.K)
-	}
-
-	traj := model.NewTrajectory(in)
-	initial := in.InitialPlan()
-	for n := 0; n < in.N; n++ {
-		if err := bruteForceSBS(in, n, initial[n], traj, opts); err != nil {
-			return nil, model.CostBreakdown{}, err
-		}
-	}
-	return traj, in.TotalCost(traj), nil
-}
-
-// bruteForceSBS fills traj's slots for SBS n with its optimal trajectory.
-func bruteForceSBS(in *model.Instance, n int, initial []float64, traj model.Trajectory, opts convex.Options) error {
-	states := enumerateStates(in.K, in.CacheCap[n])
-	initMask := uint(0)
-	for k, v := range initial {
-		if v >= 0.5 {
-			initMask |= 1 << k
-		}
-	}
-
-	// opCost[s] for the current slot and the memoised optimal load splits.
-	type slotSolution struct {
-		cost float64
-		y    [][]float64 // per class
-	}
-	solveState := func(t int, mask uint) (slotSolution, error) {
-		upper := make([]float64, in.Classes[n]*in.K)
-		for m := 0; m < in.Classes[n]; m++ {
-			for k := 0; k < in.K; k++ {
-				if mask&(1<<k) != 0 {
-					upper[m*in.K+k] = 1
-				}
-			}
-		}
-		sp := loadbalance.ForInstance(in, t, n, nil, upper)
-		y, _, err := sp.Solve(nil, opts)
-		if err != nil {
-			return slotSolution{}, fmt.Errorf("core: brute force slot %d state %b: %w", t, mask, err)
-		}
-		ym := make([][]float64, in.Classes[n])
-		for m := range ym {
-			ym[m] = y[m*in.K : (m+1)*in.K]
-		}
-		f, g := sp.OperatingCosts(y)
-		return slotSolution{cost: f + g, y: ym}, nil
-	}
-
-	switchCost := func(prev, cur uint) float64 {
-		inserted := bitsCount(cur &^ prev)
-		return in.Beta[n] * float64(inserted)
-	}
-
-	// DP forward: best[s] = min cost of reaching state s at slot t.
-	best := make([]float64, len(states))
-	choice := make([][]int, in.T) // argmin predecessor per (t, state)
-	sols := make([][]slotSolution, in.T)
-	for t := 0; t < in.T; t++ {
-		choice[t] = make([]int, len(states))
-		sols[t] = make([]slotSolution, len(states))
-		next := make([]float64, len(states))
-		for si, s := range states {
-			sol, err := solveState(t, s)
-			if err != nil {
-				return err
-			}
-			sols[t][si] = sol
-			bestPrev := math.Inf(1)
-			bestIdx := -1
-			if t == 0 {
-				bestPrev = switchCost(initMask, s)
-			} else {
-				for pi, p := range states {
-					if c := best[pi] + switchCost(p, s); c < bestPrev {
-						bestPrev = c
-						bestIdx = pi
-					}
-				}
-			}
-			choice[t][si] = bestIdx
-			next[si] = bestPrev + sol.cost
-		}
-		best = next
-	}
-
-	// Backtrack.
-	endIdx := 0
-	for si := range states {
-		if best[si] < best[endIdx] {
-			endIdx = si
-		}
-	}
-	for t := in.T - 1; t >= 0; t-- {
-		mask := states[endIdx]
-		for k := 0; k < in.K; k++ {
-			if mask&(1<<k) != 0 {
-				traj[t].X[n][k] = 1
-			}
-		}
-		for m := 0; m < in.Classes[n]; m++ {
-			copy(traj[t].Y[n][m], sols[t][endIdx].y[m])
-		}
-		endIdx = choice[t][endIdx]
-	}
-	return nil
-}
-
-// enumerateStates lists all item subsets of size ≤ cap as bitmasks.
-func enumerateStates(k, cacheCap int) []uint {
-	var states []uint
-	for mask := uint(0); mask < 1<<k; mask++ {
-		if bitsCount(mask) <= cacheCap {
-			states = append(states, mask)
-		}
-	}
-	return states
-}
-
-func bitsCount(m uint) int {
-	c := 0
-	for ; m != 0; m &= m - 1 {
-		c++
-	}
-	return c
+	return traj, br, nil
 }

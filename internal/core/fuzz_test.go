@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/audit"
+	"edgecache/internal/convex"
+	"edgecache/internal/oracle"
+	"edgecache/internal/workload"
+)
+
+// FuzzDifferentialOffline cross-checks the primal-dual solver against the
+// exact oracle on randomly generated tiny instances: the solver's upper
+// bound may not beat the true optimum, its dual lower bound may not
+// exceed it (together these pin the reported duality gap around the
+// optimum), and the committed trajectory must pass the differential
+// auditor — feasibility, P1 integrality and independent cost
+// recomputation. Run with
+// `go test -fuzz FuzzDifferentialOffline ./internal/core`.
+func FuzzDifferentialOffline(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(3), uint64(5))
+	f.Add(uint64(7), uint64(11))
+	f.Add(^uint64(0), uint64(13))
+	f.Fuzz(func(t *testing.T, s1, s2 uint64) {
+		rng := rand.New(rand.NewPCG(s1, s2))
+		cfg := workload.PaperDefault()
+		cfg.N = 1 + rng.IntN(2)
+		cfg.T = 2 + rng.IntN(3)
+		cfg.K = 3 + rng.IntN(3)
+		cfg.ClassesPerSBS = 2 + rng.IntN(2)
+		cfg.CacheCap = 1 + rng.IntN(2)
+		cfg.Bandwidth = 2 + rng.Float64()*6
+		cfg.Beta = rng.Float64() * 25
+		cfg.Workload.Jitter = rng.Float64() * 0.5
+		cfg.Seed = 1 + s1 ^ s2
+		in, err := workload.BuildInstance(cfg)
+		if err != nil {
+			t.Fatalf("instance generation failed: %v", err)
+		}
+
+		_, want, err := oracle.Solve(context.Background(), in, convex.Options{})
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		got, err := Solve(context.Background(), in, Options{MaxIter: 80})
+		if err != nil {
+			t.Fatalf("primal-dual: %v", err)
+		}
+
+		// The oracle is exact over placements but its per-state load
+		// splits come from the same first-order convex machinery the
+		// solver uses, so both sides carry subsolver tolerance; 1e-5
+		// relative covers it at the oracle's tightened defaults.
+		tol := 1e-5 * (1 + math.Abs(want.Total))
+		if got.Cost.Total < want.Total-tol {
+			t.Fatalf("primal-dual %g beats exact optimum %g — oracle or solver bug", got.Cost.Total, want.Total)
+		}
+		if got.LowerBound > want.Total+tol {
+			t.Fatalf("dual bound %g exceeds exact optimum %g — invalid certificate", got.LowerBound, want.Total)
+		}
+		if rep := audit.Trajectory(in, got.Trajectory, &got.Cost, audit.Options{}); !rep.OK() {
+			t.Fatalf("solver trajectory failed audit: %v", rep.Err())
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
@@ -48,6 +49,11 @@ type Setup struct {
 	// fallback — see DESIGN.md §7) instead of failing the sweep. Zero
 	// disables budgeting.
 	SlotBudget time.Duration
+	// Audit re-derives every committed trajectory's claims (package
+	// audit: per-slot constraints, integrality, independent cost
+	// recomputation) and fails the sweep on the first violation —
+	// experiment tables must never be built from corrupt runs.
+	Audit bool
 	// Telemetry receives structured progress events plus everything the
 	// underlying solvers emit (run_summary, solver_iteration, ...).
 	Telemetry *obs.Telemetry
@@ -125,9 +131,33 @@ func (s Setup) seedList() []uint64 {
 	return []uint64{s.Config.Seed}
 }
 
-// run evaluates one policy under the setup's telemetry and slot budget.
+// run evaluates one policy under the setup's telemetry, slot budget and
+// audit configuration.
 func (s Setup) run(ctx context.Context, in *model.Instance, pred *workload.Predictor, p sim.Policy) (*sim.Result, error) {
-	return sim.RunWith(ctx, in, pred, p, sim.Config{Telemetry: s.tel(), SlotBudget: s.SlotBudget})
+	res, err := sim.RunWith(ctx, in, pred, p, sim.Config{Telemetry: s.tel(), SlotBudget: s.SlotBudget, Audit: s.Audit})
+	if err != nil {
+		return nil, err
+	}
+	if s.Audit {
+		if err := res.Audit.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+		}
+	}
+	return res, nil
+}
+
+// auditTrajectory applies the Setup.Audit policy to sweeps that drive
+// online.Run directly (bypassing sim.RunWith).
+func (s Setup) auditTrajectory(in *model.Instance, traj model.Trajectory, name string) error {
+	if !s.Audit {
+		return nil
+	}
+	rep := audit.Trajectory(in, traj, nil, audit.Options{})
+	rep.Publish(s.tel(), name)
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	return nil
 }
 
 // pointResults holds, per canonical algorithm name, one result per seed.
@@ -349,6 +379,9 @@ func (s Setup) RhoSweep(ctx context.Context, rhos []float64) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rho=%g %s: %w", rho, alg.name, err)
 			}
+			if err := s.auditTrajectory(in, res.Trajectory, alg.name); err != nil {
+				return nil, err
+			}
 			cells[alg.name] = in.TotalCost(res.Trajectory).Total
 		}
 		t.Add(rho, cells)
@@ -378,6 +411,9 @@ func (s Setup) CommitmentSweep(ctx context.Context, rs []int) (*Table, error) {
 		res, err := online.Run(ctx, in, pred, c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: r=%d: %w", r, err)
+		}
+		if err := s.auditTrajectory(in, res.Trajectory, c.Name()); err != nil {
+			return nil, err
 		}
 		t.Add(float64(r), map[string]float64{"CHC": in.TotalCost(res.Trajectory).Total})
 	}
@@ -418,6 +454,9 @@ func (s Setup) Competitive(ctx context.Context, windows []int) (*Table, error) {
 			rhc.SlotBudget = s.SlotBudget
 			res, err := online.Run(ctx, in, pred, rhc)
 			if err != nil {
+				return nil, err
+			}
+			if err := s.auditTrajectory(in, res.Trajectory, rhc.Name()); err != nil {
 				return nil, err
 			}
 			ratio += in.TotalCost(res.Trajectory).Total / off.Cost.Total / float64(len(s.seedList()))
@@ -462,6 +501,9 @@ func (s Setup) LoadModeComparison(ctx context.Context, etas []float64) (*Table, 
 				res, err := online.Run(ctx, in, pred, c)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: loadmode %v: %w", mode, err)
+				}
+				if err := s.auditTrajectory(in, res.Trajectory, c.Name()); err != nil {
+					return nil, err
 				}
 				name := "Predicted"
 				if mode == online.LoadReactive {

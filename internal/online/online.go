@@ -339,7 +339,7 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		res.RelaxedCost += in.BSCost(t, avgY) + in.SBSCost(t, avgY) +
 			in.ReplacementCost(prevAvgX, avgX)
 
-		x, candidates, capDropped := roundPlacement(in, avgX, cfg.Rho)
+		x, candidates, capDropped, capSBS := roundPlacement(in, avgX, cfg.Rho)
 		var y model.LoadPlan
 		var bwRepaired int
 		if cfg.LoadMode == LoadReactive {
@@ -352,7 +352,10 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		}
 		traj[t] = model.SlotDecision{X: x, Y: y}
 
-		mCapDrops.Add(int64(capDropped))
+		// Repair counters advance once per (slot, SBS) where the repair
+		// fired (DESIGN.md §6); the per-entry drop count goes into the
+		// slot_decision event below instead.
+		mCapDrops.Add(int64(capSBS))
 		mBWRepairs.Add(int64(bwRepaired))
 		if cfg.Telemetry.Enabled() {
 			var cached int
@@ -581,10 +584,12 @@ type cand struct {
 // roundPlacement applies the CHC rounding policy with capacity repair:
 // candidates are entries with average ≥ ρ; if more than C_n qualify the
 // top C_n by average survive (ties broken toward smaller k for
-// determinism). It also reports the total number of candidates and how
-// many the capacity repair dropped — the telemetry of the two repairs
-// DESIGN.md documents.
-func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped int) {
+// determinism). It also reports the total number of candidates, how many
+// entries the capacity repair dropped, and at how many SBSs the repair
+// fired — the telemetry of the two repairs DESIGN.md documents: the
+// slot_decision event carries the per-entry drop count, while the
+// online.capacity_drops counter advances once per (slot, SBS).
+func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped, droppedSBS int) {
 	x = model.NewCachePlan(in.N, in.K)
 	cands := make([]cand, 0, in.K)
 	for n := 0; n < in.N; n++ {
@@ -603,13 +608,14 @@ func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x mod
 		})
 		if len(cands) > in.CacheCap[n] {
 			dropped += len(cands) - in.CacheCap[n]
+			droppedSBS++
 			cands = cands[:in.CacheCap[n]]
 		}
 		for _, c := range cands {
 			x[n][c.k] = 1
 		}
 	}
-	return x, candidates, dropped
+	return x, candidates, dropped, droppedSBS
 }
 
 // predictedLoad zeroes the averaged load split wherever the rounded
@@ -629,8 +635,15 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 					y[n][m][k] = 0
 					continue
 				}
+				// Averaged iterates can stray marginally outside [0, 1]
+				// (convex-solver tolerance), so clamp both bounds: a
+				// surviving negative would violate eq. (11) in the
+				// committed plan and corrupt the load sum driving the
+				// bandwidth rescale below.
 				if y[n][m][k] > 1 {
 					y[n][m][k] = 1
+				} else if y[n][m][k] < 0 {
+					y[n][m][k] = 0
 				}
 				load += row[base+k] * y[n][m][k]
 			}

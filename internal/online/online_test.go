@@ -170,7 +170,7 @@ func TestRoundPlacement(t *testing.T) {
 	avg[0][1] = 0.5
 	avg[0][2] = 0.45
 	avg[0][3] = 0.2 // below ρ
-	x, candidates, dropped := roundPlacement(in, avg, DefaultRho)
+	x, candidates, dropped, droppedSBS := roundPlacement(in, avg, DefaultRho)
 	// Capacity 2: top-2 of the three candidates survive.
 	if x[0][0] != 1 || x[0][1] != 1 {
 		t.Fatalf("top candidates dropped: %v", x[0])
@@ -178,8 +178,8 @@ func TestRoundPlacement(t *testing.T) {
 	if x[0][2] != 0 || x[0][3] != 0 {
 		t.Fatalf("capacity repair failed: %v", x[0])
 	}
-	if candidates != 3 || dropped != 1 {
-		t.Fatalf("repair stats = (%d candidates, %d dropped), want (3, 1)", candidates, dropped)
+	if candidates != 3 || dropped != 1 || droppedSBS != 1 {
+		t.Fatalf("repair stats = (%d candidates, %d dropped, %d SBSs), want (3, 1, 1)", candidates, dropped, droppedSBS)
 	}
 }
 
@@ -189,7 +189,7 @@ func TestRoundPlacementTieBreak(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		avg[0][k] = 0.5
 	}
-	x, _, _ := roundPlacement(in, avg, DefaultRho)
+	x, _, _, _ := roundPlacement(in, avg, DefaultRho)
 	if x[0][0] != 1 || x[0][1] != 1 || x[0][2] != 0 {
 		t.Fatalf("tie break not deterministic toward low indices: %v", x[0])
 	}

@@ -1,0 +1,208 @@
+// Package oracle computes the exact offline optimum of the joint
+// caching / load-balancing problem (eq. 9) on tiny instances. It is the
+// ground truth of the differential correctness harness: the primal-dual
+// solver (package core), the online controllers (package online) and the
+// trajectory auditor (package audit) are all cross-checked against it.
+//
+// # Formulation (DESIGN.md §9)
+//
+// The objective and every constraint separate across SBSs — each term of
+// f_t, g_t and h involves exactly one SBS, and capacity/bandwidth bind per
+// SBS — so the instance decomposes into N independent per-SBS problems.
+// The only temporal coupling left is the replacement cost h between
+// consecutive placements, which makes each per-SBS problem a shortest
+// path over time through placement states:
+//
+//   - a state is a capacity-feasible item subset S ⊆ {1..K}, |S| ≤ C_n,
+//     enumerated as a bitmask (eq. 1 holds by construction);
+//   - the per-(t, state) cost is f_t + g_t at the *exact* optimal load
+//     split for that placement — the same convex machinery the solvers
+//     use (package loadbalance), with the coupling y ≤ x (eq. 3) as the
+//     upper bound and the bandwidth knapsack (eq. 2) intact;
+//   - the transition cost from state P to state S entering slot t is
+//     β_n·|S \ P| (eq. 8);
+//   - a forward DP over slots with backtracking recovers the optimal
+//     state sequence, starting from the instance's initial placement.
+//
+// The state space is every ≤C_n-subset of K items, so the DP is
+// exponential in K: Solve refuses K > MaxK, and the differential test
+// suites stay far below that (N ≤ 2, K ≤ 6, T ≤ 4) where a solve is
+// milliseconds. Within those limits the result is the true optimum up to
+// the convex subsolver's tolerance.
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"edgecache/internal/convex"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+)
+
+// MaxK bounds the catalogue size accepted by Solve: the DP state space is
+// every ≤C-subset of K items, which grows as 2^K.
+const MaxK = 14
+
+// Solvable reports whether the instance is within the oracle's size
+// limits; it returns a descriptive error when it is not.
+func Solvable(in *model.Instance) error {
+	if in == nil {
+		return fmt.Errorf("oracle: nil instance")
+	}
+	if in.K > MaxK {
+		return fmt.Errorf("oracle: exact DP limited to K ≤ %d, got %d", MaxK, in.K)
+	}
+	return nil
+}
+
+// Solve computes the exact optimum of eq. (9) over the instance's horizon
+// and returns the optimal trajectory with its cost breakdown. It is
+// exponential in K (see MaxK) and intended for tiny instances only.
+// Cancellation is honoured between per-state load-split solves.
+func Solve(ctx context.Context, in *model.Instance, opts convex.Options) (model.Trajectory, model.CostBreakdown, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := in.Validate(); err != nil {
+		return nil, model.CostBreakdown{}, fmt.Errorf("oracle: %w", err)
+	}
+	if err := Solvable(in); err != nil {
+		return nil, model.CostBreakdown{}, err
+	}
+	// The DP's optimality argument needs each per-state load split to be
+	// essentially exact: an under-converged split inflates a state's cost
+	// and can make the "optimum" lose to the production solver. Default
+	// far past the production tolerances — instances here are tiny, so
+	// the extra iterations are cheap.
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 50000
+	}
+	if opts.StepTol == 0 {
+		opts.StepTol = 1e-12
+	}
+
+	traj := model.NewTrajectory(in)
+	initial := in.InitialPlan()
+	for n := 0; n < in.N; n++ {
+		if err := solveSBS(ctx, in, n, initial[n], traj, opts); err != nil {
+			return nil, model.CostBreakdown{}, err
+		}
+	}
+	return traj, in.TotalCost(traj), nil
+}
+
+// solveSBS fills traj's slots for SBS n with its optimal trajectory via
+// the per-SBS DP described in the package comment.
+func solveSBS(ctx context.Context, in *model.Instance, n int, initial []float64, traj model.Trajectory, opts convex.Options) error {
+	states := enumerateStates(in.K, in.CacheCap[n])
+	initMask := uint(0)
+	for k, v := range initial {
+		if v >= 0.5 {
+			initMask |= 1 << k
+		}
+	}
+
+	// slotSolution memoises the exact optimal load split of one
+	// (slot, state) pair and its operating cost f_t + g_t.
+	type slotSolution struct {
+		cost float64
+		y    [][]float64 // per class
+	}
+	solveState := func(t int, mask uint) (slotSolution, error) {
+		upper := make([]float64, in.Classes[n]*in.K)
+		for m := 0; m < in.Classes[n]; m++ {
+			for k := 0; k < in.K; k++ {
+				if mask&(1<<k) != 0 {
+					upper[m*in.K+k] = 1
+				}
+			}
+		}
+		sp := loadbalance.ForInstance(in, t, n, nil, upper)
+		y, _, err := sp.Solve(nil, opts)
+		if err != nil {
+			return slotSolution{}, fmt.Errorf("oracle: slot %d state %b: %w", t, mask, err)
+		}
+		ym := make([][]float64, in.Classes[n])
+		for m := range ym {
+			ym[m] = y[m*in.K : (m+1)*in.K]
+		}
+		f, g := sp.OperatingCosts(y)
+		return slotSolution{cost: f + g, y: ym}, nil
+	}
+
+	switchCost := func(prev, cur uint) float64 {
+		inserted := bits.OnesCount(cur &^ prev)
+		return in.Beta[n] * float64(inserted)
+	}
+
+	// DP forward: best[s] = min cost of reaching state s at slot t.
+	best := make([]float64, len(states))
+	choice := make([][]int, in.T) // argmin predecessor per (t, state)
+	sols := make([][]slotSolution, in.T)
+	for t := 0; t < in.T; t++ {
+		choice[t] = make([]int, len(states))
+		sols[t] = make([]slotSolution, len(states))
+		next := make([]float64, len(states))
+		for si, s := range states {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("oracle: interrupted at slot %d: %w", t, err)
+			}
+			sol, err := solveState(t, s)
+			if err != nil {
+				return err
+			}
+			sols[t][si] = sol
+			bestPrev := math.Inf(1)
+			bestIdx := -1
+			if t == 0 {
+				bestPrev = switchCost(initMask, s)
+			} else {
+				for pi, p := range states {
+					if c := best[pi] + switchCost(p, s); c < bestPrev {
+						bestPrev = c
+						bestIdx = pi
+					}
+				}
+			}
+			choice[t][si] = bestIdx
+			next[si] = bestPrev + sol.cost
+		}
+		best = next
+	}
+
+	// Backtrack the optimal state sequence into the shared trajectory.
+	endIdx := 0
+	for si := range states {
+		if best[si] < best[endIdx] {
+			endIdx = si
+		}
+	}
+	for t := in.T - 1; t >= 0; t-- {
+		mask := states[endIdx]
+		for k := 0; k < in.K; k++ {
+			if mask&(1<<k) != 0 {
+				traj[t].X[n][k] = 1
+			}
+		}
+		for m := 0; m < in.Classes[n]; m++ {
+			copy(traj[t].Y[n][m], sols[t][endIdx].y[m])
+		}
+		endIdx = choice[t][endIdx]
+	}
+	return nil
+}
+
+// enumerateStates lists all item subsets of size ≤ cap as bitmasks, in
+// increasing mask order (deterministic tie-breaking in the DP).
+func enumerateStates(k, cacheCap int) []uint {
+	var states []uint
+	for mask := uint(0); mask < 1<<k; mask++ {
+		if bits.OnesCount(mask) <= cacheCap {
+			states = append(states, mask)
+		}
+	}
+	return states
+}

@@ -192,6 +192,9 @@ func PaperSections() []Section {
 				if err != nil {
 					return err
 				}
+				if err := checkDefined("Ratio", xs...); err != nil {
+					return err
+				}
 				for i, v := range xs {
 					if v < 1-1e-6 {
 						return fmt.Errorf("ratio %g < 1 at row %d", v, i)
@@ -249,6 +252,9 @@ func lastAtLeastFirst(col string, slack float64) func(*experiments.Table) error 
 	return func(t *experiments.Table) error {
 		xs, err := column(t, col)
 		if err != nil {
+			return err
+		}
+		if err := checkDefined(col, xs...); err != nil {
 			return err
 		}
 		if len(xs) < 2 {

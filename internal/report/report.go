@@ -12,6 +12,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -20,6 +21,25 @@ import (
 
 	"edgecache/internal/experiments"
 )
+
+// ErrUndefined marks a claim whose measured inputs contain NaN —
+// typically a ratio or reduction over a zero base (stats.Ratio and
+// stats.Reduction deliberately return NaN there). NaN comparisons are
+// always false, so without an explicit check a bound like
+// `v < lo || v > hi` silently passes on undefined data and an ordering
+// check silently holds; claims on NaN inputs are instead reported as
+// UNDEF (and strict ones fail the document, see Write).
+var ErrUndefined = errors.New("undefined (NaN input)")
+
+// checkDefined returns a wrapped ErrUndefined when any value is NaN.
+func checkDefined(col string, xs ...float64) error {
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("column %s: %w", col, ErrUndefined)
+		}
+	}
+	return nil
+}
 
 // Claim is one checkable statement about a measured table.
 type Claim struct {
@@ -38,11 +58,15 @@ type Verdict struct {
 	Err   error
 }
 
-// Status renders PASS / WARN / FAIL.
+// Status renders PASS / WARN / FAIL / UNDEF. UNDEF means the claim's
+// inputs were NaN (ErrUndefined): the measurement neither supports nor
+// refutes the claim.
 func (v Verdict) Status() string {
 	switch {
 	case v.Err == nil:
 		return "PASS"
+	case errors.Is(v.Err, ErrUndefined):
+		return "UNDEF"
 	case v.Claim.Strict:
 		return "FAIL"
 	default:
@@ -74,6 +98,9 @@ func NonIncreasing(col string, slack float64) func(*experiments.Table) error {
 		if err != nil {
 			return err
 		}
+		if err := checkDefined(col, xs...); err != nil {
+			return err
+		}
 		for i := 1; i < len(xs); i++ {
 			if xs[i] > xs[i-1]*(1+slack) {
 				return fmt.Errorf("%s rises at row %d: %g → %g", col, i, xs[i-1], xs[i])
@@ -90,6 +117,9 @@ func NonDecreasing(col string, slack float64) func(*experiments.Table) error {
 		if err != nil {
 			return err
 		}
+		if err := checkDefined(col, xs...); err != nil {
+			return err
+		}
 		for i := 1; i < len(xs); i++ {
 			if xs[i] < xs[i-1]*(1-slack) {
 				return fmt.Errorf("%s falls at row %d: %g → %g", col, i, xs[i-1], xs[i])
@@ -104,6 +134,9 @@ func Flat(col string, band float64) func(*experiments.Table) error {
 	return func(t *experiments.Table) error {
 		xs, err := column(t, col)
 		if err != nil {
+			return err
+		}
+		if err := checkDefined(col, xs...); err != nil {
 			return err
 		}
 		lo, hi := math.Inf(1), math.Inf(-1)
@@ -136,6 +169,12 @@ func Dominates(a, b string, slack float64) func(*experiments.Table) error {
 				continue
 			}
 			compared++
+			if err := checkDefined(a, av); err != nil {
+				return err
+			}
+			if err := checkDefined(b, bv); err != nil {
+				return err
+			}
 			if av > bv*(1+slack) {
 				return fmt.Errorf("%s (%g) above %s (%g) at row %d", a, av, b, bv, i)
 			}
@@ -171,6 +210,9 @@ func LabeledCellBetween(label, col string, lo, hi float64) func(*experiments.Tab
 			if !ok {
 				return fmt.Errorf("row %s misses column %s", label, col)
 			}
+			if err := checkDefined(col, v); err != nil {
+				return err
+			}
 			if v < lo || v > hi {
 				return fmt.Errorf("%s[%s] = %g outside [%g, %g]", label, col, v, lo, hi)
 			}
@@ -187,9 +229,21 @@ func MinimumNear(col string, x0, tol float64) func(*experiments.Table) error {
 		best := math.Inf(1)
 		bestX := math.NaN()
 		for _, row := range t.Rows {
-			if v, ok := row.Cells[col]; ok && v < best {
+			v, ok := row.Cells[col]
+			if !ok {
+				continue
+			}
+			if err := checkDefined(col, v); err != nil {
+				return err
+			}
+			if v < best {
 				best, bestX = v, row.X
 			}
+		}
+		// A NaN bestX (no values at all) would make the distance check
+		// below vacuously pass; fail it explicitly.
+		if math.IsNaN(bestX) {
+			return fmt.Errorf("column %s has no values", col)
 		}
 		if math.Abs(bestX-x0) > tol {
 			return fmt.Errorf("%s minimised at %g, expected near %g", col, bestX, x0)
@@ -248,8 +302,11 @@ func Write(w io.Writer, sections []Section, tables map[string]*experiments.Table
 			if _, err := fmt.Fprintf(w, "- [%s] %s%s\n", v.Status(), v.Claim.Description, detail); err != nil {
 				return err
 			}
-			if v.Status() == "FAIL" {
-				strictFailures = append(strictFailures, sec.ID+": "+v.Claim.Description)
+			// Strict claims fail the document both when refuted (FAIL)
+			// and when undefined (UNDEF): an unverifiable critical claim
+			// must not read as a pass.
+			if v.Claim.Strict && v.Err != nil {
+				strictFailures = append(strictFailures, fmt.Sprintf("%s: %s (%s)", sec.ID, v.Claim.Description, v.Status()))
 			}
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
@@ -258,7 +315,7 @@ func Write(w io.Writer, sections []Section, tables map[string]*experiments.Table
 	}
 	if len(strictFailures) > 0 {
 		sort.Strings(strictFailures)
-		return fmt.Errorf("report: %d strict claim(s) failed:\n  %s",
+		return fmt.Errorf("report: %d strict claim(s) failed or undefined:\n  %s",
 			len(strictFailures), strings.Join(strictFailures, "\n  "))
 	}
 	return nil

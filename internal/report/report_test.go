@@ -2,6 +2,9 @@ package report
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -184,3 +187,74 @@ var errTest = fmtError("boom")
 type fmtError string
 
 func (e fmtError) Error() string { return string(e) }
+
+// TestUndefinedClaimsAreExplicit is the regression test for silent NaN
+// propagation: a zero-cost baseline makes stats.Ratio/Reduction return
+// NaN, and every NaN comparison is false — so a bound check like
+// `v < lo || v > hi` used to pass silently on undefined data. Every
+// claim helper must instead surface ErrUndefined.
+func TestUndefinedClaimsAreExplicit(t *testing.T) {
+	nan := math.NaN()
+	tab := table("u", []string{"A", "B"},
+		map[string]float64{"A": nan, "B": 1},
+		map[string]float64{"A": nan, "B": 2})
+	checks := map[string]func(*experiments.Table) error{
+		"NonIncreasing": NonIncreasing("A", 0.01),
+		"NonDecreasing": NonDecreasing("A", 0.01),
+		"Flat":          Flat("A", 0.01),
+		"Dominates":     Dominates("A", "B", 0.01),
+		"Ordering":      Ordering(0.01, "B", "A"),
+		"MinimumNear":   MinimumNear("A", 0.5, 10),
+	}
+	for name, check := range checks {
+		if err := check(tab); !errors.Is(err, ErrUndefined) {
+			t.Errorf("%s on NaN column: err = %v, want ErrUndefined", name, err)
+		}
+	}
+
+	labeled := experiments.NewTable("h", "H", "row", []string{"RatioToOffline"})
+	labeled.AddLabeled(0, "RHC", map[string]float64{"RatioToOffline": nan})
+	if err := LabeledCellBetween("RHC", "RatioToOffline", 0, 10)(labeled); !errors.Is(err, ErrUndefined) {
+		t.Errorf("LabeledCellBetween on NaN cell: err = %v, want ErrUndefined", err)
+	}
+
+	// MinimumNear over an all-NaN column must not vacuously pass either.
+	if err := MinimumNear("A", 0.5, 1e9)(tab); err == nil {
+		t.Error("MinimumNear vacuously passed on an all-NaN column")
+	}
+}
+
+func TestVerdictStatusUndef(t *testing.T) {
+	v := Verdict{Claim: Claim{Strict: true}, Err: fmt.Errorf("col: %w", ErrUndefined)}
+	if v.Status() != "UNDEF" {
+		t.Fatalf("Status() = %q, want UNDEF", v.Status())
+	}
+	// UNDEF outranks the strict/informational split: an informational
+	// undefined claim is UNDEF, not WARN.
+	v.Claim.Strict = false
+	if v.Status() != "UNDEF" {
+		t.Fatalf("informational Status() = %q, want UNDEF", v.Status())
+	}
+}
+
+// TestWriteFailsOnStrictUndefined: an unverifiable reproduction-critical
+// claim must fail the document exactly like a refuted one.
+func TestWriteFailsOnStrictUndefined(t *testing.T) {
+	sections := []Section{{
+		ID:     "demo",
+		Claims: []Claim{{"A flat", true, Flat("A", 0.01)}},
+	}}
+	tab := table("demo", []string{"A"},
+		map[string]float64{"A": math.NaN()}, map[string]float64{"A": math.NaN()})
+	var buf bytes.Buffer
+	err := Write(&buf, sections, map[string]*experiments.Table{"demo": tab}, "")
+	if err == nil {
+		t.Fatal("strict undefined claim did not fail the document")
+	}
+	if !strings.Contains(err.Error(), "UNDEF") {
+		t.Fatalf("error does not carry the UNDEF status: %v", err)
+	}
+	if !strings.Contains(buf.String(), "[UNDEF]") {
+		t.Fatal("UNDEF marker missing from document")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
 	"edgecache/internal/model"
@@ -219,6 +220,9 @@ type Result struct {
 	// Runtime is the wall-clock planning time (JSON: nanoseconds, per
 	// time.Duration's integer encoding).
 	Runtime time.Duration `json:"runtimeNanos"`
+	// Audit is the differential auditor's report when Config.Audit was
+	// set (nil otherwise). A clean run has Audit.OK() == true.
+	Audit *audit.Report `json:"audit,omitempty"`
 }
 
 // Config tunes one evaluated run beyond the policy itself — the options
@@ -234,6 +238,13 @@ type Config struct {
 	// Fallback overrides the degraded-mode planner (nil = LRFU placement
 	// + reactive load split). Only consulted when SlotBudget is set.
 	Fallback online.FallbackPlanner
+	// Audit re-derives everything the committed trajectory claims
+	// (package audit): per-slot constraints, placement integrality and an
+	// independent cost recomputation. Violations are published as
+	// audit_violation events plus the audit.violations counter, and the
+	// report is attached to Result.Audit. Observational: a violating run
+	// still returns its result.
+	Audit bool
 }
 
 // Run plans with the policy, verifies feasibility, and accounts costs.
@@ -275,12 +286,23 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 	elapsed := time.Since(start)
 	mPlanTime.Observe(elapsed)
 
+	// Audit before Evaluate so violations are published even when the
+	// trajectory is rejected as infeasible below.
+	var rep *audit.Report
+	var auditTime time.Duration
+	if cfg.Audit {
+		auditStart := time.Now()
+		rep = audit.Trajectory(in, traj, nil, audit.Options{})
+		auditTime = time.Since(auditStart)
+		rep.Publish(tel, p.Name())
+	}
+
 	perSlot, cost, err := Evaluate(in, traj)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
 	}
 	if tel.Enabled() {
-		tel.Emit("run_summary", obs.Fields{
+		fields := obs.Fields{
 			"policy":           p.Name(),
 			"slots":            in.T,
 			"total_cost":       cost.Total,
@@ -289,7 +311,12 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 			"replacement_cost": cost.Replacement,
 			"replacements":     cost.Replacements,
 			"plan_ms":          float64(elapsed) / float64(time.Millisecond),
-		})
+		}
+		if cfg.Audit {
+			fields["audit_violations"] = len(rep.Violations)
+			fields["audit_ms"] = float64(auditTime) / float64(time.Millisecond)
+		}
+		tel.Emit("run_summary", fields)
 	}
 	return &Result{
 		Policy:     p.Name(),
@@ -297,6 +324,7 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 		Cost:       cost,
 		PerSlot:    perSlot,
 		Runtime:    elapsed,
+		Audit:      rep,
 	}, nil
 }
 

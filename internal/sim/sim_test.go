@@ -169,3 +169,81 @@ func TestEvaluateRejectsInfeasible(t *testing.T) {
 		t.Fatal("Evaluate accepted infeasible trajectory")
 	}
 }
+
+// fractionalPolicy commits a trajectory that is feasible in the relaxed
+// sense but violates the integrality invariant the auditor enforces.
+type fractionalPolicy struct{}
+
+func (fractionalPolicy) Name() string { return "Fractional" }
+
+func (fractionalPolicy) Plan(_ context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+	traj := model.NewTrajectory(in)
+	for t := range traj {
+		traj[t].X[0][0] = 0.5 // within capacity, but not integral
+	}
+	return traj, nil
+}
+
+func TestRunWithAuditCleanRun(t *testing.T) {
+	in, pred := testSetup(t)
+	var col obs.Collector
+	tel := obs.New(&col, obs.NewRegistry())
+	res, err := RunWith(context.Background(), in, pred, Online(online.RHC(4)), Config{Audit: true, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil {
+		t.Fatal("Audit report missing despite Config.Audit")
+	}
+	if !res.Audit.OK() {
+		t.Fatalf("clean run flagged: %v", res.Audit.Err())
+	}
+	if len(col.ByType("audit_violation")) != 0 {
+		t.Fatal("clean run emitted audit_violation events")
+	}
+	summaries := col.ByType("run_summary")
+	if len(summaries) != 1 {
+		t.Fatalf("%d run_summary events", len(summaries))
+	}
+	if got := summaries[0].Fields["audit_violations"]; got != 0 {
+		t.Fatalf("run_summary audit_violations = %v, want 0", got)
+	}
+	if _, ok := summaries[0].Fields["audit_ms"]; !ok {
+		t.Fatal("run_summary misses audit_ms")
+	}
+
+	// Without the flag the report must be absent and the summary unadorned.
+	res2, err := Run(context.Background(), in, pred, Online(online.RHC(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Audit != nil {
+		t.Fatal("Audit report attached without Config.Audit")
+	}
+}
+
+// TestRunWithAuditIsObservational: a violating run still returns its
+// result — the auditor reports, it does not veto — and the violations are
+// published through telemetry.
+func TestRunWithAuditIsObservational(t *testing.T) {
+	in, pred := testSetup(t)
+	var col obs.Collector
+	reg := obs.NewRegistry()
+	tel := obs.New(&col, reg)
+	res, err := RunWith(context.Background(), in, pred, fractionalPolicy{}, Config{Audit: true, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil || res.Audit.OK() {
+		t.Fatal("fractional trajectory passed the audit")
+	}
+	if len(col.ByType("audit_violation")) == 0 {
+		t.Fatal("violations not published as events")
+	}
+	if got := reg.Counter("audit.violations").Value(); got != int64(len(res.Audit.Violations)) {
+		t.Fatalf("audit.violations = %d for %d violations", got, len(res.Audit.Violations))
+	}
+	if got := col.ByType("run_summary")[0].Fields["audit_violations"]; got != len(res.Audit.Violations) {
+		t.Fatalf("run_summary audit_violations = %v, want %d", got, len(res.Audit.Violations))
+	}
+}
