@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz audit experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz audit chaos experiments report examples
 
 all: build vet test
 
@@ -20,7 +20,7 @@ test-short:
 
 # Race-enabled run of the concurrency-sensitive packages (what CI runs).
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core ./internal/online
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core ./internal/online ./internal/fault
 
 # Static analysis; CI installs the binary, locally this no-ops with a
 # notice when staticcheck is not on PATH.
@@ -32,7 +32,7 @@ staticcheck:
 	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race staticcheck bench
+ci: build vet test race chaos staticcheck bench
 
 # Benchmark run recorded as JSON (see cmd/bench and DESIGN.md §8). CI uses
 # the short BENCHTIME as a smoke pass; for tracked numbers use the default
@@ -64,6 +64,18 @@ audit:
 	$(GO) run ./cmd/jocsim -T 30 -audit -algs offline,rhc,chc,afhc,lrfu
 	$(GO) run ./cmd/jocsim -T 30 -audit -slot-budget 5ms -algs rhc,chc
 	$(GO) run ./cmd/experiments -scale quick -fig headline,rho -audit -progress=false
+
+# Fixed-seed fault-matrix smoke: inject every failure class the fault
+# subsystem models into audited runs — survival plus a clean audit of the
+# faulted trajectory is the pass criterion (DESIGN.md §10).
+chaos:
+	$(GO) run ./cmd/jocsim -T 30 -audit -algs rhc,chc,afhc,lrfu \
+		-faults "outage:n=0,from=10,to=18" -fault-seed 1
+	$(GO) run ./cmd/jocsim -T 30 -audit -algs rhc,chc \
+		-faults "bw:n=-1,from=5,to=25,factor=0.25; cap:n=0,from=8,to=16,lose=3" -fault-seed 1
+	$(GO) run ./cmd/jocsim -T 30 -audit -algs rhc,chc \
+		-faults "randoutage:rate=0.03,mean=3; corrupt:mode=spike,from=3,to=20,mag=5; solvererr:t=7; panic:t=12,attempts=2" -fault-seed 1
+	$(GO) run ./cmd/experiments -scale quick -fig outage -audit -progress=false -seed 2
 
 # Regenerate every figure (slow: full sweeps on the default scale), then
 # assemble EXPERIMENTS.md with machine-checked paper claims.

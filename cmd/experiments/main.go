@@ -12,7 +12,7 @@
 //	experiments -all -audit          # differentially audit every run; fail on violations
 //
 // Experiment identifiers: fig2a fig2b fig2c fig2d fig3a fig3b fig4a fig4b
-// fig5 headline rho chc-r classic loadmode hitratio competitive.
+// fig5 headline rho chc-r classic loadmode hitratio competitive outage.
 package main
 
 import (
@@ -280,6 +280,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if want("classic") {
 		t, err := setup.ClassicComparison(ctx, []float64{0, 50, 100})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("outage") {
+		t, err := setup.FigOutage(ctx, []float64{0, 0.01, 0.02, 0.05, 0.1})
 		if err != nil {
 			return err
 		}

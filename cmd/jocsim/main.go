@@ -13,6 +13,8 @@
 //	jocsim -timeout 30s                # cancel the whole run after 30s
 //	jocsim -slot-budget 50ms           # bound each window solve; degrade on overrun
 //	jocsim -audit                      # differentially audit every committed run
+//	jocsim -faults "outage:n=0,from=10,to=20"   # inject an SBS outage
+//	jocsim -faults chaos.json -fault-seed 7     # schedule from a file, reseeded
 //
 // Ctrl-C (SIGINT) cancels the run cleanly: in-flight solves stop within
 // one solver iteration and the command exits with the context error.
@@ -71,6 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
 		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; exit non-zero on violations")
+		faultSpec  = fs.String("faults", "", `fault schedule: a spec like "outage:n=0,from=10,to=20; bw:n=-1,from=5,factor=0.25" or a JSON file path`)
+		faultSeed  = fs.Uint64("fault-seed", 0, "seed for randomised fault injectors (0 = the schedule's own seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,6 +189,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *auditRuns {
 		opts = append(opts, edgecache.WithAudit())
+	}
+	if *faultSpec != "" {
+		schedule, err := edgecache.LoadFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, edgecache.WithFaults(schedule))
 	}
 	runs, err := edgecache.Compare(ctx, inst, pred, planners, opts...)
 	if err != nil {

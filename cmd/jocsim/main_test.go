@@ -191,3 +191,25 @@ func TestAuditFlagWithBudgetedDegradation(t *testing.T) {
 		t.Fatalf("degraded audited run failed: %v", err)
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{
+		"-algs", "rhc,lrfu", "-audit",
+		"-faults", "outage:n=0,from=2,to=4; bw:n=0,from=4,factor=0.5",
+	}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("faulted run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "RHC(w=3)") {
+		t.Fatalf("output missing RHC:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-algs", "lrfu", "-faults", "outage:n=0,from=-3"}, quickArgs...)
+	if err := run(context.Background(), args, &buf); err == nil {
+		t.Fatal("accepted malformed fault spec")
+	}
+}

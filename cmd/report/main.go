@@ -50,6 +50,7 @@ var titles = map[string]string{
 	"loadmode":    "Predicted vs reactive load split (RHC total cost)",
 	"hitratio":    "Classic cache hit ratio vs capacity",
 	"competitive": "RHC/offline cost ratio vs window (exact predictions)",
+	"outage":      "Total operating cost vs SBS outage rate",
 }
 
 const header = `# EXPERIMENTS — paper vs measured

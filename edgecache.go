@@ -51,6 +51,7 @@ import (
 	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/fault"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
 	"edgecache/internal/online"
@@ -92,6 +93,62 @@ type (
 	// AuditViolation is one failed auditor invariant.
 	AuditViolation = audit.Violation
 )
+
+// Re-exported fault-injection types (see WithFaults). A FaultSchedule
+// composes deterministic, seed-driven injectors; build one directly from
+// these types or parse the compact spec DSL with ParseFaults.
+type (
+	// FaultSchedule is a deterministic set of failures to inject into a
+	// run: SBS outages, bandwidth/capacity degradation, prediction
+	// corruption and solver faults.
+	FaultSchedule = fault.Schedule
+	// FaultInjector is one failure clause of a FaultSchedule.
+	FaultInjector = fault.Injector
+	// SBSOutage takes one SBS (or all, SBS = -1) fully offline over
+	// [From, To): zero bandwidth, zero cache capacity.
+	SBSOutage = fault.Outage
+	// BandwidthFault scales an SBS's effective bandwidth over a span —
+	// backhaul congestion or partial radio failure.
+	BandwidthFault = fault.BandwidthFactor
+	// CapacityFault removes cache slots from an SBS over a span, forcing
+	// eviction of the overflow.
+	CapacityFault = fault.CapacityLoss
+	// RandomOutagesFault samples geometric-length outages at a per-slot
+	// rate, deterministically from the schedule seed.
+	RandomOutagesFault = fault.RandomOutages
+	// PredictionFault corrupts the predictor's output (spike, dropout or
+	// stale-freeze) without touching the ground-truth demand.
+	PredictionFault = fault.Corruption
+	// SolverFault makes the window solve at one slot fail (or panic) for
+	// a number of attempts, exercising the retry and degradation paths.
+	SolverFault = fault.SolverFault
+	// CorruptionMode selects how a PredictionFault distorts forecasts.
+	CorruptionMode = fault.CorruptionMode
+)
+
+// Prediction-corruption modes for PredictionFault.
+const (
+	// CorruptSpike multiplies predicted rates by the fault's magnitude.
+	CorruptSpike = fault.Spike
+	// CorruptDropout zeroes predicted rates at the fault's rate.
+	CorruptDropout = fault.Dropout
+	// CorruptFreeze replaces forecasts with the demand at the fault's
+	// first slot — a stale, never-updating predictor.
+	CorruptFreeze = fault.Freeze
+)
+
+// ParseFaults parses the compact fault-spec DSL: semicolon-separated
+// clauses of kind:key=value pairs, e.g.
+//
+//	outage:n=1,from=10,to=20; bw:n=-1,from=5,factor=0.25; corrupt:mode=spike,from=3,to=8,mag=5
+//
+// See the jocsim -faults flag documentation for the full grammar.
+func ParseFaults(spec string) (*FaultSchedule, error) { return fault.Parse(spec) }
+
+// LoadFaults reads a fault schedule from a JSON file (the format written
+// by FaultSchedule's json tags); seed overrides the file's seed when
+// non-zero. Pass a spec string instead of a path to parse it directly.
+func LoadFaults(arg string, seed uint64) (*FaultSchedule, error) { return fault.FromSpec(arg, seed) }
 
 // Re-exported observability types. Telemetry is observational only: it
 // never changes solver behaviour, and the nil handle is a free no-op.
@@ -408,6 +465,19 @@ func WithFallback(p Planner) RunOption {
 			return p.Plan(ctx, win, nil)
 		}
 	}
+}
+
+// WithFaults injects a deterministic fault schedule into the run: SBS
+// outages and degradations become the instance's effective per-slot
+// constraints, prediction corruption is hooked into the predictor, and
+// the online controllers arm solver faults, event-driven replans and
+// retry-with-backoff. The base instance is never mutated; a nil or
+// empty schedule reproduces the failure-free run exactly. Under
+// outages the committed trajectory stays feasible against the
+// *effective* instance, but the paper's Theorem 3 competitive bound no
+// longer applies (DESIGN.md §10).
+func WithFaults(s *FaultSchedule) RunOption {
+	return func(c *sim.Config) { c.Faults = s }
 }
 
 // WithAudit re-derives everything each committed run claims (the

@@ -44,6 +44,11 @@ const (
 	// KindCounter: an online repair counter moved backwards or by more
 	// than once per (slot, SBS).
 	KindCounter = "counter"
+	// KindFault: a fault-overlay invariant failed — load served or items
+	// cached on an SBS during a full outage. Stricter than KindConstraint:
+	// CheckSlot's demand-scaled tolerance could let a small residual load
+	// pass on a dead SBS, but during an outage the requirement is exact.
+	KindFault = "fault"
 )
 
 // Violation is one failed invariant.
@@ -138,6 +143,9 @@ func Trajectory(in *model.Instance, traj model.Trajectory, claimed *model.CostBr
 				Detail: fmt.Sprintf("committed placement is fractional: %s", fractionalEntries(traj[t].X, tol)),
 			})
 		}
+		if in.Overlay != nil {
+			checkOutages(rep, in, traj, t, tol)
+		}
 	}
 
 	rep.Recomputed = recomputeCost(in, traj)
@@ -166,6 +174,37 @@ func (r *Report) Publish(tel *obs.Telemetry, policy string) {
 			"kind":   v.Kind,
 			"detail": v.Detail,
 		})
+	}
+}
+
+// checkOutages enforces the exact fault-overlay invariants for slot t:
+// an SBS in full outage (effective bandwidth and capacity both zero)
+// must cache nothing and serve strictly no load. CheckSlot already
+// bounds both through the effective constraints, but its tolerances
+// scale with demand volume; here the bound is the raw tolerance.
+func checkOutages(rep *Report, in *model.Instance, traj model.Trajectory, t int, tol float64) {
+	for n := 0; n < in.N; n++ {
+		if !in.OutageAt(t, n) {
+			continue
+		}
+		if items := traj[t].X.Items(n); len(items) > 0 {
+			rep.Violations = append(rep.Violations, Violation{
+				Slot: t, Kind: KindFault,
+				Detail: fmt.Sprintf("SBS %d is in outage but caches %d items", n, len(items)),
+			})
+		}
+		var served float64
+		for m := 0; m < in.Classes[n]; m++ {
+			for k := 0; k < in.K; k++ {
+				served += in.Demand.At(t, n, m, k) * traj[t].Y[n][m][k]
+			}
+		}
+		if served > tol {
+			rep.Violations = append(rep.Violations, Violation{
+				Slot: t, Kind: KindFault,
+				Detail: fmt.Sprintf("SBS %d is in outage but serves load %g", n, served),
+			})
+		}
 	}
 }
 

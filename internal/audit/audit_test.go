@@ -216,3 +216,66 @@ func TestCheckCounterDeltas(t *testing.T) {
 		t.Fatalf("backwards degraded counter not flagged: %v", degradedBack)
 	}
 }
+
+// deadOverlay attaches an overlay to in that declares SBS 0 in full
+// outage at the given slot (base values everywhere else).
+func deadOverlay(in *model.Instance, slot int) {
+	bw := make([][]float64, in.T)
+	cc := make([][]int, in.T)
+	for t := range bw {
+		bw[t] = make([]float64, in.N)
+		cc[t] = make([]int, in.N)
+		for n := 0; n < in.N; n++ {
+			bw[t][n] = in.Bandwidth[n]
+			cc[t][n] = in.CacheCap[n]
+		}
+	}
+	bw[slot][0], cc[slot][0] = 0, 0
+	in.Overlay = &model.Overlay{Bandwidth: bw, CacheCap: cc}
+}
+
+func TestDetectsActivityOnDeadSBS(t *testing.T) {
+	in, traj, _ := solvedInstance(t)
+	deadOverlay(in, 1)
+	// Force activity during the outage: one cached item, plus load served
+	// on a class/content pair with positive realised demand.
+	for k := range traj[1].X[0] {
+		traj[1].X[0][k] = 0
+	}
+	traj[1].X[0][0] = 1
+	for m := 0; m < in.Classes[0]; m++ {
+		for k := 0; k < in.K; k++ {
+			traj[1].Y[0][m][k] = 0
+			if in.Demand.At(1, 0, m, k) > 0 {
+				traj[1].Y[0][m][k] = 1
+			}
+		}
+	}
+	rep := Trajectory(in, traj, nil, Options{})
+	if rep.OK() {
+		t.Fatal("activity on a dead SBS audited clean")
+	}
+	if got := kinds(rep)[KindFault]; got != 2 {
+		t.Fatalf("KindFault violations = %d, want 2 (items + load): %v", got, rep.Violations)
+	}
+}
+
+func TestOutageSlotWithNoActivityPasses(t *testing.T) {
+	in, traj, _ := solvedInstance(t)
+	deadOverlay(in, 1)
+	// Empty the dead SBS for the outage slot; the trajectory may then
+	// violate nothing fault-specific (constraint/cost kinds may still
+	// fire if emptying changed costs — recompute the claimed breakdown).
+	for k := range traj[1].X[0] {
+		traj[1].X[0][k] = 0
+	}
+	for m := range traj[1].Y[0] {
+		for k := range traj[1].Y[0][m] {
+			traj[1].Y[0][m][k] = 0
+		}
+	}
+	rep := Trajectory(in, traj, nil, Options{})
+	if got := kinds(rep)[KindFault]; got != 0 {
+		t.Fatalf("KindFault violations on an empty dead SBS: %v", rep.Violations)
+	}
+}

@@ -90,7 +90,7 @@ func (s *ScoreCaching) Plan(ctx context.Context, in *model.Instance) (model.Traj
 			for k := 0; k < in.K; k++ {
 				scores[n][k] = s.Decay*scores[n][k] + in.Demand.ContentTotal(t, n, k)
 			}
-			for _, k := range topK(scores[n], in.CacheCap[n]) {
+			for _, k := range topK(scores[n], in.CacheCapAt(t, n)) {
 				x[n][k] = 1
 			}
 		}
@@ -123,7 +123,9 @@ func (s *StaticTop) Plan(ctx context.Context, in *model.Instance) (model.Traject
 				totals[k] += in.Demand.ContentTotal(t, n, k)
 			}
 		}
-		for _, k := range topK(totals, in.CacheCap[n]) {
+		// A static placement must be legal at every slot, so under a
+		// fault overlay it can only use the horizon's capacity floor.
+		for _, k := range topK(totals, in.CacheCapFloor(n)) {
 			x[n][k] = 1
 		}
 	}

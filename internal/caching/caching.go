@@ -270,9 +270,13 @@ func SolveAll(ctx context.Context, in *model.Instance, rewards [][][]float64) ([
 			}
 			reward[t] = rewards[t][n]
 		}
+		// The time-expanded flow network carries one capacity per SBS, so
+		// under a fault overlay it plans against the horizon's floor
+		// min_t C^t_n — conservative inside a window, with the exact
+		// per-slot C^t_n enforced at rounding/commit time.
 		sp := &Subproblem{
 			K:        in.K,
-			Capacity: in.CacheCap[n],
+			Capacity: in.CacheCapFloor(n),
 			Beta:     in.Beta[n],
 			Initial:  initial[n],
 			Reward:   reward,

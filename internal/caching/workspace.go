@@ -63,7 +63,10 @@ func (ws *Workspace) Bind(in *model.Instance) {
 		hold := make([][]mcflow.Arc, horizon)
 		for t := 0; t < horizon; t++ {
 			hold[t] = make([]mcflow.Arc, in.K)
-			g.AddArc(pool(t), pool(t+1), in.CacheCap[n], 0) // idle
+			// Idle capacity uses the horizon floor min_t C^t_n: one
+			// commodity per SBS cannot express per-slot caps (see the
+			// package-level SolveAll).
+			g.AddArc(pool(t), pool(t+1), in.CacheCapFloor(n), 0) // idle
 			for k := 0; k < in.K; k++ {
 				fetchCost := in.Beta[n]
 				if t == 0 && initial[n][k] >= 0.5 {
@@ -143,7 +146,7 @@ func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]mod
 				g.SetCost(hold[t][k], -row[k])
 			}
 		}
-		res, err := g.Solve(0, in.T, in.CacheCap[n])
+		res, err := g.Solve(0, in.T, in.CacheCapFloor(n))
 		mFlowTime.Observe(time.Since(start))
 		if err != nil {
 			return nil, 0, fmt.Errorf("caching: SBS %d: caching: flow solve: %w", n, err)

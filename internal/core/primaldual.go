@@ -392,7 +392,10 @@ func RecoverFeasible(ctx context.Context, in *model.Instance, xPlans []model.Cac
 		return nil, fmt.Errorf("core: %d placements for horizon %d", len(xPlans), in.T)
 	}
 	traj := make(model.Trajectory, in.T)
-	err := parallel.For(ctx, in.T, 0, func(t int) error {
+	// Supervised: RecoverFeasible sits on the degradation path (it turns
+	// best-so-far iterates into committable plans), so a panic in one
+	// slot's recovery must degrade that slot, not crash the ladder.
+	err := parallel.ForSupervised(ctx, in.T, 0, func(t int) error {
 		y, err := loadbalance.OptimalGivenPlacement(in, t, xPlans[t], opts)
 		if err != nil {
 			return err

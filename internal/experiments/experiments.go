@@ -20,6 +20,7 @@ import (
 	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/fault"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
 	"edgecache/internal/online"
@@ -601,6 +602,74 @@ func (s Setup) ClassicComparison(ctx context.Context, betas []float64) (*Table, 
 			s.logf("  %-12s total=%.1f repl=%d (%.1fs)", name, res.Cost.Total, res.Cost.Replacements, res.Runtime.Seconds())
 		}
 		t.Add(beta, cells)
+	}
+	return t, nil
+}
+
+// FigOutage is a robustness extension (not in the paper): total
+// operating cost versus the per-slot SBS outage rate, under random
+// geometric-length outages injected through the fault subsystem. It
+// compares the failure-aware online controllers (which replan at
+// topology events and evict from dead SBSs) against the reactive LRFU
+// baseline. The offline solver is excluded: Theorem 3's competitive
+// guarantee is void under outages (DESIGN.md §10), so there is no
+// meaningful optimal reference to normalise by.
+func (s Setup) FigOutage(ctx context.Context, rates []float64) (*Table, error) {
+	cols := []string{"RHC", "CHC", "AFHC", "LRFU"}
+	t := NewTable("outage", "Total operating cost vs SBS outage rate", "rate", cols)
+	for _, rate := range rates {
+		if rate < 0 || rate >= 1 {
+			return nil, fmt.Errorf("experiments: outage rate %g outside [0, 1)", rate)
+		}
+		s.logf("outage: rate=%g", rate)
+		cells := make(map[string]float64, len(cols))
+		for _, seed := range s.seedList() {
+			cfg := s.Config
+			cfg.Seed = seed
+			in, err := workload.BuildInstance(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := workload.NewPredictor(in.Demand, s.Eta, seed)
+			if err != nil {
+				return nil, err
+			}
+			var schedule *fault.Schedule
+			if rate > 0 {
+				schedule = &fault.Schedule{Seed: seed, Injectors: []fault.Injector{
+					fault.RandomOutages{Rate: rate, MeanLen: 3},
+				}}
+			}
+			rhc := online.RHC(s.Window)
+			rhc.Core = s.OnlineOpts
+			chc := online.CHC(s.Window, s.Commitment)
+			chc.Core = s.OnlineOpts
+			afhc := online.AFHC(s.Window)
+			afhc.Core = s.OnlineOpts
+			policies := []sim.Policy{
+				sim.Online(rhc),
+				sim.Online(chc),
+				sim.Online(afhc),
+				sim.FromBaseline(baseline.NewLRFU()),
+			}
+			for _, p := range policies {
+				res, err := sim.RunWith(ctx, in, pred, p, sim.Config{
+					Telemetry: s.tel(), SlotBudget: s.SlotBudget, Audit: s.Audit, Faults: schedule,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: outage rate=%g %s: %w", rate, p.Name(), err)
+				}
+				if s.Audit {
+					if err := res.Audit.Err(); err != nil {
+						return nil, fmt.Errorf("experiments: outage rate=%g %s: %w", rate, p.Name(), err)
+					}
+				}
+				name := canonical(p.Name())
+				cells[name] += res.Cost.Total / float64(len(s.seedList()))
+				s.logf("  %-12s seed=%d total=%.1f (%.1fs)", name, seed, res.Cost.Total, res.Runtime.Seconds())
+			}
+		}
+		t.Add(rate, cells)
 	}
 	return t, nil
 }

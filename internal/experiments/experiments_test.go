@@ -331,3 +331,37 @@ func TestQuickCompetitive(t *testing.T) {
 		t.Fatal("accepted window 0")
 	}
 }
+
+func TestQuickFigOutage(t *testing.T) {
+	s := Quick()
+	s.Audit = true // every faulted trajectory must audit clean
+	tab, err := s.FigOutage(context.Background(), []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("FigOutage returned %d rows, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []string{"RHC", "CHC", "AFHC", "LRFU"} {
+			if v, ok := row.Cells[col]; !ok || v <= 0 {
+				t.Fatalf("rate=%g: %s cell missing or non-positive (%g)", row.X, col, v)
+			}
+		}
+	}
+	// Killing SBS capacity can only push load to the costlier BS: the
+	// faulted point must not beat the failure-free one (solver slack).
+	clean, faulted := tab.Rows[0], tab.Rows[1]
+	for _, col := range []string{"RHC", "LRFU"} {
+		if faulted.Cells[col] < clean.Cells[col]*0.95 {
+			t.Errorf("%s cost fell under outages: %g -> %g", col, clean.Cells[col], faulted.Cells[col])
+		}
+	}
+}
+
+func TestFigOutageRejectsBadRate(t *testing.T) {
+	s := Quick()
+	if _, err := s.FigOutage(context.Background(), []float64{1.5}); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+}

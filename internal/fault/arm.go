@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected solver error, so
+// callers (and tests) can identify synthetic failures with errors.Is.
+var ErrInjected = errors.New("fault: injected solver error")
+
+// Armed is the runtime state of a schedule's solver faults: per-slot
+// attempt budgets consumed by the online layer as it solves. Arm a fresh
+// one per run — Armed is stateful where Schedule is not.
+type Armed struct {
+	mu      sync.Mutex
+	pending map[int]*armedFault
+}
+
+type armedFault struct {
+	remaining int
+	panics    bool
+}
+
+// Arm compiles the schedule's SolverFault injectors into a consumable
+// runtime state. Returns nil when the schedule injects no solver faults,
+// so callers can branch on a single nil check in the hot path.
+func (s *Schedule) Arm() *Armed {
+	if s.Empty() {
+		return nil
+	}
+	var pending map[int]*armedFault
+	for _, inj := range s.Injectors {
+		sf, ok := inj.(SolverFault)
+		if !ok {
+			continue
+		}
+		if pending == nil {
+			pending = make(map[int]*armedFault)
+		}
+		attempts := sf.Attempts
+		if attempts <= 0 {
+			attempts = 1
+		}
+		pending[sf.Slot] = &armedFault{remaining: attempts, panics: sf.Panic}
+	}
+	if pending == nil {
+		return nil
+	}
+	return &Armed{pending: pending}
+}
+
+// Inject consumes one failure budget for a solve attempt at decision
+// slot tau. It returns (nil, false) when the attempt should proceed
+// normally, (err, false) when the attempt must fail with the injected
+// error, and (nil, true) when the attempt must fail by panicking in its
+// worker. Nil-safe: a nil Armed never injects.
+func (a *Armed) Inject(tau int) (error, bool) {
+	if a == nil {
+		return nil, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := a.pending[tau]
+	if f == nil || f.remaining == 0 {
+		return nil, false
+	}
+	f.remaining--
+	if f.panics {
+		return nil, true
+	}
+	return fmt.Errorf("%w at slot %d", ErrInjected, tau), false
+}

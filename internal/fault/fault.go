@@ -1,0 +1,411 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// edge-caching simulator: it perturbs a model.Instance with the failure
+// modes a deployed controller must survive — SBS outages, backhaul
+// bandwidth collapse, cache shrinkage (forced flush), corrupted demand
+// predictions and solver-level errors/panics — without touching the
+// paper's failure-free model.
+//
+// A Schedule is a seed plus a list of composable injectors. Topology
+// injectors (Outage, BandwidthFactor, CapacityLoss, RandomOutages)
+// materialise into a model.Overlay of slot-varying effective capacities
+// B^t_n / C^t_n; the base instance is never mutated. Prediction
+// corruption (Corruption) becomes a hook on workload.Predictor;
+// solver-level faults (SolverFault) are armed and consumed by the online
+// layer's per-slot solve loop.
+//
+// Everything is a pure function of the schedule seed: the same seed
+// yields byte-identical overlays, corruption and trajectories, so every
+// chaos run is replayable.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+)
+
+var mInjected = obs.Default.Counter("fault.injected")
+
+// Injector is one fault clause of a schedule. Implementations are the
+// concrete fault types in this package.
+type Injector interface {
+	// kind returns the DSL keyword naming the injector.
+	kind() string
+	// check validates the injector's parameters independent of any
+	// instance (horizons are clamped at materialisation).
+	check() error
+}
+
+// span clamps a [From, To) slot range to a horizon of T slots. To ≤ 0
+// means "until the end of the horizon".
+func span(from, to, T int) (int, int) {
+	if to <= 0 || to > T {
+		to = T
+	}
+	if from < 0 {
+		from = 0
+	}
+	return from, to
+}
+
+func checkSpan(from, to int) error {
+	if from < 0 {
+		return fmt.Errorf("from = %d, want ≥ 0", from)
+	}
+	if to > 0 && to <= from {
+		return fmt.Errorf("empty slot range [%d, %d)", from, to)
+	}
+	return nil
+}
+
+// Outage takes SBS (or every SBS, with SBS = -1) fully down over slots
+// [From, To): zero effective bandwidth and zero effective cache
+// capacity. To ≤ 0 means the SBS never recovers within the horizon.
+type Outage struct {
+	SBS      int
+	From, To int
+}
+
+func (o Outage) kind() string { return "outage" }
+
+func (o Outage) check() error {
+	if o.SBS < -1 {
+		return fmt.Errorf("outage: SBS = %d, want ≥ -1", o.SBS)
+	}
+	if err := checkSpan(o.From, o.To); err != nil {
+		return fmt.Errorf("outage: %w", err)
+	}
+	return nil
+}
+
+// BandwidthFactor scales the effective bandwidth of SBS (or every SBS,
+// with SBS = -1) by Factor ∈ [0, 1] over slots [From, To) — backhaul
+// degradation or, at Factor = 0, a pure bandwidth collapse that leaves
+// the cache intact.
+type BandwidthFactor struct {
+	SBS      int
+	From, To int
+	Factor   float64
+}
+
+func (b BandwidthFactor) kind() string { return "bw" }
+
+func (b BandwidthFactor) check() error {
+	if b.SBS < -1 {
+		return fmt.Errorf("bw: SBS = %d, want ≥ -1", b.SBS)
+	}
+	if b.Factor < 0 || b.Factor > 1 || math.IsNaN(b.Factor) {
+		return fmt.Errorf("bw: factor = %g, want [0, 1]", b.Factor)
+	}
+	if err := checkSpan(b.From, b.To); err != nil {
+		return fmt.Errorf("bw: %w", err)
+	}
+	return nil
+}
+
+// CapacityLoss removes Lost items of effective cache capacity from SBS
+// (or every SBS, with SBS = -1) over slots [From, To), clamped at zero.
+// Lost ≥ C_n is a forced cache flush; the failure-aware controller must
+// evict (and pay replacement cost to refill on recovery).
+type CapacityLoss struct {
+	SBS      int
+	From, To int
+	Lost     int
+}
+
+func (c CapacityLoss) kind() string { return "cap" }
+
+func (c CapacityLoss) check() error {
+	if c.SBS < -1 {
+		return fmt.Errorf("cap: SBS = %d, want ≥ -1", c.SBS)
+	}
+	if c.Lost <= 0 {
+		return fmt.Errorf("cap: lost = %d, want > 0", c.Lost)
+	}
+	if err := checkSpan(c.From, c.To); err != nil {
+		return fmt.Errorf("cap: %w", err)
+	}
+	return nil
+}
+
+// RandomOutages sprinkles seed-driven outages across the horizon: each
+// healthy (slot, SBS) pair independently begins an outage with
+// probability Rate, lasting MeanLen slots in expectation (geometric).
+// Expansion happens at materialisation and depends only on the schedule
+// seed, so the same seed always yields the same outage pattern.
+type RandomOutages struct {
+	Rate    float64
+	MeanLen int
+}
+
+func (r RandomOutages) kind() string { return "randoutage" }
+
+func (r RandomOutages) check() error {
+	if r.Rate <= 0 || r.Rate > 1 || math.IsNaN(r.Rate) {
+		return fmt.Errorf("randoutage: rate = %g, want (0, 1]", r.Rate)
+	}
+	if r.MeanLen < 1 {
+		return fmt.Errorf("randoutage: mean = %d, want ≥ 1", r.MeanLen)
+	}
+	return nil
+}
+
+// CorruptionMode selects how predictions are corrupted.
+type CorruptionMode string
+
+const (
+	// Spike multiplies predicted rates by Magnitude — a flash-crowd
+	// hallucination that baits the controller into over-caching.
+	Spike CorruptionMode = "spike"
+	// Dropout zeroes each predicted rate independently with probability
+	// Rate — a feed that silently loses readings.
+	Dropout CorruptionMode = "dropout"
+	// Freeze replaces predictions for slots in [From, To) with the true
+	// rates of slot From — a stale feed that stopped updating.
+	Freeze CorruptionMode = "freeze"
+)
+
+// Corruption corrupts the demand predictions the online controllers
+// consume over slots [From, To). It never touches the ground truth the
+// simulator evaluates against — only the forecasts.
+type Corruption struct {
+	Mode     CorruptionMode
+	From, To int
+	// Magnitude is the spike multiplier (Spike mode only), > 1 inflates.
+	Magnitude float64
+	// Rate is the per-rate dropout probability (Dropout mode only).
+	Rate float64
+}
+
+func (c Corruption) kind() string { return "corrupt" }
+
+func (c Corruption) check() error {
+	switch c.Mode {
+	case Spike:
+		if c.Magnitude <= 0 || math.IsNaN(c.Magnitude) || math.IsInf(c.Magnitude, 0) {
+			return fmt.Errorf("corrupt: spike magnitude = %g, want finite > 0", c.Magnitude)
+		}
+	case Dropout:
+		if c.Rate <= 0 || c.Rate > 1 || math.IsNaN(c.Rate) {
+			return fmt.Errorf("corrupt: dropout rate = %g, want (0, 1]", c.Rate)
+		}
+	case Freeze:
+	default:
+		return fmt.Errorf("corrupt: unknown mode %q", c.Mode)
+	}
+	if err := checkSpan(c.From, c.To); err != nil {
+		return fmt.Errorf("corrupt: %w", err)
+	}
+	return nil
+}
+
+// SolverFault injects a failure into the per-slot solve at decision
+// slot Slot: the first Attempts solve attempts fail. With Panic false
+// the failure is an injected error (exercising the retry/backoff path);
+// with Panic true it is a worker panic (exercising the parallel
+// supervisor). Attempts ≤ 0 defaults to 1, so a single retry recovers.
+type SolverFault struct {
+	Slot     int
+	Panic    bool
+	Attempts int
+}
+
+func (s SolverFault) kind() string {
+	if s.Panic {
+		return "panic"
+	}
+	return "solvererr"
+}
+
+func (s SolverFault) check() error {
+	if s.Slot < 0 {
+		return fmt.Errorf("%s: slot = %d, want ≥ 0", s.kind(), s.Slot)
+	}
+	return nil
+}
+
+// Schedule is a seed plus an ordered list of injectors — the complete,
+// replayable description of one faulted world.
+type Schedule struct {
+	Seed      uint64
+	Injectors []Injector
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Injectors) == 0 }
+
+// Validate checks every injector's parameters.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, inj := range s.Injectors {
+		if inj == nil {
+			return fmt.Errorf("fault: injector %d is nil", i)
+		}
+		if err := inj.check(); err != nil {
+			return fmt.Errorf("fault: injector %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Materialize applies the schedule's topology injectors to in, returning
+// a new instance that shares every base field (including the Demand
+// pointer) and carries a model.Overlay of effective per-slot capacities.
+// When the schedule has no topology injectors the instance is returned
+// unchanged. Each materialised injector emits a fault_injected event on
+// tel and bumps the fault.injected counter.
+func (s *Schedule) Materialize(in *model.Instance, tel *obs.Telemetry) (*model.Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Empty() {
+		return in, nil
+	}
+	bw := make([][]float64, in.T)
+	cc := make([][]int, in.T)
+	for t := 0; t < in.T; t++ {
+		bw[t] = append([]float64(nil), in.Bandwidth...)
+		cc[t] = append([]int(nil), in.CacheCap...)
+	}
+	apply := func(from, to, sbs int, f func(t, n int)) {
+		from, to = span(from, to, in.T)
+		for t := from; t < to; t++ {
+			if sbs == -1 {
+				for n := 0; n < in.N; n++ {
+					f(t, n)
+				}
+			} else if sbs < in.N {
+				f(t, sbs)
+			}
+		}
+	}
+	topology := 0
+	for _, inj := range s.Injectors {
+		switch v := inj.(type) {
+		case Outage:
+			if v.SBS >= in.N {
+				return nil, fmt.Errorf("fault: outage names SBS %d, instance has %d", v.SBS, in.N)
+			}
+			apply(v.From, v.To, v.SBS, func(t, n int) { bw[t][n] = 0; cc[t][n] = 0 })
+			topology++
+		case BandwidthFactor:
+			if v.SBS >= in.N {
+				return nil, fmt.Errorf("fault: bw names SBS %d, instance has %d", v.SBS, in.N)
+			}
+			apply(v.From, v.To, v.SBS, func(t, n int) { bw[t][n] *= v.Factor })
+			topology++
+		case CapacityLoss:
+			if v.SBS >= in.N {
+				return nil, fmt.Errorf("fault: cap names SBS %d, instance has %d", v.SBS, in.N)
+			}
+			apply(v.From, v.To, v.SBS, func(t, n int) { cc[t][n] = max(0, cc[t][n]-v.Lost) })
+			topology++
+		case RandomOutages:
+			for n := 0; n < in.N; n++ {
+				for t := 0; t < in.T; {
+					if uniform01(s.Seed, 0xFA01, uint64(n), uint64(t)) < v.Rate {
+						// Geometric length with mean MeanLen.
+						length := 1
+						for length < in.T &&
+							uniform01(s.Seed, 0xFA02, uint64(n), uint64(t), uint64(length)) < 1-1/float64(v.MeanLen) {
+							length++
+						}
+						for e := t; e < min(t+length, in.T); e++ {
+							bw[e][n] = 0
+							cc[e][n] = 0
+						}
+						t += length
+					} else {
+						t++
+					}
+				}
+			}
+			topology++
+		case Corruption, SolverFault:
+			// Not topology: consumed by Corruptor / Arm.
+		default:
+			return nil, fmt.Errorf("fault: unknown injector type %T", inj)
+		}
+		mInjected.Inc()
+		if tel.Enabled() {
+			tel.Emit("fault_injected", obs.Fields{"kind": inj.kind(), "detail": fmt.Sprintf("%+v", inj)})
+		}
+	}
+	if topology == 0 {
+		return in, nil
+	}
+	out := *in
+	out.Overlay = &model.Overlay{Bandwidth: bw, CacheCap: cc}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: materialised instance invalid: %w", err)
+	}
+	return &out, nil
+}
+
+// Corruptor returns the prediction-corruption hook encoded by the
+// schedule, suitable for workload.Predictor.WithCorruption, or nil when
+// the schedule corrupts nothing. truth is the ground-truth demand (used
+// by Freeze mode); the hook receives the decision time tau, the absolute
+// slot t and the post-noise predicted rate, and returns the corrupted
+// rate. The hook is a pure function of (seed, tau, t, n, m, k), so
+// corruption replays identically for the same schedule.
+func (s *Schedule) Corruptor(truth *model.Demand) func(tau, t, n, m, k int, v float64) float64 {
+	if s.Empty() {
+		return nil
+	}
+	var cs []Corruption
+	for _, inj := range s.Injectors {
+		if c, ok := inj.(Corruption); ok {
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 0 {
+		return nil
+	}
+	seed := s.Seed
+	return func(tau, t, n, m, k int, v float64) float64 {
+		for _, c := range cs {
+			from, to := c.From, c.To
+			if to <= 0 {
+				to = math.MaxInt
+			}
+			if t < from || t >= to {
+				continue
+			}
+			switch c.Mode {
+			case Spike:
+				v *= c.Magnitude
+			case Dropout:
+				if uniform01(seed, 0xFA03, uint64(tau), uint64(t), uint64(n), uint64(m), uint64(k)) < c.Rate {
+					v = 0
+				}
+			case Freeze:
+				v = truth.At(from, n, m, k)
+			}
+		}
+		return v
+	}
+}
+
+// uniform01 hashes its arguments into a deterministic uniform [0, 1)
+// variate via splitmix64 finalisation (same construction as package
+// workload's prediction noise).
+func uniform01(parts ...uint64) float64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix64(h)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

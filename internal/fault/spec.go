@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a schedule from the compact command-line DSL: clauses
+// separated by ';', each 'kind:key=val,key=val'. Kinds and keys:
+//
+//	outage:n=1,from=10,to=20        SBS 1 fully down over [10, 20)
+//	bw:n=-1,from=5,factor=0.25      every SBS at quarter bandwidth from slot 5 on
+//	cap:n=2,from=4,to=9,lose=3      SBS 2 loses 3 cache slots over [4, 9)
+//	randoutage:rate=0.02,mean=3     seed-driven random outages
+//	corrupt:mode=spike,from=3,to=8,mag=5
+//	corrupt:mode=dropout,rate=0.5   (over the whole horizon when from/to absent)
+//	corrupt:mode=freeze,from=6
+//	solvererr:t=7                   injected error on the first solve attempt at slot 7
+//	panic:t=7,attempts=2            worker panic on the first two attempts at slot 7
+//
+// 'n=-1' targets every SBS; omitted 'to' (or to=0) extends to the end of
+// the horizon. The seed is supplied separately (flag -fault-seed).
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		kind = strings.TrimSpace(kind)
+		kv := map[string]string{}
+		if rest != "" {
+			for _, pair := range strings.Split(rest, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: clause %q: %q is not key=val", clause, pair)
+				}
+				kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+		}
+		geti := func(key string, def int) (int, error) {
+			v, ok := kv[key]
+			if !ok {
+				return def, nil
+			}
+			delete(kv, key)
+			return strconv.Atoi(v)
+		}
+		getf := func(key string, def float64) (float64, error) {
+			v, ok := kv[key]
+			if !ok {
+				return def, nil
+			}
+			delete(kv, key)
+			return strconv.ParseFloat(v, 64)
+		}
+		var inj Injector
+		var err error
+		switch kind {
+		case "outage":
+			var o Outage
+			if o.SBS, err = geti("n", -1); err == nil {
+				if o.From, err = geti("from", 0); err == nil {
+					o.To, err = geti("to", 0)
+				}
+			}
+			inj = o
+		case "bw":
+			var b BandwidthFactor
+			if b.SBS, err = geti("n", -1); err == nil {
+				if b.From, err = geti("from", 0); err == nil {
+					if b.To, err = geti("to", 0); err == nil {
+						b.Factor, err = getf("factor", 0)
+					}
+				}
+			}
+			inj = b
+		case "cap":
+			var c CapacityLoss
+			if c.SBS, err = geti("n", -1); err == nil {
+				if c.From, err = geti("from", 0); err == nil {
+					if c.To, err = geti("to", 0); err == nil {
+						c.Lost, err = geti("lose", 0)
+					}
+				}
+			}
+			inj = c
+		case "randoutage":
+			var r RandomOutages
+			if r.Rate, err = getf("rate", 0); err == nil {
+				r.MeanLen, err = geti("mean", 1)
+			}
+			inj = r
+		case "corrupt":
+			var c Corruption
+			c.Mode = CorruptionMode(kv["mode"])
+			delete(kv, "mode")
+			if c.From, err = geti("from", 0); err == nil {
+				if c.To, err = geti("to", 0); err == nil {
+					if c.Magnitude, err = getf("mag", 0); err == nil {
+						c.Rate, err = getf("rate", 0)
+					}
+				}
+			}
+			inj = c
+		case "solvererr", "panic":
+			var sf SolverFault
+			sf.Panic = kind == "panic"
+			if sf.Slot, err = geti("t", -1); err == nil {
+				sf.Attempts, err = geti("attempts", 0)
+			}
+			inj = sf
+		default:
+			return nil, fmt.Errorf("fault: unknown clause kind %q (want outage|bw|cap|randoutage|corrupt|solvererr|panic)", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		for k := range kv {
+			return nil, fmt.Errorf("fault: clause %q: unknown key %q", clause, k)
+		}
+		s.Injectors = append(s.Injectors, inj)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scheduleJSON is the on-disk schedule format: a seed plus a flat list
+// of fault objects discriminated by "kind".
+type scheduleJSON struct {
+	Seed   uint64      `json:"seed"`
+	Faults []faultJSON `json:"faults"`
+}
+
+type faultJSON struct {
+	Kind      string  `json:"kind"`
+	SBS       *int    `json:"sbs,omitempty"`
+	From      int     `json:"from,omitempty"`
+	To        int     `json:"to,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+	Lost      int     `json:"lose,omitempty"`
+	Rate      float64 `json:"rate,omitempty"`
+	MeanLen   int     `json:"mean,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
+	Magnitude float64 `json:"mag,omitempty"`
+	Slot      int     `json:"t,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+}
+
+// Load reads a JSON schedule file (see scheduleJSON for the format).
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	var sj scheduleJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	s := &Schedule{Seed: sj.Seed}
+	for i, fj := range sj.Faults {
+		sbs := -1
+		if fj.SBS != nil {
+			sbs = *fj.SBS
+		}
+		var inj Injector
+		switch fj.Kind {
+		case "outage":
+			inj = Outage{SBS: sbs, From: fj.From, To: fj.To}
+		case "bw":
+			inj = BandwidthFactor{SBS: sbs, From: fj.From, To: fj.To, Factor: fj.Factor}
+		case "cap":
+			inj = CapacityLoss{SBS: sbs, From: fj.From, To: fj.To, Lost: fj.Lost}
+		case "randoutage":
+			inj = RandomOutages{Rate: fj.Rate, MeanLen: fj.MeanLen}
+		case "corrupt":
+			inj = Corruption{Mode: CorruptionMode(fj.Mode), From: fj.From, To: fj.To, Magnitude: fj.Magnitude, Rate: fj.Rate}
+		case "solvererr":
+			inj = SolverFault{Slot: fj.Slot, Attempts: fj.Attempts}
+		case "panic":
+			inj = SolverFault{Slot: fj.Slot, Panic: true, Attempts: fj.Attempts}
+		default:
+			return nil, fmt.Errorf("fault: %s: fault %d has unknown kind %q", path, i, fj.Kind)
+		}
+		s.Injectors = append(s.Injectors, inj)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// FromSpec resolves a command-line -faults argument: "@path" or a path
+// ending in ".json" loads a JSON schedule file; anything else is parsed
+// as the inline DSL. seed, when non-zero, overrides the schedule's seed
+// (the -fault-seed flag).
+func FromSpec(arg string, seed uint64) (*Schedule, error) {
+	var s *Schedule
+	var err error
+	switch {
+	case strings.HasPrefix(arg, "@"):
+		s, err = Load(strings.TrimPrefix(arg, "@"))
+	case strings.HasSuffix(arg, ".json"):
+		s, err = Load(arg)
+	default:
+		s, err = Parse(arg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		s.Seed = seed
+	}
+	return s, nil
+}

@@ -217,7 +217,7 @@ func ForInstance(in *model.Instance, t, n int, mu, upper []float64) *SlotProblem
 		Lambda:    in.Demand.Slot(t, n),
 		OmegaBS:   in.OmegaBS[n],
 		OmegaSBS:  in.OmegaSBS[n],
-		Bandwidth: in.Bandwidth[n],
+		Bandwidth: in.BandwidthAt(t, n),
 		Mu:        mu,
 		Upper:     upper,
 	}
@@ -308,7 +308,7 @@ func greedyGivenPlacement(in *model.Instance, t, n int, xn []float64, yn [][]flo
 	}
 	omega := in.OmegaBS[n]
 	sort.SliceStable(order, func(i, j int) bool { return omega[order[i]] > omega[order[j]] })
-	remaining := in.Bandwidth[n]
+	remaining := in.BandwidthAt(t, n)
 	for _, m := range order {
 		base := m * in.K
 		for k := 0; k < in.K; k++ {

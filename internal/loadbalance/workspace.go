@@ -145,7 +145,7 @@ func (s *slotState) bind(in *model.Instance, t, n int, zeros []float64) {
 	s.t, s.n, s.m, s.k, s.dim = t, n, m, k, dim
 	s.lambda = in.Demand.Slot(t, n)
 	s.omega = in.OmegaBS[n]
-	s.bw = in.Bandwidth[n]
+	s.bw = in.BandwidthAt(t, n)
 
 	s.w = grow(s.w, dim)
 	s.wh = grow(s.wh, dim)

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Demand holds the mean request rates λ^t_{m_n,k} for every slot t, SBS n,
@@ -15,6 +16,11 @@ type Demand struct {
 	// data[t][n] is a row-major (class, content) matrix of length
 	// classes[n]*k.
 	data [][][]float64
+	// checked records that a full CheckValues scan has passed. Set and
+	// Map preserve validity (they panic on invalid writes), so a tensor
+	// that passed once never needs rescanning. Atomic because instances
+	// are validated from concurrent window solves.
+	checked atomic.Bool
 }
 
 // NewDemand allocates an all-zero demand tensor for T slots, len(classes)
@@ -102,6 +108,8 @@ func (d *Demand) Slice(from, to int) (*Demand, error) {
 			copy(out.data[t-from][n], d.data[t][n])
 		}
 	}
+	// A slice of a verified tensor is verified: Set/Map preserve validity.
+	out.checked.Store(d.checked.Load())
 	return out, nil
 }
 
@@ -132,6 +140,34 @@ func (d *Demand) Map(f func(t, n, m, k int, v float64) float64) *Demand {
 		}
 	}
 	return d
+}
+
+// CheckValues verifies every rate is a finite non-negative number,
+// returning a field-precise error for the first offender. Set and Map
+// maintain this invariant themselves, but tensors assembled through the
+// aliasing Slot rows (or deserialised by hand) can smuggle NaN/Inf rates
+// that historically only surfaced as solver misbehaviour deep in the
+// primal-dual loop; Instance.Validate calls this so such tensors are
+// rejected at construction instead. The scan is memoised: once a tensor
+// passes it is never rescanned, so repeated validation (one per window
+// solve) costs one atomic load.
+func (d *Demand) CheckValues() error {
+	if d.checked.Load() {
+		return nil
+	}
+	for t := 0; t < d.t; t++ {
+		for n := 0; n < d.n; n++ {
+			row := d.data[t][n]
+			for i, v := range row {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("model: demand rate λ(t=%d, n=%d, m=%d, k=%d) = %g, want finite ≥ 0",
+						t, n, i/d.k, i%d.k, v)
+				}
+			}
+		}
+	}
+	d.checked.Store(true)
+	return nil
 }
 
 // conforms reports whether the tensor's shape matches the instance.

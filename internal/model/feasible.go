@@ -40,7 +40,9 @@ func (in *Instance) checkLoadShape(y LoadPlan) error {
 	return nil
 }
 
-// checkCacheCapacity verifies eq. (1): Σ_k x_{n,k} ≤ C_n.
+// checkCacheCapacity verifies eq. (1) against the base capacities:
+// Σ_k x_{n,k} ≤ C_n. Used for the initial cache, which is in force
+// before slot 0 and therefore before any fault overlay applies.
 func (in *Instance) checkCacheCapacity(x CachePlan, tol float64) error {
 	for n := 0; n < in.N; n++ {
 		var used float64
@@ -49,6 +51,21 @@ func (in *Instance) checkCacheCapacity(x CachePlan, tol float64) error {
 		}
 		if used > float64(in.CacheCap[n])+tol {
 			return fmt.Errorf("cache capacity violated at SBS %d: %g items cached, capacity %d", n, used, in.CacheCap[n])
+		}
+	}
+	return nil
+}
+
+// checkCacheCapacityAt verifies eq. (1) at slot t against the effective
+// capacity C^t_n (identical to the base check without an overlay).
+func (in *Instance) checkCacheCapacityAt(t int, x CachePlan, tol float64) error {
+	for n := 0; n < in.N; n++ {
+		var used float64
+		for k := 0; k < in.K; k++ {
+			used += x[n][k]
+		}
+		if c := in.CacheCapAt(t, n); used > float64(c)+tol {
+			return fmt.Errorf("cache capacity violated at SBS %d: %g items cached, effective capacity %d", n, used, c)
 		}
 	}
 	return nil
@@ -83,8 +100,8 @@ func (in *Instance) CheckSlot(t int, dec SlotDecision, tol float64) error {
 			}
 		}
 	}
-	// Cache capacity (eq. 1).
-	if err := in.checkCacheCapacity(dec.X, tol); err != nil {
+	// Cache capacity (eq. 1), against the slot's effective C^t_n.
+	if err := in.checkCacheCapacityAt(t, dec.X, tol); err != nil {
 		return fmt.Errorf("model: slot %d: %w", t, err)
 	}
 	// Bandwidth (eq. 2) and coupling (eq. 3).
@@ -102,10 +119,11 @@ func (in *Instance) CheckSlot(t int, dec SlotDecision, tol float64) error {
 			}
 		}
 		// Scale the bandwidth tolerance by demand volume so that checks
-		// remain meaningful across workload magnitudes.
+		// remain meaningful across workload magnitudes. The budget is the
+		// slot's effective B^t_n, which a fault overlay may shrink.
 		scale := 1 + in.Demand.SlotTotal(t, n)
-		if served > in.Bandwidth[n]+tol*scale {
-			return fmt.Errorf("model: slot %d: bandwidth violated at SBS %d: load %g > %g", t, n, served, in.Bandwidth[n])
+		if bw := in.BandwidthAt(t, n); served > bw+tol*scale {
+			return fmt.Errorf("model: slot %d: bandwidth violated at SBS %d: load %g > %g", t, n, served, bw)
 		}
 	}
 	return nil

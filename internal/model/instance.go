@@ -21,6 +21,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Instance is a fully specified joint caching / load-balancing problem over
@@ -53,6 +54,12 @@ type Instance struct {
 	// InitialCache is x^0, the placement in force before slot 0. Nil means
 	// an empty cache. When non-nil it must be integral and feasible.
 	InitialCache CachePlan
+	// Overlay, when non-nil, imposes slot-varying effective capacities
+	// B^t_n / C^t_n on top of the base Bandwidth/CacheCap — the view of a
+	// faulted world (SBS outages, backhaul degradation; package fault
+	// builds these). All feasibility checks validate against the
+	// effective values; see BandwidthAt / CacheCapAt.
+	Overlay *Overlay
 }
 
 // Validate checks internal consistency of the instance: dimensions agree,
@@ -94,11 +101,11 @@ func (in *Instance) Validate() error {
 		if in.CacheCap[n] < 0 {
 			return fmt.Errorf("model: CacheCap[%d] = %d, want ≥ 0", n, in.CacheCap[n])
 		}
-		if in.Bandwidth[n] < 0 {
-			return fmt.Errorf("model: Bandwidth[%d] = %g, want ≥ 0", n, in.Bandwidth[n])
+		if b := in.Bandwidth[n]; b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("model: Bandwidth[%d] = %g, want finite ≥ 0", n, b)
 		}
-		if in.Beta[n] < 0 {
-			return fmt.Errorf("model: Beta[%d] = %g, want ≥ 0", n, in.Beta[n])
+		if b := in.Beta[n]; b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("model: Beta[%d] = %g, want finite ≥ 0", n, b)
 		}
 		if got := len(in.OmegaBS[n]); got != in.Classes[n] {
 			return fmt.Errorf("model: len(OmegaBS[%d]) = %d, want %d", n, got, in.Classes[n])
@@ -107,11 +114,11 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("model: len(OmegaSBS[%d]) = %d, want %d", n, got, in.Classes[n])
 		}
 		for m := 0; m < in.Classes[n]; m++ {
-			if in.OmegaBS[n][m] < 0 {
-				return fmt.Errorf("model: OmegaBS[%d][%d] = %g, want ≥ 0", n, m, in.OmegaBS[n][m])
+			if w := in.OmegaBS[n][m]; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("model: OmegaBS[%d][%d] = %g, want finite ≥ 0", n, m, w)
 			}
-			if in.OmegaSBS[n][m] < 0 {
-				return fmt.Errorf("model: OmegaSBS[%d][%d] = %g, want ≥ 0", n, m, in.OmegaSBS[n][m])
+			if w := in.OmegaSBS[n][m]; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("model: OmegaSBS[%d][%d] = %g, want finite ≥ 0", n, m, w)
 			}
 		}
 	}
@@ -119,6 +126,12 @@ func (in *Instance) Validate() error {
 		return errors.New("model: nil Demand")
 	}
 	if err := in.Demand.conforms(in); err != nil {
+		return err
+	}
+	if err := in.Demand.CheckValues(); err != nil {
+		return err
+	}
+	if err := in.Overlay.validate(in); err != nil {
 		return err
 	}
 	if in.InitialCache != nil {
@@ -174,6 +187,7 @@ func (in *Instance) Window(from, to int, initial CachePlan, demand *Demand) (*In
 		Beta:         in.Beta,
 		Demand:       d,
 		InitialCache: initial,
+		Overlay:      in.sliceOverlay(from, to),
 	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("model: window [%d, %d): %w", from, to, err)

@@ -1,0 +1,163 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Overlay holds slot-varying *effective* capacities imposed on an
+// instance by infrastructure faults (package fault): SBS outages,
+// backhaul degradation, cache shrinkage. The base Bandwidth/CacheCap
+// fields keep describing the provisioned hardware; the overlay describes
+// what of it is actually usable at each slot. A nil overlay means the
+// base values hold for the whole horizon — the paper's failure-free
+// model, and the representation every pre-fault code path sees.
+//
+// Effective values are accessed through Instance.BandwidthAt and
+// Instance.CacheCapAt; all feasibility checks (CheckSlot,
+// CheckTrajectory, the auditor) validate against the effective view, so
+// a trajectory is only "feasible" if it respects every fault. An overlay
+// may only degrade: effective values must lie in [0, base].
+//
+// An Overlay is immutable once attached to an Instance and safe for
+// concurrent readers, like the instance itself.
+type Overlay struct {
+	// Bandwidth[t][n] is the effective bandwidth B^t_n. Nil leaves the
+	// base Bandwidth in force for every slot.
+	Bandwidth [][]float64
+	// CacheCap[t][n] is the effective cache capacity C^t_n. Nil leaves
+	// the base CacheCap in force for every slot.
+	CacheCap [][]int
+}
+
+// validate checks the overlay against the instance's dimensions and the
+// degradation-only invariant.
+func (ov *Overlay) validate(in *Instance) error {
+	if ov == nil {
+		return nil
+	}
+	if ov.Bandwidth != nil {
+		if len(ov.Bandwidth) != in.T {
+			return fmt.Errorf("model: overlay bandwidth covers %d slots, want T = %d", len(ov.Bandwidth), in.T)
+		}
+		for t := range ov.Bandwidth {
+			if len(ov.Bandwidth[t]) != in.N {
+				return fmt.Errorf("model: overlay bandwidth[%d] covers %d SBSs, want N = %d", t, len(ov.Bandwidth[t]), in.N)
+			}
+			for n, b := range ov.Bandwidth[t] {
+				if math.IsNaN(b) || math.IsInf(b, 0) {
+					return fmt.Errorf("model: overlay Bandwidth[%d][%d] = %g, want finite", t, n, b)
+				}
+				if b < 0 || b > in.Bandwidth[n] {
+					return fmt.Errorf("model: overlay Bandwidth[%d][%d] = %g outside [0, base %g]", t, n, b, in.Bandwidth[n])
+				}
+			}
+		}
+	}
+	if ov.CacheCap != nil {
+		if len(ov.CacheCap) != in.T {
+			return fmt.Errorf("model: overlay cache capacity covers %d slots, want T = %d", len(ov.CacheCap), in.T)
+		}
+		for t := range ov.CacheCap {
+			if len(ov.CacheCap[t]) != in.N {
+				return fmt.Errorf("model: overlay cacheCap[%d] covers %d SBSs, want N = %d", t, len(ov.CacheCap[t]), in.N)
+			}
+			for n, c := range ov.CacheCap[t] {
+				if c < 0 || c > in.CacheCap[n] {
+					return fmt.Errorf("model: overlay CacheCap[%d][%d] = %d outside [0, base %d]", t, n, c, in.CacheCap[n])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BandwidthAt returns the effective bandwidth B^t_n: the overlay value
+// when one is attached, the base Bandwidth[n] otherwise.
+func (in *Instance) BandwidthAt(t, n int) float64 {
+	if in.Overlay != nil && in.Overlay.Bandwidth != nil {
+		return in.Overlay.Bandwidth[t][n]
+	}
+	return in.Bandwidth[n]
+}
+
+// CacheCapAt returns the effective cache capacity C^t_n: the overlay
+// value when one is attached, the base CacheCap[n] otherwise.
+func (in *Instance) CacheCapAt(t, n int) int {
+	if in.Overlay != nil && in.Overlay.CacheCap != nil {
+		return in.Overlay.CacheCap[t][n]
+	}
+	return in.CacheCap[n]
+}
+
+// CacheCapFloor returns min_t C^t_n over the instance's horizon — the
+// capacity a placement may rely on at every slot. The time-expanded P1
+// flow network plans against this floor (a single per-SBS commodity
+// cannot express per-slot capacities), which is conservative inside a
+// window but always feasible; the per-slot rounding repair then enforces
+// the exact C^t_n at commit time. Without an overlay this is CacheCap[n].
+func (in *Instance) CacheCapFloor(n int) int {
+	if in.Overlay == nil || in.Overlay.CacheCap == nil {
+		return in.CacheCap[n]
+	}
+	floor := in.CacheCap[n]
+	for t := 0; t < in.T; t++ {
+		if c := in.Overlay.CacheCap[t][n]; c < floor {
+			floor = c
+		}
+	}
+	return floor
+}
+
+// OutageAt reports whether SBS n is fully down at slot t: zero effective
+// bandwidth and zero effective cache capacity. A down SBS must carry no
+// load and cache nothing; the auditor checks this strictly.
+func (in *Instance) OutageAt(t, n int) bool {
+	return in.BandwidthAt(t, n) == 0 && in.CacheCapAt(t, n) == 0
+}
+
+// EventSlots returns, in increasing order, every slot t ≥ 1 at which
+// some SBS's effective (bandwidth, capacity) pair differs from slot
+// t−1, plus slot 0 when it differs from the base values — the topology
+// events a failure-aware online controller must replan at. Nil when the
+// instance has no overlay.
+func (in *Instance) EventSlots() []int {
+	if in.Overlay == nil {
+		return nil
+	}
+	var out []int
+	for t := 0; t < in.T; t++ {
+		changed := false
+		for n := 0; n < in.N; n++ {
+			prevB, prevC := in.Bandwidth[n], in.CacheCap[n]
+			if t > 0 {
+				prevB, prevC = in.BandwidthAt(t-1, n), in.CacheCapAt(t-1, n)
+			}
+			if in.BandwidthAt(t, n) != prevB || in.CacheCapAt(t, n) != prevC {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sliceOverlay returns the overlay restricted to slots [from, to), or
+// nil when the instance has none. Rows are shared (the overlay is
+// immutable), so slicing allocates only the outer spine.
+func (in *Instance) sliceOverlay(from, to int) *Overlay {
+	if in.Overlay == nil {
+		return nil
+	}
+	out := &Overlay{}
+	if in.Overlay.Bandwidth != nil {
+		out.Bandwidth = in.Overlay.Bandwidth[from:to]
+	}
+	if in.Overlay.CacheCap != nil {
+		out.CacheCap = in.Overlay.CacheCap[from:to]
+	}
+	return out
+}

@@ -34,6 +34,22 @@ func (in *Instance) PerSBS(n int) (*Instance, error) {
 	if in.InitialCache != nil {
 		sub.InitialCache = CachePlan{append([]float64(nil), in.InitialCache[n]...)}
 	}
+	if in.Overlay != nil {
+		ov := &Overlay{}
+		if in.Overlay.Bandwidth != nil {
+			ov.Bandwidth = make([][]float64, in.T)
+			for t := range ov.Bandwidth {
+				ov.Bandwidth[t] = []float64{in.Overlay.Bandwidth[t][n]}
+			}
+		}
+		if in.Overlay.CacheCap != nil {
+			ov.CacheCap = make([][]int, in.T)
+			for t := range ov.CacheCap {
+				ov.CacheCap[t] = []int{in.Overlay.CacheCap[t][n]}
+			}
+		}
+		sub.Overlay = ov
+	}
 	if err := sub.Validate(); err != nil {
 		return nil, fmt.Errorf("model: PerSBS(%d): %w", n, err)
 	}

@@ -9,11 +9,49 @@ import (
 
 	"edgecache/internal/audit"
 	"edgecache/internal/convex"
+	"edgecache/internal/fault"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
 	"edgecache/internal/oracle"
 	"edgecache/internal/workload"
 )
+
+// randomSchedule samples a fault schedule for the differential fuzz
+// target: any combination of an outage, bandwidth degradation, capacity
+// loss, prediction corruption and a solver fault, all within in's
+// dimensions. May return an empty schedule (the failure-free world).
+func randomSchedule(rng *rand.Rand, in *model.Instance) *fault.Schedule {
+	s := &fault.Schedule{Seed: rng.Uint64()}
+	if rng.Float64() < 0.5 {
+		from := rng.IntN(in.T)
+		s.Injectors = append(s.Injectors, fault.Outage{
+			SBS: rng.IntN(in.N), From: from, To: from + 1 + rng.IntN(3),
+		})
+	}
+	if rng.Float64() < 0.4 {
+		s.Injectors = append(s.Injectors, fault.BandwidthFactor{
+			SBS: -1, From: rng.IntN(in.T), Factor: 0.25 + rng.Float64()*0.5,
+		})
+	}
+	if rng.Float64() < 0.3 {
+		s.Injectors = append(s.Injectors, fault.CapacityLoss{
+			SBS: rng.IntN(in.N), From: rng.IntN(in.T), Lost: 1,
+		})
+	}
+	if rng.Float64() < 0.4 {
+		modes := []fault.CorruptionMode{fault.Spike, fault.Dropout, fault.Freeze}
+		s.Injectors = append(s.Injectors, fault.Corruption{
+			Mode: modes[rng.IntN(len(modes))], From: 0, To: in.T,
+			Magnitude: 1 + rng.Float64()*4, Rate: 0.1 + rng.Float64()*0.5,
+		})
+	}
+	if rng.Float64() < 0.3 {
+		s.Injectors = append(s.Injectors, fault.SolverFault{
+			Slot: rng.IntN(in.T), Panic: rng.Float64() < 0.5, Attempts: 1 + rng.IntN(3),
+		})
+	}
+	return s
+}
 
 // FuzzDifferentialOnline cross-checks the online controllers against the
 // trajectory auditor on randomly generated instances: whatever
@@ -65,6 +103,25 @@ func FuzzDifferentialOnline(f *testing.F) {
 			// every window through best-iterate/fallback.
 			ctrl.SlotBudget = time.Nanosecond
 		}
+
+		// Half the corpus runs through a faulted world: the auditor's
+		// invariants must hold on the effective per-slot instance no
+		// matter what combination of outages, degradations, corrupted
+		// predictions and solver faults the run absorbed.
+		var sched *fault.Schedule
+		if rng.Float64() < 0.5 {
+			sched = randomSchedule(rng, in)
+			out, err := sched.Materialize(in, nil)
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+			in = out
+			if hook := sched.Corruptor(in.Demand); hook != nil {
+				pred = pred.WithCorruption(hook)
+			}
+			ctrl.Faults = sched
+			ctrl.Retry = RetryPolicy{Max: 2, Backoff: time.Microsecond}
+		}
 		var col obs.Collector
 		ctrl.Telemetry = obs.New(&col, obs.NewRegistry())
 
@@ -73,11 +130,13 @@ func FuzzDifferentialOnline(f *testing.F) {
 			t.Fatalf("%s (η=%.2f): %v", ctrl.Name(), eta, err)
 		}
 		if rep := audit.Trajectory(in, res.Trajectory, nil, audit.Options{}); !rep.OK() {
-			t.Fatalf("%s (η=%.2f): committed trajectory failed audit: %v", ctrl.Name(), eta, rep.Err())
+			t.Fatalf("%s (η=%.2f, faults=%v): committed trajectory failed audit: %v",
+				ctrl.Name(), eta, !sched.Empty(), rep.Err())
 		}
 
-		// Theorem 3 models neither the feasibility repairs nor degraded
-		// windows; check the bound only when the run used none of them.
+		// Theorem 3 models neither the feasibility repairs, degraded
+		// windows nor injected faults (DESIGN.md §10); check the bound
+		// only when the run used none of them.
 		repaired := false
 		for _, e := range col.ByType("slot_decision") {
 			if e.Fields["cap_dropped"].(int) > 0 || e.Fields["bw_repaired"].(int) > 0 {
@@ -85,7 +144,7 @@ func FuzzDifferentialOnline(f *testing.F) {
 				break
 			}
 		}
-		if !repaired && res.Degraded == 0 && res.RelaxedCost > 0 {
+		if sched.Empty() && !repaired && res.Degraded == 0 && res.RelaxedCost > 0 {
 			rounded := in.TotalCost(res.Trajectory).Total
 			if rounded > 2.62*res.RelaxedCost*(1+1e-9) {
 				t.Fatalf("%s: rounded %g > 2.62 × relaxed %g — Theorem 3 violated",

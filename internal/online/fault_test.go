@@ -1,0 +1,234 @@
+package online
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+	"edgecache/internal/workload"
+)
+
+// faulted materialises a schedule onto the small test instance and wires
+// a predictor against the shared truth.
+func faulted(t *testing.T, s *fault.Schedule) (*model.Instance, *workload.Predictor) {
+	t.Helper()
+	in, _ := smallInstance(t, nil)
+	out, err := s.Materialize(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := workload.NewPredictor(out.Demand, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, pred
+}
+
+func TestRunSurvivesMidHorizonOutage(t *testing.T) {
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.Outage{SBS: 0, From: 4, To: 8},
+	}}
+	in, pred := faulted(t, s)
+	for _, cfg := range []Config{RHC(4), CHC(4, 2), AFHC(4)} {
+		t.Run(cfg.Name(), func(t *testing.T) {
+			res, err := Run(context.Background(), in, pred, cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			// The committed trajectory is feasible against the effective
+			// per-slot instance (Run checks this itself; re-check here so a
+			// regression in Run's self-check cannot hide one in commit).
+			if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+				t.Fatalf("trajectory infeasible under overlay: %v", err)
+			}
+			// Strictly nothing on the dead SBS during the outage.
+			for tt := 4; tt < 8; tt++ {
+				dec := res.Trajectory[tt]
+				if got := len(dec.X.Items(0)); got != 0 {
+					t.Errorf("slot %d: %d items cached on dead SBS", tt, got)
+				}
+				for m := range dec.Y[0] {
+					for k, v := range dec.Y[0][m] {
+						if in.Demand.At(tt, 0, m, k)*v != 0 {
+							t.Errorf("slot %d: load %g served on dead SBS", tt, v)
+						}
+					}
+				}
+			}
+			// Both outage edges (slots 4 and 8) truncate some commitment
+			// for every multi-slot committer; RHC commits slot-by-slot so
+			// its lattice always lands on events (no truncation needed).
+			if cfg.Commitment > 1 && res.Replans == 0 {
+				t.Error("no replans recorded across a topology event")
+			}
+		})
+	}
+}
+
+func TestRunRetriesInjectedSolverError(t *testing.T) {
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 2}, // first attempt at τ=2 fails, retry recovers
+	}}
+	in, pred := faulted(t, s)
+	col := &obs.Collector{}
+	cfg := RHC(4)
+	cfg.Faults = s
+	cfg.Retry = RetryPolicy{Max: 2, Backoff: time.Millisecond}
+	cfg.Telemetry = obs.New(col, obs.NewRegistry())
+	res, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", res.Retries)
+	}
+	if res.Degraded != 0 {
+		t.Errorf("Degraded = %d, want 0 (retry should have recovered)", res.Degraded)
+	}
+	if evs := col.ByType("retry"); len(evs) != 1 {
+		t.Errorf("got %d retry events, want 1", len(evs))
+	}
+}
+
+func TestRunDegradesInjectedWorkerPanic(t *testing.T) {
+	// Four panicking attempts exceed the 1+2 attempt budget, so slot 3
+	// must be committed through the degradation ladder — one degraded
+	// slot, not a crashed run.
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 3, Panic: true, Attempts: 4},
+	}}
+	in, pred := faulted(t, s)
+	cfg := RHC(4)
+	cfg.Faults = s
+	cfg.Retry = RetryPolicy{Max: 2, Backoff: time.Millisecond}
+	res, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Degraded != 1 {
+		t.Errorf("Degraded = %d, want 1", res.Degraded)
+	}
+	if res.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (all retries exhausted)", res.Retries)
+	}
+	if err := in.CheckTrajectory(res.Trajectory, 1e-6); err != nil {
+		t.Fatalf("degraded trajectory infeasible: %v", err)
+	}
+}
+
+func TestRetryRespectsSlotBudget(t *testing.T) {
+	// An endlessly failing slot with a 10s backoff must still resolve
+	// within the slot budget: the backoff sleep selects on the budget
+	// context, so the run degrades in ~the budget, not in multiples of
+	// the backoff.
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 2, Attempts: 1 << 30},
+	}}
+	in, pred := faulted(t, s)
+	cfg := RHC(4)
+	cfg.Faults = s
+	cfg.SlotBudget = 50 * time.Millisecond
+	cfg.Retry = RetryPolicy{Max: 5, Backoff: 10 * time.Second}
+	start := time.Now()
+	res, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run took %v; retry backoff outlived the slot budget", elapsed)
+	}
+	if res.Degraded == 0 {
+		t.Error("endlessly failing slot was not degraded")
+	}
+}
+
+func TestRetryCancellationLeaksNoGoroutines(t *testing.T) {
+	// Cancel the run while a retry backoff is pending and verify every
+	// goroutine drains: the backoff timer must not strand a worker.
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 0, Attempts: 1 << 30},
+	}}
+	in, pred := faulted(t, s)
+	cfg := RHC(4)
+	cfg.Faults = s
+	cfg.Retry = RetryPolicy{Max: 1 << 20, Backoff: 20 * time.Millisecond, Factor: 1}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, in, pred, cfg)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the retry loop reach a backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled run returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines: %d before, %d after cancellation", before, now)
+	}
+}
+
+func TestFaultedRunDeterministic(t *testing.T) {
+	// Same fault seed ⇒ byte-identical overlays and trajectories.
+	mk := func() *Result {
+		s := &fault.Schedule{Seed: 17, Injectors: []fault.Injector{
+			fault.RandomOutages{Rate: 0.05, MeanLen: 2},
+			fault.BandwidthFactor{SBS: 0, From: 6, Factor: 0.4},
+			fault.SolverFault{Slot: 2},
+		}}
+		in, pred := faulted(t, s)
+		cfg := CHC(4, 2)
+		cfg.Faults = s
+		cfg.Retry = RetryPolicy{Max: 2, Backoff: time.Millisecond}
+		res, err := Run(context.Background(), in, pred, cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a.Trajectory, b.Trajectory) {
+		t.Error("same fault seed produced different trajectories")
+	}
+	if a.Replans != b.Replans || a.Retries != b.Retries || a.Degraded != b.Degraded {
+		t.Errorf("fault accounting differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestNoFaultRunsUnchanged(t *testing.T) {
+	// The failure-aware control path must be byte-identical to the
+	// pre-fault controller when no schedule is attached: same lattice,
+	// same solves, same trajectory.
+	in, pred := smallInstance(t, nil)
+	cfg := CHC(4, 2)
+	base, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &fault.Schedule{} // empty schedule ≡ nil
+	again, err := Run(context.Background(), in, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Trajectory, again.Trajectory) {
+		t.Error("empty fault schedule changed the trajectory")
+	}
+	if base.WindowSolves != again.WindowSolves || base.Replans != 0 || again.Replans != 0 {
+		t.Errorf("solve accounting changed: %+v vs %+v", base, again)
+	}
+}

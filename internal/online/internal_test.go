@@ -45,7 +45,7 @@ func TestRunVersionStartupCoversEarlySlots(t *testing.T) {
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
 	var stats versionStats
-	if err := runVersion(context.Background(), in, pred, cfg, 1, xa, ya, &stats); err != nil {
+	if err := runVersion(context.Background(), in, pred, cfg, 1, nil, nil, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
 	for tt := 0; tt < in.T; tt++ {
@@ -69,7 +69,7 @@ func TestVersionsCommitDisjointBlocks(t *testing.T) {
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
 	var stats versionStats
-	if err := runVersion(context.Background(), in, pred, cfg, 0, xa, ya, &stats); err != nil {
+	if err := runVersion(context.Background(), in, pred, cfg, 0, nil, nil, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
 	for tt, x := range xa {

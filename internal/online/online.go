@@ -35,6 +35,7 @@ import (
 
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/fault"
 	"edgecache/internal/loadbalance"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
@@ -50,6 +51,8 @@ var (
 	mCapDrops     = obs.Default.Counter("online.capacity_drops")
 	mBWRepairs    = obs.Default.Counter("online.bandwidth_repairs")
 	mDegraded     = obs.Default.Counter("solver.degraded")
+	mReplans      = obs.Default.Counter("fault.replans")
+	mRetries      = obs.Default.Counter("fault.retries")
 )
 
 // DefaultRho is the rounding threshold ρ = (3−√5)/2 ≈ 0.382 of Theorem 3.
@@ -100,6 +103,22 @@ func DefaultFallback(ctx context.Context, win *model.Instance) (model.Trajectory
 	return baseline.NewLRFU().Plan(ctx, win)
 }
 
+// RetryPolicy bounds the retry-with-backoff wrapper around each window
+// solve — the first rung of failure handling, tried before the
+// degradation ladder (best-so-far iterate → Fallback). Retries share the
+// window's slot budget: the deadline context spans every attempt and the
+// backoff sleeps between them, so retrying never outlives the slot.
+// Context errors (cancellation, budget exhaustion) are never retried.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt. 0 selects
+	// the default (2); negative disables retrying.
+	Max int
+	// Backoff is the sleep before the first retry (default 2ms).
+	Backoff time.Duration
+	// Factor multiplies the backoff after each retry (default 2).
+	Factor float64
+}
+
 // Config describes one online controller.
 type Config struct {
 	// Window is the prediction horizon w ≥ 1.
@@ -135,6 +154,17 @@ type Config struct {
 	// any feasible iterate exists; nil selects DefaultFallback (the LRFU
 	// placement with the reactive load split).
 	Fallback FallbackPlanner
+	// Retry bounds the in-budget retry of failed window solves; see
+	// RetryPolicy. The zero value selects the defaults.
+	Retry RetryPolicy
+	// Faults, when non-nil, injects the schedule's solver-level faults
+	// (fault.SolverFault clauses) into this run's window solves —
+	// injected errors exercise the retry path, injected panics the
+	// parallel supervisor. Topology faults (outages, degradation) and
+	// prediction corruption do not act here: they are materialised into
+	// the instance's overlay and the predictor by package sim before Run
+	// ever sees them.
+	Faults *fault.Schedule
 	// Telemetry receives one window_solve event per FHC window solve and
 	// one slot_decision event per committed slot (rounding decisions at
 	// ρ, capacity/bandwidth repairs, cache churn). It is also forwarded
@@ -210,6 +240,18 @@ func (c Config) withDefaults() (Config, error) {
 		// quality compounds.
 		c.Core.StallIter = 15
 	}
+	switch {
+	case c.Retry.Max == 0:
+		c.Retry.Max = 2
+	case c.Retry.Max < 0:
+		c.Retry.Max = 0
+	}
+	if c.Retry.Backoff <= 0 {
+		c.Retry.Backoff = 2 * time.Millisecond
+	}
+	if c.Retry.Factor < 1 {
+		c.Retry.Factor = 2
+	}
 	return c, nil
 }
 
@@ -230,6 +272,12 @@ type Result struct {
 	// committed through the degradation ladder instead (best-so-far
 	// iterate or fallback). Zero when no budget is set.
 	Degraded int
+	// Retries counts failed solve attempts that were retried in-budget
+	// (fault.retries).
+	Retries int
+	// Replans counts commitments truncated at a topology event so the
+	// post-event world could be re-solved immediately (fault.replans).
+	Replans int
 }
 
 // Run executes the configured controller over the instance's horizon,
@@ -265,16 +313,24 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		versions = 1
 	}
 
+	// Armed solver faults (nil for fault-free runs) and the topology
+	// events every version must replan at.
+	armed := cfg.Faults.Arm()
+	events := in.EventSlots()
+
 	// Per-version committed actions for every real slot. Versions are
 	// mutually independent (each sees only its own committed state and the
-	// deterministic predictor), so they run in parallel.
+	// deterministic predictor), so they run in parallel. The fan-out is
+	// supervised: a panic inside a version (solver bug, injected worker
+	// panic that escaped the per-solve guard) fails the run with a
+	// *parallel.PanicError instead of crashing the process.
 	xa := make([][]model.CachePlan, versions)
 	ya := make([][]model.LoadPlan, versions)
 	stats := make([]versionStats, versions)
-	err = parallel.For(ctx, versions, 0, func(v int) error {
+	err = parallel.ForSupervised(ctx, versions, 0, func(v int) error {
 		xa[v] = make([]model.CachePlan, in.T)
 		ya[v] = make([]model.LoadPlan, in.T)
-		return runVersion(ctx, in, pred, cfg, v, xa[v], ya[v], &stats[v])
+		return runVersion(ctx, in, pred, cfg, v, armed, events, xa[v], ya[v], &stats[v])
 	})
 	if err != nil {
 		// A bare dispatch-time cancellation from parallel.For needs the
@@ -289,6 +345,8 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		res.WindowSolves += st.solves
 		res.DualIterations += st.dualIters
 		res.Degraded += st.degraded
+		res.Retries += st.retries
+		res.Replans += st.replans
 	}
 
 	// Combine versions slot by slot: average, round, repair, commit. The
@@ -339,7 +397,7 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		res.RelaxedCost += in.BSCost(t, avgY) + in.SBSCost(t, avgY) +
 			in.ReplacementCost(prevAvgX, avgX)
 
-		x, candidates, capDropped, capSBS := roundPlacement(in, avgX, cfg.Rho)
+		x, candidates, capDropped, capSBS := roundPlacement(in, t, avgX, cfg.Rho)
 		var y model.LoadPlan
 		var bwRepaired int
 		if cfg.LoadMode == LoadReactive {
@@ -392,6 +450,8 @@ type versionStats struct {
 	solves    int
 	dualIters int
 	degraded  int
+	retries   int
+	replans   int
 }
 
 // runVersion executes FHC version v: solve at times τ ≡ v (mod r), commit
@@ -400,11 +460,19 @@ type versionStats struct {
 // to solving the clamped window [0, v−r+w) and committing [0, v).
 //
 // With a SlotBudget, each window solve runs under a deadline-carrying
-// child context; an overrun degrades the window (degradeWindow) rather
-// than failing the version. Cancellation of the parent ctx always fails
-// the version with a wrapped ctx.Err().
+// child context spanning every retry attempt; an overrun degrades the
+// window (degradeWindow) rather than failing the version. Cancellation
+// of the parent ctx always fails the version with a wrapped ctx.Err().
+//
+// Failure awareness: commitments are truncated at topology events (slots
+// where some SBS's effective capacities change, in.EventSlots), so the
+// post-event world is re-solved immediately instead of riding out stale
+// commitments; the version then resumes its τ ≡ v (mod r) lattice at the
+// next boundary, which keeps fault-free runs byte-identical to the
+// pre-fault controller. Solve failures walk retry-with-backoff first
+// (RetryPolicy), then the degradation ladder.
 func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config, v int,
-	xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
+	armed *fault.Armed, events []int, xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
 
 	r := cfg.Commitment
 	virtualPrev := in.InitialPlan()
@@ -419,14 +487,23 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 	if v == 0 {
 		first = 0
 	}
-	for tau := first; tau < in.T; tau += r {
+	for tau := first; tau < in.T; {
 		from := max(tau, 0)
 		to := min(tau+cfg.Window, in.T)
-		if from >= to {
-			continue
+		// The next on-lattice commit boundary: the smallest L > τ with
+		// L ≡ v (mod r). On-lattice this is τ+r; after an event replan
+		// (off-lattice τ) it restores the version's staggering.
+		lattice := tau + 1 + ((v-(tau+1))%r+r)%r
+		commitEnd := min(lattice, in.T)
+		eventCut := 0
+		for _, e := range events {
+			if e > from && e < commitEnd {
+				commitEnd, eventCut = e, e
+				break
+			}
 		}
-		commitEnd := min(tau+r, in.T)
-		if commitEnd <= from {
+		if from >= to || commitEnd <= from {
+			tau = commitEnd
 			continue
 		}
 
@@ -446,21 +523,25 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
 		}
 
+		// The budget context spans every retry attempt and the backoff
+		// sleeps between them: retrying never outlives the slot budget.
 		solveCtx, cancel := ctx, context.CancelFunc(nil)
 		if cfg.SlotBudget > 0 {
 			solveCtx, cancel = context.WithTimeout(ctx, cfg.SlotBudget)
 		}
 		solveStart := time.Now()
-		sol, err := core.Solve(solveCtx, win, opts)
+		sol, err := solveWithRetry(solveCtx, win, opts, cfg, armed, v, tau, stats)
 		if cancel != nil {
 			cancel()
 		}
 		solveDur := time.Since(solveStart)
 		if err != nil {
-			if ctx.Err() != nil || !errors.Is(err, context.DeadlineExceeded) {
-				// Parent cancellation or a genuine solver failure: fail the
-				// version. (A budget overrun surfaces as DeadlineExceeded
-				// with the parent still live.)
+			if ctx.Err() != nil {
+				// Parent cancellation: fail the version. Anything else —
+				// budget overrun (DeadlineExceeded with a live parent) or a
+				// solve that kept failing through its retries — walks the
+				// degradation ladder: a failure-aware controller must
+				// commit something feasible for the slot.
 				return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
 			}
 			var mode string
@@ -517,8 +598,99 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 			ya[t] = sol.Trajectory[t-from].Y
 		}
 		virtualPrev = xa[commitEnd-1]
+		if eventCut > 0 {
+			stats.replans++
+			mReplans.Inc()
+			if cfg.Telemetry.Enabled() {
+				cfg.Telemetry.Emit("replan", obs.Fields{
+					"controller": cfg.Name(),
+					"version":    v,
+					"tau":        tau,
+					"event_slot": eventCut,
+					"committed":  commitEnd - from,
+				})
+			}
+		}
+		tau = commitEnd
 	}
 	return nil
+}
+
+// solveWithRetry is the per-window solve wrapped in the bounded
+// retry-with-backoff of cfg.Retry, with the schedule's solver faults
+// injected per attempt. Context errors — parent cancellation or slot
+// budget exhaustion — are never retried; the caller distinguishes them.
+// On failure the best partial result seen (an interrupted solve's
+// best-so-far iterate) is returned alongside the error so the
+// degradation ladder can still use it.
+func solveWithRetry(ctx context.Context, win *model.Instance, opts core.Options, cfg Config,
+	armed *fault.Armed, v, tau int, stats *versionStats) (*core.Result, error) {
+
+	var best *core.Result
+	backoff := cfg.Retry.Backoff
+	for attempt := 0; ; attempt++ {
+		sol, err := solveOnce(ctx, win, opts, armed, tau)
+		if err == nil {
+			return sol, nil
+		}
+		if sol != nil {
+			best = sol
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return best, err
+		}
+		if attempt >= cfg.Retry.Max {
+			return best, err
+		}
+		stats.retries++
+		mRetries.Inc()
+		if cfg.Telemetry.Enabled() {
+			cfg.Telemetry.Emit("retry", obs.Fields{
+				"controller": cfg.Name(),
+				"version":    v,
+				"tau":        tau,
+				"attempt":    attempt + 1,
+				"backoff_ms": float64(backoff) / float64(time.Millisecond),
+				"error":      err.Error(),
+			})
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return best, err
+		}
+		backoff = time.Duration(float64(backoff) * cfg.Retry.Factor)
+	}
+}
+
+// solveOnce runs one solve attempt, applying any armed solver fault for
+// decision slot tau. Injected panics are routed through the supervised
+// fan-out — the same machinery that guards real worker panics — and an
+// extra recover converts panics escaping core.Solve itself into errors.
+func solveOnce(ctx context.Context, win *model.Instance, opts core.Options, armed *fault.Armed, tau int) (*core.Result, error) {
+	if injErr, injPanic := armed.Inject(tau); injPanic {
+		err := parallel.ForSupervised(ctx, 1, 1, func(int) error {
+			panic(fmt.Sprintf("fault: injected worker panic at τ=%d", tau))
+		})
+		return nil, err
+	} else if injErr != nil {
+		return nil, injErr
+	}
+	return guardedSolve(ctx, win, opts)
+}
+
+// guardedSolve converts a panic anywhere inside the window solve into an
+// error, so one crashing solve degrades its window instead of killing
+// the run.
+func guardedSolve(ctx context.Context, win *model.Instance, opts core.Options) (sol *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, fmt.Errorf("online: window solve panicked: %v", r)
+		}
+	}()
+	return core.Solve(ctx, win, opts)
 }
 
 // degradeWindow walks the degradation ladder for a window solve that
@@ -589,7 +761,11 @@ type cand struct {
 // fired — the telemetry of the two repairs DESIGN.md documents: the
 // slot_decision event carries the per-entry drop count, while the
 // online.capacity_drops counter advances once per (slot, SBS).
-func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped, droppedSBS int) {
+// The capacity repair enforces the slot's *effective* C^t_n: under a
+// fault overlay a dead or shrunk SBS has its placements evicted here at
+// commit time (the eviction itself is free under eq. 8 — β_n is charged
+// honestly when items are re-fetched after recovery).
+func roundPlacement(in *model.Instance, t int, avg model.CachePlan, rho float64) (x model.CachePlan, candidates, dropped, droppedSBS int) {
 	x = model.NewCachePlan(in.N, in.K)
 	cands := make([]cand, 0, in.K)
 	for n := 0; n < in.N; n++ {
@@ -606,10 +782,10 @@ func roundPlacement(in *model.Instance, avg model.CachePlan, rho float64) (x mod
 			}
 			return cands[i].k < cands[j].k
 		})
-		if len(cands) > in.CacheCap[n] {
-			dropped += len(cands) - in.CacheCap[n]
+		if c := in.CacheCapAt(t, n); len(cands) > c {
+			dropped += len(cands) - c
 			droppedSBS++
-			cands = cands[:in.CacheCap[n]]
+			cands = cands[:c]
 		}
 		for _, c := range cands {
 			x[n][c.k] = 1
@@ -648,9 +824,12 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 				load += row[base+k] * y[n][m][k]
 			}
 		}
-		if load > in.Bandwidth[n] && load > 0 {
+		// The rescale budget is the slot's effective B^t_n: a degraded
+		// SBS sheds load proportionally, and a dead one (B^t_n = 0)
+		// sheds all of it.
+		if bw := in.BandwidthAt(t, n); load > bw && load > 0 {
 			repaired++
-			scale := in.Bandwidth[n] / load
+			scale := bw / load
 			for m := 0; m < in.Classes[n]; m++ {
 				for k := 0; k < in.K; k++ {
 					y[n][m][k] *= scale

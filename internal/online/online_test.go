@@ -170,7 +170,7 @@ func TestRoundPlacement(t *testing.T) {
 	avg[0][1] = 0.5
 	avg[0][2] = 0.45
 	avg[0][3] = 0.2 // below ρ
-	x, candidates, dropped, droppedSBS := roundPlacement(in, avg, DefaultRho)
+	x, candidates, dropped, droppedSBS := roundPlacement(in, 0, avg, DefaultRho)
 	// Capacity 2: top-2 of the three candidates survive.
 	if x[0][0] != 1 || x[0][1] != 1 {
 		t.Fatalf("top candidates dropped: %v", x[0])
@@ -189,7 +189,7 @@ func TestRoundPlacementTieBreak(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		avg[0][k] = 0.5
 	}
-	x, _, _, _ := roundPlacement(in, avg, DefaultRho)
+	x, _, _, _ := roundPlacement(in, 0, avg, DefaultRho)
 	if x[0][0] != 1 || x[0][1] != 1 || x[0][2] != 0 {
 		t.Fatalf("tie break not deterministic toward low indices: %v", x[0])
 	}

@@ -55,6 +55,13 @@ func Solvable(in *model.Instance) error {
 	if in.K > MaxK {
 		return fmt.Errorf("oracle: exact DP limited to K ≤ %d, got %d", MaxK, in.K)
 	}
+	if in.Overlay != nil {
+		// The DP enumerates states against a single per-SBS capacity and
+		// its load splits assume the base bandwidth; it has not been
+		// taught the slot-varying effective capacities of a fault
+		// overlay, so it refuses rather than return a wrong "optimum".
+		return fmt.Errorf("oracle: exact DP does not support fault overlays")
+	}
 	return nil
 }
 

@@ -16,8 +16,29 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"edgecache/internal/obs"
 )
+
+// mWorkerPanic counts panics converted to errors by ForSupervised — the
+// signal that fault isolation absorbed a crash that would otherwise have
+// taken down the whole run.
+var mWorkerPanic = obs.Default.Counter("fault.worker_panic")
+
+// PanicError is the per-item error ForSupervised synthesises from a
+// panicking iteration: the panic value plus the goroutine stack at the
+// point of recovery.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic in iteration %d: %v", e.Index, e.Value)
+}
 
 // tokens is the process-wide pool of helper-goroutine permits shared by
 // every For call. Its capacity is GOMAXPROCS−1 (at init), so the total
@@ -51,11 +72,40 @@ func init() {
 // returned by the time For returns. A nil ctx is treated as
 // context.Background().
 func For(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return run(ctx, n, workers, fn, false)
+}
+
+// ForSupervised is For with panic isolation: a panic in fn(i) is
+// recovered, counted (fault.worker_panic) and converted into a
+// *PanicError for index i instead of propagating, so one crashing item
+// degrades that item rather than the whole fan-out. Error selection
+// follows For's rule (lowest failing index wins, panics and ordinary
+// errors alike). Use it at fault boundaries — per-version online solves,
+// per-slot recovery — where the caller has a principled way to degrade;
+// plain For remains correct elsewhere, where a panic is a bug that
+// should crash loudly.
+func ForSupervised(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return run(ctx, n, workers, fn, true)
+}
+
+func run(ctx context.Context, n, workers int, fn func(i int) error, supervised bool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if n <= 0 {
 		return nil
+	}
+	if supervised {
+		raw := fn
+		fn = func(i int) (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					mWorkerPanic.Inc()
+					err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			return raw(i)
+		}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForSupervisedConvertsPanicToError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			before := mWorkerPanic.Value()
+			var ran atomic.Int64
+			err := ForSupervised(context.Background(), 8, workers, func(i int) error {
+				ran.Add(1)
+				if i == 3 {
+					panic("boom")
+				}
+				return nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PanicError", err)
+			}
+			if pe.Index != 3 || pe.Value != "boom" {
+				t.Errorf("PanicError = {Index: %d, Value: %v}, want {3, boom}", pe.Index, pe.Value)
+			}
+			if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+				t.Error("PanicError carries no stack trace")
+			}
+			if got := ran.Load(); got != 8 {
+				t.Errorf("ran %d iterations, want all 8 despite the panic", got)
+			}
+			if mWorkerPanic.Value() != before+1 {
+				t.Errorf("fault.worker_panic advanced by %d, want 1", mWorkerPanic.Value()-before)
+			}
+		})
+	}
+}
+
+func TestForSupervisedLowestIndexWins(t *testing.T) {
+	errOrdinary := errors.New("ordinary")
+	err := ForSupervised(context.Background(), 8, 1, func(i int) error {
+		switch i {
+		case 2:
+			return errOrdinary
+		case 5:
+			panic("later panic")
+		}
+		return nil
+	})
+	if !errors.Is(err, errOrdinary) {
+		t.Errorf("err = %v, want the lower-index ordinary error", err)
+	}
+}
+
+func TestForSupervisedNoPanic(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForSupervised(context.Background(), 100, 0, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestForStillPropagatesPanics(t *testing.T) {
+	// The unsupervised variant must keep crashing loudly: supervision is
+	// opt-in at fault boundaries, not a global behaviour change.
+	defer func() {
+		if recover() == nil {
+			t.Error("For swallowed a panic")
+		}
+	}()
+	_ = For(context.Background(), 4, 1, func(i int) error {
+		panic("bug")
+	})
+}

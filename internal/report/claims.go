@@ -242,6 +242,22 @@ func PaperSections() []Section {
 		},
 	})
 
+	// Fault-injection robustness extension.
+	sections = append(sections, Section{
+		ID: "outage",
+		PaperStatement: "Extension (not in the paper): total cost versus the random SBS " +
+			"outage rate injected by the fault subsystem. Theorem 3's competitive " +
+			"bound is void under outages (DESIGN.md §10); the claims here are " +
+			"robustness statements — every controller survives, and losing SBS " +
+			"capacity can only push load to the (costlier) BS.",
+		Claims: []Claim{
+			{"outages never reduce RHC's cost (right end vs failure-free)", true, lastAtLeastFirst("RHC", loose)},
+			{"outages never reduce LRFU's cost (right end vs failure-free)", true, lastAtLeastFirst("LRFU", loose)},
+			{"RHC stays ahead of LRFU under outages", false, Dominates("RHC", "LRFU", loose)},
+			{"cost non-decreasing in outage rate (RHC)", false, NonDecreasing("RHC", loose)},
+		},
+	})
+
 	return sections
 }
 

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edgecache/internal/baseline"
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+	"edgecache/internal/online"
+	"edgecache/internal/workload"
+)
+
+func TestRunWithFaultsEndToEnd(t *testing.T) {
+	in, pred := testSetup(t)
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.Outage{SBS: 0, From: 3, To: 5},
+	}}
+	res, err := RunWith(context.Background(), in, pred, Online(online.RHC(4)),
+		Config{Faults: s, Audit: true})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if err := res.Audit.Err(); err != nil {
+		t.Fatalf("audit of faulted run: %v", err)
+	}
+	for tt := 3; tt < 5; tt++ {
+		if got := len(res.Trajectory[tt].X.Items(0)); got != 0 {
+			t.Errorf("slot %d: %d items cached on dead SBS", tt, got)
+		}
+	}
+	// The schedule is materialised into a copy; the caller's instance
+	// must stay failure-free.
+	if in.Overlay != nil {
+		t.Error("base instance gained an overlay")
+	}
+}
+
+func TestRunWithFaultsBaseline(t *testing.T) {
+	// Baselines are not FaultAware but still plan against the effective
+	// instance, so they too must survive an outage and audit clean.
+	in, pred := testSetup(t)
+	s := &fault.Schedule{Injectors: []fault.Injector{
+		fault.Outage{SBS: 0, From: 2, To: 6},
+	}}
+	res, err := RunWith(context.Background(), in, pred, FromBaseline(baseline.NewLRFU()),
+		Config{Faults: s, Audit: true})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if err := res.Audit.Err(); err != nil {
+		t.Fatalf("audit of faulted baseline run: %v", err)
+	}
+}
+
+// failingPolicy aborts mid-plan: a cancellation-shaped error when the
+// context is done, a solver-shaped error otherwise.
+type failingPolicy struct{}
+
+func (failingPolicy) Name() string { return "failing" }
+
+func (failingPolicy) Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errors.New("solver exploded at slot 3")
+}
+
+func TestRunSummaryEmittedOnPlanError(t *testing.T) {
+	in, pred := testSetup(t)
+
+	t.Run("solver error", func(t *testing.T) {
+		col := &obs.Collector{}
+		tel := obs.New(col, obs.NewRegistry())
+		_, err := RunWith(context.Background(), in, pred, failingPolicy{}, Config{Telemetry: tel})
+		if err == nil {
+			t.Fatal("failing policy returned nil error")
+		}
+		evs := col.ByType("run_summary")
+		if len(evs) != 1 {
+			t.Fatalf("got %d run_summary events, want 1", len(evs))
+		}
+		f := evs[0].Fields
+		if msg, _ := f["error"].(string); msg == "" {
+			t.Error("run_summary has no error field")
+		}
+		if cancelled, _ := f["cancelled"].(bool); cancelled {
+			t.Error("run_summary marked cancelled on a plain solver error")
+		}
+	})
+
+	t.Run("cancelled", func(t *testing.T) {
+		col := &obs.Collector{}
+		tel := obs.New(col, obs.NewRegistry())
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunWith(ctx, in, pred, failingPolicy{}, Config{Telemetry: tel})
+		if err == nil {
+			t.Fatal("cancelled run returned nil error")
+		}
+		evs := col.ByType("run_summary")
+		if len(evs) != 1 {
+			t.Fatalf("got %d run_summary events, want 1", len(evs))
+		}
+		if cancelled, _ := evs[0].Fields["cancelled"].(bool); !cancelled {
+			t.Error("run_summary not marked cancelled under a cancelled context")
+		}
+	})
+}
+
+func TestRunWithFaultsDeterministic(t *testing.T) {
+	// The whole pipeline — materialisation, corrupted predictor, online
+	// control — must be a pure function of (instance seed, fault seed).
+	mk := func() *Result {
+		in, pred := testSetup(t)
+		s := &fault.Schedule{Seed: 11, Injectors: []fault.Injector{
+			fault.RandomOutages{Rate: 0.05, MeanLen: 2},
+			fault.Corruption{Mode: fault.Dropout, From: 0, To: 8, Rate: 0.2},
+		}}
+		res, err := RunWith(context.Background(), in, pred, Online(online.CHC(4, 2)),
+			Config{Faults: s, Audit: true})
+		if err != nil {
+			t.Fatalf("RunWith: %v", err)
+		}
+		if err := res.Audit.Err(); err != nil {
+			t.Fatalf("audit: %v", err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Cost.Total != b.Cost.Total || a.Cost.Replacements != b.Cost.Replacements {
+		t.Errorf("same seeds, different costs: %+v vs %+v", a.Cost, b.Cost)
+	}
+}

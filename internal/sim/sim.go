@@ -23,6 +23,7 @@ import (
 	"edgecache/internal/audit"
 	"edgecache/internal/baseline"
 	"edgecache/internal/core"
+	"edgecache/internal/fault"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
 	"edgecache/internal/online"
@@ -65,6 +66,17 @@ type Budgeted interface {
 	// gracefully after d of wall-clock time each; fb (nil = the LRFU +
 	// reactive default) plans a window when nothing usable exists.
 	WithBudget(d time.Duration, fb online.FallbackPlanner) Policy
+}
+
+// FaultAware is implemented by policies that react to an injected fault
+// schedule beyond planning against its effective instance: event-driven
+// replans, armed solver faults, retry-with-backoff. RunWith uses it to
+// wire Config.Faults through; policies without it (baselines, the
+// offline solver) still see the faults through the materialised
+// instance's overlay.
+type FaultAware interface {
+	// WithFaults returns a copy of the policy armed with the schedule.
+	WithFaults(s *fault.Schedule) Policy
 }
 
 // Offline adapts the primal-dual solver (Algorithm 1) into a Policy: the
@@ -169,6 +181,11 @@ func (p onlinePolicy) WithBudget(d time.Duration, fb online.FallbackPlanner) Pol
 	return p
 }
 
+func (p onlinePolicy) WithFaults(s *fault.Schedule) Policy {
+	p.cfg.Faults = s
+	return p
+}
+
 func (p onlinePolicy) Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
 	if pred == nil {
 		return nil, errors.New("sim: online policy requires a predictor")
@@ -245,6 +262,12 @@ type Config struct {
 	// report is attached to Result.Audit. Observational: a violating run
 	// still returns its result.
 	Audit bool
+	// Faults injects the schedule's failures into the run: topology
+	// injectors are materialised into the instance's effective per-slot
+	// overlay, prediction corruption is hooked into the predictor, and
+	// FaultAware policies additionally arm solver faults and event-driven
+	// replans. nil (or an empty schedule) is the failure-free run.
+	Faults *fault.Schedule
 }
 
 // Run plans with the policy, verifies feasibility, and accounts costs.
@@ -265,10 +288,27 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tel := cfg.Telemetry
+	if !cfg.Faults.Empty() {
+		// Materialise the fault schedule into the effective per-slot
+		// instance (shares the base demand tensor, so the predictor's
+		// truth pointer stays valid) and corrupt the predictor's output
+		// when the schedule says so.
+		out, err := cfg.Faults.Materialize(in, tel)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		in = out
+		if hook := cfg.Faults.Corruptor(in.Demand); hook != nil && pred != nil {
+			pred = pred.WithCorruption(hook)
+		}
+		if fa, ok := p.(FaultAware); ok {
+			p = fa.WithFaults(cfg.Faults)
+		}
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	tel := cfg.Telemetry
 	if o, ok := p.(Observable); ok && tel.Enabled() {
 		p = o.Observe(tel)
 	}
@@ -281,6 +321,18 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 	start := time.Now()
 	traj, err := p.Plan(ctx, in, pred)
 	if err != nil {
+		// A failed plan still gets its run_summary (with the error and
+		// whether the caller cancelled), so a monitoring pipeline can tell
+		// an aborted run from one that hung and never reported.
+		if tel.Enabled() {
+			tel.Emit("run_summary", obs.Fields{
+				"policy":    p.Name(),
+				"slots":     in.T,
+				"error":     err.Error(),
+				"cancelled": ctx.Err() != nil,
+				"plan_ms":   float64(time.Since(start)) / float64(time.Millisecond),
+			})
+		}
 		return nil, fmt.Errorf("sim: %s: %w", p.Name(), err)
 	}
 	elapsed := time.Since(start)
@@ -336,6 +388,9 @@ func Evaluate(in *model.Instance, traj model.Trajectory) ([]SlotMetrics, model.C
 	}
 	perSlot := make([]SlotMetrics, in.T)
 	prev := in.InitialPlan()
+	// CacheUtilization keeps the *base* capacity as its denominator even
+	// when a fault overlay shrinks the effective capacity: an outage then
+	// reads as a utilisation dip instead of being renormalised away.
 	var totalCap int
 	for n := 0; n < in.N; n++ {
 		totalCap += in.CacheCap[n]

@@ -56,7 +56,9 @@ func (p *PolicyAdapter) Plan(ctx context.Context, in *model.Instance) (model.Tra
 		placements[t] = model.NewCachePlan(in.N, in.K)
 	}
 	for n := 0; n < in.N; n++ {
-		cache := p.New(in.CacheCap[n])
+		// Classic caches carry one fixed capacity, so under a fault
+		// overlay they run at the horizon's floor (conservative).
+		cache := p.New(in.CacheCapFloor(n))
 		for t := 0; t < in.T; t++ {
 			for _, req := range tr.Slot(t, n) {
 				cache.Access(req.Content)

@@ -18,9 +18,10 @@ import (
 // while re-predictions of the same slot from later decision times are
 // independently perturbed, as fresh forecasts would be.
 type Predictor struct {
-	truth *model.Demand
-	eta   float64
-	seed  uint64
+	truth   *model.Demand
+	eta     float64
+	seed    uint64
+	corrupt func(tau, t, n, m, k int, v float64) float64
 }
 
 // NewPredictor wraps the ground truth with noise level eta ∈ [0, 1).
@@ -40,6 +41,20 @@ func (p *Predictor) Eta() float64 { return p.eta }
 // Truth returns the wrapped ground-truth demand (shared, read-only).
 func (p *Predictor) Truth() *model.Demand { return p.truth }
 
+// WithCorruption returns a predictor sharing p's truth, noise level and
+// seed whose forecasts are additionally passed through hook (applied
+// after noise; t is the absolute slot). A nil hook returns p itself.
+// Package fault builds such hooks to model corrupted prediction feeds;
+// the ground truth is never touched. Hooks must clamp their output to
+// finite non-negative rates — predictions feed Demand.Map, which panics
+// on anything else.
+func (p *Predictor) WithCorruption(hook func(tau, t, n, m, k int, v float64) float64) *Predictor {
+	if hook == nil {
+		return p
+	}
+	return &Predictor{truth: p.truth, eta: p.eta, seed: p.seed, corrupt: hook}
+}
+
 // Predict returns the forecast, made at decision time tau, of demand over
 // absolute slots [from, to). The result is an independent tensor of length
 // to−from.
@@ -48,12 +63,18 @@ func (p *Predictor) Predict(tau, from, to int) (*model.Demand, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.eta == 0 {
+	if p.eta == 0 && p.corrupt == nil {
 		return window, nil
 	}
 	window.Map(func(t, n, m, k int, v float64) float64 {
-		u := uniform01(p.seed, uint64(tau), uint64(from+t), uint64(n), uint64(m), uint64(k))
-		return v * (1 + p.eta*(2*u-1))
+		if p.eta != 0 {
+			u := uniform01(p.seed, uint64(tau), uint64(from+t), uint64(n), uint64(m), uint64(k))
+			v *= 1 + p.eta*(2*u-1)
+		}
+		if p.corrupt != nil {
+			v = p.corrupt(tau, from+t, n, m, k, v)
+		}
+		return v
 	})
 	return window, nil
 }
