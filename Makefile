@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race staticcheck ci bench cover fuzz audit chaos experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench bench-diff trace-demo cover fuzz audit chaos experiments report examples
 
 all: build vet test
 
@@ -32,7 +32,7 @@ staticcheck:
 	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race chaos staticcheck bench
+ci: build vet test race chaos staticcheck bench bench-diff trace-demo
 
 # Benchmark run recorded as JSON (see cmd/bench and DESIGN.md §8). CI uses
 # the short BENCHTIME as a smoke pass; for tracked numbers use the default
@@ -43,6 +43,28 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/bench -label "$(BENCH_LABEL)" -out "$(BENCH_OUT)" -merge
+
+# Perf gate: fail when any benchmark's ns/op regressed more than
+# BENCH_THRESHOLD percent against the tracked baseline suite
+# (DESIGN.md §8). Run `make bench` first to record the current suite.
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+BENCH_BASELINE_LABEL ?= post-workspace
+BENCH_THRESHOLD ?= 15
+bench-diff:
+	$(GO) run ./cmd/bench -in "$(BENCH_OUT)" -label "$(BENCH_LABEL)" \
+		-diff "$(BENCH_BASELINE)" -diff-label "$(BENCH_BASELINE_LABEL)" \
+		-threshold $(BENCH_THRESHOLD)
+
+# Trace demo: run a small faulted scenario with span tracing on and
+# assert the emitted Chrome trace parses with the expected hierarchy
+# (run > version > window_solve > solve > dual_batch > phase). The
+# artifact is viewable at https://ui.perfetto.dev.
+TRACE_OUT ?= trace-demo.json
+trace-demo:
+	$(GO) run ./cmd/jocsim -T 16 -algs rhc -w 4 -trace-spans "$(TRACE_OUT)" \
+		-faults "outage:n=0,from=6,to=10" -fault-seed 1 -flight
+	$(GO) run ./cmd/tracecheck -min-depth 4 \
+		-require run,version,window_solve,solve,dual_batch,loadbalance "$(TRACE_OUT)"
 
 cover:
 	$(GO) test -short -cover ./...

@@ -1,0 +1,98 @@
+// Benchmark regression gating: compare a current suite against a
+// tracked baseline suite and fail (exit non-zero) when any shared
+// benchmark's ns/op regressed beyond a percentage threshold. This is
+// the CI perf gate behind `bench -diff BENCH_<date>.json -threshold 15`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// diffRow is one benchmark's before/after comparison.
+type diffRow struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	DeltaPct   float64 // (cur-base)/base * 100; positive = slower
+	Regressed  bool
+	BaselineOK bool // false when the benchmark is new (no baseline entry)
+}
+
+// diffSuites compares cur against base benchmark-by-benchmark (matched
+// on name). A row regresses when its ns/op grew by more than
+// thresholdPct percent. Benchmarks missing from the baseline are
+// reported informationally and never regress; benchmarks that exist
+// only in the baseline are ignored (they were removed or renamed —
+// the gate judges what runs today).
+func diffSuites(cur, base Suite, thresholdPct float64) (rows []diffRow, regressed bool) {
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		row := diffRow{Name: b.Name, CurNs: b.NsPerOp}
+		if bb, ok := baseline[b.Name]; ok && bb.NsPerOp > 0 {
+			row.BaselineOK = true
+			row.BaseNs = bb.NsPerOp
+			row.DeltaPct = (b.NsPerOp - bb.NsPerOp) / bb.NsPerOp * 100
+			row.Regressed = row.DeltaPct > thresholdPct
+		}
+		if row.Regressed {
+			regressed = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, regressed
+}
+
+// writeDiff renders the comparison table.
+func writeDiff(w io.Writer, rows []diffRow, baseLabel, curLabel string, thresholdPct float64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\t%s ns/op\t%s ns/op\tdelta\t\n", baseLabel, curLabel)
+	for _, r := range rows {
+		if !r.BaselineOK {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", r.Name, r.CurNs)
+			continue
+		}
+		flag := ""
+		if r.Regressed {
+			flag = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", r.Name, r.BaseNs, r.CurNs, r.DeltaPct, flag)
+	}
+	return tw.Flush()
+}
+
+// loadDocument reads a tracked benchmark JSON file.
+func loadDocument(path string) (Document, error) {
+	var doc Document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// pickSuite selects a suite by label; an empty label selects the last
+// suite in the document (the most recently recorded one).
+func pickSuite(doc Document, label, path string) (Suite, error) {
+	if len(doc.Suites) == 0 {
+		return Suite{}, fmt.Errorf("%s: no suites", path)
+	}
+	if label == "" {
+		return doc.Suites[len(doc.Suites)-1], nil
+	}
+	for _, s := range doc.Suites {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return Suite{}, fmt.Errorf("%s: no suite labelled %q", path, label)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func suite(label string, ns map[string]float64) Suite {
+	s := Suite{Label: label}
+	for name, v := range ns {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: v})
+	}
+	return s
+}
+
+func TestDiffSuitesDetectsRegression(t *testing.T) {
+	base := suite("base", map[string]float64{
+		"BenchmarkSolve": 1000,
+		"BenchmarkPlan":  2000,
+	})
+	cur := suite("cur", map[string]float64{
+		"BenchmarkSolve": 1100, // +10% — within a 15% threshold
+		"BenchmarkPlan":  2400, // +20% — regression
+		"BenchmarkNew":   50,   // no baseline
+	})
+
+	rows, regressed := diffSuites(cur, base, 15)
+	if !regressed {
+		t.Fatal("20% slowdown not flagged at threshold 15%")
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["BenchmarkSolve"].Regressed {
+		t.Fatal("10% slowdown flagged at threshold 15%")
+	}
+	if !byName["BenchmarkPlan"].Regressed {
+		t.Fatal("BenchmarkPlan should regress")
+	}
+	if got := byName["BenchmarkPlan"].DeltaPct; got < 19.9 || got > 20.1 {
+		t.Fatalf("delta = %g, want ~20", got)
+	}
+	if byName["BenchmarkNew"].BaselineOK || byName["BenchmarkNew"].Regressed {
+		t.Fatalf("new benchmark must be informational: %+v", byName["BenchmarkNew"])
+	}
+}
+
+func TestDiffSuitesImprovementAndRemoval(t *testing.T) {
+	base := suite("base", map[string]float64{
+		"BenchmarkSolve":   1000,
+		"BenchmarkRemoved": 500,
+	})
+	cur := suite("cur", map[string]float64{
+		"BenchmarkSolve": 700, // 30% faster
+	})
+	rows, regressed := diffSuites(cur, base, 15)
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	if len(rows) != 1 {
+		t.Fatalf("removed baseline benchmark leaked into rows: %+v", rows)
+	}
+	if rows[0].DeltaPct > -29.9 || rows[0].DeltaPct < -30.1 {
+		t.Fatalf("delta = %g, want ~-30", rows[0].DeltaPct)
+	}
+}
+
+func TestWriteDiffRendersFlags(t *testing.T) {
+	base := suite("post-workspace", map[string]float64{"BenchmarkSolve": 1000})
+	cur := suite("ci", map[string]float64{"BenchmarkSolve": 1300, "BenchmarkNew": 10})
+	rows, _ := diffSuites(cur, base, 15)
+	var sb strings.Builder
+	if err := writeDiff(&sb, rows, base.Label, cur.Label, 15); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "+30.0%", "new", "post-workspace", "ci"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPickSuite(t *testing.T) {
+	doc := Document{Suites: []Suite{suite("a", nil), suite("b", nil)}}
+	s, err := pickSuite(doc, "", "f.json")
+	if err != nil || s.Label != "b" {
+		t.Fatalf("empty label should pick last suite: %v %q", err, s.Label)
+	}
+	s, err = pickSuite(doc, "a", "f.json")
+	if err != nil || s.Label != "a" {
+		t.Fatalf("label lookup failed: %v %q", err, s.Label)
+	}
+	if _, err := pickSuite(doc, "missing", "f.json"); err == nil {
+		t.Fatal("missing label must error")
+	}
+	if _, err := pickSuite(Document{}, "", "f.json"); err == nil {
+		t.Fatal("empty document must error")
+	}
+}

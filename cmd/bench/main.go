@@ -10,6 +10,18 @@
 // With -merge the suite is appended to an existing file (matching labels
 // are replaced), which is how before/after pairs are recorded; without it
 // the file is overwritten with a single-suite document.
+//
+// With -diff the current suite is additionally compared against a
+// baseline suite from a tracked file, and the command exits non-zero
+// when any shared benchmark's ns/op regressed beyond -threshold percent
+// — the CI perf gate:
+//
+//	go run ./cmd/bench -in bench-ci.json -label ci \
+//	    -diff BENCH_2026-08-06.json -diff-label post-workspace -threshold 15
+//
+// -in reads the current suite from an already-written JSON document
+// (selected by -label) instead of parsing stdin; nothing is written in
+// that mode.
 package main
 
 import (
@@ -17,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -54,18 +67,60 @@ func main() {
 	label := flag.String("label", "local", "suite label (e.g. pre-workspace, post-workspace, ci)")
 	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")), "output file")
 	merge := flag.Bool("merge", false, "merge into an existing file instead of overwriting")
+	in := flag.String("in", "", "read the current suite (selected by -label) from this JSON document instead of stdin; nothing is written")
+	diff := flag.String("diff", "", "compare against a baseline suite from this tracked JSON file; exit non-zero on regression")
+	diffLabel := flag.String("diff-label", "", "baseline suite label inside -diff (default: the file's last suite)")
+	threshold := flag.Float64("threshold", 15, "ns/op regression threshold for -diff, in percent")
 	flag.Parse()
 
+	var suite Suite
+	if *in != "" {
+		doc, err := loadDocument(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		suite, err = pickSuite(doc, *label, *in)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		suite = readSuite(os.Stdin, *label)
+		writeSuite(suite, *out, *merge)
+	}
+
+	if *diff == "" {
+		return
+	}
+	baseDoc, err := loadDocument(*diff)
+	if err != nil {
+		fatal("%v", err)
+	}
+	base, err := pickSuite(baseDoc, *diffLabel, *diff)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rows, regressed := diffSuites(suite, base, *threshold)
+	if err := writeDiff(os.Stderr, rows, base.Label, suite.Label, *threshold); err != nil {
+		fatal("%v", err)
+	}
+	if regressed {
+		fatal("time/op regression beyond %g%% against %s suite %q", *threshold, *diff, base.Label)
+	}
+	fmt.Fprintf(os.Stderr, "bench: no regression beyond %g%% against %s suite %q\n", *threshold, *diff, base.Label)
+}
+
+// readSuite parses `go test -bench` output into a labelled suite,
+// echoing every line so the run stays visible in CI logs.
+func readSuite(r io.Reader, label string) Suite {
 	suite := Suite{
-		Label:     *label,
+		Label:     label,
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 	}
-
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -87,12 +142,16 @@ func main() {
 	if len(suite.Benchmarks) == 0 {
 		fatal("no benchmark lines found on stdin")
 	}
+	return suite
+}
 
+// writeSuite records the suite into the tracked document at path.
+func writeSuite(suite Suite, path string, merge bool) {
 	var doc Document
-	if *merge {
-		if raw, err := os.ReadFile(*out); err == nil {
+	if merge {
+		if raw, err := os.ReadFile(path); err == nil {
 			if err := json.Unmarshal(raw, &doc); err != nil {
-				fatal("parse existing %s: %v", *out, err)
+				fatal("parse existing %s: %v", path, err)
 			}
 		}
 	}
@@ -113,10 +172,10 @@ func main() {
 		fatal("encode: %v", err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal("write %s: %v", *out, err)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal("write %s: %v", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote suite %q (%d benchmarks) to %s\n", suite.Label, len(suite.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "bench: wrote suite %q (%d benchmarks) to %s\n", suite.Label, len(suite.Benchmarks), path)
 }
 
 // parseLine parses one `BenchmarkName-P  N  V unit  [V unit ...]` line.

@@ -53,8 +53,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seeds      = fs.Int("seeds", 1, "number of consecutive seeds to average per point")
 		window     = fs.Int("w", 0, "override prediction window")
 		traceTo    = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		traceSpans = fs.String("trace-spans", "", "write hierarchical solver spans as a Chrome trace-event file (open in Perfetto)")
 		metrics    = fs.Bool("metrics", false, "print the metrics registry to stderr after the sweeps")
-		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar, pprof, /metrics and /debug/solver on this address (e.g. localhost:6060)")
 		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
 		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; fail the sweep on violations")
@@ -96,6 +97,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	setup.SlotBudget = *slotBudget
 	setup.Audit = *auditRuns
+	var sinks []obs.Sink
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -106,14 +108,47 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			sink.Close()
 			f.Close()
 		}()
-		setup.Telemetry = obs.New(sink, nil)
+		sinks = append(sinks, sink)
 	}
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		// Feed the flight recorder so /debug/solver has recent samples.
+		sinks = append(sinks, obs.Flight)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		setup.Telemetry = obs.New(sinks[0], nil)
+	default:
+		setup.Telemetry = obs.New(obs.Tee(sinks...), nil)
+	}
+	if *traceSpans != "" {
+		tracer := obs.NewTracer(nil)
+		ctx = obs.WithTracer(ctx, tracer)
+		defer func() {
+			f, err := os.Create(*traceSpans)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-spans:", err)
+				return
+			}
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-spans:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d span(s) written to %s (open in Perfetto)\n",
+				len(tracer.Records()), *traceSpans)
+		}()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/, /debug/vars, /metrics, /debug/solver\n", srv.Addr())
 	}
 	if *metrics {
 		defer func() {

@@ -8,8 +8,11 @@
 //	jocsim -algs offline,rhc,lrfu      # subset
 //	jocsim -slots                      # also print the per-slot series
 //	jocsim -trace run.jsonl            # structured solver telemetry
+//	jocsim -trace-spans run.json       # hierarchical spans, Chrome trace format (Perfetto)
+//	jocsim -flight                     # flight recorder; dump on error or SIGQUIT
+//	jocsim -curves                     # per-planner convergence / regret summary
 //	jocsim -metrics                    # metrics registry after the runs
-//	jocsim -debug-addr localhost:6060  # live expvar + pprof endpoint
+//	jocsim -debug-addr localhost:6060  # expvar + pprof + /metrics + /debug/solver
 //	jocsim -timeout 30s                # cancel the whole run after 30s
 //	jocsim -slot-budget 50ms           # bound each window solve; degrade on overrun
 //	jocsim -audit                      # differentially audit every committed run
@@ -27,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,8 +72,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		config     = fs.String("config", "", "load scenario from a JSON file (flags below are ignored)")
 		saveTo     = fs.String("saveconfig", "", "write the effective scenario to a JSON file and continue")
 		traceTo    = fs.String("trace", "", "write structured telemetry events (JSONL) to this file")
+		traceSpans = fs.String("trace-spans", "", "write hierarchical solver spans as a Chrome trace-event file (open in Perfetto or chrome://tracing)")
+		flight     = fs.Bool("flight", false, "retain recent solver iterations/events in the flight recorder; dumped on error or SIGQUIT, live at /debug/solver")
+		curves     = fs.Bool("curves", false, "capture and print per-planner convergence (dual gap) and regret curves")
 		metrics    = fs.Bool("metrics", false, "print the metrics registry after the runs")
-		debugAddr  = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar, pprof, /metrics and /debug/solver on this address (e.g. localhost:6060)")
 		timeout    = fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		slotBudget = fs.Duration("slot-budget", 0, "per-window solve budget; overruns degrade gracefully (0 = none)")
 		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; exit non-zero on violations")
@@ -85,7 +92,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer cancel()
 	}
 
-	var tel *edgecache.Telemetry
+	var sinks []edgecache.TelemetrySink
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -96,14 +103,61 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			sink.Close()
 			f.Close()
 		}()
-		tel = edgecache.NewTelemetry(sink)
+		sinks = append(sinks, sink)
+	}
+	// The debug server's /debug/solver endpoint reads the same recorder,
+	// so feed it whenever either consumer is active.
+	if *flight || *debugAddr != "" {
+		sinks = append(sinks, edgecache.DefaultFlight())
+	}
+	if *flight {
+		// SIGQUIT (Ctrl-\) dumps the recorder without stopping the run.
+		qc := make(chan os.Signal, 1)
+		signal.Notify(qc, syscall.SIGQUIT)
+		defer signal.Stop(qc)
+		go func() {
+			for range qc {
+				_ = edgecache.DefaultFlight().WriteText(os.Stderr)
+			}
+		}()
+	}
+	var tel *edgecache.Telemetry
+	switch len(sinks) {
+	case 0:
+	case 1:
+		tel = edgecache.NewTelemetry(sinks[0])
+	default:
+		tel = edgecache.NewTelemetry(edgecache.TeeSinks(sinks...))
+	}
+	if *traceSpans != "" {
+		tracer := edgecache.NewTracer(nil)
+		ctx = edgecache.WithTracer(ctx, tracer)
+		// Written in a defer so an aborted run still leaves a usable trace.
+		defer func() {
+			f, err := os.Create(*traceSpans)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jocsim: trace-spans:", err)
+				return
+			}
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jocsim: trace-spans:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d span(s) written to %s (open in Perfetto)\n",
+				len(tracer.Records()), *traceSpans)
+		}()
 	}
 	if *debugAddr != "" {
-		addr, err := edgecache.ServeDebug(*debugAddr)
+		srv, err := edgecache.ServeDebug(*debugAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/, /debug/vars, /metrics, /debug/solver\n", srv.Addr())
 	}
 
 	var scn *edgecache.Scenario
@@ -197,8 +251,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		opts = append(opts, edgecache.WithFaults(schedule))
 	}
+	if *curves {
+		opts = append(opts, edgecache.WithCurves())
+	}
 	runs, err := edgecache.Compare(ctx, inst, pred, planners, opts...)
 	if err != nil {
+		if *flight {
+			_ = edgecache.DefaultFlight().WriteText(os.Stderr)
+		}
 		return err
 	}
 
@@ -261,6 +321,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-14s %.3f×\n", r.Policy, r.Cost.Total/base)
 		}
 	}
+	if *curves {
+		if err := printCurves(out, runs); err != nil {
+			return err
+		}
+	}
 
 	if *slots {
 		fmt.Fprintln(out, "\nper-slot series (first algorithm):")
@@ -282,4 +347,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return auditErr
+}
+
+// printCurves renders the per-planner convergence and regret summary
+// captured by -curves: the dual-gap trajectory across the planner's
+// solves and the committed cumulative cost against the relaxed
+// (pre-rounding) objective — the empirical counterpart of the Theorem 3
+// rounding bound (2.62× at ρ = (3−√5)/2). Baselines have no gap
+// trajectory and no relaxed objective; their rows show the committed
+// cost only.
+func printCurves(out io.Writer, runs []*edgecache.Run) error {
+	fmt.Fprintln(out, "\nconvergence / regret (Theorem 3 rounding bound 2.62×):")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tgap pts\tfirst gap\tfinal gap\tcommitted\trelaxed\tcommitted/relaxed")
+	for _, r := range runs {
+		c := r.Curve
+		if c == nil {
+			continue
+		}
+		first, final := math.NaN(), math.NaN()
+		if len(c.Gap) > 0 {
+			first, final = c.Gap[0].Gap, c.Gap[len(c.Gap)-1].Gap
+		}
+		var committed float64
+		if len(c.CumCost) > 0 {
+			committed = c.CumCost[len(c.CumCost)-1]
+		}
+		ratio := "-"
+		if c.RelaxedCost > 0 {
+			ratio = fmt.Sprintf("%.3f×", committed/c.RelaxedCost)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.3g\t%.3g\t%.1f\t%.1f\t%s\n",
+			r.Policy, len(c.Gap), first, final, committed, c.RelaxedCost, ratio)
+	}
+	return w.Flush()
 }

@@ -173,6 +173,29 @@ type (
 	// ObservablePlanner is implemented by planners that accept a
 	// telemetry handle (all planners in this package do).
 	ObservablePlanner = sim.Observable
+	// MetricsHistogram is a value histogram with bucketed quantiles.
+	MetricsHistogram = obs.Histogram
+	// Tracer records hierarchical spans (run → window solve → solver
+	// phase); install it in a context with WithTracer and export with
+	// WriteChromeTrace.
+	Tracer = obs.Tracer
+	// TraceSpan is one span handle; the nil span is a free no-op.
+	TraceSpan = obs.Span
+	// SpanRecord is one completed span as recorded by a Tracer.
+	SpanRecord = obs.SpanRecord
+	// FlightRecorder retains the most recent solver iterations and
+	// operational events in fixed-size rings (see DefaultFlight).
+	FlightRecorder = obs.FlightRecorder
+	// FlightSnapshot is a point-in-time copy of a FlightRecorder.
+	FlightSnapshot = obs.FlightSnapshot
+	// DebugServer is the handle returned by ServeDebug; Close shuts the
+	// endpoint down gracefully.
+	DebugServer = obs.DebugServer
+	// RunCurve bundles a run's convergence and regret curves (see
+	// WithCurves).
+	RunCurve = sim.Curve
+	// GapPoint is one dual-gap observation of a RunCurve.
+	GapPoint = sim.GapPoint
 )
 
 // NewTelemetry returns a telemetry handle emitting into sink and
@@ -196,10 +219,30 @@ func TeeSinks(sinks ...TelemetrySink) TelemetrySink { return obs.Tee(sinks...) }
 func DefaultMetrics() *Metrics { return obs.Default }
 
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060")
-// exposing /debug/vars (expvar, including DefaultMetrics) and
-// /debug/pprof/ for live profiling of long solves. It returns the bound
-// address and does not block.
-func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
+// exposing /debug/vars (expvar, including DefaultMetrics),
+// /debug/pprof/ for live profiling of long solves, /metrics in
+// Prometheus text format, and /debug/solver (the flight recorder's
+// JSON snapshot). It does not block; the handle's Addr reports the
+// bound address and Close shuts the server down gracefully.
+func ServeDebug(addr string) (*DebugServer, error) { return obs.ServeDebug(addr) }
+
+// NewTracer returns a span tracer. Install it in the run context with
+// WithTracer; spans are additionally mirrored into sink as "span"
+// events when sink is non-nil. After the run, export the collected
+// spans with the tracer's WriteChromeTrace (viewable in Perfetto or
+// chrome://tracing) or read them via Records.
+func NewTracer(sink TelemetrySink) *Tracer { return obs.NewTracer(sink) }
+
+// WithTracer returns a context carrying the tracer; every solver layer
+// below (simulation run, controller versions, window solves, dual
+// iteration batches and phases) opens spans on it. A context without a
+// tracer makes all span operations free no-ops.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context { return obs.WithTracer(ctx, tr) }
+
+// DefaultFlight returns the process-wide solver flight recorder served
+// at /debug/solver. It records nothing until installed as a telemetry
+// sink, e.g. WithTelemetry(NewTelemetry(TeeSinks(DefaultFlight(), ...))).
+func DefaultFlight() *FlightRecorder { return obs.Flight }
 
 // DemandStatistics summarises a demand tensor: total and per-slot volume,
 // head mass (how cacheable the catalogue is), Gini skew and temporal
@@ -478,6 +521,16 @@ func WithFallback(p Planner) RunOption {
 // longer applies (DESIGN.md §10).
 func WithFaults(s *FaultSchedule) RunOption {
 	return func(c *sim.Config) { c.Faults = s }
+}
+
+// WithCurves captures each run's convergence and regret curves into
+// Run.Curve: the solver's dual-gap trajectory (LB/UB/gap per dual
+// iteration), the committed cumulative cost per slot, and — for online
+// controllers — the relaxed pre-rounding objective anchoring the
+// Theorem 3 comparison. Observational: it taps the telemetry stream
+// without changing solver behaviour.
+func WithCurves() RunOption {
+	return func(c *sim.Config) { c.Curves = true }
 }
 
 // WithAudit re-derives everything each committed run claims (the

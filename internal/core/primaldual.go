@@ -41,7 +41,14 @@ var (
 	mRecover   = obs.Default.Timer("core.recover")
 	mSolveTime = obs.Default.Timer("core.solve")
 	mLastGap   = obs.Default.Gauge("core.last_gap")
+	mGapHist   = obs.Default.Histogram("core.final_gap")
+	mIterHist  = obs.Default.Histogram("core.iterations_per_solve")
 )
+
+// dualBatchSpanSize groups dual iterations into one "dual_batch" span
+// each, so traces of long solves stay browsable: run → solve →
+// dual_batch → caching/loadbalance/recover.
+const dualBatchSpanSize = 8
 
 // Options tune Algorithm 1. The zero value selects the paper's defaults.
 type Options struct {
@@ -159,6 +166,13 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	solveStart := time.Now()
 	defer func() { mSolveTime.Observe(time.Since(solveStart)) }()
 
+	// Hierarchical trace: one "solve" span per Algorithm 1 invocation,
+	// with per-batch and per-phase children below. Nil (tracing off) for
+	// every method call when no tracer is installed in ctx.
+	ctx, solveSpan := obs.StartSpan(ctx, "solve")
+	var batch *obs.Span
+	defer func() { batch.End(); solveSpan.End() }()
+
 	ws := opts.Workspace
 	if ws == nil {
 		ws = NewWorkspace()
@@ -221,6 +235,11 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		}
 		res.Iterations = l
 		mIters.Inc()
+		if solveSpan != nil && (l-1)%dualBatchSpanSize == 0 {
+			batch.End()
+			batch = solveSpan.Child("dual_batch")
+			batch.Set("first_iter", l)
+		}
 
 		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1.
 		for t := 0; t < in.T; t++ {
@@ -239,8 +258,11 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 			}
 		}
 
+		p1Span := batch.Child("caching")
+		p1Span.Set("iter", l)
 		p1Start := time.Now()
 		xPlans, objP1, err := ws.p1.SolveAll(ctx, ws.rewards)
+		p1Span.End()
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
@@ -249,8 +271,11 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 
 		// The dual iterates warm-start from the previous iteration by
 		// staying in place inside the workspace; no plan copies change hands.
+		p2Span := batch.Child("loadbalance")
+		p2Span.Set("iter", l)
 		p2Start := time.Now()
 		objP2, err := ws.p2.SolveDual(ctx, mu, opts.Convex)
+		p2Span.End()
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
@@ -263,8 +288,11 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		}
 
 		// Primal recovery: keep x, re-solve y subject to y ≤ x.
+		recSpan := batch.Child("recover")
+		recSpan.Set("iter", l)
 		recStart := time.Now()
 		traj, err := ws.p2.Recover(ctx, xPlans, opts.Convex)
+		recSpan.End()
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
 		}
@@ -335,6 +363,11 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	if res.Converged {
 		mConverged.Inc()
 	}
+	mGapHist.Observe(res.Gap)
+	mIterHist.Observe(float64(res.Iterations))
+	solveSpan.Set("iterations", res.Iterations)
+	solveSpan.Set("converged", res.Converged)
+	solveSpan.Set("gap", res.Gap)
 	if tel.Enabled() {
 		tel.Emit("solver_done", obs.Fields{
 			"iterations": res.Iterations,

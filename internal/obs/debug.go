@@ -1,41 +1,120 @@
-// Live profiling endpoint: expvar for the metrics registry and
-// net/http/pprof for CPU/heap/goroutine profiles of long sweeps.
+// Live debugging endpoint: expvar for the metrics registry, net/http/
+// pprof for CPU/heap/goroutine profiles of long sweeps, a Prometheus
+// text exposition of the registry at /metrics, and the solver flight
+// recorder at /debug/solver.
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"net/http/pprof"
 	"sync"
+	"time"
 )
 
-var publishOnce sync.Once
+var publishMu sync.Mutex
 
 // PublishExpvar exposes the Default registry's snapshot under the
-// "edgecache" expvar (GET /debug/vars). Safe to call repeatedly.
+// "edgecache" expvar (GET /debug/vars). Idempotent: repeated calls —
+// several Telemetry instances, repeated ServeDebug calls, tests that
+// restart the debug server — are no-ops instead of tripping
+// expvar.Publish's duplicate-name panic.
 func PublishExpvar() {
-	publishOnce.Do(func() {
-		expvar.Publish("edgecache", expvar.Func(func() any {
-			return Default.Snapshot()
-		}))
-	})
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("edgecache") != nil {
+		return
+	}
+	expvar.Publish("edgecache", expvar.Func(func() any {
+		return Default.Snapshot()
+	}))
+}
+
+// DebugServer is a running debug HTTP endpoint (see ServeDebug). Close
+// shuts it down gracefully and waits for the serve goroutine to exit, so
+// tests can assert no goroutine leaks across a start/stop cycle.
+type DebugServer struct {
+	srv      *http.Server
+	addr     string
+	done     chan struct{}
+	closeOne sync.Once
+	closeErr error
 }
 
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060")
-// serving /debug/vars (expvar, including the metrics registry) and
-// /debug/pprof/ (live profiling). It returns the bound address — useful
-// with ":0" — and never blocks; the server runs until the process exits.
-func ServeDebug(addr string) (string, error) {
+// serving:
+//
+//	/debug/vars    expvar, including the Default metrics registry
+//	/debug/pprof/  live CPU/heap/goroutine profiling
+//	/metrics       Prometheus text exposition of the Default registry
+//	/debug/solver  JSON dump of the solver flight recorder (obs.Flight)
+//
+// It returns immediately; the bound address is Addr() (useful with
+// ":0") and Close stops the server. The handlers live on a private mux,
+// so repeated start/stop cycles never re-register on the default mux.
+func ServeDebug(addr string) (*DebugServer, error) {
 	PublishExpvar()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/solver", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Flight.WriteJSON(w)
+	})
+
+	d := &DebugServer{
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
 	}
 	go func() {
-		// DefaultServeMux carries the pprof and expvar handlers.
-		_ = http.Serve(ln, nil)
+		defer close(d.done)
+		_ = d.srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return d, nil
+}
+
+// Addr returns the server's bound address.
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.addr
+}
+
+// Close gracefully shuts the server down (bounded at five seconds, then
+// hard-closed) and waits for the serve goroutine to exit. Nil-safe and
+// idempotent.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	d.closeOne.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := d.srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = d.srv.Close()
+		}
+		<-d.done
+		d.closeErr = err
+	})
+	return d.closeErr
 }

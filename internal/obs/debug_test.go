@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	// Would panic on the second call if not guarded (expvar.Publish
+	// forbids duplicate names).
+	PublishExpvar()
+	PublishExpvar()
+	PublishExpvar()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	Default.Counter("test.debug_endpoints").Inc()
+	Default.Histogram("test.debug_hist").Observe(0.5)
+	Flight.Emit(Event{Time: time.Now(), Type: "solver_iteration", Fields: Fields{"iter": 1}})
+
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "edgecache_test_debug_endpoints_total") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "edgecache_test_debug_hist_bucket") {
+		t.Fatalf("/metrics missing histogram buckets:\n%s", body)
+	}
+
+	code, body = get(t, "http://"+srv.Addr()+"/debug/solver")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/solver status %d", code)
+	}
+	if !strings.Contains(body, `"capacity"`) {
+		t.Fatalf("/debug/solver not a flight snapshot:\n%s", body)
+	}
+}
+
+func TestDebugServerCloseDoesNotLeak(t *testing.T) {
+	// Warm up anything lazily started by the HTTP stack so the baseline
+	// is stable.
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, "http://"+srv.Addr()+"/debug/vars")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		get(t, "http://"+s.Addr()+"/metrics")
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idle HTTP client connections park goroutines briefly; allow them
+	// to drain before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked across start/stop cycles: %d -> %d\n%s",
+			baseline, n, buf[:runtime.Stack(buf, true)])
+	}
+
+	// Close is idempotent and nil-safe.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if nilSrv.Addr() != "" {
+		t.Fatal("nil server Addr must be empty")
+	}
+}

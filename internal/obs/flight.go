@@ -1,0 +1,249 @@
+// Solver flight recorder: a fixed-size ring buffer of the most recent
+// per-iteration solver samples (dual gap, step, UB/LB) plus notable
+// operational events (degradations, replans, retries, injected faults,
+// audit violations). It answers "what was the solver doing just before
+// things went wrong" without storing a full trace: install it as a
+// telemetry sink (it composes with Tee), query it live at /debug/solver
+// on the debug server, or dump it to stderr on error or SIGQUIT.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// IterSample is one retained solver_iteration observation.
+type IterSample struct {
+	// Seq is the recorder-global sequence number (monotonic across both
+	// rings, so samples and events interleave chronologically).
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"ts"`
+	// Iter is the dual iteration index l; LB/UB/Gap/Step are the
+	// Algorithm 1 bookkeeping at that iteration.
+	Iter int     `json:"iter"`
+	LB   float64 `json:"lb"`
+	UB   float64 `json:"ub"`
+	Gap  float64 `json:"gap"`
+	Step float64 `json:"step"`
+}
+
+// FlightEvent is one retained operational event.
+type FlightEvent struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"ts"`
+	Type   string    `json:"event"`
+	Fields Fields    `json:"fields,omitempty"`
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder, oldest first.
+type FlightSnapshot struct {
+	// Capacity is the ring size; Dropped counts samples that aged out.
+	Capacity int   `json:"capacity"`
+	Dropped  int64 `json:"dropped"`
+	// Samples are the retained per-iteration solver samples; Events the
+	// retained operational events.
+	Samples []IterSample  `json:"samples"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// flightEventTypes are the operational event types worth retaining —
+// the "something happened" vocabulary, not the per-iteration firehose
+// (which the sample ring captures in its compact form).
+var flightEventTypes = map[string]bool{
+	"solve_degraded":  true,
+	"replan":          true,
+	"retry":           true,
+	"fault_injected":  true,
+	"audit_violation": true,
+	"solver_done":     true,
+	"controller_done": true,
+	"run_summary":     true,
+}
+
+// FlightRecorder is a Sink retaining the last capacity solver samples
+// and the last capacity operational events. Safe for concurrent use.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	capacity int
+	seq      int64
+	dropped  int64
+	samples  []IterSample // ring; next is the write cursor
+	sNext    int
+	sFull    bool
+	events   []FlightEvent
+	eNext    int
+	eFull    bool
+}
+
+// Flight is the process-wide recorder served at /debug/solver. It costs
+// nothing until installed as a sink (the -flight flag or a Tee into a
+// custom telemetry handle).
+var Flight = NewFlightRecorder(512)
+
+// NewFlightRecorder returns a recorder retaining the last capacity
+// samples and events (minimum 16).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	r := &FlightRecorder{}
+	r.init(capacity)
+	return r
+}
+
+func (r *FlightRecorder) init(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	r.capacity = capacity
+	r.samples = make([]IterSample, capacity)
+	r.events = make([]FlightEvent, capacity)
+	r.sNext, r.eNext = 0, 0
+	r.sFull, r.eFull = false, false
+	r.dropped = 0
+}
+
+// Resize discards the recorder's contents and sets a new ring capacity.
+func (r *FlightRecorder) Resize(capacity int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init(capacity)
+}
+
+// Emit implements Sink: solver_iteration events land in the sample ring,
+// notable operational events in the event ring, everything else is
+// dropped. Field copies are shallow (event fields are plain scalars).
+func (r *FlightRecorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if e.Type == "solver_iteration" {
+		s := IterSample{
+			Time: e.Time,
+			Iter: fieldInt(e.Fields, "iter"),
+			LB:   fieldFloat(e.Fields, "lb"),
+			UB:   fieldFloat(e.Fields, "ub"),
+			Gap:  fieldFloat(e.Fields, "gap"),
+			Step: fieldFloat(e.Fields, "step"),
+		}
+		r.mu.Lock()
+		r.seq++
+		s.Seq = r.seq
+		if r.sFull {
+			r.dropped++
+		}
+		r.samples[r.sNext] = s
+		r.sNext = (r.sNext + 1) % r.capacity
+		if r.sNext == 0 {
+			r.sFull = true
+		}
+		r.mu.Unlock()
+		return
+	}
+	if !flightEventTypes[e.Type] {
+		return
+	}
+	fields := make(Fields, len(e.Fields))
+	for k, v := range e.Fields {
+		fields[k] = v
+	}
+	r.mu.Lock()
+	r.seq++
+	r.events[r.eNext] = FlightEvent{Seq: r.seq, Time: e.Time, Type: e.Type, Fields: fields}
+	r.eNext = (r.eNext + 1) % r.capacity
+	if r.eNext == 0 {
+		r.eFull = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot copies the recorder's retained contents, oldest first.
+func (r *FlightRecorder) Snapshot() FlightSnapshot {
+	if r == nil {
+		return FlightSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Non-nil slices so an empty snapshot serialises as [], not null.
+	snap := FlightSnapshot{
+		Capacity: r.capacity,
+		Dropped:  r.dropped,
+		Samples:  []IterSample{},
+		Events:   []FlightEvent{},
+	}
+	start, count := 0, r.sNext
+	if r.sFull {
+		start, count = r.sNext, r.capacity
+	}
+	for i := 0; i < count; i++ {
+		snap.Samples = append(snap.Samples, r.samples[(start+i)%r.capacity])
+	}
+	start, count = 0, r.eNext
+	if r.eFull {
+		start, count = r.eNext, r.capacity
+	}
+	for i := 0; i < count; i++ {
+		snap.Events = append(snap.Events, r.events[(start+i)%r.capacity])
+	}
+	return snap
+}
+
+// WriteJSON dumps the snapshot as indented JSON — the /debug/solver
+// response body.
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText renders a compact human-readable dump (newest last) — the
+// SIGQUIT / on-error output.
+func (r *FlightRecorder) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d sample(s), %d event(s), %d dropped (capacity %d)\n",
+		len(snap.Samples), len(snap.Events), snap.Dropped, snap.Capacity); err != nil {
+		return err
+	}
+	for _, s := range snap.Samples {
+		if _, err := fmt.Fprintf(w, "  #%d %s iter=%d lb=%.6g ub=%.6g gap=%.3g step=%.3g\n",
+			s.Seq, s.Time.Format("15:04:05.000"), s.Iter, s.LB, s.UB, s.Gap, s.Step); err != nil {
+			return err
+		}
+	}
+	for _, e := range snap.Events {
+		if _, err := fmt.Fprintf(w, "  #%d %s %s %v\n",
+			e.Seq, e.Time.Format("15:04:05.000"), e.Type, e.Fields); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fieldInt reads an int-ish event field (events built in-process carry
+// Go ints; decoded JSONL carries float64).
+func fieldInt(f Fields, key string) int {
+	switch v := f[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	}
+	return 0
+}
+
+func fieldFloat(f Fields, key string) float64 {
+	switch v := f[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func iterEvent(i int) Event {
+	return Event{Time: time.Now(), Type: "solver_iteration", Fields: Fields{
+		"iter": i, "lb": float64(i), "ub": float64(2 * i), "gap": 0.5, "step": 0.1,
+	}}
+}
+
+func TestFlightRecorderRetainsAndWraps(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Emit(iterEvent(i))
+	}
+	r.Emit(Event{Time: time.Now(), Type: "solve_degraded", Fields: Fields{"mode": "fallback"}})
+	r.Emit(Event{Time: time.Now(), Type: "progress", Fields: Fields{"ignored": true}})
+
+	snap := r.Snapshot()
+	if snap.Capacity != 16 {
+		t.Fatalf("capacity = %d", snap.Capacity)
+	}
+	if len(snap.Samples) != 16 {
+		t.Fatalf("retained %d samples, want 16", len(snap.Samples))
+	}
+	if snap.Dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", snap.Dropped)
+	}
+	// Oldest first; the newest sample is iteration 39.
+	if snap.Samples[0].Iter != 24 || snap.Samples[15].Iter != 39 {
+		t.Fatalf("ring order wrong: first=%d last=%d", snap.Samples[0].Iter, snap.Samples[15].Iter)
+	}
+	for i := 1; i < len(snap.Samples); i++ {
+		if snap.Samples[i].Seq <= snap.Samples[i-1].Seq {
+			t.Fatal("sample seq not increasing")
+		}
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Type != "solve_degraded" {
+		t.Fatalf("events = %+v", snap.Events)
+	}
+	if snap.Events[0].Fields["mode"] != "fallback" {
+		t.Fatalf("event fields = %v", snap.Events[0].Fields)
+	}
+}
+
+func TestFlightRecorderJSONAndText(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.Emit(iterEvent(1))
+	r.Emit(Event{Time: time.Now(), Type: "replan", Fields: Fields{"event_slot": 7}})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON output invalid: %v", err)
+	}
+	if len(snap.Samples) != 1 || len(snap.Events) != 1 {
+		t.Fatalf("decoded snapshot %+v", snap)
+	}
+
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight recorder:", "iter=1", "replan"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("text dump missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(iterEvent(g*100 + i))
+				if i%10 == 0 {
+					r.Emit(Event{Time: time.Now(), Type: "retry", Fields: Fields{"attempt": i}})
+				}
+				_ = r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap.Samples) != 64 {
+		t.Fatalf("retained %d samples, want 64", len(snap.Samples))
+	}
+	if snap.Dropped != 800-64 {
+		t.Fatalf("dropped = %d, want %d", snap.Dropped, 800-64)
+	}
+}
+
+func TestFlightRecorderResizeAndNil(t *testing.T) {
+	var nilRec *FlightRecorder
+	nilRec.Emit(iterEvent(1)) // no-op, no panic
+	if s := nilRec.Snapshot(); s.Capacity != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+
+	r := NewFlightRecorder(4) // clamped up to 16
+	if got := r.Snapshot().Capacity; got != 16 {
+		t.Fatalf("minimum capacity = %d, want 16", got)
+	}
+	for i := 0; i < 20; i++ {
+		r.Emit(iterEvent(i))
+	}
+	r.Resize(32)
+	snap := r.Snapshot()
+	if snap.Capacity != 32 || len(snap.Samples) != 0 || snap.Dropped != 0 {
+		t.Fatalf("resize did not reset: %+v", snap)
+	}
+}
+
+func TestFlightRecorderFieldCoercion(t *testing.T) {
+	r := NewFlightRecorder(16)
+	// Decoded-JSONL shape: numbers arrive as float64.
+	raw := fmt.Sprintf(`{"iter": %d}`, 7)
+	var f Fields
+	if err := json.Unmarshal([]byte(raw), &f); err != nil {
+		t.Fatal(err)
+	}
+	f["lb"] = int64(3)
+	f["ub"] = 6 // int
+	r.Emit(Event{Time: time.Now(), Type: "solver_iteration", Fields: f})
+	s := r.Snapshot().Samples[0]
+	if s.Iter != 7 || s.LB != 3 || s.UB != 6 {
+		t.Fatalf("coerced sample = %+v", s)
+	}
+}

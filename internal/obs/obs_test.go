@@ -175,12 +175,13 @@ func TestWriteTextSnapshot(t *testing.T) {
 
 func TestServeDebugServesExpvarAndPprof(t *testing.T) {
 	Default.Counter("test.debug_endpoint").Inc()
-	addr, err := ServeDebug("127.0.0.1:0")
+	srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
-		resp, err := http.Get("http://" + addr + path)
+		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}

@@ -1,0 +1,162 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry —
+// dependency-free, served at /metrics by the debug server. Counters and
+// gauges map 1:1; timers and histograms are exposed as native Prometheus
+// histograms (cumulative power-of-two buckets, _sum, _count) plus a
+// companion *_quantile gauge family carrying the registry's conservative
+// p50/p95/p99 estimates, so dashboards get quantiles without PromQL
+// histogram_quantile over sparse scrapes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promName converts a registry instrument name ("core.p1_solve") into a
+// Prometheus metric name ("edgecache_core_p1_solve"): prefixed,
+// lowercase-safe, every non-alphanumeric rune folded to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("edgecache_"))
+	b.WriteString("edgecache_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every instrument in Prometheus text format,
+// families sorted by name. Safe to call concurrently with instrument
+// updates (values are atomic reads; slight skew between lines of one
+// family is inherent to lock-free instruments and acceptable to
+// Prometheus).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s Monotonic counter %s.\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %s\n",
+			pn, name, pn, pn, promFloat(gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(timers) {
+		t := timers[name]
+		var cum []bucketCount
+		for i := 0; i < timerBuckets; i++ {
+			if c := t.buckets[i].Load(); c > 0 {
+				ub := time.Microsecond
+				if i > 0 {
+					ub = time.Duration(1<<uint(i)) * time.Microsecond
+				}
+				cum = append(cum, bucketCount{ub.Seconds(), c})
+			}
+		}
+		st := t.Stats()
+		if err := writePromHistogram(w, promName(name)+"_seconds", name+" (seconds)", cum,
+			st.Count, st.Total.Seconds(),
+			st.P50.Seconds(), st.P95.Seconds(), st.P99.Seconds()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(histograms) {
+		h := histograms[name]
+		var cum []bucketCount
+		for i := 0; i < histBuckets; i++ {
+			if c := h.buckets[i].Load(); c > 0 {
+				cum = append(cum, bucketCount{histUpperBound(i), c})
+			}
+		}
+		st := h.Stats()
+		if err := writePromHistogram(w, promName(name), name, cum,
+			st.Count, st.Sum, st.P50, st.P95, st.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketCount is one non-empty bucket: inclusive upper bound + raw count.
+type bucketCount struct {
+	le    float64
+	count int64
+}
+
+// writePromHistogram renders one histogram family (sparse cumulative
+// buckets + +Inf + _sum/_count) followed by its *_quantile gauge family.
+// The registry's top bucket absorbs out-of-range observations, so its
+// bound is dropped and those land in +Inf only.
+func writePromHistogram(w io.Writer, pn, help string, buckets []bucketCount, count int64, sum, p50, p95, p99 float64) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s Bucketed histogram %s.\n# TYPE %s histogram\n", pn, help, pn); err != nil {
+		return err
+	}
+	var cum int64
+	for _, b := range buckets {
+		cum += b.count
+		if cum == count {
+			// Everything from here up is the total; +Inf alone carries it
+			// (also hides the clamped top bucket's synthetic bound).
+			break
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b.le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		pn, count, pn, promFloat(sum), pn, count); err != nil {
+		return err
+	}
+	if count == 0 {
+		return nil
+	}
+	qn := pn + "_quantile"
+	if _, err := fmt.Fprintf(w, "# HELP %s Conservative bucket-bound quantiles of %s.\n# TYPE %s gauge\n", qn, help, qn); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", p50}, {"0.95", p95}, {"0.99", p99}} {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", qn, q.label, promFloat(q.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.p1_solve":  "edgecache_core_p1_solve",
+		"fault.retries":  "edgecache_fault_retries",
+		"weird-name.x+y": "edgecache_weird_name_x_y",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.gaps")
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	st := h.Stats()
+	if st.Count != 7 {
+		t.Fatalf("count = %d, want 7", st.Count)
+	}
+	if st.Min != 0.001 || st.Max != 100 {
+		t.Fatalf("min/max = %g/%g", st.Min, st.Max)
+	}
+	// Bucketed quantiles are conservative (bucket upper bounds): p50 of
+	// {…,0.004,0.5,…} lands in the (0.25, 0.5] bucket.
+	if st.P50 < 0.004 || st.P50 > 1 {
+		t.Fatalf("p50 = %g out of plausible range", st.P50)
+	}
+	if st.P99 < st.P95 || st.P95 < st.P50 {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", st.P50, st.P95, st.P99)
+	}
+	// NaN observations are dropped, not poisoning the sum.
+	before := h.Stats().Sum
+	h.Observe(nan())
+	if got := h.Stats(); got.Count != 7 || got.Sum != before {
+		t.Fatalf("NaN observation changed stats: %+v", got)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.solves").Add(3)
+	r.Gauge("core.last_gap").Set(0.25)
+	tm := r.Timer("core.p1_solve")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	h := r.Histogram("core.final_gap")
+	h.Observe(0.01)
+	h.Observe(0.02)
+	h.Observe(4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE edgecache_core_solves_total counter",
+		"edgecache_core_solves_total 3",
+		"# TYPE edgecache_core_last_gap gauge",
+		"edgecache_core_last_gap 0.25",
+		"# TYPE edgecache_core_p1_solve_seconds histogram",
+		"edgecache_core_p1_solve_seconds_count 2",
+		"# TYPE edgecache_core_final_gap histogram",
+		"edgecache_core_final_gap_count 3",
+		`edgecache_core_final_gap_bucket{le="+Inf"} 3`,
+		`edgecache_core_final_gap_quantile{quantile="0.5"}`,
+		`edgecache_core_p1_solve_seconds_quantile{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Structural check: every line is either a comment or "name[{labels}] value"
+	// with a parseable float value, and _bucket counts are cumulative.
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.HasPrefix(fields[0], "edgecache_core_final_gap_bucket") {
+			c, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count in %q: %v", line, err)
+			}
+			if c < lastCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = c
+		}
+	}
+	if lastCum != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", lastCum)
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	// Empty instruments still render valid families (count 0, no quantiles).
+	r.Timer("t.empty")
+	r.Histogram("h.empty")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "edgecache_h_empty_count 0") {
+		t.Fatalf("empty histogram not rendered:\n%s", out)
+	}
+	if strings.Contains(out, "h_empty_quantile") {
+		t.Fatalf("empty histogram must not emit quantiles:\n%s", out)
+	}
+}

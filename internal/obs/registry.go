@@ -122,10 +122,12 @@ type TimerStats struct {
 	Min   time.Duration `json:"minNanos"`
 	Max   time.Duration `json:"maxNanos"`
 	Mean  time.Duration `json:"meanNanos"`
-	// P50 and P95 are estimated from the power-of-two histogram (upper
-	// bucket bounds), so they are conservative to within a factor of two.
+	// P50, P95 and P99 are estimated from the power-of-two histogram
+	// (upper bucket bounds), so they are conservative to within a factor
+	// of two.
 	P50 time.Duration `json:"p50Nanos"`
 	P95 time.Duration `json:"p95Nanos"`
+	P99 time.Duration `json:"p99Nanos"`
 }
 
 // Stats summarises the timer (zero value for nil or empty).
@@ -142,6 +144,7 @@ func (t *Timer) Stats() TimerStats {
 	s.Mean = s.Total / time.Duration(s.Count)
 	s.P50 = t.quantile(s.Count, 0.50)
 	s.P95 = t.quantile(s.Count, 0.95)
+	s.P99 = t.quantile(s.Count, 0.99)
 	return s
 }
 
@@ -161,15 +164,139 @@ func (t *Timer) quantile(count int64, q float64) time.Duration {
 	return time.Duration(t.max.Load())
 }
 
+// histBuckets is the number of power-of-two value buckets of a
+// Histogram: bucket i counts observations v with 2^(i−histZero−1) < v ≤
+// 2^(i−histZero), i.e. exponents −32 … 31; the first bucket also absorbs
+// zero and negative observations, the last everything larger.
+const (
+	histBuckets = 64
+	histZero    = 32
+)
+
+// Histogram is a unitless value histogram with power-of-two buckets plus
+// exact count/sum/min/max — the distribution companion to Counter and
+// Gauge for quantities like duality gaps, iteration counts and per-slot
+// churn. Lock-free and nil-safe like every other instrument.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	minBits atomic.Uint64 // +Inf until first observation
+	maxBits atomic.Uint64 // -Inf until first observation
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. NaN is dropped; ±Inf clamps into the edge
+// buckets. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.count.Add(1)
+	for {
+		cur := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if h.sumBits.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	for {
+		cur := h.minBits.Load()
+		if v >= math.Float64frombits(cur) || h.minBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		cur := h.maxBits.Load()
+		if v <= math.Float64frombits(cur) || h.maxBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.buckets[histIndex(v)].Add(1)
+}
+
+// histIndex maps a value to its bucket: the smallest i whose upper bound
+// 2^(i−histZero) is ≥ v.
+func histIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	// Frexp: v = f·2^exp with f ∈ [0.5, 1), so v ≤ 2^exp with equality
+	// only at powers of two — exactly the "upper bound is inclusive" rule.
+	_, exp := math.Frexp(v)
+	i := exp + histZero
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histUpperBound is bucket i's inclusive upper bound.
+func histUpperBound(i int) float64 { return math.Ldexp(1, i-histZero) }
+
+// HistogramStats is a point-in-time summary of a Histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// P50/P95/P99 are conservative power-of-two bucket upper bounds.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Stats summarises the histogram (zero value for nil or empty).
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	s := HistogramStats{Count: h.count.Load(), Sum: math.Float64frombits(h.sumBits.Load())}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.Mean = s.Sum / float64(s.Count)
+	s.P50 = h.quantile(s.Count, 0.50)
+	s.P95 = h.quantile(s.Count, 0.95)
+	s.P99 = h.quantile(s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func (h *Histogram) quantile(count int64, q float64) float64 {
+	target := int64(math.Ceil(q * float64(count)))
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return histUpperBound(i)
+		}
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
 // Registry is a concurrency-safe namespace of instruments. Instruments
 // are created on first use and live for the registry's lifetime, so
 // callers should look them up once (package-level vars) rather than per
 // operation.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // Default is the process-wide registry every solver layer reports into.
@@ -179,9 +306,10 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry (tests use private ones).
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -231,19 +359,36 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it if needed. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every instrument's value.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters,omitempty"`
-	Gauges   map[string]float64    `json:"gauges,omitempty"`
-	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry's current values.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Timers:   map[string]TimerStats{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
 	}
 	if r == nil {
 		return s
@@ -258,6 +403,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, t := range r.timers {
 		s.Timers[name] = t.Stats()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Stats()
 	}
 	return s
 }
@@ -274,10 +422,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, name := range sortedKeys(s.Gauges) {
 		fmt.Fprintf(tw, "%s\t%g\n", name, s.Gauges[name])
 	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		fmt.Fprintf(tw, "%s\tn=%d sum=%g mean=%g min=%g max=%g p50≤%g p95≤%g p99≤%g\n",
+			name, hs.Count, hs.Sum, hs.Mean, hs.Min, hs.Max, hs.P50, hs.P95, hs.P99)
+	}
 	for _, name := range sortedKeys(s.Timers) {
 		ts := s.Timers[name]
-		fmt.Fprintf(tw, "%s\tn=%d total=%s mean=%s min=%s max=%s p50≤%s p95≤%s\n",
-			name, ts.Count, round(ts.Total), round(ts.Mean), round(ts.Min), round(ts.Max), round(ts.P50), round(ts.P95))
+		fmt.Fprintf(tw, "%s\tn=%d total=%s mean=%s min=%s max=%s p50≤%s p95≤%s p99≤%s\n",
+			name, ts.Count, round(ts.Total), round(ts.Mean), round(ts.Min), round(ts.Max), round(ts.P50), round(ts.P95), round(ts.P99))
 	}
 	return tw.Flush()
 }

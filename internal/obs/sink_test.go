@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer serialises writes so the test can hand a bytes.Buffer to
+// concurrent emitters without racing inside the buffer itself — the
+// interleaving under test is the sink's, not the buffer's.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestJSONLSinkConcurrentWritesStayLineAtomic(t *testing.T) {
+	var out lockedBuffer
+	sink := NewJSONL(&out)
+
+	const goroutines, events = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				sink.Emit(Event{
+					Time: time.Now(),
+					Type: "solver_iteration",
+					Fields: Fields{
+						"iter":   i,
+						"worker": g,
+						"gap":    0.25,
+						"pad":    strings.Repeat("x", 64),
+					},
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	perWorker := map[int]int{}
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d interleaved/corrupt: %v\n%s", lines, err, sc.Text())
+		}
+		if rec["event"] != "solver_iteration" {
+			t.Fatalf("line %d: unexpected event %v", lines, rec["event"])
+		}
+		perWorker[int(rec["worker"].(float64))]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != goroutines*events {
+		t.Fatalf("got %d lines, want %d", lines, goroutines*events)
+	}
+	for g := 0; g < goroutines; g++ {
+		if perWorker[g] != events {
+			t.Fatalf("worker %d wrote %d lines, want %d", g, perWorker[g], events)
+		}
+	}
+}
+
+func TestEventSchemaRoundTrip(t *testing.T) {
+	// Encode through the JSONL sink, decode, and re-inject into the
+	// consumers that read decoded events (the flight recorder) — the
+	// JSONL lines must round-trip into equivalent records.
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	now := time.Now().UTC().Truncate(time.Millisecond)
+	sink.Emit(Event{Time: now, Type: "solver_iteration", Fields: Fields{
+		"iter": 3, "lb": 10.5, "ub": 21.0, "gap": 0.5, "step": 0.1,
+	}})
+	sink.Emit(Event{Time: now, Type: "solve_degraded", Fields: Fields{
+		"mode": "fallback", "tau": 7,
+	}})
+
+	rec := NewFlightRecorder(16)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, m["ts"].(string))
+		if err != nil {
+			t.Fatalf("ts field: %v", err)
+		}
+		typ := m["event"].(string)
+		delete(m, "ts")
+		delete(m, "event")
+		rec.Emit(Event{Time: ts, Type: typ, Fields: m})
+	}
+	snap := rec.Snapshot()
+	if len(snap.Samples) != 1 || len(snap.Events) != 1 {
+		t.Fatalf("decoded snapshot %+v", snap)
+	}
+	s := snap.Samples[0]
+	if s.Iter != 3 || s.LB != 10.5 || s.UB != 21 || s.Gap != 0.5 || s.Step != 0.1 {
+		t.Fatalf("sample did not round-trip: %+v", s)
+	}
+	if !s.Time.Equal(now) {
+		t.Fatalf("sample time %v != %v", s.Time, now)
+	}
+	if snap.Events[0].Fields["mode"] != "fallback" {
+		t.Fatalf("event did not round-trip: %+v", snap.Events[0])
+	}
+}
+
+func TestSpanEventMatchesJSONLSchema(t *testing.T) {
+	// Spans mirrored into the event stream must serialise like any other
+	// event and carry the joinable identifiers.
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	tr := NewTracer(sink)
+	s := tr.newSpan("solve", nil, false)
+	s.Set("iterations", 4)
+	s.End()
+
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("span event line invalid: %v", err)
+	}
+	if m["event"] != "span" || m["span"] != "solve" {
+		t.Fatalf("span event = %v", m)
+	}
+	for _, key := range []string{"span_id", "track", "dur_ms", "alloc_bytes", "iterations", "ts"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("span event missing %q: %v", key, m)
+		}
+	}
+	if fmt.Sprintf("%v", m["iterations"]) != "4" {
+		t.Fatalf("iterations = %v", m["iterations"])
+	}
+}

@@ -1,0 +1,318 @@
+// Hierarchical span tracing: the second-generation observability layer
+// on top of the flat event stream. A Span is one timed region of solver
+// work (a policy run, a window solve, a P1/P2 phase, a batch of dual
+// iterations); spans nest through context propagation, so a trace of one
+// run reconstructs exactly where the wall-clock and the allocations went.
+//
+// Cost model: tracing is off unless a *Tracer is installed in the
+// context (WithTracer). With no tracer, StartSpan returns a nil *Span
+// and the unchanged context — no allocation, no atomic, just one context
+// lookup per solve-level call — and every Span method is nil-safe, so
+// hot loops call Child/Set/End unconditionally. With a tracer, each span
+// costs two timestamps, two cheap runtime/metrics reads (for the
+// process-wide heap-allocation delta) and one append under a mutex at
+// End.
+//
+// Like events and metrics, spans are strictly observational: they copy
+// values out of the solver and never feed anything back, so same-seed
+// runs are byte-identical with tracing on or off (a regression test in
+// package sim asserts exactly this).
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span — the unit both exporters share.
+type SpanRecord struct {
+	// Name identifies the traced region ("run", "window_solve", ...).
+	Name string `json:"name"`
+	// ID is unique within the tracer; Parent is 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Track groups spans that executed sequentially on one logical
+	// thread of control (one FHC version, the main goroutine). It maps
+	// to the tid of the Chrome trace-event export, so concurrent tracks
+	// render as separate rows in Perfetto.
+	Track int64 `json:"track"`
+	// Start is the span's wall-clock start; Duration its extent.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNanos"`
+	// AllocBytes is the process-wide heap-allocation delta over the
+	// span. It attributes allocations exactly for serial phases; under
+	// concurrent tracks it is an upper bound (all tracks observe the
+	// same heap).
+	AllocBytes uint64 `json:"allocBytes"`
+	// Fields carries span attributes (iteration numbers, gaps, policy
+	// names) — same vocabulary as event fields.
+	Fields Fields `json:"fields,omitempty"`
+}
+
+// Tracer collects completed spans. Create one per traced run
+// (NewTracer), install it with WithTracer, and export with
+// WriteChromeTrace (Perfetto) or read Records directly. Safe for
+// concurrent use: parallel FHC versions end spans concurrently.
+type Tracer struct {
+	sink      Sink // optional: completed spans mirrored as "span" events
+	epoch     time.Time
+	nextID    atomic.Uint64
+	nextTrack atomic.Int64
+
+	mu      sync.Mutex
+	records []SpanRecord
+}
+
+// NewTracer returns an empty tracer. When sink is non-nil every
+// completed span is additionally emitted into it as a "span" event (one
+// JSONL line per span under the -trace flag), so the flat event stream
+// and the hierarchical trace stay joinable on span IDs.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
+}
+
+// Records returns a copy of every completed span, in completion order.
+func (tr *Tracer) Records() []SpanRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]SpanRecord(nil), tr.records...)
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer installs the tracer in the context: spans started from the
+// returned context (and its descendants) are recorded. A nil tracer
+// returns ctx unchanged.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the context's tracer, or nil when tracing is off.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// SpanFrom returns the context's current span (nil when tracing is off
+// or no span has been started yet).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span as a child of the context's current span (a
+// root span when there is none), returning a derived context carrying
+// it. When no tracer is installed it returns (ctx, nil) at zero cost;
+// all Span methods are nil-safe, so callers never guard.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return startSpan(ctx, name, false)
+}
+
+// StartTrack is StartSpan on a fresh track: use it at the entry point of
+// a concurrent strand of work (one FHC version) so its spans render as
+// their own row instead of interleaving with siblings.
+func StartTrack(ctx context.Context, name string) (context.Context, *Span) {
+	return startSpan(ctx, name, true)
+}
+
+func startSpan(ctx context.Context, name string, newTrack bool) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var tr *Tracer
+	if parent != nil {
+		tr = parent.tracer
+	} else {
+		tr = TracerFrom(ctx)
+	}
+	if tr == nil {
+		return ctx, nil
+	}
+	s := tr.newSpan(name, parent, newTrack)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (tr *Tracer) newSpan(name string, parent *Span, newTrack bool) *Span {
+	s := &Span{tracer: tr, name: name, id: tr.nextID.Add(1)}
+	if parent != nil {
+		s.parent = parent.id
+		s.track = parent.track
+	}
+	if parent == nil || newTrack {
+		s.track = tr.nextTrack.Add(1) - 1
+	}
+	s.start = time.Now()
+	s.startAllocs = heapAllocs()
+	return s
+}
+
+// Span is one in-flight traced region. The nil span is the disabled
+// no-op; a span belongs to the goroutine that started it (Set is not
+// synchronised) while End is idempotent and safe to race with exports.
+type Span struct {
+	tracer      *Tracer
+	name        string
+	id, parent  uint64
+	track       int64
+	start       time.Time
+	startAllocs uint64
+	fields      Fields
+	ended       atomic.Bool
+}
+
+// Child starts a sub-span on the same track without deriving a context —
+// the zero-lookup form for hot loops that fan a known hierarchy out of
+// one parent. Nil-safe: a nil receiver returns a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(name, s, false)
+}
+
+// Set attaches one attribute (plain scalars, like event fields).
+// Nil-safe; must not race with End.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.fields == nil {
+		s.fields = make(Fields, 4)
+	}
+	s.fields[key] = v
+}
+
+// End completes the span and hands the record to the tracer. Idempotent
+// and nil-safe; spans never ended are simply never recorded.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	end := time.Now()
+	rec := SpanRecord{
+		Name:       s.name,
+		ID:         s.id,
+		Parent:     s.parent,
+		Track:      s.track,
+		Start:      s.start,
+		Duration:   end.Sub(s.start),
+		AllocBytes: heapAllocs() - s.startAllocs,
+		Fields:     s.fields,
+	}
+	tr := s.tracer
+	tr.mu.Lock()
+	tr.records = append(tr.records, rec)
+	tr.mu.Unlock()
+	if tr.sink != nil {
+		tr.sink.Emit(Event{Time: end, Type: "span", Fields: rec.eventFields()})
+	}
+}
+
+// eventFields flattens the record into the event-stream vocabulary.
+func (r SpanRecord) eventFields() Fields {
+	f := Fields{
+		"span":        r.Name,
+		"span_id":     r.ID,
+		"track":       r.Track,
+		"dur_ms":      float64(r.Duration) / float64(time.Millisecond),
+		"alloc_bytes": r.AllocBytes,
+	}
+	if r.Parent != 0 {
+		f["parent_id"] = r.Parent
+	}
+	for k, v := range r.Fields {
+		if _, clash := f[k]; !clash {
+			f[k] = v
+		}
+	}
+	return f
+}
+
+// heapAllocs reads the cumulative heap-allocation byte counter. Unlike
+// runtime.ReadMemStats this does not stop the world, so per-span reads
+// are cheap enough for window-solve granularity.
+func heapAllocs() uint64 {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// chromeEvent is one Chrome trace-event record ("X" = complete event,
+// "M" = metadata). The format is the JSON object flavour understood by
+// Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since trace epoch
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every completed span in Chrome trace-event
+// format (the -trace-spans flag): load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to browse the hierarchy.
+// Tracks map to tids, span attributes and IDs land in args, and each
+// track gets a thread_name metadata record.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	if tr == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	records := tr.Records()
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Start.Before(records[j].Start) })
+
+	events := make([]chromeEvent, 0, len(records)+8)
+	tracks := map[int64]bool{}
+	for _, r := range records {
+		if !tracks[r.Track] {
+			tracks[r.Track] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: r.Track,
+				Args: map[string]any{"name": fmt.Sprintf("track %d", r.Track)},
+			})
+		}
+		args := map[string]any{"id": r.ID, "alloc_bytes": r.AllocBytes}
+		if r.Parent != 0 {
+			args["parent"] = r.Parent
+		}
+		for k, v := range r.Fields {
+			if _, clash := args[k]; !clash {
+				args[k] = v
+			}
+		}
+		events = append(events, chromeEvent{
+			Name:  r.Name,
+			Cat:   "edgecache",
+			Phase: "X",
+			TS:    float64(r.Start.Sub(tr.epoch)) / float64(time.Microsecond),
+			Dur:   float64(r.Duration) / float64(time.Microsecond),
+			PID:   1,
+			TID:   r.Track,
+			Args:  args,
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanDisabledIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "solve")
+	if s != nil {
+		t.Fatal("StartSpan without a tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a tracer must return the context unchanged")
+	}
+	// Every method on the nil span is a free no-op.
+	s.Set("k", 1)
+	c := s.Child("child")
+	if c != nil {
+		t.Fatal("nil span's Child must be nil")
+	}
+	c.End()
+	s.End()
+}
+
+func TestSpanHierarchyAndRecords(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "run")
+	root.Set("policy", "test")
+	_, child := StartSpan(ctx, "window_solve")
+	grand := child.Child("caching")
+	grand.Set("iter", 1)
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	run, ws, ca := byName["run"], byName["window_solve"], byName["caching"]
+	if run.Parent != 0 {
+		t.Fatalf("run parent = %d, want 0", run.Parent)
+	}
+	if ws.Parent != run.ID {
+		t.Fatalf("window_solve parent = %d, want %d", ws.Parent, run.ID)
+	}
+	if ca.Parent != ws.ID {
+		t.Fatalf("caching parent = %d, want %d", ca.Parent, ws.ID)
+	}
+	if run.Track != ws.Track || ws.Track != ca.Track {
+		t.Fatal("same-strand spans must share a track")
+	}
+	if run.Fields["policy"] != "test" {
+		t.Fatalf("run fields = %v", run.Fields)
+	}
+	if ca.Fields["iter"] != 1 {
+		t.Fatalf("caching fields = %v", ca.Fields)
+	}
+}
+
+func TestStartTrackSeparatesRows(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	_, v0 := StartTrack(ctx, "version")
+	_, v1 := StartTrack(ctx, "version")
+	v0.End()
+	v1.End()
+	root.End()
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	tracks := map[int64]bool{}
+	for _, r := range recs {
+		if r.Name == "version" {
+			tracks[r.Track] = true
+			if r.Parent == 0 {
+				t.Fatal("version spans must keep their parent across tracks")
+			}
+		}
+	}
+	if len(tracks) != 2 {
+		t.Fatalf("version spans share a track: %v", tracks)
+	}
+}
+
+func TestSpanMirroredAsEvent(t *testing.T) {
+	var col Collector
+	tr := NewTracer(&col)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "solve")
+	s.Set("iterations", 7)
+	s.End()
+
+	evs := col.ByType("span")
+	if len(evs) != 1 {
+		t.Fatalf("got %d span events, want 1", len(evs))
+	}
+	f := evs[0].Fields
+	if f["span"] != "solve" || f["iterations"] != 7 {
+		t.Fatalf("span event fields = %v", f)
+	}
+	if _, ok := f["span_id"]; !ok {
+		t.Fatal("span event missing span_id")
+	}
+}
+
+func TestWriteChromeTraceIsValidAndNested(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	ctx2, mid := StartSpan(ctx, "window_solve")
+	_, leaf := StartSpan(ctx2, "caching")
+	time.Sleep(time.Millisecond)
+	leaf.End()
+	mid.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int64          `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace output is not valid JSON: %v", err)
+	}
+	ids := map[string]float64{}
+	parents := map[string]float64{}
+	var complete int
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		complete++
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("event %s: negative ts/dur", e.Name)
+		}
+		ids[e.Name] = e.Args["id"].(float64)
+		if p, ok := e.Args["parent"].(float64); ok {
+			parents[e.Name] = p
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("got %d complete events, want 3", complete)
+	}
+	if parents["window_solve"] != ids["run"] || parents["caching"] != ids["window_solve"] {
+		t.Fatalf("parent chain broken: ids=%v parents=%v", ids, parents)
+	}
+	if _, rooted := parents["run"]; rooted {
+		t.Fatal("root span must have no parent arg")
+	}
+}
+
+func TestSpanRecordRoundTrip(t *testing.T) {
+	rec := SpanRecord{
+		Name: "solve", ID: 3, Parent: 1, Track: 2,
+		Start: time.Now().Truncate(0), Duration: 42 * time.Millisecond,
+		AllocBytes: 1024, Fields: Fields{"gap": 0.5},
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rec.Name || back.ID != rec.ID || back.Parent != rec.Parent ||
+		back.Track != rec.Track || back.Duration != rec.Duration || back.AllocBytes != rec.AllocBytes {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, rec)
+	}
+	if back.Fields["gap"] != 0.5 {
+		t.Fatalf("fields mismatch: %v", back.Fields)
+	}
+}

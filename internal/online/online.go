@@ -53,6 +53,8 @@ var (
 	mDegraded     = obs.Default.Counter("solver.degraded")
 	mReplans      = obs.Default.Counter("fault.replans")
 	mRetries      = obs.Default.Counter("fault.retries")
+	mWindowGapH   = obs.Default.Histogram("online.window_gap")
+	mChurnH       = obs.Default.Histogram("online.slot_churn")
 )
 
 // DefaultRho is the rounding threshold ρ = (3−√5)/2 ≈ 0.382 of Theorem 3.
@@ -415,6 +417,8 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		// slot_decision event below instead.
 		mCapDrops.Add(int64(capSBS))
 		mBWRepairs.Add(int64(bwRepaired))
+		churn := model.ReplacementCount(prevX, x)
+		mChurnH.Observe(float64(churn))
 		if cfg.Telemetry.Enabled() {
 			var cached int
 			for n := 0; n < in.N; n++ {
@@ -431,7 +435,7 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 				"cached":      cached,
 				"cap_dropped": capDropped,
 				"bw_repaired": bwRepaired,
-				"churn":       model.ReplacementCount(prevX, x),
+				"churn":       churn,
 			})
 		}
 		prevX = x
@@ -442,6 +446,17 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		return nil, fmt.Errorf("online: committed trajectory infeasible: %w", err)
 	}
 	res.Trajectory = traj
+	if cfg.Telemetry.Enabled() {
+		cfg.Telemetry.Emit("controller_done", obs.Fields{
+			"controller":      cfg.Name(),
+			"relaxed_cost":    res.RelaxedCost,
+			"window_solves":   res.WindowSolves,
+			"dual_iterations": res.DualIterations,
+			"degraded":        res.Degraded,
+			"retries":         res.Retries,
+			"replans":         res.Replans,
+		})
+	}
 	return res, nil
 }
 
@@ -473,6 +488,13 @@ type versionStats struct {
 // (RetryPolicy), then the degradation ladder.
 func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config, v int,
 	armed *fault.Armed, events []int, xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
+
+	// Each FHC version gets its own trace track, so concurrent versions
+	// render as separate Perfetto rows instead of interleaving.
+	ctx, vSpan := obs.StartTrack(ctx, "version")
+	vSpan.Set("controller", cfg.Name())
+	vSpan.Set("version", v)
+	defer vSpan.End()
 
 	r := cfg.Commitment
 	virtualPrev := in.InitialPlan()
@@ -523,11 +545,17 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
 		}
 
+		wctx, wSpan := obs.StartSpan(ctx, "window_solve")
+		wSpan.Set("version", v)
+		wSpan.Set("tau", tau)
+		wSpan.Set("from", from)
+		wSpan.Set("to", to)
+
 		// The budget context spans every retry attempt and the backoff
 		// sleeps between them: retrying never outlives the slot budget.
-		solveCtx, cancel := ctx, context.CancelFunc(nil)
+		solveCtx, cancel := wctx, context.CancelFunc(nil)
 		if cfg.SlotBudget > 0 {
-			solveCtx, cancel = context.WithTimeout(ctx, cfg.SlotBudget)
+			solveCtx, cancel = context.WithTimeout(wctx, cfg.SlotBudget)
 		}
 		solveStart := time.Now()
 		sol, err := solveWithRetry(solveCtx, win, opts, cfg, armed, v, tau, stats)
@@ -537,6 +565,7 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 		solveDur := time.Since(solveStart)
 		if err != nil {
 			if ctx.Err() != nil {
+				wSpan.End()
 				// Parent cancellation: fail the version. Anything else —
 				// budget overrun (DeadlineExceeded with a live parent) or a
 				// solve that kept failing through its retries — walks the
@@ -547,8 +576,10 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 			var mode string
 			sol, mode, err = degradeWindow(ctx, cfg, win, sol)
 			if err != nil {
+				wSpan.End()
 				return fmt.Errorf("online: version %d window [%d, %d): degraded solve: %w", v, from, to, err)
 			}
+			wSpan.Set("degraded", mode)
 			stats.degraded++
 			mDegraded.Inc()
 			if cfg.Telemetry.Enabled() {
@@ -574,6 +605,12 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 		mWindowSolves.Inc()
 		mDualIters.Add(int64(sol.Iterations))
 		mWindowTime.Observe(solveDur)
+		if !math.IsInf(sol.Gap, 1) {
+			mWindowGapH.Observe(sol.Gap)
+		}
+		wSpan.Set("iterations", sol.Iterations)
+		wSpan.Set("converged", sol.Converged)
+		wSpan.End()
 		if cfg.Telemetry.Enabled() {
 			fields := obs.Fields{
 				"controller": cfg.Name(),

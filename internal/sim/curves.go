@@ -1,0 +1,104 @@
+// Convergence and regret curves: an opt-in per-run capture of the
+// solver's dual-gap trajectory and the committed cost accumulation,
+// next to the relaxed (pre-rounding) objective that anchors the
+// Theorem 3 comparison. The capture is a telemetry sink fed by the
+// existing event stream, so enabling it changes no solver behaviour.
+package sim
+
+import (
+	"sync"
+
+	"edgecache/internal/obs"
+)
+
+// GapPoint is one retained solver_iteration observation: the Algorithm 1
+// bounds and relative duality gap at dual iteration Iter.
+type GapPoint struct {
+	Iter int     `json:"iter"`
+	LB   float64 `json:"lb"`
+	UB   float64 `json:"ub"`
+	Gap  float64 `json:"gap"`
+}
+
+// Curve is the per-run curve bundle attached to Result when
+// Config.Curves is set.
+type Curve struct {
+	// Gap is the dual-gap trajectory in emission order. Online
+	// controllers run their FHC versions concurrently, so points from
+	// different window solves interleave; each point is still a valid
+	// (LB, UB, gap) certificate for its own solve.
+	Gap []GapPoint `json:"gap,omitempty"`
+	// CumCost[t] is the committed cost accumulated through slot t
+	// (operating + replacement), the regret curve's numerator.
+	CumCost []float64 `json:"cumCost,omitempty"`
+	// RelaxedCost is the online controller's pre-rounding objective —
+	// the left side of the Theorem 3 bound. Zero for policies that do
+	// not report one (offline solver, baselines).
+	RelaxedCost float64 `json:"relaxedCost,omitempty"`
+}
+
+// curveCollector is the Sink capturing the curve bundle. Safe for
+// concurrent use (FHC versions emit from parallel goroutines).
+type curveCollector struct {
+	mu      sync.Mutex
+	gap     []GapPoint
+	relaxed float64
+}
+
+func (c *curveCollector) Emit(e obs.Event) {
+	switch e.Type {
+	case "solver_iteration":
+		p := GapPoint{
+			Iter: fieldAsInt(e.Fields, "iter"),
+			LB:   fieldAsFloat(e.Fields, "lb"),
+			UB:   fieldAsFloat(e.Fields, "ub"),
+			Gap:  fieldAsFloat(e.Fields, "gap"),
+		}
+		c.mu.Lock()
+		c.gap = append(c.gap, p)
+		c.mu.Unlock()
+	case "controller_done":
+		c.mu.Lock()
+		c.relaxed = fieldAsFloat(e.Fields, "relaxed_cost")
+		c.mu.Unlock()
+	}
+}
+
+// curve assembles the bundle: the captured gap trajectory plus the
+// cumulative committed cost derived from the evaluated per-slot series.
+func (c *curveCollector) curve(perSlot []SlotMetrics) *Curve {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cv := &Curve{Gap: c.gap, RelaxedCost: c.relaxed}
+	cv.CumCost = make([]float64, len(perSlot))
+	var cum float64
+	for t, m := range perSlot {
+		cum += m.BS + m.SBS + m.Replacement
+		cv.CumCost[t] = cum
+	}
+	return cv
+}
+
+func fieldAsInt(f obs.Fields, key string) int {
+	switch v := f[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	}
+	return 0
+}
+
+func fieldAsFloat(f obs.Fields, key string) float64 {
+	switch v := f[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	return 0
+}

@@ -240,6 +240,9 @@ type Result struct {
 	// Audit is the differential auditor's report when Config.Audit was
 	// set (nil otherwise). A clean run has Audit.OK() == true.
 	Audit *audit.Report `json:"audit,omitempty"`
+	// Curve holds the convergence/regret curves when Config.Curves was
+	// set (nil otherwise).
+	Curve *Curve `json:"curve,omitempty"`
 }
 
 // Config tunes one evaluated run beyond the policy itself — the options
@@ -268,6 +271,10 @@ type Config struct {
 	// FaultAware policies additionally arm solver faults and event-driven
 	// replans. nil (or an empty schedule) is the failure-free run.
 	Faults *fault.Schedule
+	// Curves captures the solver's dual-gap trajectory and the committed
+	// cumulative cost into Result.Curve (see Curve). Observational: it
+	// taps the event stream without changing solver behaviour.
+	Curves bool
 }
 
 // Run plans with the policy, verifies feasibility, and accounts costs.
@@ -289,6 +296,18 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 		ctx = context.Background()
 	}
 	tel := cfg.Telemetry
+	var curves *curveCollector
+	if cfg.Curves {
+		// Tap the event stream: tee into the collector next to whatever
+		// sink the caller installed (or alone, enabling telemetry just
+		// for the capture — still observational either way).
+		curves = &curveCollector{}
+		if tel.Enabled() {
+			tel = obs.New(obs.Tee(tel.Sink(), curves), tel.Registry())
+		} else {
+			tel = obs.New(curves, tel.Registry())
+		}
+	}
 	if !cfg.Faults.Empty() {
 		// Materialise the fault schedule into the effective per-slot
 		// instance (shares the base demand tensor, so the predictor's
@@ -318,6 +337,11 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 		}
 	}
 	mRuns.Inc()
+	// Trace root: one "run" span per evaluated policy. Children (version
+	// tracks, window solves, dual batches) hang off the derived ctx.
+	ctx, runSpan := obs.StartSpan(ctx, "run")
+	runSpan.Set("policy", p.Name())
+	defer runSpan.End()
 	start := time.Now()
 	traj, err := p.Plan(ctx, in, pred)
 	if err != nil {
@@ -370,14 +394,18 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 		}
 		tel.Emit("run_summary", fields)
 	}
-	return &Result{
+	res := &Result{
 		Policy:     p.Name(),
 		Trajectory: traj,
 		Cost:       cost,
 		PerSlot:    perSlot,
 		Runtime:    elapsed,
 		Audit:      rep,
-	}, nil
+	}
+	if curves != nil {
+		res.Curve = curves.curve(perSlot)
+	}
+	return res, nil
 }
 
 // Evaluate verifies a trajectory and computes its per-slot series and

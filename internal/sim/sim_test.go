@@ -142,6 +142,41 @@ func TestRunDeterministic(t *testing.T) {
 			if len(col.ByType("run_summary")) != 1 {
 				t.Fatalf("observed run emitted %d run_summary events, want 1", len(col.ByType("run_summary")))
 			}
+
+			// Span tracing is observational too: a traced run (spans plus
+			// curve capture) must commit the identical trajectory.
+			tracer := obs.NewTracer(nil)
+			in, pred := testSetup(t)
+			d, err := RunWith(obs.WithTracer(context.Background(), tracer),
+				in, pred, pc.mk(), Config{Curves: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(marshal(a.Trajectory), marshal(d.Trajectory)) {
+				t.Fatal("span tracing perturbed the trajectory")
+			}
+			if a.Cost != d.Cost {
+				t.Fatalf("span tracing perturbed the cost: %+v vs %+v", a.Cost, d.Cost)
+			}
+			recs := tracer.Records()
+			if len(recs) == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			names := map[string]bool{}
+			for _, r := range recs {
+				names[r.Name] = true
+			}
+			for _, want := range []string{"run", "solve", "dual_batch", "caching", "loadbalance", "recover"} {
+				if !names[want] {
+					t.Fatalf("trace missing %q spans (got %v)", want, names)
+				}
+			}
+			if d.Curve == nil || len(d.Curve.CumCost) != in.T {
+				t.Fatalf("curve capture missing or wrong length: %+v", d.Curve)
+			}
+			if len(d.Curve.Gap) == 0 {
+				t.Fatal("curve capture recorded no gap points")
+			}
 		})
 	}
 }
