@@ -47,8 +47,11 @@ bench:
 # Perf gate: fail when any benchmark's ns/op regressed more than
 # BENCH_THRESHOLD percent against the tracked baseline suite
 # (DESIGN.md §8). Run `make bench` first to record the current suite.
-BENCH_BASELINE ?= BENCH_2026-08-06.json
-BENCH_BASELINE_LABEL ?= post-workspace
+# BENCH_2026-08-08.json re-anchors the baseline (same code paths as the
+# 2026-08-06 suite measured within noise on the recording machine) and
+# adds the sparse-scale suite with its peak-RSS-MiB extras (§11).
+BENCH_BASELINE ?= BENCH_2026-08-08.json
+BENCH_BASELINE_LABEL ?= sparse-scale
 BENCH_THRESHOLD ?= 15
 bench-diff:
 	$(GO) run ./cmd/bench -in "$(BENCH_OUT)" -label "$(BENCH_LABEL)" \

@@ -440,3 +440,69 @@ func BenchmarkP2_DualSweep(b *testing.B) {
 		}
 	})
 }
+
+// --- sparse / web-scale benches (DESIGN.md §11) ------------------------------
+
+// reportPeakRSS attaches the process peak RSS to a benchmark via
+// b.ReportMetric; cmd/bench records the pair in the suite's extra map.
+// The value is a process-wide high-water mark (earlier benchmarks in
+// the same run contribute), so it is an upper bound — meaningful here
+// because the sparse-scale suite is by far the largest allocator in
+// the binary.
+func reportPeakRSS(b *testing.B) {
+	b.Helper()
+	if rss, _ := obs.PeakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<20), "peak-RSS-MiB")
+	}
+}
+
+// BenchmarkSparseScale_Generate builds the full web-scale instance from
+// the README walkthrough — 1000 SBSs, a 10^6-item catalogue, 24 slots,
+// ≤64 active contents per cell per slot — on the sparse demand backing.
+// The dense tensor for this instance would be ~1.5 TiB; the sparse
+// build must stay in the hundreds of MiB (the peak-RSS-MiB metric
+// tracks it).
+func BenchmarkSparseScale_Generate(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.N = 1000
+	cfg.K = 1_000_000
+	cfg.T = 24
+	cfg.ClassesPerSBS = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in, err := workload.BuildInstanceWith(cfg, workload.WithSparse(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := in.Demand.(*model.SparseDemand); !ok {
+			b.Fatalf("demand backing is %T", in.Demand)
+		}
+	}
+	reportPeakRSS(b)
+}
+
+// BenchmarkSparseScale_ShardedSolve runs the sharded per-SBS solve on a
+// 50-SBS slice of the web-scale scenario at identical per-shard scale
+// (10^6-item catalogue, topK 64, T 24) — each shard is exactly the work
+// one SBS costs in the full N=1000 run, so ns/op here scales linearly
+// to the headline scenario (`go run ./cmd/jocsim -sparse` runs it
+// whole).
+func BenchmarkSparseScale_ShardedSolve(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.N = 50
+	cfg.K = 1_000_000
+	cfg.T = 24
+	cfg.ClassesPerSBS = 8
+	in, err := workload.BuildInstanceWith(cfg, workload.WithSparse(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveSharded(context.Background(), in, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPeakRSS(b)
+}

@@ -44,6 +44,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric pairs (e.g. "peak-RSS-MiB")
+	// keyed by unit. Extras are recorded for trend tracking but never
+	// judged by the -diff gate, which gates on ns/op only.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Suite is one labelled benchmark run.
@@ -208,6 +212,11 @@ func parseLine(line string) (Benchmark, bool) {
 			bm.BytesPerOp = v
 		case "allocs/op":
 			bm.AllocsPerOp = v
+		default:
+			if bm.Extra == nil {
+				bm.Extra = make(map[string]float64)
+			}
+			bm.Extra[fields[i+1]] = v
 		}
 	}
 	if bm.NsPerOp == 0 {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLineStandardUnits(t *testing.T) {
+	bm, ok := parseLine("BenchmarkP2_DualSweep/reused-8  	     100	  11520042 ns/op	       0 B/op	       0 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	want := Benchmark{Name: "BenchmarkP2_DualSweep/reused", Iterations: 100, NsPerOp: 11520042}
+	if !reflect.DeepEqual(bm, want) {
+		t.Fatalf("got %+v want %+v", bm, want)
+	}
+}
+
+// TestParseLineCustomMetrics pins the extra-map contract: units that are
+// not ns/op, B/op or allocs/op — anything reported with b.ReportMetric,
+// like the sparse-scale suite's peak-RSS-MiB — are captured verbatim.
+func TestParseLineCustomMetrics(t *testing.T) {
+	bm, ok := parseLine("BenchmarkSparseScale_ShardedSolve 	       1	6878759305 ns/op	       163.1 peak-RSS-MiB	185931680 B/op	  181963 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if bm.Name != "BenchmarkSparseScale_ShardedSolve" || bm.NsPerOp != 6878759305 {
+		t.Fatalf("core fields misparsed: %+v", bm)
+	}
+	if got, want := bm.Extra, map[string]float64{"peak-RSS-MiB": 163.1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("extra = %v, want %v", got, want)
+	}
+	if bm.BytesPerOp != 185931680 || bm.AllocsPerOp != 181963 {
+		t.Fatalf("memory fields misparsed: %+v", bm)
+	}
+}
+
+// TestDiffIgnoresExtras: a benchmark whose only change is a custom
+// metric never regresses — the gate judges ns/op alone.
+func TestDiffIgnoresExtras(t *testing.T) {
+	base := Suite{Benchmarks: []Benchmark{{Name: "BenchmarkX", NsPerOp: 100, Extra: map[string]float64{"peak-RSS-MiB": 10}}}}
+	cur := Suite{Benchmarks: []Benchmark{{Name: "BenchmarkX", NsPerOp: 101, Extra: map[string]float64{"peak-RSS-MiB": 900}}}}
+	if _, regressed := diffSuites(cur, base, 15); regressed {
+		t.Fatal("extra-metric growth tripped the ns/op gate")
+	}
+}

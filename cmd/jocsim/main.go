@@ -18,6 +18,8 @@
 //	jocsim -audit                      # differentially audit every committed run
 //	jocsim -faults "outage:n=0,from=10,to=20"   # inject an SBS outage
 //	jocsim -faults chaos.json -fault-seed 7     # schedule from a file, reseeded
+//	jocsim -sparse                     # web-scale sharded solve (N=1000, K=1e6, T=24)
+//	jocsim -sparse -sbs 200 -K 100000 -sparse-topk 32   # reduced sparse scenario
 //
 // Ctrl-C (SIGINT) cancels the run cleanly: in-flight solves stop within
 // one solver iteration and the command exits with the context error.
@@ -36,6 +38,7 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"edgecache"
 )
@@ -82,9 +85,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		auditRuns  = fs.Bool("audit", false, "re-derive every committed trajectory's feasibility, integrality and costs; exit non-zero on violations")
 		faultSpec  = fs.String("faults", "", `fault schedule: a spec like "outage:n=0,from=10,to=20; bw:n=-1,from=5,factor=0.25" or a JSON file path`)
 		faultSeed  = fs.Uint64("fault-seed", 0, "seed for randomised fault injectors (0 = the schedule's own seed)")
+		sparse     = fs.Bool("sparse", false, "web-scale demo: sparse demand + sharded per-SBS offline solve (defaults to N=1000, K=1e6, T=24, classes=8 unless those flags are set)")
+		sparseTopK = fs.Int("sparse-topk", 64, "contents with demand per (slot, SBS) in -sparse mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sparse && *config == "" {
+		// Web-scale defaults, yielded to any explicitly set flag.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["sbs"] {
+			*sbs = 1000
+		}
+		if !set["K"] {
+			*catalogue = 1_000_000
+		}
+		if !set["T"] {
+			*horizon = 24
+		}
+		if !set["classes"] {
+			*classes = 8
+		}
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -181,6 +203,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			WithNoise(*eta).
 			WithSeed(*seed)
 	}
+	if *sparse {
+		scn = scn.WithSparse(*sparseTopK)
+	}
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)
 		if err != nil {
@@ -197,6 +222,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	inst, pred, err := scn.Build()
 	if err != nil {
 		return err
+	}
+	if *sparse {
+		_ = pred // the sharded demo is an offline solve; no predictions
+		return runSparse(ctx, out, inst, *asJSON, *stats)
 	}
 
 	var planners []edgecache.Planner
@@ -347,6 +376,67 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return auditErr
+}
+
+// runSparse is the -sparse path: one sharded offline solve of the
+// (typically web-scale) instance, reported with its memory footprint.
+// The per-SBS shards keep their trajectories sparse throughout, so the
+// demo never materialises a dense [T][N][M][K] plane.
+func runSparse(ctx context.Context, out io.Writer, inst *edgecache.Instance, asJSON, stats bool) error {
+	nnz := -1
+	if sd, ok := inst.Demand.(*edgecache.SparseDemand); ok {
+		nnz = sd.NNZ()
+	}
+	start := time.Now()
+	res, err := edgecache.SolveSharded(ctx, inst)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	rss, exactRSS := edgecache.PeakRSS()
+
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			SBS          int                     `json:"sbs"`
+			Catalogue    int                     `json:"catalogue"`
+			Horizon      int                     `json:"horizon"`
+			NNZ          int                     `json:"demandNNZ"`
+			Cost         edgecache.CostBreakdown `json:"cost"`
+			LowerBound   float64                 `json:"lowerBound"`
+			Gap          float64                 `json:"gap"`
+			Iterations   int                     `json:"iterations"`
+			Converged    bool                    `json:"converged"`
+			WallSeconds  float64                 `json:"wallSeconds"`
+			PeakRSSBytes uint64                  `json:"peakRSSBytes"`
+			ExactRSS     bool                    `json:"exactRSS"`
+		}{inst.N, inst.K, inst.T, nnz, res.Cost, res.LowerBound,
+			res.Gap, res.Iterations, res.Converged, wall.Seconds(), rss, exactRSS})
+	}
+
+	fmt.Fprintf(out, "sparse scenario: N=%d K=%d T=%d", inst.N, inst.K, inst.T)
+	if nnz >= 0 {
+		dense := float64(inst.T) * float64(inst.N) * float64(inst.K)
+		fmt.Fprintf(out, " nnz=%d (density %.2g of the dense tensor)", nnz, float64(nnz)/dense)
+	}
+	fmt.Fprintln(out)
+	if stats {
+		ws := edgecache.DemandStatistics(inst.Demand)
+		fmt.Fprintf(out, "workload: volume %.1f (%.1f/slot, peak %.1f@%d), gini %.2f, temporal CV %.2f\n",
+			ws.TotalVolume, ws.MeanPerSlot, ws.PeakPerSlot, ws.PeakSlot, ws.Gini, ws.TemporalCV)
+	}
+	fmt.Fprintf(out, "sharded solve: cost %.1f (BS %.1f, SBS %.1f, replace %.1f, %d insertions)\n",
+		res.Cost.Total, res.Cost.BS, res.Cost.SBS, res.Cost.Replacement, res.Cost.Replacements)
+	fmt.Fprintf(out, "bounds: LB %.1f, gap %.4f, iterations(max) %d, converged %v\n",
+		res.LowerBound, res.Gap, res.Iterations, res.Converged)
+	suffix := ""
+	if !exactRSS {
+		suffix = " (runtime estimate; VmHWM unavailable)"
+	}
+	fmt.Fprintf(out, "resources: wall %s, peak RSS %.2f GiB%s\n",
+		wall.Round(time.Millisecond), float64(rss)/(1<<30), suffix)
+	return nil
 }
 
 // printCurves renders the per-planner convergence and regret summary

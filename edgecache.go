@@ -65,8 +65,15 @@ import (
 type (
 	// Instance is a fully specified problem (stations, users, demand).
 	Instance = model.Instance
-	// Demand holds per-slot request rates λ^t.
+	// Demand holds per-slot request rates λ^t in the default dense
+	// backing.
 	Demand = model.Demand
+	// DemandView is the storage-agnostic demand contract: dense (Demand)
+	// or CSR-style sparse (SparseDemand) for web-scale catalogues.
+	DemandView = model.DemandView
+	// SparseDemand stores demand per (t, n) as sorted item lists — memory
+	// scales with active entries, not the catalogue size.
+	SparseDemand = model.SparseDemand
 	// Trajectory is a sequence of per-slot (placement, load split) pairs.
 	Trajectory = model.Trajectory
 	// CachePlan is a per-slot cache placement x.
@@ -247,7 +254,7 @@ func DefaultFlight() *FlightRecorder { return obs.Flight }
 // DemandStatistics summarises a demand tensor: total and per-slot volume,
 // head mass (how cacheable the catalogue is), Gini skew and temporal
 // variability — the quantities to inspect before trusting a workload.
-func DemandStatistics(d *Demand) WorkloadStats { return workload.Stats(d) }
+func DemandStatistics(d DemandView) WorkloadStats { return workload.Stats(d) }
 
 // Scenario is a fluent builder for problem instances. The zero value is
 // not useful; start from PaperScenario or NewScenario.
@@ -256,6 +263,8 @@ type Scenario struct {
 	eta       float64
 	transform func(t, n, m, k int, rate float64) float64
 	demand    *Demand
+	sparse    bool
+	topK      int
 }
 
 // PaperScenario returns the paper's §V-B simulation setup: one SBS with a
@@ -346,9 +355,26 @@ func (s *Scenario) WithDemandTransform(f func(t, n, m, k int, rate float64) floa
 // tensor's shape must match the scenario's dimensions at Build time.
 func (s *Scenario) WithDemand(d *Demand) *Scenario { s.demand = d; return s }
 
+// WithSparse switches the generated workload to the sparse demand
+// representation, truncated to the topK most popular contents per
+// (slot, SBS). Memory then scales with T·N·M·topK instead of T·N·M·K,
+// which is what makes web-scale catalogues (K ~ 10⁶) buildable at all;
+// pair it with SolveSharded so the solver side scales the same way.
+// topK ≥ K (or ≤ 0) keeps the full catalogue but still stores it
+// sparsely.
+func (s *Scenario) WithSparse(topK int) *Scenario {
+	s.sparse = true
+	s.topK = topK
+	return s
+}
+
 // Build materialises the instance and its prediction oracle.
 func (s *Scenario) Build() (*Instance, *Predictor, error) {
-	in, err := workload.BuildInstance(s.cfg)
+	var genOpts []workload.Option
+	if s.sparse {
+		genOpts = append(genOpts, workload.WithSparse(s.topK))
+	}
+	in, err := workload.BuildInstanceWith(s.cfg, genOpts...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("edgecache: %w", err)
 	}
@@ -401,6 +427,37 @@ func Offline(opts ...SolverOption) Planner {
 	}
 	return sim.Offline(o)
 }
+
+type (
+	// ShardedResult is the aggregate outcome of SolveSharded.
+	ShardedResult = core.ShardedResult
+	// ShardSolution is one SBS's shard of a ShardedResult, with its
+	// trajectory stored sparsely (cached items and their load splits).
+	ShardSolution = core.ShardSolution
+)
+
+// SolveSharded runs the offline solver (Algorithm 1) one SBS shard at a
+// time over a bounded worker pool: each SBS becomes an independent
+// compact sub-instance over its own candidate set — the contents it ever
+// sees demand for plus its initial cache — so solver memory scales with
+// demand rather than with N·K. The result keeps per-shard trajectories in
+// sparse form; call ShardedResult.Densify for a dense trajectory when the
+// instance is small enough to afford one. This is the entry point for
+// web-scale instances built with Scenario.WithSparse; WarmStart is not
+// supported here (global multiplier planes do not map onto shards).
+func SolveSharded(ctx context.Context, in *Instance, opts ...SolverOption) (*ShardedResult, error) {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.SolveSharded(ctx, in, o)
+}
+
+// PeakRSS returns the process's peak resident set size in bytes, and
+// whether the exact kernel figure (Linux VmHWM) was available — the
+// memory yardstick of the web-scale demos. The fallback is the Go
+// runtime's own high-water mark, which ignores non-runtime allocations.
+func PeakRSS() (uint64, bool) { return obs.PeakRSSBytes() }
 
 // RHC returns Receding Horizon Control with prediction window w
 // (Algorithm 2; commits one slot per solve).
@@ -471,7 +528,7 @@ func ReadDemandCSV(r io.Reader, t int, classes []int, k int) (*Demand, error) {
 
 // WriteDemandCSV serialises a demand tensor in the format ReadDemandCSV
 // consumes.
-func WriteDemandCSV(w io.Writer, d *Demand) error {
+func WriteDemandCSV(w io.Writer, d DemandView) error {
 	return workload.WriteDemandCSV(w, d)
 }
 

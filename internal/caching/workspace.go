@@ -22,10 +22,16 @@ import (
 type Workspace struct {
 	in *model.Instance
 
-	// graphs[n] is SBS n's cache-slot network; holdArcs[n][t][k] the arc
-	// whose flow indicates item k cached at slot t.
+	// graphs[n] is SBS n's cache-slot network; holdArcs[n][t][ci] the arc
+	// whose flow indicates (compact) item ci cached at slot t.
 	graphs   []*mcflow.Graph
 	holdArcs [][][]mcflow.Arc
+
+	// items[n], when non-nil, maps SBS n's compact item index to its
+	// global content id: the network was built over that candidate set
+	// only. A nil row (or nil items) means the network spans all K items
+	// with the identity numbering.
+	items [][]int
 
 	// plans is the placement buffer returned by SolveAll; every entry is
 	// rewritten on each call.
@@ -36,11 +42,27 @@ type Workspace struct {
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // Bind sizes the workspace for an instance and builds the per-SBS flow
-// networks. It must be called before SolveAll and again whenever the
-// instance changes. The construction replicates Subproblem.SolveFlow's arc
-// order exactly so the solved flows — and hence the placements — match the
-// per-call path bit for bit.
-func (ws *Workspace) Bind(in *model.Instance) {
+// networks over the full catalogue. It must be called before SolveAll and
+// again whenever the instance changes. The construction replicates
+// Subproblem.SolveFlow's arc order exactly so the solved flows — and hence
+// the placements — match the per-call path bit for bit.
+func (ws *Workspace) Bind(in *model.Instance) { ws.BindPruned(in, nil) }
+
+// BindPruned is Bind with per-SBS candidate pruning: cands[n], when
+// non-nil and a strict subset of the catalogue, restricts SBS n's network
+// to those items (sorted ascending global ids, e.g. Instance.Candidates),
+// shrinking it from O(T·K) to O(T·|cands[n]|) nodes and arcs. Placements
+// returned by SolveAll stay full K-width, with excluded items pinned to 0.
+//
+// Pruning is exact whenever every reward outside the candidate set is zero
+// and no excluded item is initially cached (both hold for the dual rewards
+// ρ = Σ_m μ of Algorithm 1 over Instance.Candidates): an excluded item
+// earns nothing and costs β_n ≥ 0 to fetch, so some optimal flow of the
+// full network never touches it, and the pruned optimum has the same
+// objective. At β_n = 0 the full network may realise that optimum with
+// cost-equal flow through a zero-reward item; the pruned solution is then
+// one of the optimal ties, not bit-identical to the unpruned one.
+func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 	ws.in = in
 	horizon := in.T
 
@@ -51,34 +73,49 @@ func (ws *Workspace) Bind(in *model.Instance) {
 		ws.graphs = ws.graphs[:in.N]
 		ws.holdArcs = ws.holdArcs[:in.N]
 	}
+	ws.items = nil
+	if cands != nil {
+		ws.items = make([][]int, in.N)
+	}
 	initial := in.InitialPlan()
 	for n := 0; n < in.N; n++ {
+		items := []int(nil)
+		kc := in.K
+		if cands != nil && cands[n] != nil && len(cands[n]) < in.K {
+			items = cands[n]
+			kc = len(items)
+			ws.items[n] = items
+		}
 		// Node layout mirrors SolveFlow: pools 0..horizon, then item
-		// in/out pairs.
+		// in/out pairs (over the compact numbering when pruned).
 		pool := func(t int) int { return t }
-		itemIn := func(t, k int) int { return horizon + 1 + 2*(t*in.K+k) }
-		itemOut := func(t, k int) int { return itemIn(t, k) + 1 }
-		g := mcflow.NewGraph(horizon + 1 + 2*horizon*in.K)
+		itemIn := func(t, ci int) int { return horizon + 1 + 2*(t*kc+ci) }
+		itemOut := func(t, ci int) int { return itemIn(t, ci) + 1 }
+		g := mcflow.NewGraph(horizon + 1 + 2*horizon*kc)
 
 		hold := make([][]mcflow.Arc, horizon)
 		for t := 0; t < horizon; t++ {
-			hold[t] = make([]mcflow.Arc, in.K)
+			hold[t] = make([]mcflow.Arc, kc)
 			// Idle capacity uses the horizon floor min_t C^t_n: one
 			// commodity per SBS cannot express per-slot caps (see the
 			// package-level SolveAll).
 			g.AddArc(pool(t), pool(t+1), in.CacheCapFloor(n), 0) // idle
-			for k := 0; k < in.K; k++ {
+			for ci := 0; ci < kc; ci++ {
+				k := ci
+				if items != nil {
+					k = items[ci]
+				}
 				fetchCost := in.Beta[n]
 				if t == 0 && initial[n][k] >= 0.5 {
 					fetchCost = 0
 				}
-				g.AddArc(pool(t), itemIn(t, k), 1, fetchCost)
+				g.AddArc(pool(t), itemIn(t, ci), 1, fetchCost)
 				// Hold cost is the per-iteration −ρ^t_{n,k}, installed by
 				// SolveAll via SetCost.
-				hold[t][k] = g.AddArc(itemIn(t, k), itemOut(t, k), 1, 0)
-				g.AddArc(itemOut(t, k), pool(t+1), 1, 0) // evict
+				hold[t][ci] = g.AddArc(itemIn(t, ci), itemOut(t, ci), 1, 0)
+				g.AddArc(itemOut(t, ci), pool(t+1), 1, 0) // evict
 				if t+1 < horizon {
-					g.AddArc(itemOut(t, k), itemIn(t+1, k), 1, 0) // keep
+					g.AddArc(itemOut(t, ci), itemIn(t+1, ci), 1, 0) // keep
 				}
 			}
 		}
@@ -140,10 +177,20 @@ func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]mod
 		g := ws.graphs[n]
 		g.Reset()
 		hold := ws.holdArcs[n]
+		var items []int
+		if ws.items != nil {
+			items = ws.items[n]
+		}
 		for t := 0; t < in.T; t++ {
 			row := rewards[t][n]
-			for k := 0; k < in.K; k++ {
-				g.SetCost(hold[t][k], -row[k])
+			if items == nil {
+				for k := 0; k < in.K; k++ {
+					g.SetCost(hold[t][k], -row[k])
+				}
+			} else {
+				for ci, k := range items {
+					g.SetCost(hold[t][ci], -row[k])
+				}
 			}
 		}
 		res, err := g.Solve(0, in.T, in.CacheCapFloor(n))
@@ -154,11 +201,22 @@ func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]mod
 		total += res.Cost
 		for t := 0; t < in.T; t++ {
 			dst := ws.plans[t][n]
-			for k := 0; k < in.K; k++ {
-				if g.Flow(hold[t][k]) > 0 {
+			if items == nil {
+				for k := 0; k < in.K; k++ {
+					if g.Flow(hold[t][k]) > 0 {
+						dst[k] = 1
+					} else {
+						dst[k] = 0
+					}
+				}
+				continue
+			}
+			for k := range dst {
+				dst[k] = 0
+			}
+			for ci, k := range items {
+				if g.Flow(hold[t][ci]) > 0 {
 					dst[k] = 1
-				} else {
-					dst[k] = 0
 				}
 			}
 		}

@@ -3,22 +3,31 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"edgecache/internal/model"
 )
 
 // SolveDistributed solves the joint problem by running Algorithm 1
-// independently per SBS, in parallel, and concatenating the solutions —
-// the distributed deployment the paper names as future work (§VII). It is
-// exact relative to Solve because the objective and every constraint
-// separate across SBSs (see model.Instance.PerSBS); no coordination
-// rounds are required, so each SBS's computing unit can run its own
-// controller with only its local demand.
+// independently per SBS and concatenating the solutions — the distributed
+// deployment the paper names as future work (§VII). It is exact relative
+// to Solve because the objective and every constraint separate across
+// SBSs (see model.Instance.PerSBS); no coordination rounds are required,
+// so each SBS's computing unit can run its own controller with only its
+// local demand.
+//
+// The heavy lifting is SolveSharded: each SBS runs on its compact
+// candidate-set sub-instance over the bounded worker pool, and this
+// wrapper densifies the sharded outcome into a full Result for callers
+// that want the joint trajectory. Options.InitialMu is ignored for N > 1
+// (global multiplier planes do not map onto the per-SBS shards; every
+// shard starts its duals from zero) and honoured on the N = 1 fast path,
+// which is a plain Solve.
 //
 // The returned Result aggregates the per-SBS runs: LowerBound and Cost
 // are sums, Iterations is the maximum across SBSs (the distributed
-// wall-clock), and Gap is recomputed from the aggregates.
+// wall-clock), and Gap is recomputed from the aggregates. Result.Mu is
+// nil: compact per-shard multipliers have no global dense form worth
+// materialising.
 func SolveDistributed(ctx context.Context, in *model.Instance, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -29,64 +38,19 @@ func SolveDistributed(ctx context.Context, in *model.Instance, opts Options) (*R
 	if in.N == 1 {
 		return Solve(ctx, in, opts)
 	}
-	// Per-SBS solves run concurrently; a caller-supplied workspace cannot
-	// be shared between them, so each solve allocates its own.
-	opts.Workspace = nil
+	opts.InitialMu = nil
 
-	type outcome struct {
-		res *Result
-		err error
+	sharded, err := SolveSharded(ctx, in, opts)
+	if err != nil {
+		return nil, err
 	}
-	outcomes := make([]outcome, in.N)
-	var wg sync.WaitGroup
-	for n := 0; n < in.N; n++ {
-		wg.Add(1)
-		go func(n int) {
-			defer wg.Done()
-			sub, err := in.PerSBS(n)
-			if err != nil {
-				outcomes[n] = outcome{err: err}
-				return
-			}
-			res, err := Solve(ctx, sub, opts)
-			outcomes[n] = outcome{res: res, err: err}
-		}(n)
-	}
-	wg.Wait()
-	for n, o := range outcomes {
-		if o.err != nil {
-			return nil, fmt.Errorf("core: distributed SBS %d: %w", n, o.err)
-		}
-	}
-
 	merged := &Result{
-		Trajectory: model.NewTrajectory(in),
-		Converged:  true,
-	}
-	for n, o := range outcomes {
-		r := o.res
-		merged.LowerBound += r.LowerBound
-		merged.Cost.Total += r.Cost.Total
-		merged.Cost.BS += r.Cost.BS
-		merged.Cost.SBS += r.Cost.SBS
-		merged.Cost.Replacement += r.Cost.Replacement
-		merged.Cost.Replacements += r.Cost.Replacements
-		if r.Iterations > merged.Iterations {
-			merged.Iterations = r.Iterations
-		}
-		merged.Converged = merged.Converged && r.Converged
-		for t := 0; t < in.T; t++ {
-			copy(merged.Trajectory[t].X[n], r.Trajectory[t].X[0])
-			for m := 0; m < in.Classes[n]; m++ {
-				copy(merged.Trajectory[t].Y[n][m], r.Trajectory[t].Y[0][m])
-			}
-		}
-	}
-	if merged.Cost.Total != 0 {
-		merged.Gap = (merged.Cost.Total - merged.LowerBound) / merged.Cost.Total
-		if merged.Gap < 0 {
-			merged.Gap = 0
-		}
+		Trajectory: sharded.Densify(in),
+		Cost:       sharded.Cost,
+		LowerBound: sharded.LowerBound,
+		Gap:        sharded.Gap,
+		Iterations: sharded.Iterations,
+		Converged:  sharded.Converged,
 	}
 	return merged, nil
 }

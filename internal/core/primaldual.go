@@ -454,22 +454,15 @@ func LinearizedPlacements(ctx context.Context, in *model.Instance) ([]model.Cach
 	for t := 0; t < in.T; t++ {
 		rewards[t] = make([][]float64, in.N)
 		for n := 0; n < in.N; n++ {
-			row := in.Demand.Slot(t, n)
+			omega := in.OmegaBS[n]
 			var a float64
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				for k := 0; k < in.K; k++ {
-					a += in.OmegaBS[n][m] * row[base+k]
-				}
-			}
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				a += omega[m] * rate
+			})
 			r := make([]float64, in.K)
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				w := in.OmegaBS[n][m]
-				for k := 0; k < in.K; k++ {
-					r[k] += 2 * a * w * row[base+k]
-				}
-			}
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				r[k] += 2 * a * omega[m] * rate
+			})
 			rewards[t][n] = r
 		}
 	}
@@ -485,24 +478,18 @@ func autoStepScale(in *model.Instance) float64 {
 	var count int
 	for t := 0; t < in.T; t++ {
 		for n := 0; n < in.N; n++ {
-			row := in.Demand.Slot(t, n)
+			omega := in.OmegaBS[n]
 			// A_n = Σ_m ω_m Σ_k λ: the all-BS weighted load.
 			var a float64
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				for k := 0; k < in.K; k++ {
-					a += in.OmegaBS[n][m] * row[base+k]
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				a += omega[m] * rate
+			})
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				if rate > 0 {
+					sum += 2 * a * omega[m] * rate
+					count++
 				}
-			}
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				for k := 0; k < in.K; k++ {
-					if row[base+k] > 0 {
-						sum += 2 * a * in.OmegaBS[n][m] * row[base+k]
-						count++
-					}
-				}
-			}
+			})
 		}
 	}
 	if count == 0 || sum <= 0 {

@@ -31,7 +31,25 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // bind sizes the workspace for an instance, reusing buffers whose capacity
 // suffices.
 func (ws *Workspace) bind(in *model.Instance) {
-	ws.p1.Bind(in)
+	// The P1 networks prune to each SBS's candidate set — items with
+	// demand somewhere in the window or initially cached. Dual rewards
+	// vanish outside that set (the multiplier of a never-requested,
+	// never-cached coordinate stays at zero), so pruning is exact; see
+	// caching.BindPruned for the argument and the β = 0 tie caveat. On
+	// dense instances every candidate row spans the catalogue and the
+	// pruned bind degenerates to the plain one.
+	cands := make([][]int, in.N)
+	pruned := false
+	for n := 0; n < in.N; n++ {
+		if c := in.Candidates(n); len(c) < in.K {
+			cands[n] = c
+			pruned = true
+		}
+	}
+	if !pruned {
+		cands = nil
+	}
+	ws.p1.BindPruned(in, cands)
 	ws.p2.Bind(in)
 	if cap(ws.rewards) < in.T {
 		ws.rewards = make([][][]float64, in.T)
@@ -60,25 +78,18 @@ func (ws *Workspace) bind(in *model.Instance) {
 func (ws *Workspace) linearizedPlacements(ctx context.Context, in *model.Instance) ([]model.CachePlan, error) {
 	for t := 0; t < in.T; t++ {
 		for n := 0; n < in.N; n++ {
-			row := in.Demand.Slot(t, n)
+			omega := in.OmegaBS[n]
 			var a float64
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				for k := 0; k < in.K; k++ {
-					a += in.OmegaBS[n][m] * row[base+k]
-				}
-			}
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				a += omega[m] * rate
+			})
 			r := ws.rewards[t][n]
 			for k := range r {
 				r[k] = 0
 			}
-			for m := 0; m < in.Classes[n]; m++ {
-				base := m * in.K
-				w := in.OmegaBS[n][m]
-				for k := 0; k < in.K; k++ {
-					r[k] += 2 * a * w * row[base+k]
-				}
-			}
+			in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+				r[k] += 2 * a * omega[m] * rate
+			})
 		}
 	}
 	plans, _, err := ws.p1.SolveAll(ctx, ws.rewards)

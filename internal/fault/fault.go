@@ -353,7 +353,7 @@ func (s *Schedule) Materialize(in *model.Instance, tel *obs.Telemetry) (*model.I
 // slot t and the post-noise predicted rate, and returns the corrupted
 // rate. The hook is a pure function of (seed, tau, t, n, m, k), so
 // corruption replays identically for the same schedule.
-func (s *Schedule) Corruptor(truth *model.Demand) func(tau, t, n, m, k int, v float64) float64 {
+func (s *Schedule) Corruptor(truth model.DemandView) func(tau, t, n, m, k int, v float64) float64 {
 	if s.Empty() {
 		return nil
 	}

@@ -214,7 +214,7 @@ func ForInstance(in *model.Instance, t, n int, mu, upper []float64) *SlotProblem
 	return &SlotProblem{
 		M:         in.Classes[n],
 		K:         in.K,
-		Lambda:    in.Demand.Slot(t, n),
+		Lambda:    in.Demand.CopySlot(nil, t, n),
 		OmegaBS:   in.OmegaBS[n],
 		OmegaSBS:  in.OmegaSBS[n],
 		Bandwidth: in.BandwidthAt(t, n),
@@ -301,7 +301,6 @@ func allZero(v []float64) bool {
 // Zero-rate cached items are always served — they add no load and save
 // their (zero) cost — even once the bandwidth is spent.
 func greedyGivenPlacement(in *model.Instance, t, n int, xn []float64, yn [][]float64) {
-	row := in.Demand.Slot(t, n)
 	order := make([]int, in.Classes[n])
 	for m := range order {
 		order[m] = m
@@ -310,12 +309,11 @@ func greedyGivenPlacement(in *model.Instance, t, n int, xn []float64, yn [][]flo
 	sort.SliceStable(order, func(i, j int) bool { return omega[order[i]] > omega[order[j]] })
 	remaining := in.BandwidthAt(t, n)
 	for _, m := range order {
-		base := m * in.K
 		for k := 0; k < in.K; k++ {
 			if xn[k] < 0.5 {
 				continue
 			}
-			rate := row[base+k]
+			rate := in.Demand.At(t, n, m, k)
 			if rate <= 0 {
 				yn[m][k] = 1 // free to serve: zero load, zero cost
 				continue

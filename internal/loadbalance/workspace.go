@@ -55,7 +55,7 @@ type slotState struct {
 	t, n   int
 	m, k   int
 	dim    int       // m·k
-	lambda []float64 // aliases the instance demand row
+	lambda []float64 // owned dense copy of the demand plane
 	omega  []float64 // aliases OmegaBS[n]
 	bw     float64
 
@@ -72,6 +72,22 @@ type slotState struct {
 	lo       []float64 // aliases Workspace.zeros
 	mu       []float64 // bound per solve; nil = zero duals
 	hiActive bool      // project onto [lo, hi] instead of the unit box
+
+	// Compact active-coordinate plane: the coordinates with λ ≠ 0, the
+	// only ones FISTA can move (zero-λ coordinates keep y = 0 exactly —
+	// their gradient is the non-negative μ and the projection clamps them
+	// at the lower bound — and they contribute an exact +0.0 to every dot
+	// product, norm and knapsack load of the dense solve). The dual solve
+	// therefore runs over these coordinates alone, bit-identically, with
+	// cost per iteration O(active) instead of O(M·K). act == nil means the
+	// plane is fully dense and pruning buys nothing. compactOK guards the
+	// invariant "inactive coordinates of y are exactly 0", which external
+	// warm starts (seedWarm) can break; they fall back to the dense path.
+	act           []int
+	lamC, wC, whC []float64
+	muC, yC       []float64
+	probC         convex.Problem
+	compactOK     bool
 
 	prob convex.Problem
 	cw   convex.Workspace
@@ -143,7 +159,7 @@ func (s *slotState) bind(in *model.Instance, t, n int, zeros []float64) {
 	m, k := in.Classes[n], in.K
 	dim := m * k
 	s.t, s.n, s.m, s.k, s.dim = t, n, m, k, dim
-	s.lambda = in.Demand.Slot(t, n)
+	s.lambda = in.Demand.CopySlot(s.lambda, t, n)
 	s.omega = in.OmegaBS[n]
 	s.bw = in.BandwidthAt(t, n)
 
@@ -187,9 +203,46 @@ func (s *slotState) bind(in *model.Instance, t, n int, zeros []float64) {
 	order := s.order
 	sort.SliceStable(order, func(i, j int) bool { return omega[order[i]] > omega[order[j]] })
 
+	// Compact plane: gather the λ ≠ 0 coordinates. A fully dense plane
+	// keeps act == nil and the pruned path stays out of the way.
+	s.act = growInts(s.act, 0)
+	for i, v := range s.lambda {
+		if v != 0 {
+			s.act = append(s.act, i)
+		}
+	}
+	if len(s.act) == dim {
+		s.act = nil
+	} else {
+		na := len(s.act)
+		s.lamC = grow(s.lamC, na)
+		s.wC = grow(s.wC, na)
+		s.whC = grow(s.whC, na)
+		s.muC = grow(s.muC, na)
+		s.yC = grow(s.yC, na)
+		for i, j := range s.act {
+			s.lamC[i] = s.lambda[j]
+			s.wC[i] = s.w[j]
+			s.whC[i] = s.wh[j]
+		}
+	}
+	s.compactOK = true
+
 	if s.prob.Func == nil {
 		s.prob = convex.Problem{Func: s.objFunc, Grad: s.gradFunc, Project: s.projFunc}
 	}
+	if s.probC.Func == nil {
+		s.probC = convex.Problem{Func: s.objFuncC, Grad: s.gradFuncC, Project: s.projFuncC}
+	}
+}
+
+// growInts is grow for index slices, returning a zero-length slice over
+// retained capacity.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // grow returns buf resized to n entries, reallocating only when needed.
@@ -269,6 +322,64 @@ func (s *slotState) projFunc(dst, z []float64) ([]float64, error) {
 	return projection.UnitBoxKnapsack(dst, z, s.lambda, s.bw)
 }
 
+// objFuncC, gradFuncC and projFuncC are the compact-plane twins of the
+// dense closures: identical arithmetic over the gathered λ ≠ 0
+// coordinates. The dense sums they reproduce only ever add +0.0 terms at
+// the skipped coordinates (w = ŵ = λ = 0 there and y is pinned at 0), so
+// objective values, gradients, projections — and hence the whole FISTA
+// trajectory and its stopping decisions — match the dense path bit for
+// bit.
+func (s *slotState) objFuncC(y []float64) float64 {
+	u := mat.Dot(s.wC[:len(y)], y)
+	var obj float64
+	if s.whZero {
+		obj = (s.a - u) * (s.a - u)
+	} else {
+		v := mat.Dot(s.whC[:len(y)], y)
+		obj = (s.a-u)*(s.a-u) + v*v
+	}
+	if s.mu != nil {
+		obj += mat.Dot(s.mu, y)
+	}
+	return obj
+}
+
+func (s *slotState) gradFuncC(y, grad []float64) {
+	u := mat.Dot(s.wC[:len(y)], y)
+	cu := -2 * (s.a - u)
+	w := s.wC[:len(grad)]
+	if s.whZero {
+		if s.mu != nil {
+			mu := s.mu[:len(grad)]
+			for i := range grad {
+				grad[i] = cu*w[i] + mu[i]
+			}
+		} else {
+			for i := range grad {
+				grad[i] = cu * w[i]
+			}
+		}
+		return
+	}
+	v := mat.Dot(s.whC[:len(y)], y)
+	cv := 2 * v
+	wh := s.whC[:len(grad)]
+	if s.mu != nil {
+		mu := s.mu[:len(grad)]
+		for i := range grad {
+			grad[i] = cu*w[i] + cv*wh[i] + mu[i]
+		}
+	} else {
+		for i := range grad {
+			grad[i] = cu*w[i] + cv*wh[i]
+		}
+	}
+}
+
+func (s *slotState) projFuncC(dst, z []float64) ([]float64, error) {
+	return projection.UnitBoxKnapsack(dst, z, s.lamC[:len(z)], s.bw)
+}
+
 // applyDefaults mirrors SlotProblem.Solve's per-call option defaulting.
 func (s *slotState) applyDefaults(opts convex.Options) convex.Options {
 	if opts.Lipschitz <= 0 {
@@ -284,10 +395,16 @@ func (s *slotState) applyDefaults(opts convex.Options) convex.Options {
 }
 
 // solveDual runs this slot's warm-started dual solve, leaving the iterate
-// in s.y for the next iteration, and returns the objective value.
+// in s.y for the next iteration, and returns the objective value. Planes
+// with inactive (λ = 0) coordinates solve over the compact gather instead
+// of the dense row whenever the pruning invariant holds — bit-identical
+// results either way.
 func (s *slotState) solveDual(mu []float64, opts convex.Options) (float64, error) {
 	if mu != nil && len(mu) != s.dim {
 		return 0, fmt.Errorf("loadbalance: mu has %d entries, want %d", len(mu), s.dim)
+	}
+	if s.act != nil && s.compactOK {
+		return s.solveDualCompact(mu, opts)
 	}
 	s.mu = mu
 	s.hiActive = false
@@ -295,6 +412,38 @@ func (s *slotState) solveDual(mu []float64, opts convex.Options) (float64, error
 	res, err := s.cw.Minimize(s.prob, s.y, s.y, s.applyDefaults(opts))
 	if err != nil {
 		return 0, err
+	}
+	mSlotSolves.Inc()
+	mGradSteps.Add(int64(res.Iterations))
+	mSolveTime.Observe(time.Since(start))
+	return res.Value, nil
+}
+
+// solveDualCompact is solveDual over the active coordinates only: gather
+// the warm iterate and μ, minimise, scatter back. Inactive coordinates of
+// s.y stay exactly 0, which is also what the dense path would leave there.
+func (s *slotState) solveDualCompact(mu []float64, opts convex.Options) (float64, error) {
+	na := len(s.act)
+	yC := s.yC[:na]
+	for i, j := range s.act {
+		yC[i] = s.y[j]
+	}
+	if mu != nil {
+		muC := s.muC[:na]
+		for i, j := range s.act {
+			muC[i] = mu[j]
+		}
+		s.mu = muC
+	} else {
+		s.mu = nil
+	}
+	start := time.Now()
+	res, err := s.cw.Minimize(s.probC, yC, yC, s.applyDefaults(opts))
+	if err != nil {
+		return 0, err
+	}
+	for i, j := range s.act {
+		s.y[j] = yC[i]
 	}
 	mSlotSolves.Inc()
 	mGradSteps.Add(int64(res.Iterations))
@@ -429,8 +578,32 @@ func (ws *Workspace) seedWarm(warm []model.LoadPlan) {
 			for m := 0; m < in.Classes[n]; m++ {
 				copy(s.y[m*in.K:(m+1)*in.K], warm[t][n][m])
 			}
+			s.refreshCompactOK()
 		}
 	}
+}
+
+// refreshCompactOK re-derives the pruning invariant after an external
+// warm start: the compact dual path is exact only while every inactive
+// (λ = 0) coordinate of the iterate is exactly 0. Warm plans produced by
+// the greedy recovery set y = 1 on cached zero-rate items, which the
+// dense solve would carry along; such slots take the dense path.
+func (s *slotState) refreshCompactOK() {
+	if s.act == nil {
+		return
+	}
+	ai := 0
+	for i, v := range s.y {
+		if ai < len(s.act) && s.act[ai] == i {
+			ai++
+			continue
+		}
+		if v != 0 {
+			s.compactOK = false
+			return
+		}
+	}
+	s.compactOK = true
 }
 
 // Recover completes integral placements into a feasible trajectory — the

@@ -12,21 +12,23 @@ package model
 func (in *Instance) BSCost(t int, y LoadPlan) float64 {
 	var total float64
 	for n := 0; n < in.N; n++ {
-		row := in.Demand.Slot(t, n)
-		var load float64
-		for m := 0; m < in.Classes[n]; m++ {
-			w := in.OmegaBS[n][m]
-			if w == 0 {
-				continue
+		// Accumulate per class through the active-coordinate iterator:
+		// classes arrive in ascending order, so flushing w·unserved on
+		// every class change reproduces the dense scan's summation order
+		// (skipped zero-rate terms contribute an exact +0.0).
+		var load, unserved float64
+		cur := 0
+		yn := y[n]
+		omega := in.OmegaBS[n]
+		in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+			if m != cur {
+				load += omega[cur] * unserved
+				unserved = 0
+				cur = m
 			}
-			var unserved float64
-			base := m * in.K
-			ym := y[n][m]
-			for k := 0; k < in.K; k++ {
-				unserved += (1 - ym[k]) * row[base+k]
-			}
-			load += w * unserved
-		}
+			unserved += (1 - yn[m][k]) * rate
+		})
+		load += omega[cur] * unserved
 		total += load * load
 	}
 	return total
@@ -38,21 +40,19 @@ func (in *Instance) BSCost(t int, y LoadPlan) float64 {
 func (in *Instance) SBSCost(t int, y LoadPlan) float64 {
 	var total float64
 	for n := 0; n < in.N; n++ {
-		row := in.Demand.Slot(t, n)
-		var load float64
-		for m := 0; m < in.Classes[n]; m++ {
-			w := in.OmegaSBS[n][m]
-			if w == 0 {
-				continue
+		var load, served float64
+		cur := 0
+		yn := y[n]
+		omega := in.OmegaSBS[n]
+		in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+			if m != cur {
+				load += omega[cur] * served
+				served = 0
+				cur = m
 			}
-			var served float64
-			base := m * in.K
-			ym := y[n][m]
-			for k := 0; k < in.K; k++ {
-				served += ym[k] * row[base+k]
-			}
-			load += w * served
-		}
+			served += yn[m][k] * rate
+		})
+		load += omega[cur] * served
 		total += load * load
 	}
 	return total

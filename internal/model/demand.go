@@ -72,7 +72,54 @@ func (d *Demand) Set(t, n, m, k int, v float64) {
 
 // Slot returns the row-major (class, content) rate matrix for (t, n). The
 // returned slice aliases internal storage and must be treated as read-only.
+//
+// Deprecated: Slot hard-codes O(K) work per plane and cannot be served
+// cheaply by sparse backings. Use ForEachActive, At or CopySlot (see the
+// DemandView contract).
 func (d *Demand) Slot(t, n int) []float64 { return d.data[t][n] }
+
+// CopySlot writes the row-major (class, content) rate matrix of (t, n)
+// into dst, growing it when needed, and returns it. The result never
+// aliases internal storage.
+func (d *Demand) CopySlot(dst []float64, t, n int) []float64 {
+	row := d.data[t][n]
+	if cap(dst) < len(row) {
+		dst = make([]float64, len(row))
+	}
+	dst = dst[:len(row)]
+	copy(dst, row)
+	return dst
+}
+
+// ForEachActive calls fn for every coordinate with λ ≠ 0 at (t, n), in the
+// order of a dense row scan: class-major, contents ascending.
+func (d *Demand) ForEachActive(t, n int, fn func(m, k int, rate float64)) {
+	row := d.data[t][n]
+	for m := 0; m < d.classes[n]; m++ {
+		base := m * d.k
+		for j, v := range row[base : base+d.k] {
+			if v != 0 {
+				fn(m, j, v)
+			}
+		}
+	}
+}
+
+// ActiveItems returns the sorted contents with any positive demand at
+// (t, n). The slice is freshly allocated.
+func (d *Demand) ActiveItems(t, n int) []int {
+	row := d.data[t][n]
+	var items []int
+	for k := 0; k < d.k; k++ {
+		for m := 0; m < d.classes[n]; m++ {
+			if row[m*d.k+k] != 0 {
+				items = append(items, k)
+				break
+			}
+		}
+	}
+	return items
+}
 
 // SlotTotal returns Σ_{m,k} λ^t_{m,k} for SBS n at slot t: the aggregate
 // request volume the SBS's users generate in that slot.
@@ -95,10 +142,10 @@ func (d *Demand) ContentTotal(t, n, k int) float64 {
 	return sum
 }
 
-// Slice returns a deep copy of slots [from, to) as an independent Demand,
-// so window solvers can perturb predictions without aliasing the ground
-// truth.
-func (d *Demand) Slice(from, to int) (*Demand, error) {
+// Slice returns a deep copy of slots [from, to) as an independent dense
+// Demand, so window solvers can perturb predictions without aliasing the
+// ground truth.
+func (d *Demand) Slice(from, to int) (DemandView, error) {
 	if from < 0 || to > d.t || from >= to {
 		return nil, fmt.Errorf("model: demand slice [%d, %d) outside [0, %d)", from, to, d.t)
 	}
@@ -114,7 +161,7 @@ func (d *Demand) Slice(from, to int) (*Demand, error) {
 }
 
 // Clone returns a deep copy of the whole tensor.
-func (d *Demand) Clone() *Demand {
+func (d *Demand) Clone() DemandView {
 	out, err := d.Slice(0, d.t)
 	if err != nil {
 		panic("model: Clone: " + err.Error()) // unreachable: full range is valid
@@ -124,7 +171,7 @@ func (d *Demand) Clone() *Demand {
 
 // Map applies f to every rate and stores the result, returning d. It is the
 // hook used to inject multiplicative prediction noise.
-func (d *Demand) Map(f func(t, n, m, k int, v float64) float64) *Demand {
+func (d *Demand) Map(f func(t, n, m, k int, v float64) float64) DemandView {
 	for t := 0; t < d.t; t++ {
 		for n := 0; n < d.n; n++ {
 			row := d.data[t][n]

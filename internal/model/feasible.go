@@ -104,20 +104,24 @@ func (in *Instance) CheckSlot(t int, dec SlotDecision, tol float64) error {
 	if err := in.checkCacheCapacityAt(t, dec.X, tol); err != nil {
 		return fmt.Errorf("model: slot %d: %w", t, err)
 	}
-	// Bandwidth (eq. 2) and coupling (eq. 3).
+	// Bandwidth (eq. 2) and coupling (eq. 3). The coupling check is
+	// demand-independent, so it scans the dense plans; the served load is
+	// demand-weighted and accumulates over the active coordinates only
+	// (zero-rate terms contribute an exact +0.0 to the dense sum).
 	for n := 0; n < in.N; n++ {
-		row := in.Demand.Slot(t, n)
-		var served float64
 		for m := 0; m < in.Classes[n]; m++ {
-			base := m * in.K
 			for k := 0; k < in.K; k++ {
-				served += row[base+k] * dec.Y[n][m][k]
 				if dec.Y[n][m][k] > dec.X[n][k]+tol {
 					return fmt.Errorf("model: slot %d: coupling violated at SBS %d: y[%d][%d] = %g > x[%d] = %g",
 						t, n, m, k, dec.Y[n][m][k], k, dec.X[n][k])
 				}
 			}
 		}
+		var served float64
+		yn := dec.Y[n]
+		in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+			served += rate * yn[m][k]
+		})
 		// Scale the bandwidth tolerance by demand volume so that checks
 		// remain meaningful across workload magnitudes. The budget is the
 		// slot's effective B^t_n, which a fault overlay may shrink.

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Instance is a fully specified joint caching / load-balancing problem over
@@ -49,8 +50,10 @@ type Instance struct {
 	OmegaSBS [][]float64
 	// Beta[n] is the per-item cache replacement cost β_n of SBS n.
 	Beta []float64
-	// Demand holds the request-rate matrices λ^t.
-	Demand *Demand
+	// Demand holds the request-rate matrices λ^t behind the DemandView
+	// contract: dense (*Demand) by default, CSR-style (*SparseDemand) for
+	// web-scale catalogues.
+	Demand DemandView
 	// InitialCache is x^0, the placement in force before slot 0. Nil means
 	// an empty cache. When non-nil it must be integral and feasible.
 	InitialCache CachePlan
@@ -163,7 +166,7 @@ func (in *Instance) InitialPlan() CachePlan {
 // matching shape; pass nil to slice the instance's own demand. Windowing is
 // how the receding-horizon controllers of package online re-use the offline
 // solver on short horizons.
-func (in *Instance) Window(from, to int, initial CachePlan, demand *Demand) (*Instance, error) {
+func (in *Instance) Window(from, to int, initial CachePlan, demand DemandView) (*Instance, error) {
 	if from < 0 || to > in.T || from >= to {
 		return nil, fmt.Errorf("model: window [%d, %d) outside horizon [0, %d)", from, to, in.T)
 	}
@@ -193,4 +196,34 @@ func (in *Instance) Window(from, to int, initial CachePlan, demand *Demand) (*In
 		return nil, fmt.Errorf("model: window [%d, %d): %w", from, to, err)
 	}
 	return w, nil
+}
+
+// Candidates returns the sorted set of contents that can matter to SBS n
+// anywhere in the horizon: every item with positive demand in some slot,
+// plus every initially cached item. The second part is what keeps
+// eviction and β-refill accounting honest — a cached-but-cold item must
+// stay a candidate so the solver can charge for (or decline) keeping it.
+// Items outside the candidate set can never profitably be cached (fetching
+// costs β ≥ 0 and earns nothing), so pruning solver state to this set
+// preserves optimal placements and dual bounds.
+func (in *Instance) Candidates(n int) []int {
+	set := make(map[int]struct{})
+	for t := 0; t < in.T; t++ {
+		for _, k := range in.Demand.ActiveItems(t, n) {
+			set[k] = struct{}{}
+		}
+	}
+	if in.InitialCache != nil {
+		for k, v := range in.InitialCache[n] {
+			if v >= 0.5 {
+				set[k] = struct{}{}
+			}
+		}
+	}
+	items := make([]int, 0, len(set))
+	for k := range set {
+		items = append(items, k)
+	}
+	sort.Ints(items)
+	return items
 }

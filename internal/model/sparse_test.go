@@ -1,0 +1,247 @@
+package model
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// randomPair builds a sparse demand and its dense twin with identical
+// values: roughly one coordinate in four is active.
+func randomPair(t *testing.T, seed uint64) (*SparseDemand, *Demand) {
+	t.Helper()
+	classes := []int{3, 2}
+	horizon, k := 4, 7
+	sp := NewSparseDemand(horizon, classes, k)
+	dn := NewDemand(horizon, classes, k)
+	rng := rand.New(rand.NewPCG(seed, 99))
+	for tt := 0; tt < horizon; tt++ {
+		for n := range classes {
+			for m := 0; m < classes[n]; m++ {
+				for kk := 0; kk < k; kk++ {
+					if rng.Float64() < 0.25 {
+						v := 1 + 10*rng.Float64()
+						sp.Set(tt, n, m, kk, v)
+						dn.Set(tt, n, m, kk, v)
+					}
+				}
+			}
+		}
+	}
+	return sp, dn
+}
+
+func TestSparseDemandMatchesDense(t *testing.T) {
+	sp, dn := randomPair(t, 5)
+	if sp.T() != dn.T() || sp.N() != dn.N() || sp.K() != dn.K() {
+		t.Fatalf("shape mismatch: sparse (%d,%d,%d) dense (%d,%d,%d)",
+			sp.T(), sp.N(), sp.K(), dn.T(), dn.N(), dn.K())
+	}
+	for tt := 0; tt < sp.T(); tt++ {
+		for n := 0; n < sp.N(); n++ {
+			if got, want := sp.SlotTotal(tt, n), dn.SlotTotal(tt, n); got != want {
+				t.Fatalf("SlotTotal(%d,%d) = %g, dense %g", tt, n, got, want)
+			}
+			for m := 0; m < sp.Classes()[n]; m++ {
+				for kk := 0; kk < sp.K(); kk++ {
+					if got, want := sp.At(tt, n, m, kk), dn.At(tt, n, m, kk); got != want {
+						t.Fatalf("At(%d,%d,%d,%d) = %g, dense %g", tt, n, m, kk, got, want)
+					}
+				}
+			}
+			if got, want := sp.ActiveItems(tt, n), dn.ActiveItems(tt, n); !reflect.DeepEqual(got, want) {
+				t.Fatalf("ActiveItems(%d,%d) = %v, dense %v", tt, n, got, want)
+			}
+			if got, want := sp.CopySlot(nil, tt, n), dn.CopySlot(nil, tt, n); !reflect.DeepEqual(got, want) {
+				t.Fatalf("CopySlot(%d,%d) diverges", tt, n)
+			}
+		}
+	}
+	for kk := 0; kk < sp.K(); kk++ {
+		if got, want := sp.ContentTotal(1, 0, kk), dn.ContentTotal(1, 0, kk); got != want {
+			t.Fatalf("ContentTotal(1,0,%d) = %g, dense %g", kk, got, want)
+		}
+	}
+}
+
+// TestSparseForEachActiveOrder pins the iteration contract both
+// implementations share: class-major, contents ascending, zero rates
+// skipped — the order every bit-exactness argument in the solvers leans
+// on.
+func TestSparseForEachActiveOrder(t *testing.T) {
+	sp, dn := randomPair(t, 11)
+	type visit struct {
+		m, k int
+		v    float64
+	}
+	for tt := 0; tt < sp.T(); tt++ {
+		for n := 0; n < sp.N(); n++ {
+			var got, want []visit
+			sp.ForEachActive(tt, n, func(m, k int, v float64) { got = append(got, visit{m, k, v}) })
+			dn.ForEachActive(tt, n, func(m, k int, v float64) { want = append(want, visit{m, k, v}) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("visit sequence (%d,%d): sparse %v dense %v", tt, n, got, want)
+			}
+			for i := 1; i < len(got); i++ {
+				prev, cur := got[i-1], got[i]
+				if cur.m < prev.m || (cur.m == prev.m && cur.k <= prev.k) {
+					t.Fatalf("visit order violated at (%d,%d): %v then %v", tt, n, prev, cur)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseSliceStaysSparse is the regression test for the satellite
+// bugfix: Slice (and Clone and Map) on a sparse view must stay sparse —
+// densifying a web-scale window would defeat the representation exactly
+// where it matters, inside the receding-horizon window extraction.
+func TestSparseSliceStaysSparse(t *testing.T) {
+	sp, dn := randomPair(t, 23)
+	sl, err := sp.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := sl.(*SparseDemand)
+	if !ok {
+		t.Fatalf("Slice returned %T, want *SparseDemand", sl)
+	}
+	if sub.NNZ() > sp.NNZ() {
+		t.Fatalf("slice has %d stored entries, parent only %d", sub.NNZ(), sp.NNZ())
+	}
+	for tt := 0; tt < 2; tt++ {
+		for n := 0; n < sp.N(); n++ {
+			for m := 0; m < sp.Classes()[n]; m++ {
+				for kk := 0; kk < sp.K(); kk++ {
+					if got, want := sub.At(tt, n, m, kk), dn.At(tt+1, n, m, kk); got != want {
+						t.Fatalf("slice At(%d,%d,%d,%d) = %g, want %g", tt, n, m, kk, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	if _, ok := sp.Clone().(*SparseDemand); !ok {
+		t.Fatal("Clone densified the sparse view")
+	}
+	cl := sp.Clone().(*SparseDemand)
+	cl.Set(0, 0, 0, 0, 42)
+	if sp.At(0, 0, 0, 0) == 42 {
+		t.Fatal("Clone shares storage with its parent")
+	}
+
+	mp, ok := sp.Clone().Map(func(t, n, m, k int, v float64) float64 { return 2 * v }).(*SparseDemand)
+	if !ok {
+		t.Fatal("Map densified the sparse view")
+	}
+	if got, want := mp.NNZ(), sp.NNZ(); got != want {
+		t.Fatalf("Map changed stored-entry count: %d vs %d", got, want)
+	}
+}
+
+func TestDensifyMatches(t *testing.T) {
+	sp, dn := randomPair(t, 31)
+	got := Densify(sp)
+	if !reflect.DeepEqual(got, Densify(dn)) {
+		t.Fatal("Densify(sparse) differs from Densify(dense twin)")
+	}
+	// Densify never aliases: mutating the copy must not touch the view.
+	got.Set(0, 0, 0, 0, 1234)
+	if sp.At(0, 0, 0, 0) == 1234 {
+		t.Fatal("Densify aliases the source view")
+	}
+}
+
+func TestSparseSetUnsetAndInvalid(t *testing.T) {
+	sp := NewSparseDemand(2, []int{2}, 5)
+	// Setting an unstored coordinate to zero must stay a no-op (no
+	// storage growth), while a real insert lands in sorted position.
+	sp.Set(0, 0, 0, 3, 0)
+	if sp.NNZ() != 0 {
+		t.Fatalf("zero Set stored %d entries", sp.NNZ())
+	}
+	sp.Set(0, 0, 1, 4, 2)
+	sp.Set(0, 0, 0, 1, 3)
+	if got := sp.ActiveItems(0, 0); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("ActiveItems = %v", got)
+	}
+	// Overwrite in place.
+	sp.Set(0, 0, 0, 1, 7)
+	if sp.At(0, 0, 0, 1) != 7 {
+		t.Fatalf("overwrite lost: %g", sp.At(0, 0, 0, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set did not panic")
+		}
+	}()
+	sp.Set(0, 0, 0, 99, 1)
+}
+
+func TestCandidatesAndCompactSBS(t *testing.T) {
+	sp := NewSparseDemand(3, []int{2, 1}, 10)
+	sp.Set(0, 0, 0, 2, 1.5)
+	sp.Set(2, 0, 1, 7, 2.5)
+	sp.Set(1, 1, 0, 4, 3.5)
+	in := &Instance{
+		N: 2, K: 10, T: 3,
+		Classes:   []int{2, 1},
+		CacheCap:  []int{2, 2},
+		Bandwidth: []float64{5, 5},
+		OmegaBS:   [][]float64{{1, 1}, {1}},
+		OmegaSBS:  [][]float64{{0, 0}, {0}},
+		Beta:      []float64{1, 1},
+		Demand:    sp,
+		// Item 9 is cached but never requested: it must stay a candidate
+		// (evicting it is a real decision with a real replacement-cost
+		// interaction).
+		InitialCache: CachePlan{
+			{0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+			make([]float64, 10),
+		},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Candidates(0); !reflect.DeepEqual(got, []int{2, 7, 9}) {
+		t.Fatalf("Candidates(0) = %v, want [2 7 9]", got)
+	}
+	if got := in.Candidates(1); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("Candidates(1) = %v, want [4]", got)
+	}
+
+	sub, items, err := in.CompactSBS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(items, []int{2, 7, 9}) {
+		t.Fatalf("items = %v", items)
+	}
+	if sub.N != 1 || sub.K != 3 || sub.T != 3 {
+		t.Fatalf("compact shape N=%d K=%d T=%d", sub.N, sub.K, sub.T)
+	}
+	if got := sub.Demand.At(0, 0, 0, 0); got != 1.5 {
+		t.Fatalf("compact demand for item 2 = %g", got)
+	}
+	if got := sub.Demand.At(2, 0, 1, 1); got != 2.5 {
+		t.Fatalf("compact demand for item 7 = %g", got)
+	}
+	if sub.InitialCache[0][2] != 1 {
+		t.Fatal("cached-but-cold item lost its initial-cache bit")
+	}
+
+	// An SBS with no demand and no cache still yields a valid shard.
+	in3 := *in
+	in3.Demand = NewSparseDemand(3, []int{2, 1}, 10)
+	in3.InitialCache = nil
+	sub3, items3, err := in3.CompactSBS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.K != 1 || len(items3) != 1 {
+		t.Fatalf("empty shard K=%d items=%v, want the one-dummy-item shape", sub3.K, items3)
+	}
+	if sub3.Demand.SlotTotal(0, 0) != 0 {
+		t.Fatal("dummy item carries demand")
+	}
+}

@@ -55,3 +55,76 @@ func (in *Instance) PerSBS(n int) (*Instance, error) {
 	}
 	return sub, nil
 }
+
+// CompactSBS extracts SBS n as a single-SBS instance over only its
+// candidate items (see Candidates): compact content ci stands for global
+// content items[ci]. This is the shard the web-scale solver operates on —
+// its catalogue is the SBS's active set, not K, so workspace memory per
+// shard scales with demand rather than catalogue size. The compact demand
+// is materialised densely: with K' = len(items) a plane is O(M·K'), and
+// the solver hot paths stay on their dense, zero-alloc code paths.
+//
+// The compact instance is semantically equivalent to PerSBS(n): dropped
+// items have zero demand in every slot and are not initially cached, so no
+// optimal placement or load split ever touches them.
+func (in *Instance) CompactSBS(n int) (*Instance, []int, error) {
+	if n < 0 || n >= in.N {
+		return nil, nil, fmt.Errorf("model: SBS %d outside [0, %d)", n, in.N)
+	}
+	items := in.Candidates(n)
+	if len(items) == 0 {
+		// K must stay positive; one dummy item keeps every shape valid and
+		// carries zero demand.
+		items = []int{0}
+	}
+	kc := len(items)
+	pos := make(map[int]int, kc)
+	for ci, k := range items {
+		pos[k] = ci
+	}
+	d := NewDemand(in.T, []int{in.Classes[n]}, kc)
+	for t := 0; t < in.T; t++ {
+		in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+			d.Set(t, 0, m, pos[k], rate)
+		})
+	}
+	sub := &Instance{
+		N:         1,
+		K:         kc,
+		T:         in.T,
+		Classes:   []int{in.Classes[n]},
+		CacheCap:  []int{in.CacheCap[n]},
+		Bandwidth: []float64{in.Bandwidth[n]},
+		OmegaBS:   [][]float64{in.OmegaBS[n]},
+		OmegaSBS:  [][]float64{in.OmegaSBS[n]},
+		Beta:      []float64{in.Beta[n]},
+		Demand:    d,
+	}
+	if in.InitialCache != nil {
+		row := make([]float64, kc)
+		for ci, k := range items {
+			row[ci] = in.InitialCache[n][k]
+		}
+		sub.InitialCache = CachePlan{row}
+	}
+	if in.Overlay != nil {
+		ov := &Overlay{}
+		if in.Overlay.Bandwidth != nil {
+			ov.Bandwidth = make([][]float64, in.T)
+			for t := range ov.Bandwidth {
+				ov.Bandwidth[t] = []float64{in.Overlay.Bandwidth[t][n]}
+			}
+		}
+		if in.Overlay.CacheCap != nil {
+			ov.CacheCap = make([][]int, in.T)
+			for t := range ov.CacheCap {
+				ov.CacheCap[t] = []int{in.Overlay.CacheCap[t][n]}
+			}
+		}
+		sub.Overlay = ov
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("model: CompactSBS(%d): %w", n, err)
+	}
+	return sub, items, nil
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSSBytes(t *testing.T) {
+	b, exact := PeakRSSBytes()
+	if b == 0 {
+		t.Fatal("peak RSS reported as zero")
+	}
+	if runtime.GOOS == "linux" && !exact {
+		t.Log("VmHWM unavailable on linux; fell back to runtime estimate")
+	}
+	// The high-water mark can only grow.
+	ballast := make([]byte, 1<<20)
+	for i := range ballast {
+		ballast[i] = byte(i)
+	}
+	b2, _ := PeakRSSBytes()
+	if b2 < b {
+		t.Fatalf("peak RSS shrank: %d then %d", b, b2)
+	}
+	runtime.KeepAlive(ballast)
+}

@@ -839,10 +839,7 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 	repaired := 0
 	y := avgY.Clone()
 	for n := 0; n < in.N; n++ {
-		row := in.Demand.Slot(t, n)
-		var load float64
 		for m := 0; m < in.Classes[n]; m++ {
-			base := m * in.K
 			for k := 0; k < in.K; k++ {
 				if x[n][k] < 0.5 {
 					y[n][m][k] = 0
@@ -858,9 +855,16 @@ func predictedLoad(in *model.Instance, t int, x model.CachePlan, avgY model.Load
 				} else if y[n][m][k] < 0 {
 					y[n][m][k] = 0
 				}
-				load += row[base+k] * y[n][m][k]
 			}
 		}
+		// The load sum is demand-weighted, so it runs over the active
+		// coordinates of the clamped split (zero-rate terms add an exact
+		// +0.0 to the dense sum).
+		var load float64
+		yn := y[n]
+		in.Demand.ForEachActive(t, n, func(m, k int, rate float64) {
+			load += rate * yn[m][k]
+		})
 		// The rescale budget is the slot's effective B^t_n: a degraded
 		// SBS sheds load proportionally, and a dead one (B^t_n = 0)
 		// sheds all of it.

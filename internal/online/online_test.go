@@ -205,7 +205,7 @@ func TestPredictedLoadZeroesAndRescales(t *testing.T) {
 		avgY[0][m][1] = 0.7 // not cached → must be zeroed
 	}
 	y, repaired := predictedLoad(in, 0, x, avgY)
-	row := in.Demand.Slot(0, 0)
+	row := in.Demand.CopySlot(nil, 0, 0)
 	var rawLoad float64
 	for m := 0; m < in.Classes[0]; m++ {
 		rawLoad += row[m*in.K] // avgY = 1 for the cached content

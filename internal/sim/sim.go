@@ -434,14 +434,11 @@ func Evaluate(in *model.Instance, traj model.Trajectory) ([]SlotMetrics, model.C
 		var served, demand float64
 		for n := 0; n < in.N; n++ {
 			cached += len(traj[t].X.Items(n))
-			row := in.Demand.Slot(t, n)
-			for mm := 0; mm < in.Classes[n]; mm++ {
-				base := mm * in.K
-				for k := 0; k < in.K; k++ {
-					served += row[base+k] * traj[t].Y[n][mm][k]
-					demand += row[base+k]
-				}
-			}
+			yn := traj[t].Y[n]
+			in.Demand.ForEachActive(t, n, func(mm, k int, rate float64) {
+				served += rate * yn[mm][k]
+				demand += rate
+			})
 		}
 		if totalCap > 0 {
 			m.CacheUtilization = float64(cached) / float64(totalCap)

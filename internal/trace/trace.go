@@ -30,7 +30,7 @@ type Trace struct {
 // number of class-m requests for content k in slot t is Poisson with mean
 // λ^t_{m,k}. Within a slot, requests are shuffled into a random arrival
 // order (classic caches are order-sensitive).
-func Generate(d *model.Demand, seed uint64) *Trace {
+func Generate(d model.DemandView, seed uint64) *Trace {
 	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
 	tr := &Trace{
 		t:       d.T(),

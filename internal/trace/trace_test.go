@@ -38,7 +38,7 @@ func TestPoissonEdge(t *testing.T) {
 	}
 }
 
-func testDemand(t *testing.T) *model.Demand {
+func testDemand(t *testing.T) model.DemandView {
 	t.Helper()
 	cfg := workload.Config{
 		Classes:    []int{3, 2},
@@ -48,7 +48,7 @@ func testDemand(t *testing.T) *model.Demand {
 		MaxDensity: 20,
 		Seed:       9,
 	}
-	d, err := workload.Generate(cfg)
+	d, err := workload.NewDemand(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +215,11 @@ func TestReplayZipfFavoursSkewedCatalogue(t *testing.T) {
 		Zipf: workload.ZipfMandelbrot{K: 20, Alpha: 0.2}, MaxDensity: 10, Seed: 5}
 	steep := flat
 	steep.Zipf = workload.ZipfMandelbrot{K: 20, Alpha: 2.0}
-	df, err := workload.Generate(flat)
+	df, err := workload.NewDemand(flat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := workload.Generate(steep)
+	ds, err := workload.NewDemand(steep)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,30 +12,29 @@ import (
 // WriteDemandCSV serialises a demand tensor as long-format CSV with header
 // t,sbs,class,content,rate. Zero rates are omitted, keeping real traces
 // (which are sparse) compact.
-func WriteDemandCSV(w io.Writer, d *model.Demand) error {
+func WriteDemandCSV(w io.Writer, d model.DemandView) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"t", "sbs", "class", "content", "rate"}); err != nil {
 		return fmt.Errorf("workload: write csv: %w", err)
 	}
 	for t := 0; t < d.T(); t++ {
 		for n := 0; n < d.N(); n++ {
-			for m := 0; m < d.Classes()[n]; m++ {
-				for k := 0; k < d.K(); k++ {
-					rate := d.At(t, n, m, k)
-					if rate == 0 {
-						continue
-					}
-					rec := []string{
-						strconv.Itoa(t),
-						strconv.Itoa(n),
-						strconv.Itoa(m),
-						strconv.Itoa(k),
-						strconv.FormatFloat(rate, 'g', -1, 64),
-					}
-					if err := cw.Write(rec); err != nil {
-						return fmt.Errorf("workload: write csv: %w", err)
-					}
+			var werr error
+			d.ForEachActive(t, n, func(m, k int, rate float64) {
+				if werr != nil {
+					return
 				}
+				rec := []string{
+					strconv.Itoa(t),
+					strconv.Itoa(n),
+					strconv.Itoa(m),
+					strconv.Itoa(k),
+					strconv.FormatFloat(rate, 'g', -1, 64),
+				}
+				werr = cw.Write(rec)
+			})
+			if werr != nil {
+				return fmt.Errorf("workload: write csv: %w", werr)
 			}
 		}
 	}

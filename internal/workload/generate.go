@@ -74,8 +74,61 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Generate synthesises the ground-truth demand tensor for the config.
-func Generate(cfg Config) (*model.Demand, error) {
+// Option customises NewDemand beyond the Config fields.
+type Option func(*genOptions)
+
+type genOptions struct {
+	sparse    bool
+	topK      int
+	zipfAlpha float64
+	hasSeed   bool
+	seed      uint64
+}
+
+// WithSparse selects the CSR-style sparse backing (model.SparseDemand) and
+// truncates each slot's popularity distribution to its top topK ranks —
+// the Zipf tail beyond them is treated as structurally zero. topK ≤ 0 or
+// ≥ K keeps the full catalogue active (still sparse-backed). With drift
+// the active item set rotates with the ranks, so the union over a horizon
+// grows beyond topK; that union is what Instance.Candidates reports.
+func WithSparse(topK int) Option {
+	return func(o *genOptions) {
+		o.sparse = true
+		o.topK = topK
+	}
+}
+
+// WithZipfSkew overrides the Zipf–Mandelbrot skew α of the config.
+func WithZipfSkew(alpha float64) Option {
+	return func(o *genOptions) { o.zipfAlpha = alpha }
+}
+
+// WithSeed overrides the config's workload seed.
+func WithSeed(seed uint64) Option {
+	return func(o *genOptions) {
+		o.hasSeed = true
+		o.seed = seed
+	}
+}
+
+// NewDemand synthesises the ground-truth demand for the config, behind the
+// DemandView contract. Without options it reproduces the legacy Generate
+// bit for bit (dense backing, identical RNG consumption order). With
+// WithSparse the tensor is CSR-backed and only the active top-K ranks per
+// slot are visited and stored, so generation costs O(T·N·M·topK) instead
+// of O(T·N·M·K); the jitter stream then covers active coordinates only,
+// which defines a new (equally deterministic) workload for a given seed.
+func NewDemand(cfg Config, opts ...Option) (model.DemandView, error) {
+	var o genOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.zipfAlpha > 0 {
+		cfg.Zipf.Alpha = o.zipfAlpha
+	}
+	if o.hasSeed {
+		cfg.Seed = o.seed
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -90,8 +143,25 @@ func Generate(cfg Config) (*model.Demand, error) {
 		return nil, err
 	}
 
+	topK := cfg.K
+	if o.sparse && o.topK > 0 && o.topK < cfg.K {
+		topK = o.topK
+	}
+	var d model.DemandView
+	if o.sparse {
+		d = model.NewSparseDemand(cfg.T, cfg.Classes, cfg.K)
+	} else {
+		d = model.NewDemand(cfg.T, cfg.Classes, cfg.K)
+	}
+
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
-	d := model.NewDemand(cfg.T, cfg.Classes, cfg.K)
+	emit := func(t, n, m, k, rank int, density, diurnal float64) {
+		rate := density * weights[rank] * diurnal
+		if cfg.Jitter > 0 {
+			rate *= 1 + cfg.Jitter*(2*rng.Float64()-1)
+		}
+		d.Set(t, n, m, k, rate)
+	}
 	for n, classes := range cfg.Classes {
 		density := make([]float64, classes)
 		for m := range density {
@@ -102,22 +172,57 @@ func Generate(cfg Config) (*model.Demand, error) {
 			if cfg.DiurnalAmplitude > 0 {
 				diurnal = 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*float64(t)/float64(cfg.DiurnalPeriod))
 			}
+			shift := 0
+			if cfg.DriftPeriod > 0 {
+				shift = (t / cfg.DriftPeriod) % cfg.K
+			}
 			for m := 0; m < classes; m++ {
-				for k := 0; k < cfg.K; k++ {
-					rank := k
-					if cfg.DriftPeriod > 0 {
-						rank = (k + t/cfg.DriftPeriod) % cfg.K
+				if topK == cfg.K {
+					// Full catalogue: identical loop (and RNG stream) to the
+					// legacy dense generator.
+					for k := 0; k < cfg.K; k++ {
+						rank := k
+						if cfg.DriftPeriod > 0 {
+							rank = (k + shift) % cfg.K
+						}
+						emit(t, n, m, k, rank, density[m], diurnal)
 					}
-					rate := density[m] * weights[rank] * diurnal
-					if cfg.Jitter > 0 {
-						rate *= 1 + cfg.Jitter*(2*rng.Float64()-1)
+					continue
+				}
+				// Truncated catalogue: ranks [0, topK) live at contents
+				// k = (rank − shift) mod K, a cyclic interval. Visit them in
+				// ascending content order so sparse rows append in O(1).
+				lo := (cfg.K - shift) % cfg.K
+				if lo+topK <= cfg.K {
+					for k := lo; k < lo+topK; k++ {
+						emit(t, n, m, k, (k+shift)%cfg.K, density[m], diurnal)
 					}
-					d.Set(t, n, m, k, rate)
+				} else {
+					for k := 0; k < lo+topK-cfg.K; k++ {
+						emit(t, n, m, k, (k+shift)%cfg.K, density[m], diurnal)
+					}
+					for k := lo; k < cfg.K; k++ {
+						emit(t, n, m, k, (k+shift)%cfg.K, density[m], diurnal)
+					}
 				}
 			}
 		}
 	}
 	return d, nil
+}
+
+// Generate synthesises the ground-truth demand tensor for the config.
+//
+// Deprecated: use NewDemand, which returns the DemandView contract and
+// accepts functional options (WithSparse, WithZipfSkew, WithSeed). This
+// wrapper is the dense, option-free path and is bit-identical to NewDemand
+// with no options.
+func Generate(cfg Config) (*model.Demand, error) {
+	v, err := NewDemand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*model.Demand), nil
 }
 
 // InstanceConfig assembles a complete problem instance around a workload:
@@ -174,8 +279,17 @@ func PaperDefault() InstanceConfig {
 	}
 }
 
-// BuildInstance generates a fully populated, validated model.Instance.
+// BuildInstance generates a fully populated, validated model.Instance with
+// the default dense demand backing.
 func BuildInstance(cfg InstanceConfig) (*model.Instance, error) {
+	return BuildInstanceWith(cfg)
+}
+
+// BuildInstanceWith is BuildInstance with demand-generation options: pass
+// WithSparse(topK) for a CSR-backed web-scale workload, WithZipfSkew or
+// WithSeed to override the popularity skew or workload seed. No options
+// reproduces BuildInstance exactly.
+func BuildInstanceWith(cfg InstanceConfig, opts ...Option) (*model.Instance, error) {
 	if cfg.N <= 0 || cfg.ClassesPerSBS <= 0 {
 		return nil, fmt.Errorf("workload: N = %d, ClassesPerSBS = %d, want > 0", cfg.N, cfg.ClassesPerSBS)
 	}
@@ -196,7 +310,7 @@ func BuildInstance(cfg InstanceConfig) (*model.Instance, error) {
 	if w.Seed == 0 {
 		w.Seed = cfg.Seed
 	}
-	demand, err := Generate(w)
+	demand, err := NewDemand(w, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -18,14 +18,14 @@ import (
 // while re-predictions of the same slot from later decision times are
 // independently perturbed, as fresh forecasts would be.
 type Predictor struct {
-	truth   *model.Demand
+	truth   model.DemandView
 	eta     float64
 	seed    uint64
 	corrupt func(tau, t, n, m, k int, v float64) float64
 }
 
 // NewPredictor wraps the ground truth with noise level eta ∈ [0, 1).
-func NewPredictor(truth *model.Demand, eta float64, seed uint64) (*Predictor, error) {
+func NewPredictor(truth model.DemandView, eta float64, seed uint64) (*Predictor, error) {
 	if truth == nil {
 		return nil, fmt.Errorf("workload: nil truth demand")
 	}
@@ -39,7 +39,7 @@ func NewPredictor(truth *model.Demand, eta float64, seed uint64) (*Predictor, er
 func (p *Predictor) Eta() float64 { return p.eta }
 
 // Truth returns the wrapped ground-truth demand (shared, read-only).
-func (p *Predictor) Truth() *model.Demand { return p.truth }
+func (p *Predictor) Truth() model.DemandView { return p.truth }
 
 // WithCorruption returns a predictor sharing p's truth, noise level and
 // seed whose forecasts are additionally passed through hook (applied
@@ -58,7 +58,7 @@ func (p *Predictor) WithCorruption(hook func(tau, t, n, m, k int, v float64) flo
 // Predict returns the forecast, made at decision time tau, of demand over
 // absolute slots [from, to). The result is an independent tensor of length
 // to−from.
-func (p *Predictor) Predict(tau, from, to int) (*model.Demand, error) {
+func (p *Predictor) Predict(tau, from, to int) (model.DemandView, error) {
 	window, err := p.truth.Slice(from, to)
 	if err != nil {
 		return nil, err

@@ -29,17 +29,20 @@ type DemandStats struct {
 	TemporalCV float64
 }
 
-// Stats computes DemandStats for d.
-func Stats(d *model.Demand) DemandStats {
+// Stats computes DemandStats for any demand view. Per-content volumes
+// accumulate through ForEachActive, so the pass costs O(active entries)
+// rather than O(T·N·K) — the difference between instant and hopeless on
+// web-scale sparse workloads.
+func Stats(d model.DemandView) DemandStats {
 	var s DemandStats
 	perSlot := make([]float64, d.T())
 	perContent := make([]float64, d.K())
 	for t := 0; t < d.T(); t++ {
 		for n := 0; n < d.N(); n++ {
 			perSlot[t] += d.SlotTotal(t, n)
-			for k := 0; k < d.K(); k++ {
-				perContent[k] += d.ContentTotal(t, n, k)
-			}
+			d.ForEachActive(t, n, func(m, k int, rate float64) {
+				perContent[k] += rate
+			})
 		}
 		s.TotalVolume += perSlot[t]
 		if perSlot[t] > s.PeakPerSlot {
