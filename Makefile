@@ -45,18 +45,23 @@ bench:
 		| $(GO) run ./cmd/bench -label "$(BENCH_LABEL)" -out "$(BENCH_OUT)" -merge
 
 # Perf gate: fail when any benchmark's ns/op regressed more than
-# BENCH_THRESHOLD percent against the tracked baseline suite
-# (DESIGN.md §8). Run `make bench` first to record the current suite.
-# BENCH_2026-08-08.json re-anchors the baseline (same code paths as the
-# 2026-08-06 suite measured within noise on the recording machine) and
-# adds the sparse-scale suite with its peak-RSS-MiB extras (§11).
+# BENCH_THRESHOLD percent — or its allocs/op more than
+# BENCH_ALLOC_THRESHOLD percent, with zero-alloc baselines held to
+# exactly zero — against the tracked baseline suite (DESIGN.md §8, §12).
+# Run `make bench` first to record the current suite. The `incremental`
+# suite in BENCH_2026-08-08.json re-anchors the baseline after the
+# per-kernel bench split: it adds the delta-aware re-solve pairs
+# (BenchmarkWarmWindowSolve_*, BenchmarkMCFlow_Resolve,
+# BenchmarkP1_DualSweep, BenchmarkP2_DualSweep/dirty), several of which
+# record 0 allocs/op steady states the alloc gate now enforces.
 BENCH_BASELINE ?= BENCH_2026-08-08.json
-BENCH_BASELINE_LABEL ?= sparse-scale
+BENCH_BASELINE_LABEL ?= incremental
 BENCH_THRESHOLD ?= 15
+BENCH_ALLOC_THRESHOLD ?= 25
 bench-diff:
 	$(GO) run ./cmd/bench -in "$(BENCH_OUT)" -label "$(BENCH_LABEL)" \
 		-diff "$(BENCH_BASELINE)" -diff-label "$(BENCH_BASELINE_LABEL)" \
-		-threshold $(BENCH_THRESHOLD)
+		-threshold $(BENCH_THRESHOLD) -alloc-threshold $(BENCH_ALLOC_THRESHOLD)
 
 # Trace demo: run a small faulted scenario with span tracing on and
 # assert the emitted Chrome trace parses with the expected hierarchy

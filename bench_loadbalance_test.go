@@ -1,0 +1,189 @@
+// Load-balancing (P2) kernel benchmarks: the FISTA-vs-PGD ablation, the
+// box-knapsack projection substrate, greedy recovery, and the dual-sweep
+// workspace path with fixed-point slot skips (DESIGN.md §12).
+package edgecache_test
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/convex"
+	"edgecache/internal/loadbalance"
+	"edgecache/internal/model"
+	"edgecache/internal/projection"
+	"edgecache/internal/workload"
+)
+
+// benchSlotProblem builds a paper-scale P2 slot problem (30 classes × 30
+// contents) with an active bandwidth constraint.
+func benchSlotProblem() *loadbalance.SlotProblem {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m, k := 30, 30
+	p := &loadbalance.SlotProblem{
+		M: m, K: k,
+		Lambda:    make([]float64, m*k),
+		OmegaBS:   make([]float64, m),
+		OmegaSBS:  make([]float64, m),
+		Bandwidth: 30,
+		Mu:        make([]float64, m*k),
+	}
+	for i := range p.Lambda {
+		p.Lambda[i] = rng.Float64() * 0.15
+	}
+	for i := range p.OmegaBS {
+		p.OmegaBS[i] = rng.Float64()
+	}
+	for i := range p.Mu {
+		p.Mu[i] = rng.Float64() * 5
+	}
+	return p
+}
+
+func BenchmarkP2_FISTAvsPGD(b *testing.B) {
+	p := benchSlotProblem()
+	for _, method := range []convex.Method{convex.FISTA, convex.PGD} {
+		b.Run(method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Solve(nil, convex.Options{Method: method, MaxIter: 600, StepTol: 1e-6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProjection_BoxKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 900
+	z := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	c := make([]float64, n)
+	for i := range z {
+		z[i] = rng.Float64() * 2
+		hi[i] = 1
+		c[i] = rng.Float64() * 0.2
+	}
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := projection.BoxKnapsack(dst, z, lo, hi, c, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadBalance_GreedyRecovery(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 2
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := model.NewCachePlan(in.N, in.K)
+	for k := 0; k < in.CacheCap[0]; k++ {
+		x[0][k] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadbalance.OptimalGivenPlacement(in, 0, x, convex.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP2_DualSweep compares one full dual iteration of P2 (all T×N
+// slot solves) on the per-call path ("fresh": bind + solve, what a cold
+// SolveAll pays), a pre-bound workspace ("reused": the steady-state dual
+// iteration of Algorithm 1, zero allocations), and the delta-aware sweep
+// ("dirty": only two μ rows moved since the last iteration, every other
+// slot sitting at a certified fixed point is skipped — the late-dual-loop
+// steady state, also zero allocations).
+func BenchmarkP2_DualSweep(b *testing.B) {
+	cfg := workload.PaperDefault()
+	cfg.T = 10
+	cfg.K = 12
+	cfg.ClassesPerSBS = 8
+	cfg.Bandwidth = 8
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu := make([][][]float64, in.T)
+	rng := rand.New(rand.NewPCG(51, 52))
+	for t := range mu {
+		mu[t] = make([][]float64, in.N)
+		for n := range mu[t] {
+			mu[t][n] = make([]float64, in.Classes[n]*in.K)
+			for i := range mu[t][n] {
+				mu[t][n][i] = rng.Float64()
+			}
+		}
+	}
+	opts := convex.Options{MaxIter: 600, StepTol: 1e-6}
+
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := loadbalance.SolveAll(context.Background(), in, mu, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		ws := loadbalance.NewWorkspace()
+		ws.Bind(in)
+		if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		ws := loadbalance.NewWorkspace()
+		ws.Bind(in)
+		// Two passes: the first converges the slots, the second certifies
+		// their fixed points so clean slots become skippable.
+		for j := 0; j < 2; j++ {
+			if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dirty := make([][]bool, in.T)
+		for t := range dirty {
+			dirty[t] = make([]bool, in.N)
+		}
+		step := func() {
+			for t := range dirty {
+				for n := range dirty[t] {
+					dirty[t][n] = false
+				}
+			}
+			for j := 0; j < 2; j++ {
+				t, n := rng.IntN(in.T), rng.IntN(in.N)
+				row := mu[t][n]
+				row[rng.IntN(len(row))] = rng.Float64()
+				dirty[t][n] = true
+			}
+			if _, err := ws.SolveDualDirty(context.Background(), mu, opts, dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Flush amortized growth so the timed loop measures the
+		// allocation-free steady state.
+		for i := 0; i < 8; i++ {
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+}

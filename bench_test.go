@@ -1,7 +1,13 @@
 // Benchmarks: one per paper table/figure (regenerating its series at the
-// Quick experiment scale) plus the ablation benches DESIGN.md calls out
-// (P1 flow vs simplex, P2 FISTA vs PGD, rounding threshold, subgradient
-// step schedule) and micro-benchmarks of the optimization substrates.
+// Quick experiment scale) plus the cross-cutting ablation benches from
+// DESIGN.md §4 (rounding threshold, subgradient step schedule), the
+// offline-solver benches and the sparse/web-scale suite. Kernel-specific
+// benchmarks live in per-kernel files alongside this one:
+//
+//	bench_mcflow_test.go       min-cost flow: SSP solve, incremental Resolve
+//	bench_caching_test.go      P1: flow vs simplex, dirty-row dual sweep
+//	bench_loadbalance_test.go  P2: FISTA vs PGD, projection, dual sweep
+//	bench_online_test.go       controllers, warm-window incremental solve
 //
 // The figure benches exist so `go test -bench=.` demonstrably exercises
 // every experiment end to end; the full-scale numbers live in
@@ -11,20 +17,13 @@ package edgecache_test
 import (
 	"context"
 	"io"
-	"math/rand/v2"
 	"testing"
 
 	"edgecache/internal/baseline"
-	"edgecache/internal/caching"
-	"edgecache/internal/convex"
 	"edgecache/internal/core"
 	"edgecache/internal/experiments"
-	"edgecache/internal/loadbalance"
-	"edgecache/internal/mcflow"
 	"edgecache/internal/model"
 	"edgecache/internal/obs"
-	"edgecache/internal/online"
-	"edgecache/internal/projection"
 	"edgecache/internal/trace"
 	"edgecache/internal/workload"
 )
@@ -77,76 +76,6 @@ func BenchmarkHeadline_CostRatios(b *testing.B) {
 }
 
 // --- ablation benches -------------------------------------------------------
-
-// benchSubproblem builds a P1 instance representative of one paper-scale
-// window solve (K = 30, horizon = 10, C = 5).
-func benchSubproblem() *caching.Subproblem {
-	rng := rand.New(rand.NewPCG(1, 2))
-	sp := &caching.Subproblem{K: 30, Capacity: 5, Beta: 100, Reward: make([][]float64, 10)}
-	for t := range sp.Reward {
-		sp.Reward[t] = make([]float64, sp.K)
-		for k := range sp.Reward[t] {
-			sp.Reward[t][k] = rng.Float64() * 200
-		}
-	}
-	return sp
-}
-
-func BenchmarkP1_FlowVsSimplex(b *testing.B) {
-	sp := benchSubproblem()
-	b.Run("flow", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := sp.SolveFlow(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("simplex", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := sp.SolveLP(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-}
-
-// benchSlotProblem builds a paper-scale P2 slot problem (30 classes × 30
-// contents) with an active bandwidth constraint.
-func benchSlotProblem() *loadbalance.SlotProblem {
-	rng := rand.New(rand.NewPCG(3, 4))
-	m, k := 30, 30
-	p := &loadbalance.SlotProblem{
-		M: m, K: k,
-		Lambda:    make([]float64, m*k),
-		OmegaBS:   make([]float64, m),
-		OmegaSBS:  make([]float64, m),
-		Bandwidth: 30,
-		Mu:        make([]float64, m*k),
-	}
-	for i := range p.Lambda {
-		p.Lambda[i] = rng.Float64() * 0.15
-	}
-	for i := range p.OmegaBS {
-		p.OmegaBS[i] = rng.Float64()
-	}
-	for i := range p.Mu {
-		p.Mu[i] = rng.Float64() * 5
-	}
-	return p
-}
-
-func BenchmarkP2_FISTAvsPGD(b *testing.B) {
-	p := benchSlotProblem()
-	for _, method := range []convex.Method{convex.FISTA, convex.PGD} {
-		b.Run(method.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, _, err := p.Solve(nil, convex.Options{Method: method, MaxIter: 600, StepTol: 1e-6}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
 
 func BenchmarkRounding_RhoSweep(b *testing.B) {
 	s := experiments.Quick()
@@ -256,90 +185,7 @@ func BenchmarkSolve_Instrumented(b *testing.B) {
 	})
 }
 
-func BenchmarkOnline_Controllers(b *testing.B) {
-	in, pred := benchInstance(b)
-	for _, cfg := range []online.Config{online.RHC(4), online.CHC(4, 2), online.AFHC(4)} {
-		b.Run(cfg.Name(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := online.Run(context.Background(), in, pred, cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 // --- substrate micro-benches -------------------------------------------------
-
-func BenchmarkProjection_BoxKnapsack(b *testing.B) {
-	rng := rand.New(rand.NewPCG(5, 6))
-	n := 900
-	z := make([]float64, n)
-	lo := make([]float64, n)
-	hi := make([]float64, n)
-	c := make([]float64, n)
-	for i := range z {
-		z[i] = rng.Float64() * 2
-		hi[i] = 1
-		c[i] = rng.Float64() * 0.2
-	}
-	dst := make([]float64, n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := projection.BoxKnapsack(dst, z, lo, hi, c, 10); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkMCFlow_SuccessiveShortestPaths(b *testing.B) {
-	// A layered DAG the size of a paper-scale P1 window network
-	// (~600 nodes), with mixed-sign costs.
-	rng := rand.New(rand.NewPCG(7, 8))
-	const layers, width = 30, 20
-	build := func() *mcflow.Graph {
-		g := mcflow.NewGraph(layers*width + 2)
-		src, snk := layers*width, layers*width+1
-		for i := 0; i < width; i++ {
-			g.AddArc(src, i, 1, 0)
-			g.AddArc((layers-1)*width+i, snk, 1, 0)
-		}
-		for l := 0; l+1 < layers; l++ {
-			for i := 0; i < width; i++ {
-				for _, j := range []int{i, (i + 1) % width} {
-					g.AddArc(l*width+i, (l+1)*width+j, 1, rng.Float64()*4-1)
-				}
-			}
-		}
-		return g
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := build()
-		if _, err := g.Solve(layers*width, layers*width+1, 5); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkLoadBalance_GreedyRecovery(b *testing.B) {
-	cfg := workload.PaperDefault()
-	cfg.T = 2
-	in, err := workload.BuildInstance(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	x := model.NewCachePlan(in.N, in.K)
-	for k := 0; k < in.CacheCap[0]; k++ {
-		x[0][k] = 1
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := loadbalance.OptimalGivenPlacement(in, 0, x, convex.Options{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
 
 func BenchmarkTrace_GenerateAndReplay(b *testing.B) {
 	cfg := workload.PaperDefault()
@@ -388,57 +234,6 @@ func BenchmarkOffline_PrimalDualWorkspace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-}
-
-// BenchmarkP2_DualSweep compares one full dual iteration of P2 (all T×N
-// slot solves) on the per-call path ("fresh": bind + solve, what a cold
-// SolveAll pays) against a pre-bound workspace ("reused": the steady-state
-// dual iteration of Algorithm 1, zero allocations).
-func BenchmarkP2_DualSweep(b *testing.B) {
-	cfg := workload.PaperDefault()
-	cfg.T = 10
-	cfg.K = 12
-	cfg.ClassesPerSBS = 8
-	cfg.Bandwidth = 8
-	in, err := workload.BuildInstance(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	mu := make([][][]float64, in.T)
-	rng := rand.New(rand.NewPCG(51, 52))
-	for t := range mu {
-		mu[t] = make([][]float64, in.N)
-		for n := range mu[t] {
-			mu[t][n] = make([]float64, in.Classes[n]*in.K)
-			for i := range mu[t][n] {
-				mu[t][n][i] = rng.Float64()
-			}
-		}
-	}
-	opts := convex.Options{MaxIter: 600, StepTol: 1e-6}
-
-	b.Run("fresh", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, _, err := loadbalance.SolveAll(context.Background(), in, mu, nil, opts); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("reused", func(b *testing.B) {
-		ws := loadbalance.NewWorkspace()
-		ws.Bind(in)
-		if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 }
 
 // --- sparse / web-scale benches (DESIGN.md §11) ------------------------------

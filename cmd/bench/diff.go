@@ -1,7 +1,8 @@
 // Benchmark regression gating: compare a current suite against a
 // tracked baseline suite and fail (exit non-zero) when any shared
-// benchmark's ns/op regressed beyond a percentage threshold. This is
-// the CI perf gate behind `bench -diff BENCH_<date>.json -threshold 15`.
+// benchmark's ns/op — or, when the alloc gate is enabled, allocs/op —
+// regressed beyond a percentage threshold. This is the CI perf gate
+// behind `bench -diff BENCH_<date>.json -threshold 15 -alloc-threshold 0`.
 package main
 
 import (
@@ -12,6 +13,20 @@ import (
 	"text/tabwriter"
 )
 
+// thresholds bundles the per-metric regression limits of one diff run.
+type thresholds struct {
+	// NsPct is the ns/op growth limit in percent.
+	NsPct float64
+	// AllocPct is the allocs/op growth limit in percent; negative
+	// disables the alloc gate entirely. A zero-alloc baseline is held to
+	// zero regardless of the percentage: any new allocation regresses,
+	// because a percentage of zero can never trip.
+	AllocPct float64
+}
+
+// allocGated reports whether the alloc gate is active.
+func (th thresholds) allocGated() bool { return th.AllocPct >= 0 }
+
 // diffRow is one benchmark's before/after comparison.
 type diffRow struct {
 	Name       string
@@ -20,28 +35,54 @@ type diffRow struct {
 	DeltaPct   float64 // (cur-base)/base * 100; positive = slower
 	Regressed  bool
 	BaselineOK bool // false when the benchmark is new (no baseline entry)
+
+	// Alloc gate fields, populated only when thresholds.allocGated().
+	// A baseline recorded without -benchmem stores allocs/op as zero, so
+	// enabling the gate against such a baseline holds every benchmark to
+	// zero allocations — re-record the baseline with -benchmem first.
+	BaseAllocs     float64
+	CurAllocs      float64
+	AllocDeltaPct  float64
+	AllocRegressed bool
 }
 
 // diffSuites compares cur against base benchmark-by-benchmark (matched
-// on name). A row regresses when its ns/op grew by more than
-// thresholdPct percent. Benchmarks missing from the baseline are
-// reported informationally and never regress; benchmarks that exist
-// only in the baseline are ignored (they were removed or renamed —
-// the gate judges what runs today).
-func diffSuites(cur, base Suite, thresholdPct float64) (rows []diffRow, regressed bool) {
+// on name). A row regresses when its ns/op grew by more than th.NsPct
+// percent, or — with the alloc gate enabled — when its allocs/op grew
+// by more than th.AllocPct percent (any growth at all from a zero-alloc
+// baseline). Benchmarks missing from the baseline are reported
+// informationally and never regress; benchmarks that exist only in the
+// baseline are ignored (they were removed or renamed — the gate judges
+// what runs today).
+func diffSuites(cur, base Suite, th thresholds) (rows []diffRow, regressed bool) {
 	baseline := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
 	for _, b := range cur.Benchmarks {
-		row := diffRow{Name: b.Name, CurNs: b.NsPerOp}
+		row := diffRow{Name: b.Name, CurNs: b.NsPerOp, CurAllocs: b.AllocsPerOp}
 		if bb, ok := baseline[b.Name]; ok && bb.NsPerOp > 0 {
 			row.BaselineOK = true
 			row.BaseNs = bb.NsPerOp
 			row.DeltaPct = (b.NsPerOp - bb.NsPerOp) / bb.NsPerOp * 100
-			row.Regressed = row.DeltaPct > thresholdPct
+			row.Regressed = row.DeltaPct > th.NsPct
+			if th.allocGated() {
+				row.BaseAllocs = bb.AllocsPerOp
+				switch {
+				case bb.AllocsPerOp == 0:
+					// Zero-alloc baselines are held to zero: the steady
+					// state must stay allocation-free.
+					row.AllocRegressed = b.AllocsPerOp > 0
+					if row.AllocRegressed {
+						row.AllocDeltaPct = 100
+					}
+				default:
+					row.AllocDeltaPct = (b.AllocsPerOp - bb.AllocsPerOp) / bb.AllocsPerOp * 100
+					row.AllocRegressed = row.AllocDeltaPct > th.AllocPct
+				}
+			}
 		}
-		if row.Regressed {
+		if row.Regressed || row.AllocRegressed {
 			regressed = true
 		}
 		rows = append(rows, row)
@@ -49,18 +90,38 @@ func diffSuites(cur, base Suite, thresholdPct float64) (rows []diffRow, regresse
 	return rows, regressed
 }
 
-// writeDiff renders the comparison table.
-func writeDiff(w io.Writer, rows []diffRow, baseLabel, curLabel string, thresholdPct float64) error {
+// writeDiff renders the comparison table; allocs/op columns appear only
+// when the alloc gate is active.
+func writeDiff(w io.Writer, rows []diffRow, baseLabel, curLabel string, th thresholds) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "benchmark\t%s ns/op\t%s ns/op\tdelta\t\n", baseLabel, curLabel)
+	if th.allocGated() {
+		fmt.Fprintf(tw, "benchmark\t%s ns/op\t%s ns/op\tdelta\tallocs/op\t\n", baseLabel, curLabel)
+	} else {
+		fmt.Fprintf(tw, "benchmark\t%s ns/op\t%s ns/op\tdelta\t\n", baseLabel, curLabel)
+	}
 	for _, r := range rows {
 		if !r.BaselineOK {
 			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", r.Name, r.CurNs)
 			continue
 		}
-		flag := ""
+		var flag string
 		if r.Regressed {
-			flag = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+			flag = fmt.Sprintf("REGRESSION (>%g%%)", th.NsPct)
+		}
+		if th.allocGated() {
+			allocs := fmt.Sprintf("%.0f→%.0f", r.BaseAllocs, r.CurAllocs)
+			if r.AllocRegressed {
+				if flag != "" {
+					flag += " "
+				}
+				if r.BaseAllocs == 0 {
+					flag += "ALLOC REGRESSION (>0)"
+				} else {
+					flag += fmt.Sprintf("ALLOC REGRESSION (>%g%%)", th.AllocPct)
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n", r.Name, r.BaseNs, r.CurNs, r.DeltaPct, allocs, flag)
+			continue
 		}
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", r.Name, r.BaseNs, r.CurNs, r.DeltaPct, flag)
 	}

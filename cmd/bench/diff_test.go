@@ -13,6 +13,15 @@ func suite(label string, ns map[string]float64) Suite {
 	return s
 }
 
+// allocSuite builds a suite with both ns/op and allocs/op per benchmark.
+func allocSuite(label string, vals map[string][2]float64) Suite {
+	s := Suite{Label: label}
+	for name, v := range vals {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: v[0], AllocsPerOp: v[1]})
+	}
+	return s
+}
+
 func TestDiffSuitesDetectsRegression(t *testing.T) {
 	base := suite("base", map[string]float64{
 		"BenchmarkSolve": 1000,
@@ -24,7 +33,7 @@ func TestDiffSuitesDetectsRegression(t *testing.T) {
 		"BenchmarkNew":   50,   // no baseline
 	})
 
-	rows, regressed := diffSuites(cur, base, 15)
+	rows, regressed := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: -1})
 	if !regressed {
 		t.Fatal("20% slowdown not flagged at threshold 15%")
 	}
@@ -54,7 +63,7 @@ func TestDiffSuitesImprovementAndRemoval(t *testing.T) {
 	cur := suite("cur", map[string]float64{
 		"BenchmarkSolve": 700, // 30% faster
 	})
-	rows, regressed := diffSuites(cur, base, 15)
+	rows, regressed := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: -1})
 	if regressed {
 		t.Fatal("improvement flagged as regression")
 	}
@@ -66,16 +75,90 @@ func TestDiffSuitesImprovementAndRemoval(t *testing.T) {
 	}
 }
 
+func TestDiffSuitesAllocGate(t *testing.T) {
+	base := allocSuite("base", map[string][2]float64{
+		"BenchmarkSteady": {1000, 0},    // zero-alloc steady state
+		"BenchmarkHeavy":  {1000, 100},  // allocating benchmark
+		"BenchmarkOK":     {1000, 1000}, // allocating, stays put
+	})
+
+	// Disabled gate (negative threshold): allocation growth passes.
+	cur := allocSuite("cur", map[string][2]float64{
+		"BenchmarkSteady": {1000, 3},
+		"BenchmarkHeavy":  {1000, 400},
+		"BenchmarkOK":     {1000, 1000},
+	})
+	if _, regressed := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: -1}); regressed {
+		t.Fatal("alloc growth flagged with the gate disabled")
+	}
+
+	// Enabled gate: the zero-alloc baseline is held to zero, the
+	// allocating one to the percentage.
+	rows, regressed := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: 10})
+	if !regressed {
+		t.Fatal("alloc regressions not flagged with the gate enabled")
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !byName["BenchmarkSteady"].AllocRegressed {
+		t.Fatal("3 allocs against a zero-alloc baseline must regress")
+	}
+	if !byName["BenchmarkHeavy"].AllocRegressed {
+		t.Fatal("+300% allocs must regress at threshold 10%")
+	}
+	if byName["BenchmarkOK"].AllocRegressed {
+		t.Fatal("unchanged allocs flagged")
+	}
+	if byName["BenchmarkSteady"].Regressed || byName["BenchmarkHeavy"].Regressed {
+		t.Fatal("alloc regressions leaked into the ns/op flag")
+	}
+
+	// Within-threshold growth passes; so does a still-zero steady state.
+	ok := allocSuite("cur", map[string][2]float64{
+		"BenchmarkSteady": {1000, 0},
+		"BenchmarkHeavy":  {1000, 105}, // +5% at threshold 10%
+		"BenchmarkOK":     {1000, 900},
+	})
+	if _, regressed := diffSuites(ok, base, thresholds{NsPct: 15, AllocPct: 10}); regressed {
+		t.Fatal("within-threshold alloc growth flagged")
+	}
+}
+
 func TestWriteDiffRendersFlags(t *testing.T) {
 	base := suite("post-workspace", map[string]float64{"BenchmarkSolve": 1000})
 	cur := suite("ci", map[string]float64{"BenchmarkSolve": 1300, "BenchmarkNew": 10})
-	rows, _ := diffSuites(cur, base, 15)
+	rows, _ := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: -1})
 	var sb strings.Builder
-	if err := writeDiff(&sb, rows, base.Label, cur.Label, 15); err != nil {
+	if err := writeDiff(&sb, rows, base.Label, cur.Label, thresholds{NsPct: 15, AllocPct: -1}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	for _, want := range []string{"REGRESSION", "+30.0%", "new", "post-workspace", "ci"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "allocs/op") {
+		t.Fatalf("allocs column rendered with the gate disabled:\n%s", out)
+	}
+}
+
+func TestWriteDiffRendersAllocFlags(t *testing.T) {
+	base := allocSuite("base", map[string][2]float64{"BenchmarkSteady": {1000, 0}})
+	cur := allocSuite("ci", map[string][2]float64{"BenchmarkSteady": {1000, 2}})
+	th := thresholds{NsPct: 15, AllocPct: 0}
+	rows, regressed := diffSuites(cur, base, th)
+	if !regressed {
+		t.Fatal("want alloc regression")
+	}
+	var sb strings.Builder
+	if err := writeDiff(&sb, rows, base.Label, cur.Label, th); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"allocs/op", "0→2", "ALLOC REGRESSION (>0)"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff table missing %q:\n%s", want, out)
 		}

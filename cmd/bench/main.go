@@ -19,6 +19,15 @@
 //	go run ./cmd/bench -in bench-ci.json -label ci \
 //	    -diff BENCH_2026-08-06.json -diff-label post-workspace -threshold 15
 //
+// -alloc-threshold N additionally gates allocs/op: a shared benchmark
+// regresses when its allocs/op grew by more than N percent, and a
+// benchmark whose baseline is allocation-free regresses on any
+// allocation at all (the zero-alloc steady states are load-bearing and
+// a percentage of zero can never trip). Negative (the default) leaves
+// the alloc gate off. The gate presumes both suites were recorded with
+// -benchmem: a baseline recorded without it stores zero allocs/op and
+// would hold every benchmark to zero.
+//
 // -in reads the current suite from an already-written JSON document
 // (selected by -label) instead of parsing stdin; nothing is written in
 // that mode.
@@ -75,6 +84,7 @@ func main() {
 	diff := flag.String("diff", "", "compare against a baseline suite from this tracked JSON file; exit non-zero on regression")
 	diffLabel := flag.String("diff-label", "", "baseline suite label inside -diff (default: the file's last suite)")
 	threshold := flag.Float64("threshold", 15, "ns/op regression threshold for -diff, in percent")
+	allocThreshold := flag.Float64("alloc-threshold", -1, "allocs/op regression threshold for -diff, in percent; zero-alloc baselines are held to zero; negative disables the alloc gate")
 	flag.Parse()
 
 	var suite Suite
@@ -103,14 +113,17 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	rows, regressed := diffSuites(suite, base, *threshold)
-	if err := writeDiff(os.Stderr, rows, base.Label, suite.Label, *threshold); err != nil {
+	th := thresholds{NsPct: *threshold, AllocPct: *allocThreshold}
+	rows, regressed := diffSuites(suite, base, th)
+	if err := writeDiff(os.Stderr, rows, base.Label, suite.Label, th); err != nil {
 		fatal("%v", err)
 	}
 	if regressed {
-		fatal("time/op regression beyond %g%% against %s suite %q", *threshold, *diff, base.Label)
+		fatal("regression beyond thresholds (ns/op %g%%, allocs/op %s) against %s suite %q",
+			*threshold, allocGateDesc(th), *diff, base.Label)
 	}
-	fmt.Fprintf(os.Stderr, "bench: no regression beyond %g%% against %s suite %q\n", *threshold, *diff, base.Label)
+	fmt.Fprintf(os.Stderr, "bench: no regression beyond thresholds (ns/op %g%%, allocs/op %s) against %s suite %q\n",
+		*threshold, allocGateDesc(th), *diff, base.Label)
 }
 
 // readSuite parses `go test -bench` output into a labelled suite,
@@ -223,6 +236,14 @@ func parseLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	return bm, true
+}
+
+// allocGateDesc renders the alloc gate setting for log lines.
+func allocGateDesc(th thresholds) string {
+	if !th.allocGated() {
+		return "ungated"
+	}
+	return fmt.Sprintf("%g%%, zero-alloc held to zero", th.AllocPct)
 }
 
 func fatal(format string, args ...any) {

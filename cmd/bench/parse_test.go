@@ -40,7 +40,7 @@ func TestParseLineCustomMetrics(t *testing.T) {
 func TestDiffIgnoresExtras(t *testing.T) {
 	base := Suite{Benchmarks: []Benchmark{{Name: "BenchmarkX", NsPerOp: 100, Extra: map[string]float64{"peak-RSS-MiB": 10}}}}
 	cur := Suite{Benchmarks: []Benchmark{{Name: "BenchmarkX", NsPerOp: 101, Extra: map[string]float64{"peak-RSS-MiB": 900}}}}
-	if _, regressed := diffSuites(cur, base, 15); regressed {
+	if _, regressed := diffSuites(cur, base, thresholds{NsPct: 15, AllocPct: -1}); regressed {
 		t.Fatal("extra-metric growth tripped the ns/op gate")
 	}
 }

@@ -151,8 +151,7 @@ func (sp *Subproblem) SolveFlow() ([][]float64, float64, error) {
 		}
 	}
 
-	res, err := g.Solve(pool(0), pool(horizon), sp.Capacity)
-	if err != nil {
+	if _, err := g.Solve(pool(0), pool(horizon), sp.Capacity); err != nil {
 		return nil, 0, fmt.Errorf("caching: flow solve: %w", err)
 	}
 
@@ -165,7 +164,12 @@ func (sp *Subproblem) SolveFlow() ([][]float64, float64, error) {
 			}
 		}
 	}
-	return x, res.Cost, nil
+	// Report the canonical objective of the placement rather than the flow
+	// solver's running cost: the latter accumulates in augmentation order,
+	// whose float rounding depends on the path history, while Objective is
+	// a pure function of the placement — the property the incremental
+	// workspace path relies on for bit-stable totals (DESIGN.md §12).
+	return x, sp.Objective(x), nil
 }
 
 // SolveLP solves P1 via the paper's LP linearisation (eqs. 21–22) with the

@@ -8,33 +8,65 @@ import (
 
 	"edgecache/internal/mcflow"
 	"edgecache/internal/model"
+	"edgecache/internal/obs"
 )
+
+// Incremental-path metrics (atomic; read by -metrics and /debug/vars).
+var (
+	mSBSSkips    = obs.Default.Counter("caching.p1_sbs_skips")
+	mResolveKept = obs.Default.Counter("caching.p1_resolve_kept")
+	mResolveCold = obs.Default.Counter("caching.p1_resolve_fresh")
+)
+
+// sbsNet is one SBS's bound time-expanded network plus everything needed
+// to reuse it: the geometry pins that decide whether a later Bind can
+// keep the graph, and the solved-state cache that lets SolveAllRows skip
+// the SBS outright when none of its reward rows moved.
+type sbsNet struct {
+	g    *mcflow.Graph
+	hold [][]mcflow.Arc // hold[t][ci]: flow > 0 ⇔ item ci cached at slot t
+	// fetch0[ci] is the slot-0 pool→item arc, the only arc whose cost
+	// depends on the initial cache and therefore the only one Bind must
+	// retarget when reusing the graph across windows.
+	fetch0 []mcflow.Arc
+	// items maps the compact item index to its global content id; nil
+	// means the network spans all K items with the identity numbering.
+	items []int
+
+	// Geometry pins checked by Bind before reusing the graph.
+	horizon, kc, capFloor int
+	beta                  float64
+	built                 bool
+
+	// solved reports that the graph's hold costs equal the rewards of the
+	// last SolveAllRows call, the flow solves them, the placement rows in
+	// Workspace.plans are current, and obj caches the canonical objective.
+	solved bool
+	obj    float64
+}
 
 // Workspace holds the per-instance state of the P1 caching subproblem so
 // that repeated solves under changing dual rewards — one per primal-dual
 // iteration — reuse one time-expanded flow network per SBS instead of
 // rebuilding it. Only the hold-arc costs depend on μ; topology, capacities
 // and fetch costs are fixed by the instance, so each iteration is a
-// Reset + SetCost pass followed by a solve on recycled solver scratch.
+// Reset + SetCost pass followed by a solve on recycled solver scratch —
+// or, on the delta-aware SolveAllRows path, a SetCost pass over the dirty
+// reward rows only, followed by an incremental mcflow.Resolve.
 //
 // A Workspace is not safe for concurrent use. The zero value is usable
 // after Bind.
 type Workspace struct {
-	in *model.Instance
+	in   *model.Instance
+	nets []sbsNet
 
-	// graphs[n] is SBS n's cache-slot network; holdArcs[n][t][ci] the arc
-	// whose flow indicates (compact) item ci cached at slot t.
-	graphs   []*mcflow.Graph
-	holdArcs [][][]mcflow.Arc
+	// initial aliases the InitialPlan captured at Bind, the x⁰ reference
+	// for canonical objectives.
+	initial model.CachePlan
 
-	// items[n], when non-nil, maps SBS n's compact item index to its
-	// global content id: the network was built over that candidate set
-	// only. A nil row (or nil items) means the network spans all K items
-	// with the identity numbering.
-	items [][]int
-
-	// plans is the placement buffer returned by SolveAll; every entry is
-	// rewritten on each call.
+	// plans is the placement buffer returned by SolveAll; rows of solved
+	// SBSs persist across calls (that persistence is what lets a skipped
+	// SBS return its previous placement untouched).
 	plans []model.CachePlan
 }
 
@@ -62,30 +94,57 @@ func (ws *Workspace) Bind(in *model.Instance) { ws.BindPruned(in, nil) }
 // objective. At β_n = 0 the full network may realise that optimum with
 // cost-equal flow through a zero-reward item; the pruned solution is then
 // one of the optimal ties, not bit-identical to the unpruned one.
+//
+// When an SBS's network geometry is unchanged from the previous binding —
+// same horizon, candidate set, capacity floor and β — the graph is kept
+// rather than rebuilt: only the slot-0 fetch costs (the initial cache) are
+// retargeted, and the retained flow becomes the warm start of the next
+// Resolve. The cross-window replan path of the online controllers hits
+// this on every window, making rebinding allocation-free in steady state.
 func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 	ws.in = in
 	horizon := in.T
 
-	if cap(ws.graphs) < in.N {
-		ws.graphs = make([]*mcflow.Graph, in.N)
-		ws.holdArcs = make([][][]mcflow.Arc, in.N)
+	if cap(ws.nets) < in.N {
+		old := ws.nets
+		ws.nets = make([]sbsNet, in.N)
+		copy(ws.nets, old)
 	} else {
-		ws.graphs = ws.graphs[:in.N]
-		ws.holdArcs = ws.holdArcs[:in.N]
-	}
-	ws.items = nil
-	if cands != nil {
-		ws.items = make([][]int, in.N)
+		ws.nets = ws.nets[:in.N]
 	}
 	initial := in.InitialPlan()
+	ws.initial = initial
 	for n := 0; n < in.N; n++ {
 		items := []int(nil)
 		kc := in.K
 		if cands != nil && cands[n] != nil && len(cands[n]) < in.K {
 			items = cands[n]
 			kc = len(items)
-			ws.items[n] = items
 		}
+		net := &ws.nets[n]
+		capFloor := in.CacheCapFloor(n)
+		net.solved = false
+		if net.built && net.horizon == horizon && net.kc == kc &&
+			net.capFloor == capFloor && net.beta == in.Beta[n] && sameItems(net.items, items) {
+			// Reuse the network: only the slot-0 fetch costs depend on
+			// the initial cache. SetCost diffs against the stored bits and
+			// records dirty arcs, so the retained flow stays a valid warm
+			// start for Resolve.
+			net.items = items
+			for ci := 0; ci < kc; ci++ {
+				k := ci
+				if items != nil {
+					k = items[ci]
+				}
+				fetchCost := in.Beta[n]
+				if initial[n][k] >= 0.5 {
+					fetchCost = 0
+				}
+				net.g.SetCost(net.fetch0[ci], fetchCost)
+			}
+			continue
+		}
+
 		// Node layout mirrors SolveFlow: pools 0..horizon, then item
 		// in/out pairs (over the compact numbering when pruned).
 		pool := func(t int) int { return t }
@@ -94,12 +153,13 @@ func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 		g := mcflow.NewGraph(horizon + 1 + 2*horizon*kc)
 
 		hold := make([][]mcflow.Arc, horizon)
+		fetch0 := make([]mcflow.Arc, kc)
 		for t := 0; t < horizon; t++ {
 			hold[t] = make([]mcflow.Arc, kc)
 			// Idle capacity uses the horizon floor min_t C^t_n: one
 			// commodity per SBS cannot express per-slot caps (see the
 			// package-level SolveAll).
-			g.AddArc(pool(t), pool(t+1), in.CacheCapFloor(n), 0) // idle
+			g.AddArc(pool(t), pool(t+1), capFloor, 0) // idle
 			for ci := 0; ci < kc; ci++ {
 				k := ci
 				if items != nil {
@@ -109,7 +169,10 @@ func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 				if t == 0 && initial[n][k] >= 0.5 {
 					fetchCost = 0
 				}
-				g.AddArc(pool(t), itemIn(t, ci), 1, fetchCost)
+				fetch := g.AddArc(pool(t), itemIn(t, ci), 1, fetchCost)
+				if t == 0 {
+					fetch0[ci] = fetch
+				}
 				// Hold cost is the per-iteration −ρ^t_{n,k}, installed by
 				// SolveAll via SetCost.
 				hold[t][ci] = g.AddArc(itemIn(t, ci), itemOut(t, ci), 1, 0)
@@ -119,8 +182,12 @@ func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 				}
 			}
 		}
-		ws.graphs[n] = g
-		ws.holdArcs[n] = hold
+		net.g = g
+		net.hold = hold
+		net.fetch0 = fetch0
+		net.items = items
+		net.horizon, net.kc, net.capFloor, net.beta = horizon, kc, capFloor, in.Beta[n]
+		net.built = true
 	}
 
 	if cap(ws.plans) < in.T {
@@ -140,18 +207,69 @@ func (ws *Workspace) BindPruned(in *model.Instance, cands [][]int) {
 	}
 }
 
+// sameItems reports whether two candidate lists describe the same compact
+// catalogue (both nil meaning the full identity catalogue).
+func sameItems(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowStats aggregates the Resolve outcome counters of the bound per-SBS
+// networks (see mcflow.ResolveStats).
+func (ws *Workspace) FlowStats() mcflow.ResolveStats {
+	var st mcflow.ResolveStats
+	for n := range ws.nets {
+		if !ws.nets[n].built {
+			continue
+		}
+		s := ws.nets[n].g.Stats()
+		st.Kept += s.Kept
+		st.Repaired += s.Repaired
+		st.Fresh += s.Fresh
+	}
+	return st
+}
+
 // SolveAll is the workspace counterpart of the package-level SolveAll: it
 // solves P1 for every SBS under the given rewards and returns the per-slot
 // placements (aliasing workspace memory, overwritten by the next call) and
 // the total P1 objective. Behaviour, summation order and solutions are
 // identical to the per-call path.
 func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]model.CachePlan, float64, error) {
+	return ws.SolveAllRows(ctx, rewards, nil)
+}
+
+// SolveAllRows is SolveAll with per-(t, n) change tracking: dirty[t][n]
+// reports whether rewards[t][n] may differ from the previous call's. An
+// SBS none of whose rows are dirty is skipped outright — its placement
+// rows and cached objective are returned unchanged — and a dirty SBS
+// retargets only its dirty rows before re-optimising incrementally via
+// mcflow.Resolve. A nil dirty runs the from-scratch baseline (Reset, full
+// SetCost sweep, zero-flow Solve) for every SBS.
+//
+// Both paths compute the per-SBS objective canonically from the placement
+// (Subproblem.Objective order), so totals are bit-identical between the
+// incremental and from-scratch paths whenever the placements are — which
+// mcflow.Resolve's uniqueness certificate guarantees. Reward validation
+// only covers the rows actually retargeted: an invalid value in a clean
+// row of a dirty run is reported by the baseline path but unseen here.
+func (ws *Workspace) SolveAllRows(ctx context.Context, rewards [][][]float64, dirty [][]bool) ([]model.CachePlan, float64, error) {
 	in := ws.in
 	if in == nil {
 		panic("caching: Workspace.SolveAll before Bind")
 	}
 	if len(rewards) != in.T {
 		return nil, 0, fmt.Errorf("caching: rewards cover %d slots, want %d", len(rewards), in.T)
+	}
+	if dirty != nil && len(dirty) != in.T {
+		return nil, 0, fmt.Errorf("caching: dirty rows cover %d slots, want %d", len(dirty), in.T)
 	}
 
 	var total float64
@@ -161,49 +279,78 @@ func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]mod
 				return nil, 0, fmt.Errorf("caching: SBS %d: %w", n, err)
 			}
 		}
-		for t := 0; t < in.T; t++ {
-			if len(rewards[t]) != in.N || len(rewards[t][n]) != in.K {
-				return nil, 0, fmt.Errorf("caching: rewards[%d] shaped (%d SBS)", t, len(rewards[t]))
-			}
-			for k, v := range rewards[t][n] {
-				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-					return nil, 0, fmt.Errorf("caching: SBS %d: caching: reward[%d][%d] = %g, want finite ≥ 0", n, t, k, v)
+		net := &ws.nets[n]
+		// A net that has never been solved must apply every row regardless
+		// of the dirty list: its graph may hold stale costs from a
+		// previous binding.
+		allRows := dirty == nil || !net.solved
+		if !allRows {
+			rowsDirty := false
+			for t := 0; t < in.T; t++ {
+				if dirty[t][n] {
+					rowsDirty = true
+					break
 				}
+			}
+			if !rowsDirty {
+				mSBSSkips.Inc()
+				total += net.obj
+				continue
 			}
 		}
 
 		mFlowSolves.Inc()
 		start := time.Now()
-		g := ws.graphs[n]
-		g.Reset()
-		hold := ws.holdArcs[n]
-		var items []int
-		if ws.items != nil {
-			items = ws.items[n]
+		g := net.g
+		if dirty == nil {
+			g.Reset()
 		}
 		for t := 0; t < in.T; t++ {
+			if !allRows && !dirty[t][n] {
+				continue
+			}
+			if len(rewards[t]) != in.N || len(rewards[t][n]) != in.K {
+				return nil, 0, fmt.Errorf("caching: rewards[%d] shaped (%d SBS)", t, len(rewards[t]))
+			}
 			row := rewards[t][n]
-			if items == nil {
+			for k, v := range row {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, 0, fmt.Errorf("caching: SBS %d: caching: reward[%d][%d] = %g, want finite ≥ 0", n, t, k, v)
+				}
+			}
+			hold := net.hold[t]
+			if net.items == nil {
 				for k := 0; k < in.K; k++ {
-					g.SetCost(hold[t][k], -row[k])
+					g.SetCost(hold[k], -row[k])
 				}
 			} else {
-				for ci, k := range items {
-					g.SetCost(hold[t][ci], -row[k])
+				for ci, k := range net.items {
+					g.SetCost(hold[ci], -row[k])
 				}
 			}
 		}
-		res, err := g.Solve(0, in.T, in.CacheCapFloor(n))
+		var err error
+		if dirty == nil {
+			_, err = g.Solve(0, in.T, net.capFloor)
+		} else {
+			before := g.Stats()
+			_, err = g.Resolve(0, in.T, net.capFloor)
+			if after := g.Stats(); after.Fresh > before.Fresh {
+				mResolveCold.Inc()
+			} else {
+				mResolveKept.Inc()
+			}
+		}
 		mFlowTime.Observe(time.Since(start))
 		if err != nil {
+			net.solved = false
 			return nil, 0, fmt.Errorf("caching: SBS %d: caching: flow solve: %w", n, err)
 		}
-		total += res.Cost
 		for t := 0; t < in.T; t++ {
 			dst := ws.plans[t][n]
-			if items == nil {
+			if net.items == nil {
 				for k := 0; k < in.K; k++ {
-					if g.Flow(hold[t][k]) > 0 {
+					if g.Flow(net.hold[t][k]) > 0 {
 						dst[k] = 1
 					} else {
 						dst[k] = 0
@@ -214,12 +361,57 @@ func (ws *Workspace) SolveAll(ctx context.Context, rewards [][][]float64) ([]mod
 			for k := range dst {
 				dst[k] = 0
 			}
-			for ci, k := range items {
-				if g.Flow(hold[t][ci]) > 0 {
+			for ci, k := range net.items {
+				if g.Flow(net.hold[t][ci]) > 0 {
 					dst[k] = 1
 				}
 			}
 		}
+		net.obj = ws.objectiveSBS(n, rewards)
+		net.solved = true
+		total += net.obj
 	}
 	return ws.plans, total, nil
+}
+
+// objectiveSBS evaluates SBS n's P1 objective from its placement rows in
+// ws.plans, replicating Subproblem.Objective's iteration order bit for
+// bit. On a pruned network only candidate items are visited: excluded
+// items carry placement 0, reward 0 and are never initially cached (the
+// pruning contract), so their terms are exact zeros whose omission cannot
+// change the float accumulation.
+func (ws *Workspace) objectiveSBS(n int, rewards [][][]float64) float64 {
+	in := ws.in
+	beta := in.Beta[n]
+	items := ws.nets[n].items
+	var obj float64
+	// The two accumulations per term are kept separate, exactly as in
+	// Subproblem.Objective: fusing them would round differently.
+	term := func(t, k int, row, cur []float64) {
+		v := cur[k]
+		prev := 0.0
+		if t > 0 {
+			prev = ws.plans[t-1][n][k]
+		} else if ws.initial[n][k] >= 0.5 {
+			prev = 1
+		}
+		if d := v - prev; d > 0 {
+			obj += beta * d
+		}
+		obj -= row[k] * v
+	}
+	for t := 0; t < in.T; t++ {
+		row := rewards[t][n]
+		cur := ws.plans[t][n]
+		if items == nil {
+			for k := 0; k < in.K; k++ {
+				term(t, k, row, cur)
+			}
+		} else {
+			for _, k := range items {
+				term(t, k, row, cur)
+			}
+		}
+	}
+	return obj
 }

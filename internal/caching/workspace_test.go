@@ -96,6 +96,109 @@ func TestWorkspaceMatchesSolveAll(t *testing.T) {
 	}
 }
 
+// TestWorkspaceIncrementalMatchesBaseline drives the delta-aware
+// SolveAllRows path through a dual-iteration-shaped sequence of partial
+// reward updates and checks it reproduces the per-call SolveAll baseline
+// exactly — identical placements, bit-identical objective — including
+// full-SBS skips (no reward row moved) and the incremental Resolve path
+// (some rows moved). The all-clean round additionally asserts via the
+// flow-solver stats that no solver work happened at all.
+func TestWorkspaceIncrementalMatchesBaseline(t *testing.T) {
+	cfg := workload.PaperDefault()
+	cfg.N = 3
+	cfg.T = 5
+	cfg.K = 7
+	cfg.ClassesPerSBS = 3
+	cfg.CacheCap = 2
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rng := rand.New(rand.NewPCG(19, 5))
+	rewards := make([][][]float64, in.T)
+	dirty := make([][]bool, in.T)
+	for tt := range rewards {
+		rewards[tt] = make([][]float64, in.N)
+		dirty[tt] = make([]bool, in.N)
+		for n := range rewards[tt] {
+			rewards[tt][n] = make([]float64, in.K)
+		}
+	}
+	check := func(iter int) {
+		t.Helper()
+		wantPlans, wantObj, err := SolveAll(context.Background(), in, rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPlans, gotObj, err := ws.SolveAllRows(context.Background(), rewards, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotObj != wantObj {
+			t.Fatalf("iter %d: incremental objective %v, baseline %v", iter, gotObj, wantObj)
+		}
+		for tt := range wantPlans {
+			if !reflect.DeepEqual(gotPlans[tt], wantPlans[tt]) {
+				t.Fatalf("iter %d slot %d: incremental plan diverges:\n got %v\nwant %v",
+					iter, tt, gotPlans[tt], wantPlans[tt])
+			}
+		}
+	}
+	for iter := 0; iter < 12; iter++ {
+		for tt := range rewards {
+			for n := range rewards[tt] {
+				if iter == 0 {
+					dirty[tt][n] = true
+				} else {
+					// Sparse updates: most rows stay put, like late dual
+					// iterations where μ has largely converged.
+					dirty[tt][n] = rng.Float64() < 0.3
+				}
+				if !dirty[tt][n] {
+					continue
+				}
+				for k := range rewards[tt][n] {
+					rewards[tt][n][k] = rng.Float64() * 40
+				}
+			}
+		}
+		check(iter)
+	}
+
+	// All-clean round: every SBS must be skipped without touching its
+	// flow network.
+	for tt := range dirty {
+		for n := range dirty[tt] {
+			dirty[tt][n] = false
+		}
+	}
+	before := ws.FlowStats()
+	check(12)
+	if after := ws.FlowStats(); after != before {
+		t.Fatalf("all-clean round ran solver work: %+v -> %+v", before, after)
+	}
+
+	// Rebinding the same instance must keep the graphs (cross-window
+	// reuse) and still match the baseline on the next full solve.
+	g0 := ws.nets[0].g
+	ws.Bind(in)
+	if ws.nets[0].g != g0 {
+		t.Fatal("rebinding an identical instance rebuilt the flow network")
+	}
+	for tt := range dirty {
+		for n := range dirty[tt] {
+			dirty[tt][n] = true
+			for k := range rewards[tt][n] {
+				rewards[tt][n][k] = rng.Float64() * 40
+			}
+		}
+	}
+	check(13)
+}
+
 // TestWorkspaceCancellation mirrors the per-call path's cancellation
 // contract: a done context returns a wrapped ctx.Err().
 func TestWorkspaceCancellation(t *testing.T) {

@@ -90,6 +90,23 @@ type Options struct {
 	// bit-identical either way. A workspace must not be shared by
 	// concurrent Solves (SolveDistributed therefore ignores this field).
 	Workspace *Workspace
+	// Advance hints that the instance is the previous Solve's window shifted
+	// forward this many slots (receding horizon, same Workspace). Overlapping
+	// slots then keep their P2 coefficient precompute and carry their dual
+	// load iterates as warm starts — the x/y analogue of InitialMu, ablated
+	// upstream by online.Config.DisableIterateWarmStart. The hint is verified
+	// per slot against the actual plane inputs, so a wrong value degrades to
+	// a full rebind, never to corruption. 0 (the default) rebinds from
+	// scratch, resetting all cross-window P2 state.
+	Advance int
+	// DisableIncremental turns off the delta-aware re-solve machinery inside
+	// the dual loop — per-(t, n) μ-row change tracking, the reward-row
+	// recompute skip, the P1 incremental flow re-optimisation and the P2
+	// fixed-point slot skip. Results are bit-identical either way (that is
+	// the machinery's contract, pinned by TestSolveIncrementalMatchesDisabled
+	// and the sim-level differential suite); the switch exists for ablation,
+	// benchmarking and debugging.
+	DisableIncremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -177,7 +194,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	if ws == nil {
 		ws = NewWorkspace()
 	}
-	ws.bind(in)
+	ws.bind(in, opts.Advance)
 
 	// μ[t][n] is a flat (class, content) row like the demand layout.
 	mu := make([][][]float64, in.T)
@@ -203,6 +220,15 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 	res := &Result{LowerBound: math.Inf(-1), Gap: math.Inf(1)}
 	best := math.Inf(1)
 	stall := 0
+
+	// dirty aliases the workspace's per-(t, n) μ-row change flags — the
+	// event-driven schedule of the delta-aware dual loop (all true right
+	// after bind; maintained by the subgradient step below). Nil ablates
+	// the whole incremental path: every row recomputes and re-solves.
+	var dirty [][]bool
+	if !opts.DisableIncremental {
+		dirty = ws.muDirty
+	}
 
 	// partial is the best-so-far result handed back alongside a context
 	// error: nil until a feasible trajectory exists, so callers can
@@ -241,9 +267,15 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 			batch.Set("first_iter", l)
 		}
 
-		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1.
+		// ρ^t_{n,k} = Σ_m μ^t_{n,m,k} for P1. Rows whose μ did not move since
+		// their last recompute still hold the identical sum, so the
+		// incremental path leaves them untouched (dirty is nil — recompute
+		// everything — when the machinery is ablated).
 		for t := 0; t < in.T; t++ {
 			for n := 0; n < in.N; n++ {
+				if dirty != nil && !dirty[t][n] {
+					continue
+				}
 				row := ws.rewards[t][n]
 				for k := range row {
 					row[k] = 0
@@ -261,7 +293,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		p1Span := batch.Child("caching")
 		p1Span.Set("iter", l)
 		p1Start := time.Now()
-		xPlans, objP1, err := ws.p1.SolveAll(ctx, ws.rewards)
+		xPlans, objP1, err := ws.p1.SolveAllRows(ctx, ws.rewards, dirty)
 		p1Span.End()
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
@@ -274,7 +306,7 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 		p2Span := batch.Child("loadbalance")
 		p2Span.Set("iter", l)
 		p2Start := time.Now()
-		objP2, err := ws.p2.SolveDual(ctx, mu, opts.Convex)
+		objP2, err := ws.p2.SolveDualDirty(ctx, mu, opts.Convex, dirty)
 		p2Span.End()
 		if err != nil {
 			return partialOnCtx(ctx, partial), fmt.Errorf("core: iteration %d: %w", l, err)
@@ -335,12 +367,18 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 			break
 		}
 
-		// Projected subgradient step on μ (eqs. 15–17).
+		// Projected subgradient step on μ (eqs. 15–17). This is the sole
+		// mutator of μ, so it also maintains the per-row dirty flags: a row
+		// is clean for the next iteration iff no coordinate changed value
+		// (clamped rows with g ≥ 0 against μ = 0 are the common clean case
+		// once x and y agree). Writes are conditional on an actual change,
+		// which keeps μ bitwise identical to the unconditional baseline.
 		for t := 0; t < in.T; t++ {
 			for n := 0; n < in.N; n++ {
 				muRow := mu[t][n]
 				yRow := ws.p2.DualY(t, n)
 				xRow := xPlans[t][n]
+				changed := false
 				for m := 0; m < in.Classes[n]; m++ {
 					base := m * in.K
 					for k := 0; k < in.K; k++ {
@@ -349,9 +387,13 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (*Result, erro
 						if v < 0 {
 							v = 0
 						}
-						muRow[base+k] = v
+						if v != muRow[base+k] {
+							muRow[base+k] = v
+							changed = true
+						}
 					}
 				}
+				ws.muDirty[t][n] = changed
 			}
 		}
 	}

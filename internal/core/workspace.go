@@ -22,6 +22,7 @@ type Workspace struct {
 	p1      caching.Workspace
 	p2      loadbalance.Workspace
 	rewards [][][]float64 // ρ^t_{n,k} buffer, [t][n][k]
+	muDirty [][]bool      // per-(t, n): μ row changed since its last consumption
 }
 
 // NewWorkspace returns an empty workspace, ready to be passed via
@@ -29,8 +30,10 @@ type Workspace struct {
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // bind sizes the workspace for an instance, reusing buffers whose capacity
-// suffices.
-func (ws *Workspace) bind(in *model.Instance) {
+// suffices. advance > 0 declares the instance to be the previous bind's
+// window shifted forward that many slots (Options.Advance): the P2 bind
+// then rotates its per-slot state and carries iterates for the overlap.
+func (ws *Workspace) bind(in *model.Instance, advance int) {
 	// The P1 networks prune to each SBS's candidate set — items with
 	// demand somewhere in the window or initially cached. Dual rewards
 	// vanish outside that set (the multiplier of a never-requested,
@@ -50,11 +53,20 @@ func (ws *Workspace) bind(in *model.Instance) {
 		cands = nil
 	}
 	ws.p1.BindPruned(in, cands)
-	ws.p2.Bind(in)
+	if advance > 0 {
+		ws.p2.BindAdvance(in, advance, true)
+	} else {
+		ws.p2.Bind(in)
+	}
 	if cap(ws.rewards) < in.T {
 		ws.rewards = make([][][]float64, in.T)
 	} else {
 		ws.rewards = ws.rewards[:in.T]
+	}
+	if cap(ws.muDirty) < in.T {
+		ws.muDirty = make([][]bool, in.T)
+	} else {
+		ws.muDirty = ws.muDirty[:in.T]
 	}
 	for t := range ws.rewards {
 		if cap(ws.rewards[t]) < in.N {
@@ -62,12 +74,20 @@ func (ws *Workspace) bind(in *model.Instance) {
 		} else {
 			ws.rewards[t] = ws.rewards[t][:in.N]
 		}
+		if cap(ws.muDirty[t]) < in.N {
+			ws.muDirty[t] = make([]bool, in.N)
+		} else {
+			ws.muDirty[t] = ws.muDirty[t][:in.N]
+		}
 		for n := range ws.rewards[t] {
 			if cap(ws.rewards[t][n]) < in.K {
 				ws.rewards[t][n] = make([]float64, in.K)
 			} else {
 				ws.rewards[t][n] = ws.rewards[t][n][:in.K]
 			}
+			// Everything is dirty at bind time: the first dual iteration of
+			// a fresh solve must recompute and re-solve every row.
+			ws.muDirty[t][n] = true
 		}
 	}
 }

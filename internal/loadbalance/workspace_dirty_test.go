@@ -1,0 +1,324 @@
+package loadbalance
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"edgecache/internal/convex"
+	"edgecache/internal/model"
+	"edgecache/internal/workload"
+)
+
+// dirtyTestInstance is the shared fixture of the delta-aware P2 tests:
+// small enough to iterate fast, with an MBS cost component so the
+// non-greedy recovery path is exercised.
+func dirtyTestInstance(t *testing.T, horizon int) *model.Instance {
+	t.Helper()
+	cfg := workload.PaperDefault()
+	cfg.N = 2
+	cfg.T = horizon
+	cfg.K = 8
+	cfg.ClassesPerSBS = 3
+	cfg.OmegaSBSRatio = 0.3
+	in, err := workload.BuildInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestSolveDualDirtyMatchesFull locksteps the dirty-list path against the
+// solve-everything path through a dual-iteration-shaped μ sequence where
+// only some rows move, and checks every iteration produces bit-identical
+// iterates and totals — the exactness contract of the dirty-(t, n) list.
+// Rows with very large μ pin their iterate at zero, which the solver
+// certifies as a bitwise fixed point, so the skip path demonstrably fires.
+func TestSolveDualDirtyMatchesFull(t *testing.T) {
+	in := dirtyTestInstance(t, 4)
+	wsA := NewWorkspace()
+	wsA.Bind(in)
+	wsB := NewWorkspace()
+	wsB.Bind(in)
+
+	rng := rand.New(rand.NewPCG(21, 2))
+	opts := convex.Options{StepTol: 1e-8, MaxIter: 800}
+	mu := randomMu(rng, in, 1.0)
+	dirty := make([][]bool, in.T)
+	// Per-row μ scale: even rows huge (the dual prices every assignment
+	// out, pinning y ≡ 0 — an exact fixed point), odd rows moderate.
+	scale := func(tt, n int) float64 {
+		if (tt+n)%2 == 0 {
+			return 200
+		}
+		return 0.8
+	}
+	for tt := range dirty {
+		dirty[tt] = make([]bool, in.N)
+		for n := range dirty[tt] {
+			for i := range mu[tt][n] {
+				mu[tt][n][i] = rng.Float64() * scale(tt, n)
+			}
+		}
+	}
+
+	skipsBefore := mSlotSkips.Value()
+	for iter := 0; iter < 10; iter++ {
+		for tt := range dirty {
+			for n := range dirty[tt] {
+				dirty[tt][n] = iter == 0 || rng.Float64() < 0.4
+				if dirty[tt][n] && iter > 0 {
+					for i := range mu[tt][n] {
+						mu[tt][n][i] = rng.Float64() * scale(tt, n)
+					}
+				}
+			}
+		}
+		gotTotal, err := wsA.SolveDualDirty(context.Background(), mu, opts, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTotal, err := wsB.SolveDual(context.Background(), mu, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("iter %d: dirty-list total %v, full-solve total %v", iter, gotTotal, wantTotal)
+		}
+		for tt := 0; tt < in.T; tt++ {
+			for n := 0; n < in.N; n++ {
+				yA, yB := wsA.DualY(tt, n), wsB.DualY(tt, n)
+				for i := range yA {
+					if yA[i] != yB[i] {
+						t.Fatalf("iter %d (t=%d, n=%d, i=%d): dirty-list iterate %v, full-solve %v",
+							iter, tt, n, i, yA[i], yB[i])
+					}
+				}
+			}
+		}
+	}
+	if skips := mSlotSkips.Value() - skipsBefore; skips == 0 {
+		t.Fatal("no slot was ever skipped: the fixed-point certificate never engaged")
+	}
+}
+
+// TestFixedPointResolveIsIdentity solves one slot to a bitwise fixed
+// point and verifies the skip rule's premise directly: re-solving with
+// the same μ row reproduces the identical iterate and objective.
+func TestFixedPointResolveIsIdentity(t *testing.T) {
+	in := dirtyTestInstance(t, 2)
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rng := rand.New(rand.NewPCG(3, 33))
+	mu := randomMu(rng, in, 300) // price everything out: y* = 0 exactly
+	opts := convex.Options{StepTol: 1e-8, MaxIter: 800}
+	if _, err := ws.SolveDual(context.Background(), mu, opts); err != nil {
+		t.Fatal(err)
+	}
+	var s *slotState
+	for _, cand := range ws.slots {
+		if cand.fixed {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		t.Fatal("no slot reached a bitwise fixed point under saturating μ")
+	}
+	before := append([]float64(nil), s.y[:s.dim]...)
+	objA, err := s.solveDual(mu[s.t][s.n], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objB, err := s.solveDual(mu[s.t][s.n], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objA != objB {
+		t.Fatalf("re-solve at fixed point changed the objective: %v -> %v", objA, objB)
+	}
+	for i, v := range before {
+		if s.y[i] != v {
+			t.Fatalf("re-solve at fixed point moved y[%d]: %v -> %v", i, v, s.y[i])
+		}
+	}
+	if !s.fixed {
+		t.Fatal("fixed-point certificate lost across an identity re-solve")
+	}
+}
+
+// TestBindAdvanceMatchesBind slides a workspace across overlapping
+// windows of one long instance and checks both halves of the contract:
+// without iterate carry the rotated rebind is indistinguishable from a
+// fresh Bind (bit-identical solves), and with carry the first solve of
+// the new window equals the reference path warm-started from the previous
+// window's iterate for the same absolute slot.
+func TestBindAdvanceMatchesBind(t *testing.T) {
+	full := dirtyTestInstance(t, 6)
+	const w = 4
+	win := func(from int) *model.Instance {
+		sub, err := full.Window(from, from+w, full.InitialPlan(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	opts := convex.Options{StepTol: 1e-7, MaxIter: 600}
+	rng := rand.New(rand.NewPCG(17, 4))
+
+	w0, w1 := win(0), win(1)
+	muW0 := randomMu(rng, w0, 1.5)
+	muW1 := randomMu(rng, w1, 1.5)
+
+	// No carry: BindAdvance must reproduce a fresh Bind bit for bit.
+	wsA := NewWorkspace()
+	wsA.Bind(w0)
+	if _, err := wsA.SolveDual(context.Background(), muW0, opts); err != nil {
+		t.Fatal(err)
+	}
+	rotated := wsA.slots[1*w0.N] // state of absolute slot 1 before the slide
+	wsA.BindAdvance(w1, 1, false)
+	if wsA.slots[0] != rotated {
+		t.Fatal("BindAdvance did not rotate the overlapping slot state by pointer")
+	}
+	wsFresh := NewWorkspace()
+	wsFresh.Bind(w1)
+	gotA, err := wsA.SolveDual(context.Background(), muW1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wsFresh.SolveDual(context.Background(), muW1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA != want {
+		t.Fatalf("BindAdvance(carry=false) total %v, fresh Bind total %v", gotA, want)
+	}
+	for tt := 0; tt < w1.T; tt++ {
+		for n := 0; n < w1.N; n++ {
+			yA, yF := wsA.DualY(tt, n), wsFresh.DualY(tt, n)
+			for i := range yA {
+				if yA[i] != yF[i] {
+					t.Fatalf("carry=false (t=%d, n=%d, i=%d): advanced %v, fresh %v", tt, n, i, yA[i], yF[i])
+				}
+			}
+		}
+	}
+
+	// Carry: the rotated slots start from the previous window's iterate
+	// for the same absolute slot; the solve must equal the reference path
+	// warm-started from exactly that iterate.
+	wsC := NewWorkspace()
+	wsC.Bind(w0)
+	if _, err := wsC.SolveDual(context.Background(), muW0, opts); err != nil {
+		t.Fatal(err)
+	}
+	carried := make([][]float64, 0, (w-1)*w0.N)
+	for tt := 1; tt < w; tt++ {
+		for n := 0; n < w0.N; n++ {
+			carried = append(carried, append([]float64(nil), wsC.DualY(tt, n)...))
+		}
+	}
+	wsC.BindAdvance(w1, 1, true)
+	for i, tt := 0, 0; tt < w-1; tt++ {
+		for n := 0; n < w1.N; n++ {
+			y := wsC.DualY(tt, n)
+			for j := range y {
+				if y[j] != carried[i][j] {
+					t.Fatalf("carry=true dropped the iterate at (t=%d, n=%d, j=%d)", tt, n, j)
+				}
+			}
+			i++
+		}
+	}
+	if _, err := wsC.SolveDual(context.Background(), muW1, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := 0, 0; tt < w-1; tt++ {
+		for n := 0; n < w1.N; n++ {
+			sp := ForInstance(w1, tt, n, muW1[tt][n], nil)
+			wantY, _, err := sp.Solve(carried[i], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := wsC.DualY(tt, n)
+			for j := range got {
+				if got[j] != wantY[j] {
+					t.Fatalf("carry=true (t=%d, n=%d, j=%d): workspace %v, reference %v", tt, n, j, got[j], wantY[j])
+				}
+			}
+			i++
+		}
+	}
+}
+
+// TestRecoveryReplayMatchesSolve checks the recovery memoisation: a
+// repeated placement row replays the cached load split bit for bit and
+// skips the minimiser, while a changed row re-solves.
+func TestRecoveryReplayMatchesSolve(t *testing.T) {
+	in := dirtyTestInstance(t, 3)
+	ws := NewWorkspace()
+	ws.Bind(in)
+	rng := rand.New(rand.NewPCG(29, 7))
+	opts := convex.Options{StepTol: 1e-7, MaxIter: 600}
+
+	xPlans := make([]model.CachePlan, in.T)
+	for tt := range xPlans {
+		xPlans[tt] = model.NewCachePlan(in.N, in.K)
+		for n := 0; n < in.N; n++ {
+			for k := 0; k < in.K; k++ {
+				if rng.Float64() < 0.5 {
+					xPlans[tt][n][k] = 1
+				}
+			}
+		}
+	}
+	first, err := ws.Recover(context.Background(), xPlans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaysBefore := mRecReplays.Value()
+	second, err := ws.Recover(context.Background(), xPlans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replays := mRecReplays.Value() - replaysBefore; replays == 0 {
+		t.Fatal("repeated placements did not replay any cached recovery")
+	}
+	for tt := range first {
+		for n := range first[tt].Y {
+			for m := range first[tt].Y[n] {
+				for k, v := range first[tt].Y[n][m] {
+					if second[tt].Y[n][m][k] != v {
+						t.Fatalf("replayed recovery diverged at (t=%d, n=%d, m=%d, k=%d)", tt, n, m, k)
+					}
+				}
+			}
+		}
+	}
+
+	// Flip one placement: that slot must re-solve, and the result must
+	// match a fresh workspace's recovery of the same placements.
+	xPlans[1][0][2] = 1 - xPlans[1][0][2]
+	third, err := ws.Recover(context.Background(), xPlans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsFresh := NewWorkspace()
+	wsFresh.Bind(in)
+	want, err := wsFresh.Recover(context.Background(), xPlans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range want {
+		for n := range want[tt].Y {
+			for m := range want[tt].Y[n] {
+				for k, v := range want[tt].Y[n][m] {
+					if third[tt].Y[n][m][k] != v {
+						t.Fatalf("post-flip recovery diverged at (t=%d, n=%d, m=%d, k=%d)", tt, n, m, k)
+					}
+				}
+			}
+		}
+	}
+}

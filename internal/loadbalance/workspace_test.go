@@ -241,7 +241,7 @@ func TestSteadyStateDualSolveZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := &ws.slots[0]
+	s := ws.slots[0]
 	muRow := mu[0][0]
 	if allocs := testing.AllocsPerRun(50, func() {
 		if _, err := s.solveDual(muRow, opts); err != nil {

@@ -312,6 +312,162 @@ func TestRandomAgainstLP(t *testing.T) {
 	}
 }
 
+// TestResolveKeepsOnSafeCostIncrease pins the incremental fast path: a
+// cost increase on an arc carrying no flow leaves every dirty reduced
+// cost non-negative and the tight subgraph acyclic, so Resolve must keep
+// the routed flow without re-running successive shortest paths.
+func TestResolveKeepsOnSafeCostIncrease(t *testing.T) {
+	g := NewGraph(4)
+	a := g.AddArc(0, 1, 1, 1)
+	b := g.AddArc(1, 3, 1, 1)
+	c := g.AddArc(0, 2, 1, 5)
+	d := g.AddArc(2, 3, 1, 5)
+	if _, err := g.Solve(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.SetCost(c, 6)
+	res, err := g.Resolve(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 1 || math.Abs(res.Cost-2) > 1e-12 {
+		t.Fatalf("got flow %d cost %g, want 1, 2", res.Flow, res.Cost)
+	}
+	if g.Flow(a) != 1 || g.Flow(b) != 1 || g.Flow(c) != 0 || g.Flow(d) != 0 {
+		t.Fatalf("flows after keep: a=%d b=%d c=%d d=%d", g.Flow(a), g.Flow(b), g.Flow(c), g.Flow(d))
+	}
+	if st := g.Stats(); st.Kept != 1 || st.Fresh != 0 {
+		t.Fatalf("stats = %+v, want exactly one kept resolve", st)
+	}
+	// A second Resolve with no cost change must keep again.
+	if _, err := g.Resolve(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Kept != 2 {
+		t.Fatalf("stats after no-op resolve = %+v, want Kept=2", st)
+	}
+}
+
+// TestResolveFallsBackOnProblemChange: a Resolve for a different supply
+// (or endpoints) than the retained flow solves cannot reuse it.
+func TestResolveFallsBackOnProblemChange(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 2, 1)
+	g.AddArc(1, 2, 2, 1)
+	if _, err := g.Solve(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Resolve(0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || math.Abs(res.Cost-4) > 1e-12 {
+		t.Fatalf("got flow %d cost %g, want 2, 4", res.Flow, res.Cost)
+	}
+	if st := g.Stats(); st.Fresh != 1 || st.Kept != 0 {
+		t.Fatalf("stats = %+v, want one fresh resolve", st)
+	}
+}
+
+// TestResetClearsDirtyBookkeeping: Reset must drop the dirty list and the
+// warm state, so a post-Reset SetCost is not misattributed to a stale
+// flow (the satellite fix of PR 8).
+func TestResetClearsDirtyBookkeeping(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddArc(0, 1, 1, 1)
+	if _, err := g.Solve(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.SetCost(a, 2)
+	if len(g.dirty) != 1 || !g.dirtyMark[a] {
+		t.Fatalf("dirty list not recorded while warm: %v", g.dirty)
+	}
+	g.Reset()
+	if len(g.dirty) != 0 || g.dirtyMark[a] || g.warm {
+		t.Fatalf("Reset left dirty bookkeeping: dirty=%v mark=%v warm=%v", g.dirty, g.dirtyMark[a], g.warm)
+	}
+	g.SetCost(a, 3)
+	if len(g.dirty) != 0 {
+		t.Fatal("SetCost recorded dirty arcs on a cold graph")
+	}
+}
+
+// TestResolveMatchesFresh extends the Reset+SetCost reuse contract to the
+// incremental path: across rounds of cost updates — tiny perturbations
+// that the keep path should absorb and full re-randomizations that force
+// the fallback — Resolve on a reused graph must route exactly the same
+// per-arc flows as a freshly built graph, with the cost agreeing to
+// within accumulation noise (the kept path sums cost in arc order, the
+// fresh path in augmentation order).
+func TestResolveMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 21))
+	const nodes = 12
+	type edge struct{ from, to, cap int }
+	var edges []edge
+	for u := 0; u < nodes-1; u++ {
+		edges = append(edges, edge{u, u + 1, 2 + rng.IntN(3)})
+		for extra := 0; extra < 2; extra++ {
+			v := u + 1 + rng.IntN(nodes-u-1)
+			edges = append(edges, edge{u, v, 1 + rng.IntN(2)})
+		}
+	}
+	costs := make([]float64, len(edges))
+	for i := range costs {
+		costs[i] = rng.Float64()*10 - 5
+	}
+
+	reused := NewGraph(nodes)
+	reusedIDs := make([]Arc, len(edges))
+	for i, e := range edges {
+		reusedIDs[i] = reused.AddArc(e.from, e.to, e.cap, costs[i])
+	}
+	for round := 0; round < 40; round++ {
+		if round > 0 {
+			if round%3 == 0 {
+				// Full retarget: every cost changes.
+				for i := range costs {
+					costs[i] = rng.Float64()*10 - 5
+				}
+			} else {
+				// Delta retarget: perturb a few arcs slightly.
+				for j := 0; j < 1+rng.IntN(3); j++ {
+					i := rng.IntN(len(costs))
+					costs[i] += (rng.Float64() - 0.5) * 0.2
+				}
+			}
+			for i := range edges {
+				reused.SetCost(reusedIDs[i], costs[i])
+			}
+		}
+		fresh := NewGraph(nodes)
+		freshIDs := make([]Arc, len(edges))
+		for i, e := range edges {
+			freshIDs[i] = fresh.AddArc(e.from, e.to, e.cap, costs[i])
+		}
+		want, errW := fresh.Solve(0, nodes-1, 2)
+		got, errG := reused.Resolve(0, nodes-1, 2)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("round %d: fresh err %v, resolve err %v", round, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		if got.Flow != want.Flow || math.Abs(got.Cost-want.Cost) > 1e-9*(1+math.Abs(want.Cost)) {
+			t.Fatalf("round %d: resolve (cost %v, flow %d) != fresh (cost %v, flow %d)",
+				round, got.Cost, got.Flow, want.Cost, want.Flow)
+		}
+		for i := range edges {
+			if reused.Flow(reusedIDs[i]) != fresh.Flow(freshIDs[i]) {
+				t.Fatalf("round %d arc %d: resolve flow %d != fresh flow %d",
+					round, i, reused.Flow(reusedIDs[i]), fresh.Flow(freshIDs[i]))
+			}
+		}
+	}
+	if st := reused.Stats(); st.Kept+st.Repaired == 0 {
+		t.Fatalf("incremental path never engaged across perturbation rounds: %+v", st)
+	}
+}
+
 // TestResetSetCostMatchesFresh checks the graph-reuse contract behind the
 // caching workspace: after Reset (and optional SetCost updates) a solved
 // graph must behave exactly like a freshly built one — same cost, same flow

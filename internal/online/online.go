@@ -141,6 +141,18 @@ type Config struct {
 	// an ablation knob; warm starts change results only through solver
 	// accuracy).
 	DisableMuWarmStart bool
+	// DisableIterateWarmStart turns off the cross-window reuse of P2
+	// solver state between consecutive window solves of the same FHC
+	// version: the shifted dual load iterates and the per-(t, n)
+	// coefficient precompute of the overlapping slots stop carrying over
+	// (core.Options.Advance stays 0 and every window rebinds from
+	// scratch). The x/y analogue of DisableMuWarmStart, kept as an
+	// ablation knob; like the μ warm start it changes results only
+	// through solver accuracy. Reuse is verified per slot against the
+	// actual demand plane, so under prediction noise (η > 0, where each
+	// window re-forecasts overlapping slots) the carried state degrades
+	// gracefully to a rebind.
+	DisableIterateWarmStart bool
 	// SingleVersion runs only version v = 0 instead of the r staggered
 	// versions — plain Fixed Horizon Control, the classic baseline RHC
 	// and AFHC generalise. No averaging occurs, so no rounding is needed.
@@ -500,6 +512,7 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 	virtualPrev := in.InitialPlan()
 	var warmMu [][][]float64
 	var prevFrom, prevTo int
+	var solved bool // some window solve has bound the workspace already
 	// One solver workspace serves all of this version's window solves: the
 	// overlapping windows share shapes, so the P1 networks, P2 subproblem
 	// state and solver scratch are recycled instead of rebuilt per window.
@@ -543,6 +556,17 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 		opts.Workspace = ws
 		if !cfg.DisableMuWarmStart && warmMu != nil {
 			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
+		}
+		// Cross-window P2 reuse: declare how far this window slid past the
+		// previous solve of this version, so overlapping slots keep their
+		// coefficient precompute and carry their dual load iterates. The
+		// hint is verified per slot inside the bind; solved tracks whether
+		// this workspace has a previous window at all (degraded windows
+		// without a solver result leave no state worth advancing from).
+		if !cfg.DisableIterateWarmStart && solved && from > prevFrom {
+			opts.Advance = from - prevFrom
+		} else {
+			opts.Advance = 0
 		}
 
 		wctx, wSpan := obs.StartSpan(ctx, "window_solve")
@@ -628,7 +652,7 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 			}
 			cfg.Telemetry.Emit("window_solve", fields)
 		}
-		warmMu, prevFrom, prevTo = sol.Mu, from, to
+		warmMu, prevFrom, prevTo, solved = sol.Mu, from, to, true
 
 		for t := from; t < commitEnd; t++ {
 			xa[t] = sol.Trajectory[t-from].X
