@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race staticcheck ci bench bench-diff trace-demo cover fuzz audit chaos experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench bench-diff trace-demo cover fuzz audit chaos chaos-live serve-smoke experiments report examples
 
 all: build vet test
 
@@ -20,7 +20,7 @@ test-short:
 
 # Race-enabled run of the concurrency-sensitive packages (what CI runs).
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core ./internal/online ./internal/fault
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/core ./internal/online ./internal/fault ./internal/obs ./internal/serve ./internal/workload
 
 # Static analysis; CI installs the binary, locally this no-ops with a
 # notice when staticcheck is not on PATH.
@@ -32,7 +32,7 @@ staticcheck:
 	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race chaos staticcheck bench bench-diff trace-demo
+ci: build vet test race chaos serve-smoke chaos-live staticcheck bench bench-diff trace-demo
 
 # Benchmark run recorded as JSON (see cmd/bench and DESIGN.md §8). CI uses
 # the short BENCHTIME as a smoke pass; for tracked numbers use the default
@@ -107,6 +107,27 @@ chaos:
 		-faults "randoutage:rate=0.03,mean=3; corrupt:mode=spike,from=3,to=20,mag=5; solvererr:t=7; panic:t=12,attempts=2" -fault-seed 1
 	$(GO) run ./cmd/experiments -scale quick -fig outage -audit -progress=false -seed 2
 
+# Service smoke: boot jocserve with a mock clock, replay a deterministic
+# request trace over real HTTP, kill and restore the service from its
+# snapshot at mid-horizon, and require the final trajectory to match a
+# golden batch replay bit for bit (DESIGN.md §13).
+serve-smoke:
+	$(GO) run ./cmd/jocserve -smoke -T 16 -K 10 -classes 6 -sbs 2 -C 3 -B 10 \
+		-algo chc -w 4 -r 2
+	$(GO) run ./cmd/jocserve -smoke -T 16 -K 10 -classes 6 -sbs 2 -C 3 -B 10 \
+		-algo rhc -w 4
+
+# Point the PR 5 fault schedules at the running service: the smoke
+# harness under solver errors, an injected panic, prediction corruption
+# and a bandwidth fault, with the kill/restore straddling the faults.
+chaos-live:
+	$(GO) run ./cmd/jocserve -smoke -T 16 -K 10 -classes 6 -sbs 2 -C 3 -B 10 \
+		-algo rhc -w 4 -fault-seed 7 \
+		-faults "solvererr:t=3,attempts=3; panic:t=10; corrupt:mode=spike,from=5,to=9,mag=3; bw:n=0,from=6,to=12,factor=0.5"
+	$(GO) run ./cmd/jocserve -smoke -T 16 -K 10 -classes 6 -sbs 2 -C 3 -B 10 \
+		-algo chc -w 4 -r 2 -fault-seed 3 \
+		-faults "solvererr:t=2,attempts=3; corrupt:mode=dropout,rate=0.3,from=4,to=12; cap:n=1,from=8,to=14,lose=1"
+
 # Regenerate every figure (slow: full sweeps on the default scale), then
 # assemble EXPERIMENTS.md with machine-checked paper claims.
 experiments:
@@ -120,3 +141,4 @@ examples:
 	$(GO) run ./examples/videostream
 	$(GO) run ./examples/flashcrowd
 	$(GO) run ./examples/multisbs
+	$(GO) run ./examples/livecontrol

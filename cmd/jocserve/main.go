@@ -1,0 +1,380 @@
+// Command jocserve runs the online controller as a streaming HTTP
+// service: edge nodes POST demand reports, a wall-clock ticker closes
+// one slot per period, and the current caching/load-balancing decision
+// is published at /v1/plan. Controller state is snapshotted atomically
+// after every slot, so a killed service restarted with the same command
+// line resumes exactly where it stopped.
+//
+// Usage:
+//
+//	jocserve -addr localhost:8080 -snapshot /var/run/joc.snapshot.json
+//	jocserve -T 60 -K 30 -sbs 4 -algo chc -w 10 -r 5 -slot 2s
+//	jocserve -debug-addr localhost:6060      # expvar, pprof, /metrics, /debug/solver
+//	jocserve -faults "solvererr:t=2,attempts=3" -fault-seed 7
+//	jocserve -smoke                          # deterministic self-test, exits PASS/FAIL
+//
+// Endpoints:
+//
+//	POST /v1/requests    {"requests":[{"sbs":0,"class":1,"content":3,"count":2}]}
+//	GET  /v1/plan        published decision for the open slot
+//	POST /v1/tick        close the open slot explicitly (when -slot 0)
+//	GET  /v1/stats       live controller counters
+//	GET  /v1/trajectory  committed decisions so far
+//	GET  /v1/healthz     liveness
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"edgecache"
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+	"edgecache/internal/online"
+	"edgecache/internal/serve"
+	"edgecache/internal/trace"
+	"edgecache/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jocserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jocserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "localhost:8080", "service listen address")
+		debugAddr = fs.String("debug-addr", "", "serve expvar, pprof, /metrics and /debug/solver on this address")
+		horizon   = fs.Int("T", 60, "time slots")
+		catalogue = fs.Int("K", 30, "catalogue size")
+		classes   = fs.Int("classes", 30, "user classes per SBS")
+		sbs       = fs.Int("sbs", 1, "number of SBSs")
+		cache     = fs.Int("C", 5, "cache capacity per SBS")
+		bandwidth = fs.Float64("B", 30, "SBS bandwidth per slot")
+		beta      = fs.Float64("beta", 100, "cache replacement cost β")
+		jitter    = fs.Float64("jitter", 0.4, "demand temporal jitter (smoke trace only)")
+		drift     = fs.Int("drift", 0, "popularity drift period (0 = off)")
+		seed      = fs.Uint64("seed", 1, "workload seed (topology and smoke trace)")
+		algo      = fs.String("algo", "chc", "controller: rhc, chc, afhc, fhc")
+		window    = fs.Int("w", 10, "prediction window")
+		commit    = fs.Int("r", 5, "CHC commitment level")
+		slotDur   = fs.Duration("slot", 0, "wall-clock slot length (0 = advance via POST /v1/tick)")
+		snapshot  = fs.String("snapshot", "", "snapshot file; written after every slot, restored on start")
+		alpha     = fs.Float64("alpha", 0, "demand estimator EWMA weight (0 = default)")
+		floor     = fs.Float64("floor", -1, "estimator decay floor (-1 = default, 0 = off)")
+		faultSpec = fs.String("faults", "", `fault schedule: inline DSL like "solvererr:t=2,attempts=3; corrupt:mode=spike,magnitude=3" or a JSON file path`)
+		faultSeed = fs.Uint64("fault-seed", 0, "seed for randomised fault injectors (0 = the schedule's own seed)")
+		smoke     = fs.Bool("smoke", false, "run the deterministic self-test (trace replay over HTTP, kill and restore mid-run, golden comparison) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg online.Config
+	switch *algo {
+	case "rhc":
+		cfg = online.RHC(*window)
+	case "chc":
+		cfg = online.CHC(*window, min(*commit, *window))
+	case "afhc":
+		cfg = online.AFHC(*window)
+	case "fhc":
+		cfg = online.FHC(*window)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want rhc, chc, afhc or fhc)", *algo)
+	}
+	var sched *fault.Schedule
+	var err error
+	if *faultSpec != "" {
+		sched, err = fault.FromSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+	}
+	cfg.Faults = sched
+
+	scn := edgecache.NewScenario(*sbs, *catalogue, *classes, *horizon).
+		WithCache(*cache).
+		WithBandwidth(*bandwidth).
+		WithBeta(*beta).
+		WithJitter(*jitter).
+		WithDrift(*drift).
+		WithSeed(*seed)
+	base, _, err := scn.Build()
+	if err != nil {
+		return err
+	}
+	// Topology faults (outages, bandwidth, capacity) reshape the instance;
+	// corruption and solver faults ride in the serve/online configs.
+	eff, err := serve.MaterializeFaults(base, sched)
+	if err != nil {
+		return err
+	}
+	scfg := serve.Config{
+		Online:         cfg,
+		EstimatorAlpha: *alpha,
+		EstimatorFloor: *floor,
+		SnapshotPath:   *snapshot,
+		Faults:         sched,
+	}
+
+	if *smoke {
+		return runSmoke(ctx, out, eff, scfg, *seed)
+	}
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		// Feed the flight recorder so /debug/solver shows the live
+		// controller's recent window solves and dual iterations.
+		scfg.Online.Telemetry = obs.New(obs.Flight, nil)
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/, /debug/vars, /metrics, /debug/solver\n", dbg.Addr())
+	}
+
+	ctrl, err := serve.Open(ctx, eff, scfg)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{Controller: ctrl, SlotDuration: *slotDur})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	st := ctrl.Stats()
+	fmt.Fprintf(out, "jocserve: %s on http://%s, slot %d/%d", cfg.Name(), srv.Addr(), st.Slot, st.Horizon)
+	if *slotDur > 0 {
+		fmt.Fprintf(out, ", ticking every %s", *slotDur)
+	}
+	if *snapshot != "" {
+		fmt.Fprintf(out, ", snapshotting to %s", *snapshot)
+	}
+	fmt.Fprintln(out)
+
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "jocserve: stopped at slot %d/%d\n", ctrl.Stats().Slot, ctrl.Stats().Horizon)
+	return nil
+}
+
+// smokeClient drives one jocserve instance over real HTTP.
+type smokeClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *smokeClient) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *smokeClient) post(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runSmoke is the -smoke self-test: replay a deterministic request trace
+// against a live service over real HTTP — ticker on a mock clock — kill
+// the service at mid-horizon, restore it from the snapshot on disk, and
+// compare the final committed trajectory against a golden batch replay
+// over the same empirical demand. Exits non-zero on any divergence.
+func runSmoke(ctx context.Context, out io.Writer, eff *model.Instance, scfg serve.Config, seed uint64) error {
+	if scfg.SnapshotPath == "" {
+		dir, err := os.MkdirTemp("", "jocserve-smoke-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		scfg.SnapshotPath = filepath.Join(dir, "snapshot.json")
+	}
+	tr := trace.Generate(eff.Demand, seed)
+	fmt.Fprintf(out, "smoke: %s over T=%d N=%d K=%d, %d requests, snapshot %s\n",
+		scfg.Online.Name(), eff.T, eff.N, eff.K, tr.Len(), scfg.SnapshotPath)
+
+	const period = time.Second // mock time; never actually elapses
+	boot := func() (*serve.Controller, *serve.Server, *serve.MockClock, *smokeClient, error) {
+		ctrl, err := serve.Open(ctx, eff, scfg)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		clock := serve.NewMockClock(time.Unix(0, 0))
+		srv, err := serve.NewServer(serve.ServerConfig{Controller: ctrl, Clock: clock, SlotDuration: period})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if err := srv.Start("localhost:0"); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		cl := &smokeClient{base: "http://" + srv.Addr(), hc: &http.Client{Timeout: 30 * time.Second}}
+		return ctrl, srv, clock, cl, nil
+	}
+	shutdown := func(srv *serve.Server) error {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+
+	ctrl, srv, clock, cl, err := boot()
+	if err != nil {
+		return err
+	}
+	closeSlot := func(slot int) error {
+		// Feed the slot's trace over HTTP, then advance the mock clock one
+		// period and wait for the ticker goroutine to close the slot.
+		var batch []serve.Request
+		for n := 0; n < tr.N(); n++ {
+			for _, r := range tr.Slot(slot, n) {
+				batch = append(batch, serve.Request{SBS: r.SBS, Class: r.Class, Content: r.Content})
+			}
+		}
+		var plan serve.Plan
+		if err := cl.get("/v1/plan", &plan); err != nil {
+			return err
+		}
+		if plan.Slot != slot {
+			return fmt.Errorf("slot %d: service publishes plan for slot %d", slot, plan.Slot)
+		}
+		var ack serve.IngestResponse
+		if err := cl.post("/v1/requests", serve.IngestRequest{Requests: batch}, &ack); err != nil {
+			return fmt.Errorf("slot %d: %w", slot, err)
+		}
+		if ack.Slot != slot || ack.Accepted != len(batch) {
+			return fmt.Errorf("slot %d: ingest ack %+v for %d requests", slot, ack, len(batch))
+		}
+		clock.Advance(period)
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var st serve.Stats
+			if err := cl.get("/v1/stats", &st); err != nil {
+				return err
+			}
+			if st.Slot > slot || st.Done {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("slot %d: ticker never closed the slot", slot)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	killAt := eff.T / 2
+	for slot := 0; slot < killAt; slot++ {
+		if err := closeSlot(slot); err != nil {
+			return err
+		}
+	}
+
+	// Kill: shut the service down, drop the controller, and bring a fresh
+	// process-equivalent up from the snapshot on disk.
+	if err := shutdown(srv); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoke: killed at slot %d, restoring from snapshot\n", killAt)
+	ctrl, srv, clock, cl, err = boot()
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if got := ctrl.Stats().Slot; got != killAt {
+		return fmt.Errorf("restored service opens slot %d, want %d", got, killAt)
+	}
+	for slot := killAt; slot < eff.T; slot++ {
+		if err := closeSlot(slot); err != nil {
+			return err
+		}
+	}
+	var got model.Trajectory
+	if err := cl.get("/v1/trajectory", &got); err != nil {
+		return err
+	}
+	var stats serve.Stats
+	if err := cl.get("/v1/stats", &stats); err != nil {
+		return err
+	}
+	if err := shutdown(srv); err != nil {
+		return err
+	}
+
+	// Golden: a batch replay of the same controller over the trace's
+	// empirical tensor with a fresh estimator — what an unkilled,
+	// un-served controller would have committed.
+	goldenIn := *eff
+	goldenIn.Demand = tr.EmpiricalDemand()
+	est, err := workload.NewOnlineEstimator(goldenIn.Demand, scfg.EstimatorAlpha, scfg.EstimatorFloor)
+	if err != nil {
+		return err
+	}
+	pred := workload.Corrupt(est, scfg.Faults.Corruptor(goldenIn.Demand))
+	golden, err := online.Run(ctx, &goldenIn, pred, scfg.Online)
+	if err != nil {
+		return err
+	}
+	// Compare through JSON so both sides share the wire encoding.
+	wantRaw, err := json.Marshal(golden.Trajectory)
+	if err != nil {
+		return err
+	}
+	gotRaw, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(wantRaw, gotRaw) {
+		fmt.Fprintln(out, "smoke: FAIL — served trajectory diverges from the golden batch replay")
+		return fmt.Errorf("smoke failed")
+	}
+	fmt.Fprintf(out, "smoke: PASS — %d slots, %d requests, %d window solves, %d degraded, trajectory matches golden replay across kill/restore\n",
+		eff.T, stats.Ingested, stats.Solves, stats.Degraded)
+	return nil
+}

@@ -1,0 +1,207 @@
+// Livecontrol: a multi-process live deployment of the streaming control
+// plane. The parent process hosts the jocserve control loop (a
+// serve.Server ticking on the wall clock); it then re-execs itself once
+// per SBS as an edge-node process. Each edge node polls GET /v1/plan
+// over HTTP, generates its own SBS's request traffic from a seeded
+// trace, reports it via POST /v1/requests, and scores the published
+// placement against its local traffic (cache hits). When the horizon
+// completes, the nodes print their hit summaries and the parent prints
+// the controller's totals.
+//
+// Run with:
+//
+//	go run ./examples/livecontrol
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"edgecache"
+	"edgecache/internal/online"
+	"edgecache/internal/serve"
+	"edgecache/internal/trace"
+)
+
+const (
+	sbsCount  = 3
+	horizon   = 12
+	catalogue = 12
+	classes   = 6
+	seed      = 42
+	slotEvery = 150 * time.Millisecond
+)
+
+// nodeEnv marks a re-exec'd child and carries its SBS index.
+const nodeEnv = "LIVECONTROL_NODE"
+
+// addrEnv carries the parent's service address to the children.
+const addrEnv = "LIVECONTROL_ADDR"
+
+func main() {
+	if idx := os.Getenv(nodeEnv); idx != "" {
+		n, err := strconv.Atoi(idx)
+		if err != nil {
+			log.Fatalf("edge node: bad %s=%q", nodeEnv, idx)
+		}
+		if err := runEdgeNode(n, os.Getenv(addrEnv)); err != nil {
+			log.Fatalf("edge node %d: %v", n, err)
+		}
+		return
+	}
+	if err := runControlPlane(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildInstance builds the shared deterministic scenario. Parent and
+// children construct the identical instance (and trace) from the same
+// constants, the way a fleet shares a config file.
+func buildInstance() (*edgecache.Instance, error) {
+	in, _, err := edgecache.NewScenario(sbsCount, catalogue, classes, horizon).
+		WithCache(4).
+		WithBandwidth(12).
+		WithBeta(10).
+		WithJitter(0.3).
+		WithSeed(seed).
+		Build()
+	return in, err
+}
+
+func runControlPlane() error {
+	ctx := context.Background()
+	in, err := buildInstance()
+	if err != nil {
+		return err
+	}
+	ctrl, err := serve.New(ctx, in, serve.Config{
+		Online:         online.CHC(4, 2),
+		EstimatorFloor: -1,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Controller:   ctrl,
+		SlotDuration: slotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start("localhost:0"); err != nil {
+		return err
+	}
+	fmt.Printf("control plane: %d SBSs, T=%d, slot %s, serving on http://%s\n",
+		sbsCount, horizon, slotEvery, srv.Addr())
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	nodes := make([]*exec.Cmd, sbsCount)
+	for n := 0; n < sbsCount; n++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", nodeEnv, n),
+			fmt.Sprintf("%s=%s", addrEnv, srv.Addr()))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn edge node %d: %w", n, err)
+		}
+		nodes[n] = cmd
+	}
+
+	// The ticker closes one slot per period; wait out the horizon.
+	for !ctrl.Done() {
+		time.Sleep(slotEvery / 4)
+	}
+	for n, cmd := range nodes {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("edge node %d: %w", n, err)
+		}
+	}
+	st := ctrl.Stats()
+	fmt.Printf("control plane: horizon complete — %d requests ingested, %d window solves, %d dual iterations, %d degraded\n",
+		st.Ingested, st.Solves, st.DualIters, st.Degraded)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// runEdgeNode is the child body: follow the published plan slot by
+// slot, report this SBS's traffic, and score the placement locally.
+func runEdgeNode(n int, addr string) error {
+	in, err := buildInstance()
+	if err != nil {
+		return err
+	}
+	tr := trace.Generate(in.Demand, seed+1)
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := "http://" + addr
+
+	requests, hits := 0, 0
+	reported := -1 // last slot whose traffic this node has posted
+	for {
+		resp, err := client.Get(base + "/v1/plan")
+		if err != nil {
+			return err
+		}
+		var plan serve.Plan
+		err = json.NewDecoder(resp.Body).Decode(&plan)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if plan.Done {
+			break
+		}
+		if plan.Slot > reported {
+			reported = plan.Slot
+			var batch []serve.Request
+			for _, r := range tr.Slot(plan.Slot, n) {
+				batch = append(batch, serve.Request{SBS: r.SBS, Class: r.Class, Content: r.Content})
+				requests++
+				// A request is a local hit when the published placement
+				// caches the content at this SBS.
+				if plan.X != nil && plan.X[n][r.Content] >= 0.5 {
+					hits++
+				}
+			}
+			if len(batch) > 0 {
+				raw, err := json.Marshal(serve.IngestRequest{Requests: batch})
+				if err != nil {
+					return err
+				}
+				post, err := client.Post(base+"/v1/requests", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					return err
+				}
+				io.Copy(io.Discard, post.Body)
+				post.Body.Close()
+				// A conflict means the ticker closed the horizon under us;
+				// any other non-200 is a real error.
+				if post.StatusCode != http.StatusOK && post.StatusCode != http.StatusConflict {
+					return fmt.Errorf("report slot %d: status %d", plan.Slot, post.StatusCode)
+				}
+			}
+		}
+		time.Sleep(slotEvery / 8)
+	}
+	ratio := 0.0
+	if requests > 0 {
+		ratio = float64(hits) / float64(requests)
+	}
+	fmt.Printf("edge node %d: %d requests, %d cache hits (%.0f%%)\n", n, requests, hits, 100*ratio)
+	return nil
+}

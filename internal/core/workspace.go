@@ -92,6 +92,35 @@ func (ws *Workspace) bind(in *model.Instance, advance int) {
 	}
 }
 
+// Invalidate discards the workspace's bindings so the next Solve rebinds
+// everything from scratch: no advance rotation, no reuse of possibly
+// half-written per-slot state. The online layer calls it when a panic
+// escaped a solve — the bind may have been interrupted midway.
+func (ws *Workspace) Invalidate() {
+	ws.p2.Invalidate()
+}
+
+// ExportP2Iterates deep-copies the P2 dual load iterates and their
+// compact-path invariants — the cross-window warm-start state of the
+// incremental path (Options.Advance), which is the only solver state
+// inside the workspace that affects results across Solve calls. Valid
+// between a Solve and the next bind.
+func (ws *Workspace) ExportP2Iterates() ([][]float64, []bool) {
+	return ws.p2.ExportIterates()
+}
+
+// RestoreP2 rebinds the P2 state to win — the window instance of the
+// workspace's last bound solve — and loads previously exported iterates,
+// reconstructing the warm-start state an uninterrupted run would carry
+// into its next BindAdvance. The P1 networks and recovery memoisation
+// stay cold: both are bit-exact result-neutral (the next Solve rebinds P1
+// and recomputes recoveries to identical values), so a restored
+// workspace's subsequent solves reproduce the uninterrupted run exactly.
+func (ws *Workspace) RestoreP2(win *model.Instance, y [][]float64, compactOK []bool) error {
+	ws.p2.Bind(win)
+	return ws.p2.ImportIterates(y, compactOK)
+}
+
 // linearizedPlacements is LinearizedPlacements on workspace state: the
 // same reward arithmetic written into the reused buffer, solved on the
 // reused P1 networks. The returned plans alias the workspace.

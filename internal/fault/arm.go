@@ -51,6 +51,39 @@ func (s *Schedule) Arm() *Armed {
 	return &Armed{pending: pending}
 }
 
+// Snapshot returns the remaining per-slot attempt budgets — the mutable
+// state of an armed schedule, which a controller snapshot must carry so a
+// restored run does not re-inject faults the interrupted run already
+// consumed. Nil-safe: a nil Armed snapshots to nil.
+func (a *Armed) Snapshot() map[int]int {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]int, len(a.pending))
+	for slot, f := range a.pending {
+		out[slot] = f.remaining
+	}
+	return out
+}
+
+// Restore overwrites the remaining attempt budgets with a snapshot taken
+// from an Armed of the same schedule. Slots absent from the snapshot keep
+// their armed budget. Nil-safe on both sides.
+func (a *Armed) Restore(budgets map[int]int) {
+	if a == nil || budgets == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for slot, remaining := range budgets {
+		if f := a.pending[slot]; f != nil {
+			f.remaining = remaining
+		}
+	}
+}
+
 // Inject consumes one failure budget for a solve attempt at decision
 // slot tau. It returns (nil, false) when the attempt should proceed
 // normally, (err, false) when the attempt must fail with the injected

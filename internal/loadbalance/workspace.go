@@ -752,6 +752,47 @@ func (ws *Workspace) SolveDualDirty(ctx context.Context, mu [][][]float64, opts 
 	return total, err
 }
 
+// Invalidate discards the workspace's binding: the next Bind or
+// BindAdvance rebuilds every per-slot state from scratch instead of
+// rotating or reusing it. Callers use it when the bound state may be
+// inconsistent — e.g. a panic interrupted a bind midway.
+func (ws *Workspace) Invalidate() { ws.in = nil }
+
+// ExportIterates returns deep copies of the per-(t, n) dual load
+// iterates and their compact-path invariants, indexed t·N + n — the
+// cross-window warm-start state a snapshot must carry (everything else
+// the next bind recomputes from the instance). Valid only while the
+// workspace is bound.
+func (ws *Workspace) ExportIterates() ([][]float64, []bool) {
+	y := make([][]float64, len(ws.slots))
+	ok := make([]bool, len(ws.slots))
+	for i, s := range ws.slots {
+		y[i] = append([]float64(nil), s.y[:s.dim]...)
+		ok[i] = s.compactOK
+	}
+	return y, ok
+}
+
+// ImportIterates loads previously exported dual iterates into a freshly
+// bound workspace (restore path): iterate values and compactOK flags are
+// taken verbatim, the fixed-point certificates stay dead (the next bind
+// kills them on the live path too, so restored and uninterrupted
+// workspaces are indistinguishable to the solver).
+func (ws *Workspace) ImportIterates(y [][]float64, compactOK []bool) error {
+	if len(y) != len(ws.slots) || len(compactOK) != len(ws.slots) {
+		return fmt.Errorf("loadbalance: %d iterates for %d slots", len(y), len(ws.slots))
+	}
+	for i, s := range ws.slots {
+		if len(y[i]) != s.dim {
+			return fmt.Errorf("loadbalance: iterate %d has %d entries, want %d", i, len(y[i]), s.dim)
+		}
+		copy(s.y[:s.dim], y[i])
+		s.compactOK = compactOK[i]
+		s.fixed = false
+	}
+	return nil
+}
+
 // DualY returns the live dual iterate of slot (t, n) as a flat
 // (class, content) row. It aliases workspace state: valid until the next
 // SolveDual or Bind, and must not be mutated.

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugSurfaceConcurrentScrapeAndDump hammers the whole debug
+// surface — the Prometheus exposition, the expvar snapshot, the flight
+// recorder's JSON dump and its text dump (the SIGQUIT handler's path) —
+// while a writer goroutine emits metrics and flight events at full
+// rate, the mix a live controller produces when a scrape, a solver and
+// a signal-triggered dump collide. Run under -race (the Makefile's race
+// target covers this package); the assertions only check the responses
+// stay well-formed.
+func TestDebugSurfaceConcurrentScrapeAndDump(t *testing.T) {
+	d, err := ServeDebug("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The "solver": emits metric updates and flight-recorder events.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := Default.Counter("testconc.iters")
+		h := Default.Histogram("testconc.gap")
+		tm := Default.Timer("testconc.solve")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(float64(i % 100))
+			tm.Observe(time.Duration(i%7) * time.Millisecond)
+			Flight.Emit(Event{Type: "window_solve", Fields: Fields{
+				"version": i % 3, "tau": i, "iterations": i % 25, "gap": 0.5,
+			}})
+			if i%64 == 0 {
+				Flight.Emit(Event{Type: "dual_iteration", Fields: Fields{
+					"iteration": i, "gap": 1.0 / float64(i+1),
+				}})
+			}
+		}
+	}()
+
+	// Concurrent SIGQUIT-style dumps straight off the recorder.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = Flight.WriteText(io.Discard)
+			_ = Flight.WriteJSON(io.Discard)
+		}
+	}()
+
+	get := func(path string) error {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Concurrent scrapers over every read endpoint.
+	paths := []string{"/metrics", "/debug/solver", "/debug/vars"}
+	errs := make(chan error, len(paths))
+	for _, p := range paths {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := get(path); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(p)
+	}
+	for range paths {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegisterDebugHandlersOnCallerMux pins the reusable mounting path
+// (the service mux of cmd/jocserve): the handlers work on a caller-owned
+// mux, and repeated registration cycles across fresh muxes don't trip
+// the expvar duplicate-publish panic.
+func TestRegisterDebugHandlersOnCallerMux(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		mux := http.NewServeMux()
+		RegisterDebugHandlers(mux)
+		req, err := http.NewRequest(http.MethodGet, "/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &recordingWriter{header: make(http.Header)}
+		mux.ServeHTTP(rec, req)
+		if rec.status != 0 && rec.status != http.StatusOK {
+			t.Fatalf("cycle %d: /metrics status %d", i, rec.status)
+		}
+		if len(rec.body) == 0 {
+			t.Fatalf("cycle %d: /metrics wrote nothing", i)
+		}
+	}
+}
+
+type recordingWriter struct {
+	header http.Header
+	body   []byte
+	status int
+}
+
+func (r *recordingWriter) Header() http.Header { return r.header }
+func (r *recordingWriter) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}
+func (r *recordingWriter) WriteHeader(status int) { r.status = status }

@@ -34,6 +34,37 @@ func PublishExpvar() {
 	}))
 }
 
+// RegisterDebugHandlers mounts the debug surface on mux — the same
+// handlers ServeDebug wires onto its private mux, reusable by services
+// that already own an HTTP server (cmd/jocserve mounts them on its
+// -debug-addr mux):
+//
+//	/debug/vars    expvar, including the Default metrics registry
+//	/debug/pprof/  live CPU/heap/goroutine profiling
+//	/metrics       Prometheus text exposition of the Default registry
+//	/debug/solver  JSON dump of the solver flight recorder (obs.Flight)
+//
+// All handlers are safe under concurrent scrapes and concurrent solver
+// activity: the registry snapshot and the flight recorder dump read
+// under their own synchronisation.
+func RegisterDebugHandlers(mux *http.ServeMux) {
+	PublishExpvar()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/solver", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Flight.WriteJSON(w)
+	})
+}
+
 // DebugServer is a running debug HTTP endpoint (see ServeDebug). Close
 // shuts it down gracefully and waits for the serve goroutine to exit, so
 // tests can assert no goroutine leaks across a start/stop cycle.
@@ -57,27 +88,13 @@ type DebugServer struct {
 // ":0") and Close stops the server. The handlers live on a private mux,
 // so repeated start/stop cycles never re-register on the default mux.
 func ServeDebug(addr string) (*DebugServer, error) {
-	PublishExpvar()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = Default.WritePrometheus(w)
-	})
-	mux.HandleFunc("/debug/solver", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = Flight.WriteJSON(w)
-	})
+	RegisterDebugHandlers(mux)
 
 	d := &DebugServer{
 		srv:  &http.Server{Handler: mux},

@@ -44,7 +44,7 @@ func TestRunVersionStartupCoversEarlySlots(t *testing.T) {
 	// slot 0 (Ψ_v reaches into negative time, per Algorithm 3).
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
-	var stats versionStats
+	var stats VersionStats
 	if err := runVersion(context.Background(), in, pred, cfg, 1, nil, nil, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestRunVersionStartupCoversEarlySlots(t *testing.T) {
 			t.Fatalf("version 1 left slot %d uncommitted", tt)
 		}
 	}
-	if stats.solves == 0 || stats.dualIters == 0 {
+	if stats.Solves == 0 || stats.DualIters == 0 {
 		t.Fatalf("no solver effort recorded: %+v", stats)
 	}
 }
@@ -68,7 +68,7 @@ func TestVersionsCommitDisjointBlocks(t *testing.T) {
 	// committed placements must be feasible and integral.
 	xa := make([]model.CachePlan, in.T)
 	ya := make([]model.LoadPlan, in.T)
-	var stats versionStats
+	var stats VersionStats
 	if err := runVersion(context.Background(), in, pred, cfg, 0, nil, nil, xa, ya, &stats); err != nil {
 		t.Fatal(err)
 	}
@@ -81,8 +81,8 @@ func TestVersionsCommitDisjointBlocks(t *testing.T) {
 		}
 	}
 	// T = 12, r = 2 → 6 solves.
-	if stats.solves != in.T/2 {
-		t.Fatalf("version 0 made %d solves, want %d", stats.solves, in.T/2)
+	if stats.Solves != in.T/2 {
+		t.Fatalf("version 0 made %d solves, want %d", stats.Solves, in.T/2)
 	}
 }
 

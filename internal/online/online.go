@@ -302,7 +302,7 @@ type Result struct {
 // wrapped ctx.Err(); cfg.SlotBudget bounds each window solve
 // individually without failing the run (see Config.SlotBudget). A nil
 // ctx means context.Background().
-func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config) (*Result, error) {
+func Run(ctx context.Context, in *model.Instance, pred workload.Forecaster, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -340,7 +340,7 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 	// *parallel.PanicError instead of crashing the process.
 	xa := make([][]model.CachePlan, versions)
 	ya := make([][]model.LoadPlan, versions)
-	stats := make([]versionStats, versions)
+	stats := make([]VersionStats, versions)
 	err = parallel.ForSupervised(ctx, versions, 0, func(v int) error {
 		xa[v] = make([]model.CachePlan, in.T)
 		ya[v] = make([]model.LoadPlan, in.T)
@@ -356,103 +356,32 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 		return nil, err
 	}
 	for _, st := range stats {
-		res.WindowSolves += st.solves
-		res.DualIterations += st.dualIters
-		res.Degraded += st.degraded
-		res.Retries += st.retries
-		res.Replans += st.replans
+		res.WindowSolves += st.Solves
+		res.DualIterations += st.DualIters
+		res.Degraded += st.Degraded
+		res.Retries += st.Retries
+		res.Replans += st.Replans
 	}
 
-	// Combine versions slot by slot: average, round, repair, commit. The
-	// averaging buffers are allocated once and rotated: avgX swaps with
-	// prevAvgX at the end of each slot (the replacement-cost term needs
-	// last slot's average), avgY is consumed within the slot.
+	// Combine versions slot by slot: average, round, repair, commit.
 	traj := make(model.Trajectory, in.T)
-	avgX := model.NewCachePlan(in.N, in.K)
-	avgY := model.NewLoadPlan(in.Classes, in.K)
-	prevAvgX := in.InitialPlan()
-	prevX := in.InitialPlan()
+	comb := newCombiner(in, cfg, versions)
 	for t := 0; t < in.T; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("online: commit at slot %d: %w", t, err)
 		}
-		for n := 0; n < in.N; n++ {
-			row := avgX[n]
-			for k := range row {
-				row[k] = 0
-			}
-			for m := 0; m < in.Classes[n]; m++ {
-				yRow := avgY[n][m]
-				for k := range yRow {
-					yRow[k] = 0
-				}
-			}
+		if err := comb.average(t,
+			func(v int) model.CachePlan { return xa[v][t] },
+			func(v int) model.LoadPlan { return ya[v][t] }); err != nil {
+			return nil, err
 		}
-		for v := 0; v < versions; v++ {
-			if xa[v][t] == nil || ya[v][t] == nil {
-				return nil, fmt.Errorf("online: version %d committed no action for slot %d", v, t)
-			}
-			for n := 0; n < in.N; n++ {
-				for k := 0; k < in.K; k++ {
-					avgX[n][k] += xa[v][t][n][k] / float64(versions)
-				}
-				for m := 0; m < in.Classes[n]; m++ {
-					for k := 0; k < in.K; k++ {
-						avgY[n][m][k] += ya[v][t][n][m][k] / float64(versions)
-					}
-				}
-			}
+		dec, err := comb.commit(t)
+		if err != nil {
+			return nil, err
 		}
-
-		// Relaxed (pre-rounding) objective for the Theorem 3 bound. The
-		// averaged y may marginally exceed the true bandwidth (each version
-		// budgeted against predictions), which the relaxed objective
-		// tolerates.
-		res.RelaxedCost += in.BSCost(t, avgY) + in.SBSCost(t, avgY) +
-			in.ReplacementCost(prevAvgX, avgX)
-
-		x, candidates, capDropped, capSBS := roundPlacement(in, t, avgX, cfg.Rho)
-		var y model.LoadPlan
-		var bwRepaired int
-		if cfg.LoadMode == LoadReactive {
-			y, err = reactiveLoad(in, t, x, cfg)
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			y, bwRepaired = predictedLoad(in, t, x, avgY)
-		}
-		traj[t] = model.SlotDecision{X: x, Y: y}
-
-		// Repair counters advance once per (slot, SBS) where the repair
-		// fired (DESIGN.md §6); the per-entry drop count goes into the
-		// slot_decision event below instead.
-		mCapDrops.Add(int64(capSBS))
-		mBWRepairs.Add(int64(bwRepaired))
-		churn := model.ReplacementCount(prevX, x)
-		mChurnH.Observe(float64(churn))
-		if cfg.Telemetry.Enabled() {
-			var cached int
-			for n := 0; n < in.N; n++ {
-				cached += len(x.Items(n))
-			}
-			cfg.Telemetry.Emit("slot_decision", obs.Fields{
-				"controller":  cfg.Name(),
-				"slot":        t,
-				"window":      cfg.Window,
-				"commitment":  cfg.Commitment,
-				"rho":         cfg.Rho,
-				"load_mode":   cfg.LoadMode.String(),
-				"candidates":  candidates,
-				"cached":      cached,
-				"cap_dropped": capDropped,
-				"bw_repaired": bwRepaired,
-				"churn":       churn,
-			})
-		}
-		prevX = x
-		prevAvgX, avgX = avgX, prevAvgX
+		traj[t] = dec
 	}
+	res.RelaxedCost = comb.relaxed
 
 	if err := in.CheckTrajectory(traj, 1e-6); err != nil {
 		return nil, fmt.Errorf("online: committed trajectory infeasible: %w", err)
@@ -472,15 +401,6 @@ func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg 
 	return res, nil
 }
 
-// versionStats aggregates one FHC version's solver effort.
-type versionStats struct {
-	solves    int
-	dualIters int
-	degraded  int
-	retries   int
-	replans   int
-}
-
 // runVersion executes FHC version v: solve at times τ ≡ v (mod r), commit
 // slots [τ, τ+r). The start-up solve of versions v > 0 happens at τ = v−r
 // (per Ψ_v of Algorithm 3, with zero demand before slot 0), which reduces
@@ -498,8 +418,8 @@ type versionStats struct {
 // next boundary, which keeps fault-free runs byte-identical to the
 // pre-fault controller. Solve failures walk retry-with-backoff first
 // (RetryPolicy), then the degradation ladder.
-func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predictor, cfg Config, v int,
-	armed *fault.Armed, events []int, xa []model.CachePlan, ya []model.LoadPlan, stats *versionStats) error {
+func runVersion(ctx context.Context, in *model.Instance, pred workload.Forecaster, cfg Config, v int,
+	armed *fault.Armed, events []int, xa []model.CachePlan, ya []model.LoadPlan, stats *VersionStats) error {
 
 	// Each FHC version gets its own trace track, so concurrent versions
 	// render as separate Perfetto rows instead of interleaving.
@@ -508,229 +428,24 @@ func runVersion(ctx context.Context, in *model.Instance, pred *workload.Predicto
 	vSpan.Set("version", v)
 	defer vSpan.End()
 
-	r := cfg.Commitment
-	virtualPrev := in.InitialPlan()
-	var warmMu [][][]float64
-	var prevFrom, prevTo int
-	var solved bool // some window solve has bound the workspace already
-	// One solver workspace serves all of this version's window solves: the
-	// overlapping windows share shapes, so the P1 networks, P2 subproblem
-	// state and solver scratch are recycled instead of rebuilt per window.
-	ws := core.NewWorkspace()
-
-	first := v - r
-	if v == 0 {
-		first = 0
+	vs := newVersionState(in, pred, cfg, v, armed, events, xa, ya)
+	for !vs.done() {
+		if err := vs.step(ctx); err != nil {
+			return err
+		}
 	}
-	for tau := first; tau < in.T; {
-		from := max(tau, 0)
-		to := min(tau+cfg.Window, in.T)
-		// The next on-lattice commit boundary: the smallest L > τ with
-		// L ≡ v (mod r). On-lattice this is τ+r; after an event replan
-		// (off-lattice τ) it restores the version's staggering.
-		lattice := tau + 1 + ((v-(tau+1))%r+r)%r
-		commitEnd := min(lattice, in.T)
-		eventCut := 0
-		for _, e := range events {
-			if e > from && e < commitEnd {
-				commitEnd, eventCut = e, e
-				break
-			}
-		}
-		if from >= to || commitEnd <= from {
-			tau = commitEnd
-			continue
-		}
-
-		forecast, err := pred.Predict(tau, from, to)
-		if err != nil {
-			return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
-		}
-		win, err := in.Window(from, to, virtualPrev, forecast)
-		if err != nil {
-			return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
-		}
-
-		opts := cfg.Core
-		opts.Telemetry = cfg.Telemetry
-		opts.Workspace = ws
-		if !cfg.DisableMuWarmStart && warmMu != nil {
-			opts.InitialMu = shiftMu(warmMu, prevFrom, prevTo, from, to, in)
-		}
-		// Cross-window P2 reuse: declare how far this window slid past the
-		// previous solve of this version, so overlapping slots keep their
-		// coefficient precompute and carry their dual load iterates. The
-		// hint is verified per slot inside the bind; solved tracks whether
-		// this workspace has a previous window at all (degraded windows
-		// without a solver result leave no state worth advancing from).
-		if !cfg.DisableIterateWarmStart && solved && from > prevFrom {
-			opts.Advance = from - prevFrom
-		} else {
-			opts.Advance = 0
-		}
-
-		wctx, wSpan := obs.StartSpan(ctx, "window_solve")
-		wSpan.Set("version", v)
-		wSpan.Set("tau", tau)
-		wSpan.Set("from", from)
-		wSpan.Set("to", to)
-
-		// The budget context spans every retry attempt and the backoff
-		// sleeps between them: retrying never outlives the slot budget.
-		solveCtx, cancel := wctx, context.CancelFunc(nil)
-		if cfg.SlotBudget > 0 {
-			solveCtx, cancel = context.WithTimeout(wctx, cfg.SlotBudget)
-		}
-		solveStart := time.Now()
-		sol, err := solveWithRetry(solveCtx, win, opts, cfg, armed, v, tau, stats)
-		if cancel != nil {
-			cancel()
-		}
-		solveDur := time.Since(solveStart)
-		if err != nil {
-			if ctx.Err() != nil {
-				wSpan.End()
-				// Parent cancellation: fail the version. Anything else —
-				// budget overrun (DeadlineExceeded with a live parent) or a
-				// solve that kept failing through its retries — walks the
-				// degradation ladder: a failure-aware controller must
-				// commit something feasible for the slot.
-				return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
-			}
-			var mode string
-			sol, mode, err = degradeWindow(ctx, cfg, win, sol)
-			if err != nil {
-				wSpan.End()
-				return fmt.Errorf("online: version %d window [%d, %d): degraded solve: %w", v, from, to, err)
-			}
-			wSpan.Set("degraded", mode)
-			stats.degraded++
-			mDegraded.Inc()
-			if cfg.Telemetry.Enabled() {
-				fields := obs.Fields{
-					"controller": cfg.Name(),
-					"version":    v,
-					"tau":        tau,
-					"from":       from,
-					"to":         to,
-					"budget_ms":  float64(cfg.SlotBudget) / float64(time.Millisecond),
-					"mode":       mode,
-					"iterations": sol.Iterations,
-					"solve_ms":   float64(solveDur) / float64(time.Millisecond),
-				}
-				if !math.IsInf(sol.Gap, 1) {
-					fields["gap"] = sol.Gap
-				}
-				cfg.Telemetry.Emit("solve_degraded", fields)
-			}
-		}
-		stats.solves++
-		stats.dualIters += sol.Iterations
-		mWindowSolves.Inc()
-		mDualIters.Add(int64(sol.Iterations))
-		mWindowTime.Observe(solveDur)
-		if !math.IsInf(sol.Gap, 1) {
-			mWindowGapH.Observe(sol.Gap)
-		}
-		wSpan.Set("iterations", sol.Iterations)
-		wSpan.Set("converged", sol.Converged)
-		wSpan.End()
-		if cfg.Telemetry.Enabled() {
-			fields := obs.Fields{
-				"controller": cfg.Name(),
-				"version":    v,
-				"tau":        tau,
-				"from":       from,
-				"to":         to,
-				"commit_to":  commitEnd,
-				"iterations": sol.Iterations,
-				"converged":  sol.Converged,
-				"solve_ms":   float64(solveDur) / float64(time.Millisecond),
-			}
-			if !math.IsInf(sol.Gap, 1) {
-				fields["gap"] = sol.Gap
-			}
-			cfg.Telemetry.Emit("window_solve", fields)
-		}
-		warmMu, prevFrom, prevTo, solved = sol.Mu, from, to, true
-
-		for t := from; t < commitEnd; t++ {
-			xa[t] = sol.Trajectory[t-from].X
-			ya[t] = sol.Trajectory[t-from].Y
-		}
-		virtualPrev = xa[commitEnd-1]
-		if eventCut > 0 {
-			stats.replans++
-			mReplans.Inc()
-			if cfg.Telemetry.Enabled() {
-				cfg.Telemetry.Emit("replan", obs.Fields{
-					"controller": cfg.Name(),
-					"version":    v,
-					"tau":        tau,
-					"event_slot": eventCut,
-					"committed":  commitEnd - from,
-				})
-			}
-		}
-		tau = commitEnd
-	}
+	*stats = vs.stats
 	return nil
-}
-
-// solveWithRetry is the per-window solve wrapped in the bounded
-// retry-with-backoff of cfg.Retry, with the schedule's solver faults
-// injected per attempt. Context errors — parent cancellation or slot
-// budget exhaustion — are never retried; the caller distinguishes them.
-// On failure the best partial result seen (an interrupted solve's
-// best-so-far iterate) is returned alongside the error so the
-// degradation ladder can still use it.
-func solveWithRetry(ctx context.Context, win *model.Instance, opts core.Options, cfg Config,
-	armed *fault.Armed, v, tau int, stats *versionStats) (*core.Result, error) {
-
-	var best *core.Result
-	backoff := cfg.Retry.Backoff
-	for attempt := 0; ; attempt++ {
-		sol, err := solveOnce(ctx, win, opts, armed, tau)
-		if err == nil {
-			return sol, nil
-		}
-		if sol != nil {
-			best = sol
-		}
-		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return best, err
-		}
-		if attempt >= cfg.Retry.Max {
-			return best, err
-		}
-		stats.retries++
-		mRetries.Inc()
-		if cfg.Telemetry.Enabled() {
-			cfg.Telemetry.Emit("retry", obs.Fields{
-				"controller": cfg.Name(),
-				"version":    v,
-				"tau":        tau,
-				"attempt":    attempt + 1,
-				"backoff_ms": float64(backoff) / float64(time.Millisecond),
-				"error":      err.Error(),
-			})
-		}
-		timer := time.NewTimer(backoff)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return best, err
-		}
-		backoff = time.Duration(float64(backoff) * cfg.Retry.Factor)
-	}
 }
 
 // solveOnce runs one solve attempt, applying any armed solver fault for
 // decision slot tau. Injected panics are routed through the supervised
 // fan-out — the same machinery that guards real worker panics — and an
 // extra recover converts panics escaping core.Solve itself into errors.
-func solveOnce(ctx context.Context, win *model.Instance, opts core.Options, armed *fault.Armed, tau int) (*core.Result, error) {
+// seam records whether the attempt reached core.Solve (injected faults
+// fail the attempt before the solver ever binds the workspace) and, if it
+// did, whether it panicked out of it.
+func solveOnce(ctx context.Context, win *model.Instance, opts core.Options, armed *fault.Armed, tau int, seam *solveSeam) (*core.Result, error) {
 	if injErr, injPanic := armed.Inject(tau); injPanic {
 		err := parallel.ForSupervised(ctx, 1, 1, func(int) error {
 			panic(fmt.Sprintf("fault: injected worker panic at τ=%d", tau))
@@ -739,16 +454,25 @@ func solveOnce(ctx context.Context, win *model.Instance, opts core.Options, arme
 	} else if injErr != nil {
 		return nil, injErr
 	}
-	return guardedSolve(ctx, win, opts)
+	seam.entered = true
+	sol, err := guardedSolve(ctx, win, opts)
+	var pe *solvePanicError
+	seam.panicked = errors.As(err, &pe)
+	return sol, err
 }
 
 // guardedSolve converts a panic anywhere inside the window solve into an
 // error, so one crashing solve degrades its window instead of killing
-// the run.
+// the run. The panic may have interrupted the workspace bind itself, so
+// the workspace is invalidated: the next solve rebinds from scratch
+// instead of advancing half-written state.
 func guardedSolve(ctx context.Context, win *model.Instance, opts core.Options) (sol *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			sol, err = nil, fmt.Errorf("online: window solve panicked: %v", r)
+			if opts.Workspace != nil {
+				opts.Workspace.Invalidate()
+			}
+			sol, err = nil, &solvePanicError{value: r}
 		}
 	}()
 	return core.Solve(ctx, win, opts)

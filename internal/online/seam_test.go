@@ -1,0 +1,151 @@
+package online
+
+import (
+	"context"
+	"testing"
+
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+)
+
+// TestWorkspaceSeamSurvivesFullyFaultedWindow pins the warm-start seam
+// contract that the pre-refactor controller violated: a window whose
+// every solve attempt is consumed by injected faults never reaches
+// core.Solve, so the solver workspace stays bound to the previous
+// window — and the next window's Options.Advance must be measured from
+// that window, not from the unsolved one. The old code tracked a single
+// prevFrom for both the μ block and the workspace, advanced it
+// unconditionally, and on the next window handed BindAdvance a hint one
+// slot short; on stationary demand the per-slot plane verification
+// cannot catch that, so dual iterates were silently rotated onto the
+// wrong absolute slots.
+func TestWorkspaceSeamSurvivesFullyFaultedWindow(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	cfg, err := RHC(4).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retry.Max defaults to 2, so attempts = 3 consumes every attempt of
+	// the window at τ = 2 and the window degrades to the fallback.
+	sched := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 2, Attempts: 3},
+	}}
+	xa := make([]model.CachePlan, in.T)
+	ya := make([]model.LoadPlan, in.T)
+	vs := newVersionState(in, pred, cfg, 0, sched.Arm(), in.EventSlots(), xa, ya)
+	ctx := context.Background()
+
+	// τ = 0 and τ = 1 solve normally: the workspace follows the windows.
+	for want := 0; want <= 1; want++ {
+		if err := vs.step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if !vs.wsBound || vs.wsFrom != want {
+			t.Fatalf("after τ=%d: wsBound=%v wsFrom=%d, want bound at %d", want, vs.wsBound, vs.wsFrom, want)
+		}
+		if vs.warmMu == nil || vs.muFrom != want {
+			t.Fatalf("after τ=%d: muFrom=%d (warmMu nil: %v), want %d", want, vs.muFrom, vs.warmMu == nil, want)
+		}
+	}
+
+	// τ = 2: all attempts injected, degradation commits the fallback. The
+	// workspace seam must NOT advance (no attempt entered the solver), and
+	// the μ carry must drop (the fallback has no multipliers).
+	if err := vs.step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if vs.stats.Degraded != 1 || vs.stats.Retries != 2 {
+		t.Fatalf("faulted window: stats = %+v, want 1 degraded / 2 retries", vs.stats)
+	}
+	if !vs.wsBound || vs.wsFrom != 1 {
+		t.Fatalf("faulted window moved the workspace seam: wsBound=%v wsFrom=%d, want bound at 1", vs.wsBound, vs.wsFrom)
+	}
+	if vs.warmMu != nil {
+		t.Fatal("fallback window kept a stale μ carry")
+	}
+	if vs.xa[2] == nil || vs.ya[2] == nil {
+		t.Fatal("faulted window committed nothing")
+	}
+
+	// τ = 3 solves normally again: Advance is measured from wsFrom = 1
+	// (two slots), the solve succeeds, and both seams land on 3.
+	if err := vs.step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !vs.wsBound || vs.wsFrom != 3 || vs.wsTau != 3 {
+		t.Fatalf("recovered window: wsFrom=%d wsTau=%d, want 3/3", vs.wsFrom, vs.wsTau)
+	}
+	if vs.warmMu == nil || vs.muFrom != 3 {
+		t.Fatalf("recovered window: muFrom=%d (warmMu nil: %v), want 3", vs.muFrom, vs.warmMu == nil)
+	}
+}
+
+// TestWorkspaceSeamSurvivesInjectedPanics pins the other half of the
+// seam contract: injected worker panics are routed through the parallel
+// supervisor without ever reaching core.Solve, so — like injected
+// errors — they must not move the workspace seam or poison the binding.
+func TestWorkspaceSeamSurvivesInjectedPanics(t *testing.T) {
+	in, pred := smallInstance(t, nil)
+	cfg, err := RHC(4).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &fault.Schedule{Injectors: []fault.Injector{
+		fault.SolverFault{Slot: 2, Panic: true, Attempts: 3},
+	}}
+	xa := make([]model.CachePlan, in.T)
+	ya := make([]model.LoadPlan, in.T)
+	vs := newVersionState(in, pred, cfg, 0, sched.Arm(), in.EventSlots(), xa, ya)
+	ctx := context.Background()
+	for tau := 0; tau <= 2; tau++ {
+		if err := vs.step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !vs.wsBound || vs.wsFrom != 1 {
+		t.Fatalf("panicked window moved the workspace seam: wsBound=%v wsFrom=%d, want bound at 1", vs.wsBound, vs.wsFrom)
+	}
+	if vs.stats.Degraded != 1 {
+		t.Fatalf("panicked window: stats = %+v, want 1 degraded", vs.stats)
+	}
+	if err := vs.step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !vs.wsBound || vs.wsFrom != 3 {
+		t.Fatalf("recovered window: wsFrom=%d, want 3", vs.wsFrom)
+	}
+}
+
+// TestShiftMuTailWindows pins shiftMu at the horizon tail, where windows
+// shrink (to − from < w): the overlap must stay aligned to absolute
+// slots with no stale trailing planes.
+func TestShiftMuTailWindows(t *testing.T) {
+	in, _ := smallInstance(t, nil) // T = 12
+	tag := func(from, to int) [][][]float64 {
+		mu := make([][][]float64, to-from)
+		for i := range mu {
+			mu[i] = make([][]float64, in.N)
+			for n := range mu[i] {
+				mu[i][n] = make([]float64, in.Classes[n]*in.K)
+				mu[i][n][0] = float64(from + i)
+			}
+		}
+		return mu
+	}
+	// Shrinking tail: previous window [8, 12), next [9, 12) — 3 slots,
+	// all overlapping; nothing new enters.
+	out := shiftMu(tag(8, 12), 8, 12, 9, 12, in)
+	if len(out) != 3 {
+		t.Fatalf("tail window has %d slots, want 3", len(out))
+	}
+	for i := 0; i < 3; i++ {
+		if got, want := out[i][0][0], float64(9+i); got != want {
+			t.Fatalf("tail slot %d carries µ from absolute slot %g, want %g", i, got, want)
+		}
+	}
+	// Degenerate tail: previous [10, 12), next [11, 12) — one slot.
+	out = shiftMu(tag(10, 12), 10, 12, 11, 12, in)
+	if len(out) != 1 || out[0][0][0] != 11 {
+		t.Fatalf("single-slot tail misaligned: %v", out[0][0][:1])
+	}
+}

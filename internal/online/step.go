@@ -1,0 +1,366 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"edgecache/internal/core"
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+	"edgecache/internal/obs"
+	"edgecache/internal/workload"
+)
+
+// VersionStats aggregates one FHC version's solver effort. The fields
+// mirror Result's counters; Run and Stream sum them across versions.
+type VersionStats struct {
+	Solves    int `json:"solves"`
+	DualIters int `json:"dualIterations"`
+	Degraded  int `json:"degraded"`
+	Retries   int `json:"retries"`
+	Replans   int `json:"replans"`
+}
+
+// versionState is the between-windows state of one FHC version, factored
+// out of the batch loop so the same machinery can run eagerly (runVersion,
+// all windows at once) or incrementally (Stream, windows stepped as live
+// slots close) — and so the whole of it can be serialised for
+// snapshot/restore (VersionSnapshot).
+//
+// Two warm-start seams are tracked *separately*, which is the bug fix of
+// this revision: the μ block and the solver workspace do not always come
+// from the same window. A window whose every solve attempt was consumed
+// by injected faults never reaches core.Solve, so the workspace stays
+// bound to an older window; conflating the two (the old single
+// prevFrom/prevTo pair) made the next Options.Advance measure from the
+// unsolved window and silently rotate the P2 iterates onto the wrong
+// absolute slots whenever the demand planes happened to match (stationary
+// workloads). Likewise a window that produced no multipliers (fallback)
+// must drop the μ carry without forgetting where the workspace really is.
+type versionState struct {
+	in     *model.Instance
+	pred   workload.Forecaster
+	cfg    Config // already defaulted
+	v      int
+	armed  *fault.Armed
+	events []int
+
+	// Committed per-slot actions (absolute slot index; shared with the
+	// caller's combine stage) and solver-effort counters.
+	xa    []model.CachePlan
+	ya    []model.LoadPlan
+	stats VersionStats
+
+	// tau is the next decision time; slots [0, max(tau, 0)) are committed.
+	tau         int
+	virtualPrev model.CachePlan
+
+	// μ warm-start seam: the multipliers of the last window solve that
+	// produced any, aligned to absolute slots [muFrom, muTo). nil when the
+	// last window fell back without multipliers.
+	warmMu       [][][]float64
+	muFrom, muTo int
+
+	// Workspace seam: whether ws is bound to a window at all and, if so,
+	// which one — the last window whose solve attempt actually entered
+	// core.Solve without panicking out of it. wsTau/wsInitial record the
+	// decision time and initial plan of that bind so snapshot/restore can
+	// reconstruct the identical window instance.
+	ws        *core.Workspace
+	wsBound   bool
+	wsTau     int
+	wsFrom    int
+	wsTo      int
+	wsInitial model.CachePlan
+}
+
+// newVersionState prepares version v of the controller over in. cfg must
+// already have defaults applied. xa and ya are the caller's per-slot
+// commit arrays (length in.T).
+func newVersionState(in *model.Instance, pred workload.Forecaster, cfg Config, v int,
+	armed *fault.Armed, events []int, xa []model.CachePlan, ya []model.LoadPlan) *versionState {
+
+	r := cfg.Commitment
+	first := v - r
+	if v == 0 {
+		first = 0
+	}
+	return &versionState{
+		in:          in,
+		pred:        pred,
+		cfg:         cfg,
+		v:           v,
+		armed:       armed,
+		events:      events,
+		xa:          xa,
+		ya:          ya,
+		tau:         first,
+		virtualPrev: in.InitialPlan(),
+		ws:          core.NewWorkspace(),
+	}
+}
+
+// done reports whether the version has committed the whole horizon.
+func (vs *versionState) done() bool { return vs.tau >= vs.in.T }
+
+// committedThrough returns the first slot this version has not yet
+// committed an action for.
+func (vs *versionState) committedThrough() int {
+	if vs.tau < 0 {
+		return 0
+	}
+	return vs.tau
+}
+
+// step runs one window: forecast, solve (with retries, fault injection
+// and the degradation ladder), commit [from, commitEnd), advance tau.
+// A step that lands on an empty window just advances tau.
+func (vs *versionState) step(ctx context.Context) error {
+	in, cfg, v, r := vs.in, vs.cfg, vs.v, vs.cfg.Commitment
+	tau := vs.tau
+	from := max(tau, 0)
+	to := min(tau+cfg.Window, in.T)
+	// The next on-lattice commit boundary: the smallest L > τ with
+	// L ≡ v (mod r). On-lattice this is τ+r; after an event replan
+	// (off-lattice τ) it restores the version's staggering.
+	lattice := tau + 1 + ((v-(tau+1))%r+r)%r
+	commitEnd := min(lattice, in.T)
+	eventCut := 0
+	for _, e := range vs.events {
+		if e > from && e < commitEnd {
+			commitEnd, eventCut = e, e
+			break
+		}
+	}
+	if from >= to || commitEnd <= from {
+		vs.tau = commitEnd
+		return nil
+	}
+
+	forecast, err := vs.pred.Predict(tau, from, to)
+	if err != nil {
+		return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
+	}
+	win, err := in.Window(from, to, vs.virtualPrev, forecast)
+	if err != nil {
+		return fmt.Errorf("online: version %d at τ=%d: %w", v, tau, err)
+	}
+
+	opts := cfg.Core
+	opts.Telemetry = cfg.Telemetry
+	opts.Workspace = vs.ws
+	if !cfg.DisableMuWarmStart && vs.warmMu != nil {
+		opts.InitialMu = shiftMu(vs.warmMu, vs.muFrom, vs.muTo, from, to, in)
+	}
+	// Cross-window P2 reuse: declare how far this window slid past the
+	// workspace's *actually bound* window, so overlapping slots keep their
+	// coefficient precompute and carry their dual load iterates. The hint
+	// is verified per slot inside the bind against the demand plane, but
+	// that check cannot distinguish two slots with identical planes
+	// (stationary demand), so the alignment here must be exact: it is
+	// measured from wsFrom — the last window a solve attempt really bound
+	// — never from a window whose attempts were all consumed by injected
+	// faults before reaching the solver.
+	if !cfg.DisableIterateWarmStart && vs.wsBound && from > vs.wsFrom {
+		opts.Advance = from - vs.wsFrom
+	} else {
+		opts.Advance = 0
+	}
+
+	wctx, wSpan := obs.StartSpan(ctx, "window_solve")
+	wSpan.Set("version", v)
+	wSpan.Set("tau", tau)
+	wSpan.Set("from", from)
+	wSpan.Set("to", to)
+
+	// The budget context spans every retry attempt and the backoff
+	// sleeps between them: retrying never outlives the slot budget.
+	solveCtx, cancel := wctx, context.CancelFunc(nil)
+	if cfg.SlotBudget > 0 {
+		solveCtx, cancel = context.WithTimeout(wctx, cfg.SlotBudget)
+	}
+	var seam solveSeam
+	solveStart := time.Now()
+	sol, err := solveWithRetry(solveCtx, win, opts, cfg, vs.armed, v, tau, &vs.stats, &seam)
+	if cancel != nil {
+		cancel()
+	}
+	solveDur := time.Since(solveStart)
+	if err != nil {
+		if ctx.Err() != nil {
+			wSpan.End()
+			// Parent cancellation: fail the version. Anything else —
+			// budget overrun (DeadlineExceeded with a live parent) or a
+			// solve that kept failing through its retries — walks the
+			// degradation ladder: a failure-aware controller must
+			// commit something feasible for the slot.
+			return fmt.Errorf("online: version %d window [%d, %d): %w", v, from, to, err)
+		}
+		var mode string
+		sol, mode, err = degradeWindow(ctx, cfg, win, sol)
+		if err != nil {
+			wSpan.End()
+			return fmt.Errorf("online: version %d window [%d, %d): degraded solve: %w", v, from, to, err)
+		}
+		wSpan.Set("degraded", mode)
+		vs.stats.Degraded++
+		mDegraded.Inc()
+		if cfg.Telemetry.Enabled() {
+			fields := obs.Fields{
+				"controller": cfg.Name(),
+				"version":    v,
+				"tau":        tau,
+				"from":       from,
+				"to":         to,
+				"budget_ms":  float64(cfg.SlotBudget) / float64(time.Millisecond),
+				"mode":       mode,
+				"iterations": sol.Iterations,
+				"solve_ms":   float64(solveDur) / float64(time.Millisecond),
+			}
+			if !math.IsInf(sol.Gap, 1) {
+				fields["gap"] = sol.Gap
+			}
+			cfg.Telemetry.Emit("solve_degraded", fields)
+		}
+	}
+	vs.stats.Solves++
+	vs.stats.DualIters += sol.Iterations
+	mWindowSolves.Inc()
+	mDualIters.Add(int64(sol.Iterations))
+	mWindowTime.Observe(solveDur)
+	if !math.IsInf(sol.Gap, 1) {
+		mWindowGapH.Observe(sol.Gap)
+	}
+	wSpan.Set("iterations", sol.Iterations)
+	wSpan.Set("converged", sol.Converged)
+	wSpan.End()
+	if cfg.Telemetry.Enabled() {
+		fields := obs.Fields{
+			"controller": cfg.Name(),
+			"version":    v,
+			"tau":        tau,
+			"from":       from,
+			"to":         to,
+			"commit_to":  commitEnd,
+			"iterations": sol.Iterations,
+			"converged":  sol.Converged,
+			"solve_ms":   float64(solveDur) / float64(time.Millisecond),
+		}
+		if !math.IsInf(sol.Gap, 1) {
+			fields["gap"] = sol.Gap
+		}
+		cfg.Telemetry.Emit("window_solve", fields)
+	}
+
+	// Advance the two warm-start seams independently (the bug fix; see the
+	// type comment). μ: carry only multipliers that exist, aligned to this
+	// window. Workspace: bound to this window iff some attempt entered
+	// core.Solve and the last such attempt did not panic out of it (a
+	// panicking solve poisons the half-bound workspace, which guardedSolve
+	// already invalidated).
+	if sol.Mu != nil {
+		vs.warmMu, vs.muFrom, vs.muTo = sol.Mu, from, to
+	} else {
+		vs.warmMu = nil
+	}
+	if seam.entered {
+		if seam.panicked {
+			vs.wsBound = false
+		} else {
+			vs.wsBound = true
+			vs.wsTau, vs.wsFrom, vs.wsTo = tau, from, to
+			vs.wsInitial = vs.virtualPrev
+		}
+	}
+
+	for t := from; t < commitEnd; t++ {
+		vs.xa[t] = sol.Trajectory[t-from].X
+		vs.ya[t] = sol.Trajectory[t-from].Y
+	}
+	vs.virtualPrev = vs.xa[commitEnd-1]
+	if eventCut > 0 {
+		vs.stats.Replans++
+		mReplans.Inc()
+		if cfg.Telemetry.Enabled() {
+			cfg.Telemetry.Emit("replan", obs.Fields{
+				"controller": cfg.Name(),
+				"version":    v,
+				"tau":        tau,
+				"event_slot": eventCut,
+				"committed":  commitEnd - from,
+			})
+		}
+	}
+	vs.tau = commitEnd
+	return nil
+}
+
+// solveSeam records, for one window's retry loop, whether any attempt
+// actually entered core.Solve (fault-injected attempts do not) and
+// whether the last attempt that did panicked out of it — together they
+// determine what the shared workspace is bound to afterwards.
+type solveSeam struct {
+	entered  bool
+	panicked bool
+}
+
+// solvePanicError marks a window solve that panicked inside core.Solve
+// (as opposed to an injected worker panic, which is routed through the
+// supervised fan-out and never reaches the solver).
+type solvePanicError struct{ value any }
+
+func (e *solvePanicError) Error() string {
+	return fmt.Sprintf("online: window solve panicked: %v", e.value)
+}
+
+// solveWithRetry is the per-window solve wrapped in the bounded
+// retry-with-backoff of cfg.Retry, with the schedule's solver faults
+// injected per attempt. Context errors — parent cancellation or slot
+// budget exhaustion — are never retried; the caller distinguishes them.
+// On failure the best partial result seen (an interrupted solve's
+// best-so-far iterate) is returned alongside the error so the
+// degradation ladder can still use it.
+func solveWithRetry(ctx context.Context, win *model.Instance, opts core.Options, cfg Config,
+	armed *fault.Armed, v, tau int, stats *VersionStats, seam *solveSeam) (*core.Result, error) {
+
+	var best *core.Result
+	backoff := cfg.Retry.Backoff
+	for attempt := 0; ; attempt++ {
+		sol, err := solveOnce(ctx, win, opts, armed, tau, seam)
+		if err == nil {
+			return sol, nil
+		}
+		if sol != nil {
+			best = sol
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return best, err
+		}
+		if attempt >= cfg.Retry.Max {
+			return best, err
+		}
+		stats.Retries++
+		mRetries.Inc()
+		if cfg.Telemetry.Enabled() {
+			cfg.Telemetry.Emit("retry", obs.Fields{
+				"controller": cfg.Name(),
+				"version":    v,
+				"tau":        tau,
+				"attempt":    attempt + 1,
+				"backoff_ms": float64(backoff) / float64(time.Millisecond),
+				"error":      err.Error(),
+			})
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return best, err
+		}
+		backoff = time.Duration(float64(backoff) * cfg.Retry.Factor)
+	}
+}

@@ -1,0 +1,123 @@
+// Package serve is the streaming control-plane service around the online
+// controller: request-stream ingestion feeding an oracle-free demand
+// estimator, a wall-clock slot ticker advancing the controller window by
+// window, published per-slot decisions, and versioned snapshot/restore so
+// a killed-and-restarted controller continues exactly where it stopped
+// (DESIGN.md §13). cmd/jocserve wraps it into a binary.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the slot ticker is testable and the smoke
+// harness deterministic. RealClock is the production implementation;
+// MockClock fires ticks on demand.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Ticker returns a ticker firing every d.
+	Ticker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the slot loop consumes.
+type Ticker interface {
+	// C returns the tick channel.
+	C() <-chan time.Time
+	// Stop releases the ticker. It does not close the channel.
+	Stop()
+}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Ticker(d time.Duration) Ticker {
+	return realTicker{t: time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// MockClock is a manually driven Clock: Advance moves time forward and
+// fires every due tick of every ticker, in order. Like time.Ticker, a
+// tick that finds the channel full is dropped rather than queued. Safe
+// for concurrent use — a test goroutine can Advance while the server's
+// tick loop creates and stops tickers.
+type MockClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*mockTicker
+}
+
+// NewMockClock returns a mock clock reading start.
+func NewMockClock(start time.Time) *MockClock {
+	return &MockClock{now: start}
+}
+
+// Now implements Clock.
+func (c *MockClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Ticker implements Clock.
+func (c *MockClock) Ticker(d time.Duration) Ticker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &mockTicker{clock: c, period: d, next: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, delivering due ticks.
+func (c *MockClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := c.now.Add(d)
+	for {
+		// Fire the earliest due tick until none remain before target.
+		var earliest *mockTicker
+		for _, t := range c.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if earliest == nil || t.next.Before(earliest.next) {
+				earliest = t
+			}
+		}
+		if earliest == nil {
+			break
+		}
+		c.now = earliest.next
+		select {
+		case earliest.ch <- earliest.next:
+		default:
+		}
+		earliest.next = earliest.next.Add(earliest.period)
+	}
+	c.now = target
+}
+
+type mockTicker struct {
+	clock   *MockClock
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *mockTicker) C() <-chan time.Time { return t.ch }
+
+func (t *mockTicker) Stop() {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	t.stopped = true
+}

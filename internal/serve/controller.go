@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edgecache/internal/fault"
+	"edgecache/internal/model"
+	"edgecache/internal/online"
+	"edgecache/internal/workload"
+)
+
+// Request is one ingested demand report: Count requests (default 1) of
+// class Class for content Content at SBS SBS, arriving in the open slot.
+type Request struct {
+	SBS     int     `json:"sbs"`
+	Class   int     `json:"class"`
+	Content int     `json:"content"`
+	Count   float64 `json:"count,omitempty"`
+}
+
+// Config tunes a Controller beyond the topology instance.
+type Config struct {
+	// Online is the controller configuration (algorithm, window,
+	// commitment, retry policy, …). Its Faults field arms solver faults;
+	// topology faults must be materialised into the instance by the
+	// caller (cmd/jocserve does both from one schedule).
+	Online online.Config
+	// EstimatorAlpha is the EWMA weight of the newest slot (0 selects
+	// workload.DefaultEstimatorAlpha).
+	EstimatorAlpha float64
+	// EstimatorFloor is the clamped-decay floor (< 0 selects
+	// workload.DefaultEstimatorFloor; 0 disables).
+	EstimatorFloor float64
+	// SnapshotPath, when non-empty, persists a snapshot envelope there
+	// (atomic rename) after every closed slot; Open restores from it.
+	SnapshotPath string
+	// Faults is the full fault schedule. Its prediction-corruption arm is
+	// hooked into the forecast feed here (reading the live tensor; the
+	// realised rates are never touched) and its solver faults should also
+	// ride in Online.Faults; topology injectors must be materialised into
+	// the instance by the caller (MaterializeFaults).
+	Faults *fault.Schedule
+}
+
+// Controller is the serving-side state machine around an online.Stream:
+// it owns the live demand tensor (filled slot by slot from ingested
+// requests), the oracle-free forecaster reading it, and the snapshot
+// persistence. All methods are safe for concurrent use; Tick serialises
+// against ingestion so a slot's rates are final when the stream closes
+// it.
+type Controller struct {
+	mu   sync.Mutex
+	base *model.Instance // caller's topology; its demand tensor is ignored
+	in   *model.Instance // live instance: base with the realised tensor
+	live *model.Demand
+	cfg  Config
+
+	stream  *online.Stream
+	pending [][]float64 // [n][m*K+k] accumulated counts for the open slot
+	total   int64       // requests ingested over the controller's lifetime
+}
+
+// New starts a fresh controller over the topology of base (its demand
+// tensor is replaced by an empty realised tensor — a live controller has
+// no future to peek at). The start-up windows are solved immediately, so
+// the slot-0 plan is published on return.
+func New(ctx context.Context, base *model.Instance, cfg Config) (*Controller, error) {
+	c, f, err := prepare(base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.stream, err = online.NewStream(ctx, c.in, f, cfg.Online)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open restores the controller from cfg.SnapshotPath when a snapshot
+// exists there, and starts fresh otherwise — so a killed-and-restarted
+// service re-runs the same command line and continues where it stopped.
+func Open(ctx context.Context, base *model.Instance, cfg Config) (*Controller, error) {
+	if cfg.SnapshotPath == "" {
+		return New(ctx, base, cfg)
+	}
+	env, err := LoadSnapshot(cfg.SnapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return New(ctx, base, cfg)
+	}
+	return Restore(ctx, base, cfg, env)
+}
+
+// Restore reconstructs a controller from a snapshot envelope taken under
+// the same topology and configuration: the realised rows are replayed
+// into a fresh tensor and the stream state restored, after which the
+// controller is indistinguishable from one that was never stopped
+// (online.RestoreStream's restart-equivalence contract).
+func Restore(ctx context.Context, base *model.Instance, cfg Config, env *Envelope) (*Controller, error) {
+	c, f, err := prepare(base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(env.Rows) != env.Controller.Slot {
+		return nil, fmt.Errorf("serve: snapshot carries %d realised rows for slot %d", len(env.Rows), env.Controller.Slot)
+	}
+	for t, row := range env.Rows {
+		if len(row) != base.N {
+			return nil, fmt.Errorf("serve: snapshot row %d covers %d SBSs, want %d", t, len(row), base.N)
+		}
+		for n, flat := range row {
+			if len(flat) != base.Classes[n]*base.K {
+				return nil, fmt.Errorf("serve: snapshot row %d SBS %d has %d entries, want %d",
+					t, n, len(flat), base.Classes[n]*base.K)
+			}
+			for i, v := range flat {
+				if v != 0 {
+					c.live.Set(t, n, i/base.K, i%base.K, v)
+				}
+			}
+		}
+	}
+	c.total = env.Ingested
+	c.stream, err = online.RestoreStream(ctx, c.in, f, cfg.Online, env.Controller)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// prepare builds the live instance, tensor and forecaster shared by New
+// and Restore.
+func prepare(base *model.Instance, cfg Config) (*Controller, workload.Forecaster, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	live := model.NewDemand(base.T, base.Classes, base.K)
+	in := *base
+	in.Demand = live
+	est, err := workload.NewOnlineEstimator(live, cfg.EstimatorAlpha, cfg.EstimatorFloor)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	c := &Controller{
+		base:    base,
+		in:      &in,
+		live:    live,
+		cfg:     cfg,
+		pending: make([][]float64, base.N),
+	}
+	for n := range c.pending {
+		c.pending[n] = make([]float64, base.Classes[n]*base.K)
+	}
+	return c, workload.Corrupt(est, cfg.Faults.Corruptor(live)), nil
+}
+
+// Ingest accumulates a batch of requests into the open slot's empirical
+// rates. It returns the slot the batch was booked under.
+func (c *Controller) Ingest(reqs []Request) (slot int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream.Done() {
+		return c.stream.Slot(), fmt.Errorf("serve: horizon complete, ingestion closed")
+	}
+	for i, r := range reqs {
+		if r.SBS < 0 || r.SBS >= c.base.N {
+			return 0, fmt.Errorf("serve: request %d: sbs %d outside [0, %d)", i, r.SBS, c.base.N)
+		}
+		if r.Class < 0 || r.Class >= c.base.Classes[r.SBS] {
+			return 0, fmt.Errorf("serve: request %d: class %d outside [0, %d)", i, r.Class, c.base.Classes[r.SBS])
+		}
+		if r.Content < 0 || r.Content >= c.base.K {
+			return 0, fmt.Errorf("serve: request %d: content %d outside [0, %d)", i, r.Content, c.base.K)
+		}
+		count := r.Count
+		if count == 0 {
+			count = 1
+		}
+		if count < 0 {
+			return 0, fmt.Errorf("serve: request %d: count %g < 0", i, count)
+		}
+		c.pending[r.SBS][r.Class*c.base.K+r.Content] += count
+		c.total++
+	}
+	return c.stream.Slot(), nil
+}
+
+// TickResult is one closed slot's outcome.
+type TickResult struct {
+	// Slot is the slot that was closed.
+	Slot int `json:"slot"`
+	// X and Y are the committed decision.
+	X model.CachePlan `json:"x"`
+	Y model.LoadPlan  `json:"y"`
+	// NextSlot is the now-open slot; Done reports horizon completion.
+	NextSlot int  `json:"nextSlot"`
+	Done     bool `json:"done"`
+}
+
+// Tick closes the open slot: the accumulated request counts become the
+// slot's final empirical rates (requests per slot), the stream commits
+// the slot's decision against them and advances, and — when configured —
+// the snapshot envelope is persisted atomically before Tick returns, so
+// a crash after Tick never loses the slot.
+func (c *Controller) Tick(ctx context.Context) (*TickResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream.Done() {
+		return nil, fmt.Errorf("serve: horizon complete at slot %d", c.stream.Slot())
+	}
+	t := c.stream.Slot()
+	for n, flat := range c.pending {
+		for i, v := range flat {
+			if v != 0 {
+				c.live.Set(t, n, i/c.base.K, i%c.base.K, v)
+				flat[i] = 0
+			}
+		}
+	}
+	dec, err := c.stream.CloseSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.SnapshotPath != "" {
+		if err := SaveSnapshot(c.cfg.SnapshotPath, c.envelopeLocked()); err != nil {
+			return nil, err
+		}
+	}
+	return &TickResult{
+		Slot:     t,
+		X:        dec.X,
+		Y:        dec.Y,
+		NextSlot: c.stream.Slot(),
+		Done:     c.stream.Done(),
+	}, nil
+}
+
+// envelopeLocked assembles the persistence envelope; c.mu must be held.
+func (c *Controller) envelopeLocked() *Envelope {
+	slot := c.stream.Slot()
+	rows := make([][][]float64, slot)
+	for t := 0; t < slot; t++ {
+		rows[t] = make([][]float64, c.base.N)
+		for n := 0; n < c.base.N; n++ {
+			rows[t][n] = c.live.CopySlot(nil, t, n)
+		}
+	}
+	return &Envelope{
+		FormatVersion: SnapshotFormatVersion,
+		Algorithm:     c.cfg.Online.Name(),
+		Slot:          slot,
+		Ingested:      c.total,
+		Rows:          rows,
+		Controller:    c.stream.Snapshot(),
+	}
+}
+
+// Snapshot returns the controller's persistence envelope (deep copy).
+func (c *Controller) Snapshot() *Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.envelopeLocked()
+}
+
+// Plan is the published decision for the open slot.
+type Plan struct {
+	Slot    int             `json:"slot"`
+	Horizon int             `json:"horizon"`
+	Done    bool            `json:"done"`
+	X       model.CachePlan `json:"x,omitempty"`
+	// Y is the provisional split; nil in reactive load mode (the final
+	// split needs the slot's realised demand) and after completion.
+	Y model.LoadPlan `json:"y,omitempty"`
+}
+
+// Plan returns the provisionally published decision for the open slot.
+// The plans are deep copies, safe to hand to encoders.
+func (c *Controller) Plan() Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, x, y := c.stream.Plan()
+	p := Plan{Slot: slot, Horizon: c.base.T, Done: c.stream.Done()}
+	if x != nil {
+		p.X = x.Clone()
+	}
+	if y != nil {
+		p.Y = y.Clone()
+	}
+	return p
+}
+
+// Stats are the controller's live counters.
+type Stats struct {
+	online.StreamStats
+	Slot     int   `json:"slot"`
+	Horizon  int   `json:"horizon"`
+	Done     bool  `json:"done"`
+	Ingested int64 `json:"ingested"`
+}
+
+// Stats returns the live counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		StreamStats: c.stream.Stats(),
+		Slot:        c.stream.Slot(),
+		Horizon:     c.base.T,
+		Done:        c.stream.Done(),
+		Ingested:    c.total,
+	}
+}
+
+// Done reports whether every slot of the horizon has been closed.
+func (c *Controller) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stream.Done()
+}
+
+// Trajectory returns a deep copy of the committed decisions so far.
+func (c *Controller) Trajectory() model.Trajectory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	traj := c.stream.Trajectory()
+	out := make(model.Trajectory, len(traj))
+	for t, dec := range traj {
+		out[t] = model.SlotDecision{X: dec.X.Clone(), Y: dec.Y.Clone()}
+	}
+	return out
+}
+
+// Result assembles the completed run (errors while slots remain open).
+func (c *Controller) Result() (*online.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stream.Result()
+}
+
+// MaterializeFaults applies a schedule's topology injectors to base —
+// the serving twin of sim.RunWith's materialisation — returning the
+// effective instance to hand to New/Open. The corruption and solver
+// arms of the same schedule ride in Config.Faults and
+// Config.Online.Faults respectively.
+func MaterializeFaults(base *model.Instance, sched *fault.Schedule) (*model.Instance, error) {
+	if sched.Empty() {
+		return base, nil
+	}
+	out, err := sched.Materialize(base, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ServerConfig assembles a Server.
+type ServerConfig struct {
+	// Controller is the controller to serve. Required.
+	Controller *Controller
+	// Clock drives the slot ticker (nil selects the wall clock). Tests
+	// and the smoke harness inject a MockClock.
+	Clock Clock
+	// SlotDuration is the wall-clock length of one slot. Zero disables
+	// the ticker; slots then advance only through POST /v1/tick.
+	SlotDuration time.Duration
+}
+
+// Server exposes a Controller over HTTP/JSON:
+//
+//	POST /v1/requests    ingest a batch of demand reports
+//	GET  /v1/plan        the published decision for the open slot
+//	POST /v1/tick        close the open slot explicitly
+//	GET  /v1/stats       live controller counters
+//	GET  /v1/trajectory  committed decisions so far
+//	GET  /v1/healthz     liveness, slot and completion state
+//
+// With a SlotDuration the server also runs a ticker goroutine closing
+// one slot per period until the horizon completes. Shutdown stops the
+// ticker first, then drains in-flight requests gracefully.
+type Server struct {
+	ctrl    *Controller
+	clock   Clock
+	slotDur time.Duration
+
+	mux *http.ServeMux
+	srv *http.Server
+
+	mu        sync.Mutex
+	addr      string
+	serveDone chan struct{}
+	tickStop  context.CancelFunc
+	tickDone  chan struct{}
+	closeOne  sync.Once
+	closeErr  error
+}
+
+// NewServer builds a server around cfg. Start brings it up.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("serve: ServerConfig.Controller is required")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = RealClock()
+	}
+	s := &Server{
+		ctrl:    cfg.Controller,
+		clock:   clock,
+		slotDur: cfg.SlotDuration,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/requests", s.handleRequests)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/tick", s.handleTick)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/trajectory", s.handleTrajectory)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler returns the service mux — usable without Start (httptest, or
+// embedding into a larger server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "localhost:0"), serves in the background
+// and — when SlotDuration is set — starts the slot ticker.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.addr = ln.Addr().String()
+	s.serveDone = make(chan struct{})
+	s.mu.Unlock()
+	go func() {
+		defer close(s.serveDone)
+		_ = s.srv.Serve(ln)
+	}()
+	if s.slotDur > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		// Register the ticker before returning so a test clock advanced
+		// right after Start delivers its first tick.
+		ticker := s.clock.Ticker(s.slotDur)
+		s.mu.Lock()
+		s.tickStop = cancel
+		s.tickDone = make(chan struct{})
+		s.mu.Unlock()
+		go s.tickLoop(ctx, ticker)
+	}
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// tickLoop closes one slot per period until the horizon completes, the
+// context is cancelled, or a tick fails terminally.
+func (s *Server) tickLoop(ctx context.Context, ticker Ticker) {
+	defer close(s.tickDone)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C():
+		}
+		if s.ctrl.Done() {
+			return
+		}
+		if _, err := s.ctrl.Tick(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// A failed tick leaves the slot open; the next period retries
+			// (transient snapshot I/O) rather than killing the service.
+			continue
+		}
+		if s.ctrl.Done() {
+			return
+		}
+	}
+}
+
+// Shutdown stops the ticker, then shuts the HTTP server down gracefully
+// within ctx. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOne.Do(func() {
+		s.mu.Lock()
+		tickStop, tickDone, serveDone := s.tickStop, s.tickDone, s.serveDone
+		s.mu.Unlock()
+		if tickStop != nil {
+			tickStop()
+			<-tickDone
+		}
+		if serveDone == nil {
+			return // never started; nothing to drain
+		}
+		err := s.srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			err = s.srv.Close()
+		}
+		<-serveDone
+		s.closeErr = err
+	})
+	return s.closeErr
+}
+
+// IngestRequest is the POST /v1/requests body.
+type IngestRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// IngestResponse acknowledges an ingested batch.
+type IngestResponse struct {
+	// Slot is the open slot the batch was booked under.
+	Slot int `json:"slot"`
+	// Accepted is the number of reports booked.
+	Accepted int `json:"accepted"`
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+		return
+	}
+	slot, err := s.ctrl.Ingest(body.Requests)
+	if err != nil {
+		if s.ctrl.Done() {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, IngestResponse{Slot: slot, Accepted: len(body.Requests)})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.ctrl.Plan())
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	res, err := s.ctrl.Tick(r.Context())
+	if err != nil {
+		if s.ctrl.Done() {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.ctrl.Stats())
+}
+
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.ctrl.Trajectory())
+}
+
+// Health is the GET /v1/healthz body.
+type Health struct {
+	OK   bool `json:"ok"`
+	Slot int  `json:"slot"`
+	Done bool `json:"done"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.ctrl.Stats()
+	writeJSON(w, Health{OK: true, Slot: st.Slot, Done: st.Done})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"edgecache/internal/online"
+)
+
+// SnapshotFormatVersion is the on-disk envelope format this build reads
+// and writes. Bump it on any incompatible change to Envelope or to
+// online.StreamSnapshot; Load rejects mismatches loudly instead of
+// mis-restoring.
+const SnapshotFormatVersion = 1
+
+// Envelope is the on-disk snapshot: the controller state plus the
+// realised demand rows of the closed slots (the stream snapshot carries
+// no demand of its own — the estimator and the restored windows
+// recompute from this prefix). Serialised as JSON; float64 values
+// round-trip exactly through Go's shortest-representation encoding.
+type Envelope struct {
+	FormatVersion int    `json:"formatVersion"`
+	Algorithm     string `json:"algorithm"`
+	// Slot is the open slot at snapshot time; Rows covers [0, Slot).
+	Slot     int   `json:"slot"`
+	Ingested int64 `json:"ingested"`
+	// Rows[t][n] is the realised flat (class, content) rate row of slot
+	// t at SBS n.
+	Rows       [][][]float64          `json:"rows"`
+	Controller *online.StreamSnapshot `json:"controller"`
+}
+
+// SaveSnapshot writes the envelope to path atomically: marshal, write to
+// a temp file in the same directory, fsync, rename. A crash mid-save
+// leaves the previous snapshot intact; a reader never observes a partial
+// file.
+func SaveSnapshot(path string, env *Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("serve: marshal snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("serve: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads an envelope from path. A missing file returns
+// (nil, nil) — the fresh-start case of Open; anything else that fails to
+// parse or carries a foreign format version is an error.
+func LoadSnapshot(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: read snapshot: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("serve: parse snapshot %s: %w", path, err)
+	}
+	if env.FormatVersion != SnapshotFormatVersion {
+		return nil, fmt.Errorf("serve: snapshot %s has format version %d, this build reads %d",
+			path, env.FormatVersion, SnapshotFormatVersion)
+	}
+	if env.Controller == nil {
+		return nil, fmt.Errorf("serve: snapshot %s carries no controller state", path)
+	}
+	return &env, nil
+}

@@ -61,7 +61,7 @@ type failingPolicy struct{}
 
 func (failingPolicy) Name() string { return "failing" }
 
-func (failingPolicy) Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
+func (failingPolicy) Plan(ctx context.Context, in *model.Instance, pred workload.Forecaster) (model.Trajectory, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

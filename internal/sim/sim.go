@@ -46,7 +46,7 @@ type Policy interface {
 	// Plan returns a feasible trajectory over the instance's horizon,
 	// honouring ctx cancellation (a done ctx surfaces as a wrapped
 	// ctx.Err() within one solver iteration).
-	Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error)
+	Plan(ctx context.Context, in *model.Instance, pred workload.Forecaster) (model.Trajectory, error)
 }
 
 // Observable is implemented by policies that can carry a telemetry
@@ -104,7 +104,7 @@ func (p offlinePolicy) WithBudget(d time.Duration, fb online.FallbackPlanner) Po
 	return p
 }
 
-func (p offlinePolicy) Plan(ctx context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+func (p offlinePolicy) Plan(ctx context.Context, in *model.Instance, _ workload.Forecaster) (model.Trajectory, error) {
 	solveCtx, cancel := ctx, context.CancelFunc(nil)
 	if p.budget > 0 {
 		solveCtx, cancel = context.WithTimeout(ctx, p.budget)
@@ -186,7 +186,7 @@ func (p onlinePolicy) WithFaults(s *fault.Schedule) Policy {
 	return p
 }
 
-func (p onlinePolicy) Plan(ctx context.Context, in *model.Instance, pred *workload.Predictor) (model.Trajectory, error) {
+func (p onlinePolicy) Plan(ctx context.Context, in *model.Instance, pred workload.Forecaster) (model.Trajectory, error) {
 	if pred == nil {
 		return nil, errors.New("sim: online policy requires a predictor")
 	}
@@ -204,7 +204,7 @@ type baselinePolicy struct{ b baseline.Policy }
 
 func (p baselinePolicy) Name() string { return p.b.Name() }
 
-func (p baselinePolicy) Plan(ctx context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+func (p baselinePolicy) Plan(ctx context.Context, in *model.Instance, _ workload.Forecaster) (model.Trajectory, error) {
 	return p.b.Plan(ctx, in)
 }
 
@@ -278,20 +278,20 @@ type Config struct {
 }
 
 // Run plans with the policy, verifies feasibility, and accounts costs.
-func Run(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy) (*Result, error) {
+func Run(ctx context.Context, in *model.Instance, pred workload.Forecaster, p Policy) (*Result, error) {
 	return RunWith(ctx, in, pred, p, Config{})
 }
 
 // RunObserved is Run with telemetry threaded into the policy's solvers;
 // a nil handle makes it identical to Run.
-func RunObserved(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy, tel *obs.Telemetry) (*Result, error) {
+func RunObserved(ctx context.Context, in *model.Instance, pred workload.Forecaster, p Policy, tel *obs.Telemetry) (*Result, error) {
 	return RunWith(ctx, in, pred, p, Config{Telemetry: tel})
 }
 
 // RunWith plans with the policy under the given run configuration,
 // verifies feasibility, and accounts costs. One run_summary event is
 // emitted per evaluated run when telemetry is enabled.
-func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, p Policy, cfg Config) (*Result, error) {
+func RunWith(ctx context.Context, in *model.Instance, pred workload.Forecaster, p Policy, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -319,7 +319,7 @@ func RunWith(ctx context.Context, in *model.Instance, pred *workload.Predictor, 
 		}
 		in = out
 		if hook := cfg.Faults.Corruptor(in.Demand); hook != nil && pred != nil {
-			pred = pred.WithCorruption(hook)
+			pred = workload.Corrupt(pred, hook)
 		}
 		if fa, ok := p.(FaultAware); ok {
 			p = fa.WithFaults(cfg.Faults)

@@ -211,7 +211,7 @@ type fractionalPolicy struct{}
 
 func (fractionalPolicy) Name() string { return "Fractional" }
 
-func (fractionalPolicy) Plan(_ context.Context, in *model.Instance, _ *workload.Predictor) (model.Trajectory, error) {
+func (fractionalPolicy) Plan(_ context.Context, in *model.Instance, _ workload.Forecaster) (model.Trajectory, error) {
 	traj := model.NewTrajectory(in)
 	for t := range traj {
 		traj[t].X[0][0] = 0.5 // within capacity, but not integral

@@ -1,0 +1,38 @@
+package workload
+
+import "edgecache/internal/model"
+
+// Corrupt wraps a forecaster so every forecast is additionally passed
+// through hook — the same per-coordinate transform Predictor.WithCorruption
+// applies (t is the absolute slot; hooks must clamp to finite non-negative
+// rates). It is how fault schedules corrupt the prediction feed of any
+// Forecaster, not just the oracle: the ground truth is never touched, only
+// the returned windows. A nil hook returns f itself; a *Predictor keeps
+// its optimised single-Map path via WithCorruption.
+func Corrupt(f Forecaster, hook func(tau, t, n, m, k int, v float64) float64) Forecaster {
+	if hook == nil {
+		return f
+	}
+	if p, ok := f.(*Predictor); ok {
+		return p.WithCorruption(hook)
+	}
+	return &corrupted{f: f, hook: hook}
+}
+
+type corrupted struct {
+	f    Forecaster
+	hook func(tau, t, n, m, k int, v float64) float64
+}
+
+func (c *corrupted) Truth() model.DemandView { return c.f.Truth() }
+
+func (c *corrupted) Predict(tau, from, to int) (model.DemandView, error) {
+	window, err := c.f.Predict(tau, from, to)
+	if err != nil {
+		return nil, err
+	}
+	window.Map(func(t, n, m, k int, v float64) float64 {
+		return c.hook(tau, from+t, n, m, k, v)
+	})
+	return window, nil
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"edgecache/internal/model"
+)
+
+// TestEstimatorZeroDemandWindows is the regression test for the
+// zero-arrival seam of the live estimation path: a (n, m, k) coordinate
+// that goes silent for whole windows must decay smoothly (no freeze, no
+// 0/0, no NaN) and reach exactly zero under the clamped decay instead of
+// lingering at denormal rates forever.
+func TestEstimatorZeroDemandWindows(t *testing.T) {
+	const T = 80
+	d := model.NewDemand(T, []int{2}, 3)
+	// Arrivals only in the first two slots; everything after is silence.
+	d.Set(0, 0, 0, 1, 4)
+	d.Set(1, 0, 1, 2, 2)
+	est, err := NewOnlineEstimator(d, 0.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := math.Inf(1)
+	sawZero := false
+	for tau := 2; tau <= T; tau++ {
+		f, err := est.Predict(tau, tau-1, tau)
+		if err != nil {
+			t.Fatalf("tau %d: %v", tau, err)
+		}
+		if err := f.CheckValues(); err != nil {
+			t.Fatalf("tau %d: forecast invalid: %v", tau, err)
+		}
+		v := f.At(0, 0, 0, 1)
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("tau %d: estimate %g", tau, v)
+		}
+		if v > last {
+			t.Fatalf("tau %d: silent coordinate grew: %g > %g", tau, v, last)
+		}
+		last = v
+		if v == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Fatalf("decay never clamped to zero; final estimate %g", last)
+	}
+}
+
+// TestEstimatorAllZeroStream pins the pathological live case: a stream
+// with no arrivals at all. The estimator must produce valid all-zero
+// forecasts from the zero prior rather than dividing by an arrival count.
+func TestEstimatorAllZeroStream(t *testing.T) {
+	d := model.NewDemand(6, []int{1, 2}, 4)
+	est, err := NewOnlineEstimator(d, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []int{-2, 0, 3, 6} {
+		f, err := est.Predict(tau, 0, 6)
+		if err != nil {
+			t.Fatalf("tau %d: %v", tau, err)
+		}
+		if err := f.CheckValues(); err != nil {
+			t.Fatalf("tau %d: %v", tau, err)
+		}
+		for n := 0; n < 2; n++ {
+			if f.SlotTotal(0, n) != 0 {
+				t.Fatalf("tau %d: zero stream forecast nonzero at SBS %d", tau, n)
+			}
+		}
+	}
+}
+
+// TestEstimatorCallOrderIndependence pins the Forecaster contract the
+// staggered FHC versions rely on: forecasts are pure functions of
+// (tau, from, to), whatever the interleaving of prior queries.
+func TestEstimatorCallOrderIndependence(t *testing.T) {
+	d := model.NewDemand(10, []int{2}, 3)
+	for tt := 0; tt < 10; tt++ {
+		d.Set(tt, 0, tt%2, (tt+1)%3, float64(1+tt%4))
+	}
+	mk := func() *OnlineEstimator {
+		e, err := NewOnlineEstimator(d, 0.25, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	forward, backward := mk(), mk()
+	var fw, bw []model.DemandView
+	for tau := 0; tau <= 8; tau++ {
+		f, err := forward.Predict(tau, tau, tau+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw = append(fw, f)
+	}
+	for tau := 8; tau >= 0; tau-- {
+		f, err := backward.Predict(tau, tau, tau+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw = append(bw, f)
+	}
+	for i := range fw {
+		if !reflect.DeepEqual(fw[i], bw[len(bw)-1-i]) {
+			t.Fatalf("forecast at tau %d depends on query order", i)
+		}
+	}
+
+	// Concurrent queries (the parallel versions of online.Run) must also
+	// agree; run under -race this doubles as the estimator's race test.
+	conc := mk()
+	var wg sync.WaitGroup
+	got := make([]model.DemandView, 9)
+	for tau := 0; tau <= 8; tau++ {
+		wg.Add(1)
+		go func(tau int) {
+			defer wg.Done()
+			f, err := conc.Predict(tau, tau, tau+2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[tau] = f
+		}(tau)
+	}
+	wg.Wait()
+	for tau := range got {
+		if !reflect.DeepEqual(got[tau], fw[tau]) {
+			t.Fatalf("concurrent forecast at tau %d diverges", tau)
+		}
+	}
+}
