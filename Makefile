@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race staticcheck ci bench bench-diff trace-demo cover fuzz audit chaos chaos-live serve-smoke experiments report examples
+.PHONY: all build vet test test-short race staticcheck ci bench bench-diff trace-demo cover fuzz audit chaos chaos-live chaos-crash serve-smoke experiments report examples
 
 all: build vet test
 
@@ -32,7 +32,7 @@ staticcheck:
 	fi
 
 # Everything .github/workflows/ci.yml checks, locally.
-ci: build vet test race chaos serve-smoke chaos-live staticcheck bench bench-diff trace-demo
+ci: build vet test race chaos serve-smoke chaos-live chaos-crash staticcheck bench bench-diff trace-demo
 
 # Benchmark run recorded as JSON (see cmd/bench and DESIGN.md §8). CI uses
 # the short BENCHTIME as a smoke pass; for tracked numbers use the default
@@ -127,6 +127,19 @@ chaos-live:
 	$(GO) run ./cmd/jocserve -smoke -T 16 -K 10 -classes 6 -sbs 2 -C 3 -B 10 \
 		-algo chc -w 4 -r 2 -fault-seed 3 \
 		-faults "solvererr:t=2,attempts=3; corrupt:mode=dropout,rate=0.3,from=4,to=12; cap:n=1,from=8,to=14,lose=1"
+
+# Crash chaos: kill -9 a real jocserve child process at seeded-random
+# points — plain SIGKILL between HTTP operations plus exit(137) injected
+# in the middle of WAL appends and snapshot publishes — at least 20
+# times while replaying a deterministic trace, and require the recovered
+# trajectory to be byte-identical to an unkilled run with zero
+# acknowledged reports lost (DESIGN.md §14).
+chaos-crash:
+	$(GO) run ./cmd/jocserve -chaos 20 -chaos-seed 7 \
+		-T 12 -K 6 -classes 4 -sbs 1 -C 2 -B 6 -beta 5 -algo rhc -w 4
+	$(GO) run ./cmd/jocserve -chaos 20 -chaos-seed 3 \
+		-T 12 -K 6 -classes 4 -sbs 1 -C 2 -B 6 -beta 5 -algo chc -w 4 -r 2 \
+		-faults "solvererr:t=2,attempts=3" -fault-seed 7
 
 # Regenerate every figure (slow: full sweeps on the default scale), then
 # assemble EXPERIMENTS.md with machine-checked paper claims.

@@ -1,17 +1,21 @@
 // Command jocserve runs the online controller as a streaming HTTP
 // service: edge nodes POST demand reports, a wall-clock ticker closes
 // one slot per period, and the current caching/load-balancing decision
-// is published at /v1/plan. Controller state is snapshotted atomically
-// after every slot, so a killed service restarted with the same command
-// line resumes exactly where it stopped.
+// is published at /v1/plan. With -state-dir the service is crash-safe:
+// acknowledged reports go through a CRC-framed fsynced WAL and slot
+// closes publish checksummed snapshot generations, so kill -9 at any
+// byte — including mid-write — recovers to the identical state. The
+// legacy -snapshot mode persists one atomic snapshot per slot.
 //
 // Usage:
 //
-//	jocserve -addr localhost:8080 -snapshot /var/run/joc.snapshot.json
+//	jocserve -addr localhost:8080 -state-dir /var/lib/jocserve
 //	jocserve -T 60 -K 30 -sbs 4 -algo chc -w 10 -r 5 -slot 2s
+//	jocserve -wal-fsync interval -snap-keep 5 -catchup fastforward:4
 //	jocserve -debug-addr localhost:6060      # expvar, pprof, /metrics, /debug/solver
 //	jocserve -faults "solvererr:t=2,attempts=3" -fault-seed 7
 //	jocserve -smoke                          # deterministic self-test, exits PASS/FAIL
+//	jocserve -chaos 20                       # kill -9 loop against a real child process
 //
 // Endpoints:
 //
@@ -21,6 +25,7 @@
 //	GET  /v1/stats       live controller counters
 //	GET  /v1/trajectory  committed decisions so far
 //	GET  /v1/healthz     liveness
+//	GET  /v1/readyz      readiness (503 until recovery completes)
 package main
 
 import (
@@ -30,8 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"syscall"
@@ -76,11 +83,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		commit    = fs.Int("r", 5, "CHC commitment level")
 		slotDur   = fs.Duration("slot", 0, "wall-clock slot length (0 = advance via POST /v1/tick)")
 		snapshot  = fs.String("snapshot", "", "snapshot file; written after every slot, restored on start")
+		stateDir  = fs.String("state-dir", "", "durable state directory (report WAL + snapshot generations); full crash recovery on start")
+		walFsync  = fs.String("wal-fsync", "always", "WAL fsync policy: always, interval or off")
+		snapKeep  = fs.Int("snap-keep", 0, "snapshot generations to retain (0 = 3, minimum 2)")
+		catchup   = fs.String("catchup", "skip", "missed-tick policy: skip, fastforward or fastforward:N")
 		alpha     = fs.Float64("alpha", 0, "demand estimator EWMA weight (0 = default)")
 		floor     = fs.Float64("floor", -1, "estimator decay floor (-1 = default, 0 = off)")
 		faultSpec = fs.String("faults", "", `fault schedule: inline DSL like "solvererr:t=2,attempts=3; corrupt:mode=spike,magnitude=3" or a JSON file path`)
 		faultSeed = fs.Uint64("fault-seed", 0, "seed for randomised fault injectors (0 = the schedule's own seed)")
+		diskSpec  = fs.String("disk-faults", "", `disk fault injection: "tearwal:op=N; tearsnap:op=N; flipsnap:op=N" (chaos only)`)
+		diskSeed  = fs.Uint64("disk-seed", 1, "seed for disk fault tear offsets")
+		crashExit = fs.Bool("crash-exit", false, "exit(137) the moment an injected disk fault fires (chaos child mode)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file after start")
 		smoke     = fs.Bool("smoke", false, "run the deterministic self-test (trace replay over HTTP, kill and restore mid-run, golden comparison) and exit")
+		chaos     = fs.Int("chaos", 0, "run the kill -9 chaos harness: at least N real SIGKILLs against a child process, restart equivalence asserted; exits PASS/FAIL")
+		chaosSeed = fs.Uint64("chaos-seed", 1, "chaos harness seed (kill points and fault arming)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,16 +143,56 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	fsyncPol, err := serve.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		return err
+	}
+	cuPol, cuBound, err := serve.ParseCatchUpPolicy(*catchup)
+	if err != nil {
+		return err
+	}
+	var disks *fault.DiskFaults
+	if *diskSpec != "" {
+		disks, err = fault.ParseDisk(*diskSpec, *diskSeed)
+		if err != nil {
+			return err
+		}
+		if *crashExit {
+			// Chaos child mode: a mid-write fault is a real process death,
+			// not a returned error — the parent observes kill -9 semantics.
+			disks.OnCrash = func() { os.Exit(137) }
+		}
+	}
 	scfg := serve.Config{
 		Online:         cfg,
 		EstimatorAlpha: *alpha,
 		EstimatorFloor: *floor,
 		SnapshotPath:   *snapshot,
+		StateDir:       *stateDir,
+		WALFsync:       fsyncPol,
+		SnapKeep:       *snapKeep,
+		DiskFaults:     disks,
 		Faults:         sched,
 	}
 
 	if *smoke {
 		return runSmoke(ctx, out, eff, scfg, *seed)
+	}
+	if *chaos > 0 {
+		childArgs := []string{
+			"-T", fmt.Sprint(*horizon), "-K", fmt.Sprint(*catalogue),
+			"-classes", fmt.Sprint(*classes), "-sbs", fmt.Sprint(*sbs),
+			"-C", fmt.Sprint(*cache), "-B", fmt.Sprint(*bandwidth),
+			"-beta", fmt.Sprint(*beta), "-jitter", fmt.Sprint(*jitter),
+			"-drift", fmt.Sprint(*drift), "-seed", fmt.Sprint(*seed),
+			"-algo", *algo, "-w", fmt.Sprint(*window), "-r", fmt.Sprint(*commit),
+			"-alpha", fmt.Sprint(*alpha), "-floor", fmt.Sprint(*floor),
+			"-wal-fsync", "always", "-crash-exit",
+		}
+		if *faultSpec != "" {
+			childArgs = append(childArgs, "-faults", *faultSpec, "-fault-seed", fmt.Sprint(*faultSeed))
+		}
+		return runChaos(ctx, out, eff, scfg, *seed, *chaos, *chaosSeed, childArgs)
 	}
 
 	if *debugAddr != "" {
@@ -150,16 +207,43 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/, /debug/vars, /metrics, /debug/solver\n", dbg.Addr())
 	}
 
-	ctrl, err := serve.Open(ctx, eff, scfg)
-	if err != nil {
-		return err
-	}
-	srv, err := serve.NewServer(serve.ServerConfig{Controller: ctrl, SlotDuration: *slotDur})
+	// The listener comes up immediately; recovery (snapshot verification
+	// and WAL replay) runs behind it. /v1/readyz reports 503 until the
+	// controller lands, so a load balancer holds traffic off during replay.
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Boot: func(bctx context.Context) (*serve.Controller, error) {
+			return serve.Open(bctx, eff, scfg)
+		},
+		SlotDuration: *slotDur,
+		CatchUp:      cuPol,
+		CatchUpBound: cuBound,
+	})
 	if err != nil {
 		return err
 	}
 	if err := srv.Start(*addr); err != nil {
 		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return err
+		}
+	}
+	var ctrl *serve.Controller
+	for ctrl = srv.Controller(); ctrl == nil; ctrl = srv.Controller() {
+		if err := srv.BootErr(); err != nil {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			return srv.Shutdown(shutdownCtx)
+		case <-time.After(5 * time.Millisecond):
+		}
 	}
 	st := ctrl.Stats()
 	fmt.Fprintf(out, "jocserve: %s on http://%s, slot %d/%d", cfg.Name(), srv.Addr(), st.Slot, st.Horizon)
@@ -168,6 +252,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *snapshot != "" {
 		fmt.Fprintf(out, ", snapshotting to %s", *snapshot)
+	}
+	if *stateDir != "" {
+		fmt.Fprintf(out, ", durable state in %s", *stateDir)
 	}
 	fmt.Fprintln(out)
 
@@ -179,6 +266,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "jocserve: stopped at slot %d/%d\n", ctrl.Stats().Slot, ctrl.Stats().Horizon)
 	return nil
+}
+
+// goldenTrajectory is the reference every self-test compares against: a
+// batch replay of the same controller over the trace's empirical tensor
+// with a fresh estimator — what an unkilled, un-served controller would
+// have committed. Returned wire-encoded so both sides share the JSON
+// encoding.
+func goldenTrajectory(ctx context.Context, eff *model.Instance, scfg serve.Config, tr *trace.Trace) ([]byte, error) {
+	goldenIn := *eff
+	goldenIn.Demand = tr.EmpiricalDemand()
+	est, err := workload.NewOnlineEstimator(goldenIn.Demand, scfg.EstimatorAlpha, scfg.EstimatorFloor)
+	if err != nil {
+		return nil, err
+	}
+	pred := workload.Corrupt(est, scfg.Faults.Corruptor(goldenIn.Demand))
+	golden, err := online.Run(ctx, &goldenIn, pred, scfg.Online)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(golden.Trajectory)
 }
 
 // smokeClient drives one jocserve instance over real HTTP.
@@ -231,7 +338,7 @@ func (c *smokeClient) post(path string, body, out any) error {
 // compare the final committed trajectory against a golden batch replay
 // over the same empirical demand. Exits non-zero on any divergence.
 func runSmoke(ctx context.Context, out io.Writer, eff *model.Instance, scfg serve.Config, seed uint64) error {
-	if scfg.SnapshotPath == "" {
+	if scfg.SnapshotPath == "" && scfg.StateDir == "" {
 		dir, err := os.MkdirTemp("", "jocserve-smoke-*")
 		if err != nil {
 			return err
@@ -239,9 +346,13 @@ func runSmoke(ctx context.Context, out io.Writer, eff *model.Instance, scfg serv
 		defer os.RemoveAll(dir)
 		scfg.SnapshotPath = filepath.Join(dir, "snapshot.json")
 	}
+	persist := scfg.SnapshotPath
+	if persist == "" {
+		persist = scfg.StateDir + string(filepath.Separator)
+	}
 	tr := trace.Generate(eff.Demand, seed)
-	fmt.Fprintf(out, "smoke: %s over T=%d N=%d K=%d, %d requests, snapshot %s\n",
-		scfg.Online.Name(), eff.T, eff.N, eff.K, tr.Len(), scfg.SnapshotPath)
+	fmt.Fprintf(out, "smoke: %s over T=%d N=%d K=%d, %d requests, state %s\n",
+		scfg.Online.Name(), eff.T, eff.N, eff.K, tr.Len(), persist)
 
 	const period = time.Second // mock time; never actually elapses
 	boot := func() (*serve.Controller, *serve.Server, *serve.MockClock, *smokeClient, error) {
@@ -347,22 +458,7 @@ func runSmoke(ctx context.Context, out io.Writer, eff *model.Instance, scfg serv
 		return err
 	}
 
-	// Golden: a batch replay of the same controller over the trace's
-	// empirical tensor with a fresh estimator — what an unkilled,
-	// un-served controller would have committed.
-	goldenIn := *eff
-	goldenIn.Demand = tr.EmpiricalDemand()
-	est, err := workload.NewOnlineEstimator(goldenIn.Demand, scfg.EstimatorAlpha, scfg.EstimatorFloor)
-	if err != nil {
-		return err
-	}
-	pred := workload.Corrupt(est, scfg.Faults.Corruptor(goldenIn.Demand))
-	golden, err := online.Run(ctx, &goldenIn, pred, scfg.Online)
-	if err != nil {
-		return err
-	}
-	// Compare through JSON so both sides share the wire encoding.
-	wantRaw, err := json.Marshal(golden.Trajectory)
+	wantRaw, err := goldenTrajectory(ctx, eff, scfg, tr)
 	if err != nil {
 		return err
 	}
@@ -376,5 +472,246 @@ func runSmoke(ctx context.Context, out io.Writer, eff *model.Instance, scfg serv
 	}
 	fmt.Fprintf(out, "smoke: PASS — %d slots, %d requests, %d window solves, %d degraded, trajectory matches golden replay across kill/restore\n",
 		eff.T, stats.Ingested, stats.Solves, stats.Degraded)
+	return nil
+}
+
+// chaosChild is one child jocserve incarnation under the chaos harness.
+type chaosChild struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+// startChild spawns a fresh jocserve process over the shared state dir.
+func startChild(self string, args []string, addrPath string) (*chaosChild, error) {
+	_ = os.Remove(addrPath) // never read a previous incarnation's address
+	cmd := exec.Command(self, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	ch := &chaosChild{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		_ = cmd.Wait()
+		close(ch.done)
+	}()
+	return ch, nil
+}
+
+func (ch *chaosChild) dead() bool {
+	select {
+	case <-ch.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// kill SIGKILLs the child and reaps it.
+func (ch *chaosChild) kill() {
+	_ = ch.cmd.Process.Kill()
+	<-ch.done
+}
+
+// waitReady polls the child's address file and /v1/readyz until recovery
+// has finished — or the child died on the way up (an armed disk fault
+// firing inside recovery's repair save).
+func (ch *chaosChild) waitReady(addrPath string, timeout time.Duration) (*smokeClient, error) {
+	deadline := time.Now().Add(timeout)
+	hc := &http.Client{Timeout: 10 * time.Second}
+	for {
+		if ch.dead() {
+			return nil, fmt.Errorf("child exited before becoming ready")
+		}
+		if raw, err := os.ReadFile(addrPath); err == nil && len(bytes.TrimSpace(raw)) > 0 {
+			cl := &smokeClient{base: "http://" + string(bytes.TrimSpace(raw)), hc: hc}
+			if resp, err := hc.Get(cl.base + "/v1/readyz"); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cl, nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("child not ready after %s", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runChaos is the -chaos kill -9 harness: a real child process serving
+// from a shared durable state dir is killed at seeded-random points — by
+// SIGKILL between HTTP operations and by exit(137) in the middle of WAL
+// appends and snapshot publishes via -disk-faults — at least minKills
+// times while the parent replays a deterministic trace against it. After
+// every restart the parent asserts that every acknowledged report
+// survived and nothing was double-ingested; the finished trajectory must
+// match the golden batch replay byte for byte.
+func runChaos(ctx context.Context, out io.Writer, eff *model.Instance, scfg serve.Config, seed uint64, minKills int, chaosSeed uint64, childArgs []string) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "jocserve-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	stateDir := filepath.Join(dir, "state")
+	addrPath := filepath.Join(dir, "addr")
+	baseArgs := append(append([]string{}, childArgs...),
+		"-addr", "localhost:0", "-addr-file", addrPath, "-state-dir", stateDir)
+
+	tr := trace.Generate(eff.Demand, seed)
+	T := eff.T
+	batches := make([][]serve.Request, T)
+	cum := make([]int, T+1) // cum[s] = reports in slots < s
+	for s := 0; s < T; s++ {
+		var batch []serve.Request
+		for n := 0; n < tr.N(); n++ {
+			for _, r := range tr.Slot(s, n) {
+				batch = append(batch, serve.Request{SBS: r.SBS, Class: r.Class, Content: r.Content})
+			}
+		}
+		batches[s] = batch
+		cum[s+1] = cum[s] + len(batch)
+	}
+	fmt.Fprintf(out, "chaos: %s over T=%d, %d requests, >=%d kills, state %s\n",
+		scfg.Online.Name(), T, tr.Len(), minKills, stateDir)
+
+	rng := rand.New(rand.NewSource(int64(chaosSeed)))
+	kills, lastAcked := 0, 0
+	deadline := time.Now().Add(10 * time.Minute)
+	var finalTraj json.RawMessage
+	for cycle := 0; finalTraj == nil; cycle++ {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: no convergence after 10m (%d kills, %d/%d reports)", kills, lastAcked, cum[T])
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Arm this incarnation: most cycles die mid-write inside one of the
+		// first few durability operations, the rest get a plain SIGKILL
+		// between operations.
+		args := baseArgs
+		switch rng.Intn(4) {
+		case 1:
+			args = append(args, "-disk-faults", fmt.Sprintf("tearwal:op=%d", rng.Intn(3)+1), "-disk-seed", fmt.Sprint(cycle+1))
+		case 2:
+			args = append(args, "-disk-faults", fmt.Sprintf("tearsnap:op=%d", rng.Intn(2)+1), "-disk-seed", fmt.Sprint(cycle+1))
+		case 3:
+			args = append(args, "-disk-faults", fmt.Sprintf("flipsnap:op=%d", rng.Intn(2)+1), "-disk-seed", fmt.Sprint(cycle+1))
+		}
+		child, err := startChild(self, args, addrPath)
+		if err != nil {
+			return err
+		}
+		cl, err := child.waitReady(addrPath, 30*time.Second)
+		if err != nil {
+			child.kill()
+			kills++
+			continue
+		}
+		// Restart-equivalence gate: exactly the acknowledged reports, the
+		// slot the durable close markers reach, nothing lost or doubled.
+		var st serve.Stats
+		if err := cl.get("/v1/stats", &st); err != nil {
+			child.kill()
+			kills++
+			continue
+		}
+		if int(st.Ingested) < lastAcked {
+			child.kill()
+			return fmt.Errorf("chaos: FAIL — %d reports acknowledged, only %d survived the restart", lastAcked, st.Ingested)
+		}
+		slot := st.Slot
+		var booked bool
+		if st.Done {
+			booked = true
+		} else {
+			switch int(st.Ingested) {
+			case cum[slot]:
+				booked = len(batches[slot]) == 0
+			case cum[slot] + len(batches[slot]):
+				booked = true
+			default:
+				child.kill()
+				return fmt.Errorf("chaos: FAIL — restart shows %d reports at slot %d, expected %d or %d",
+					st.Ingested, slot, cum[slot], cum[slot]+len(batches[slot]))
+			}
+		}
+
+		ops := rng.Intn(3) // 0 kills straight after recovery
+		done := st.Done
+		for op := 0; op < ops && !done; op++ {
+			if !booked {
+				var ack serve.IngestResponse
+				if err := cl.post("/v1/requests", serve.IngestRequest{Requests: batches[slot]}, &ack); err != nil {
+					break // child died mid-append
+				}
+				lastAcked = cum[slot] + len(batches[slot])
+				booked = true
+			} else {
+				var res serve.TickResult
+				if err := cl.post("/v1/tick", nil, &res); err != nil {
+					break // child died mid-close
+				}
+				done = res.Done
+				if !done {
+					slot = res.NextSlot
+					booked = len(batches[slot]) == 0
+				}
+			}
+		}
+		if done {
+			if err := cl.get("/v1/trajectory", &finalTraj); err != nil {
+				child.kill()
+				kills++
+				continue // re-read it from the next incarnation
+			}
+		}
+		child.kill()
+		if finalTraj == nil {
+			kills++
+		}
+	}
+
+	// One last clean restart: the finished horizon must be durable too.
+	child, err := startChild(self, baseArgs, addrPath)
+	if err != nil {
+		return err
+	}
+	cl, err := child.waitReady(addrPath, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("chaos: final restart: %w", err)
+	}
+	var st serve.Stats
+	if err := cl.get("/v1/stats", &st); err != nil {
+		child.kill()
+		return err
+	}
+	var replayTraj json.RawMessage
+	if err := cl.get("/v1/trajectory", &replayTraj); err != nil {
+		child.kill()
+		return err
+	}
+	child.kill()
+	if !st.Done || st.Ingested != int64(cum[T]) {
+		return fmt.Errorf("chaos: FAIL — final restart shows done=%v ingested=%d, want done=true ingested=%d", st.Done, st.Ingested, cum[T])
+	}
+
+	want, err := goldenTrajectory(ctx, eff, scfg, tr)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, bytes.TrimSpace(finalTraj)) || !bytes.Equal(want, bytes.TrimSpace(replayTraj)) {
+		fmt.Fprintln(out, "chaos: FAIL — trajectory diverges from the golden batch replay")
+		return fmt.Errorf("chaos failed")
+	}
+	if kills < minKills {
+		return fmt.Errorf("chaos: only %d kills exercised, %d required — raise -T or lower -chaos", kills, minKills)
+	}
+	fmt.Fprintf(out, "chaos: PASS — %d kills, %d reports, trajectory identical across every restart\n", kills, cum[T])
 	return nil
 }

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrCrash is the sentinel a durability operation returns after a
+// DiskFaults injection put torn or corrupt bytes on disk: the process is
+// considered dead at that byte. Callers must treat it as terminal —
+// abandon the in-memory state and recover from disk, exactly as after a
+// real SIGKILL. When DiskFaults.OnCrash is set it is invoked instead
+// (the kill-loop harness wires it to os.Exit, so the simulated crash
+// takes the whole process down before any acknowledgement escapes).
+var ErrCrash = errors.New("fault: simulated crash after torn write")
+
+// DiskFaults injects storage-level failures into the serving layer's
+// durability files (DESIGN.md §14): a WAL append torn mid-frame, a
+// snapshot generation published with only a byte prefix (the torn-rename
+// / power-cut case), or a snapshot with a single flipped bit (silent
+// media corruption). Operations are counted per kind; the fault fires on
+// the configured 1-based operation index. Tear offsets and flipped bit
+// positions are pure functions of (Seed, op count), so a chaos run
+// replays byte-identically.
+//
+// Counters are atomics: the controller serialises durability operations,
+// but the hooks stay safe under concurrent probing.
+type DiskFaults struct {
+	Seed uint64
+
+	// TearWALAppend tears the Nth WAL append (1-based): only a strict
+	// prefix of the frame reaches the file, then the crash fires. 0
+	// disables.
+	TearWALAppend int64
+	// TearSnapshot tears the Nth snapshot publish: a strict prefix of
+	// the envelope lands at the final path, then the crash fires.
+	TearSnapshot int64
+	// FlipSnapshot publishes the Nth snapshot with one bit flipped, then
+	// fires the crash — the next startup must detect the corruption via
+	// the envelope checksum and fall back a generation.
+	FlipSnapshot int64
+
+	// OnCrash, when set, is called instead of returning ErrCrash after
+	// the faulty bytes are on disk; wiring it to os.Exit makes the
+	// injected crash indistinguishable from kill -9 at that byte.
+	OnCrash func()
+
+	walAppends atomic.Int64
+	snapSaves  atomic.Int64
+}
+
+// Crash fires the configured crash action (see OnCrash).
+func (d *DiskFaults) Crash() error {
+	if d.OnCrash != nil {
+		d.OnCrash()
+	}
+	return ErrCrash
+}
+
+// WALTear advances the WAL append counter and reports whether this
+// append must be torn, returning the number of frame bytes to keep
+// (always a strict prefix: at least 1 byte short, possibly empty).
+func (d *DiskFaults) WALTear(frameLen int) (keep int, tear bool) {
+	if d == nil || d.TearWALAppend <= 0 {
+		return 0, false
+	}
+	n := d.walAppends.Add(1)
+	if n != d.TearWALAppend {
+		return 0, false
+	}
+	if frameLen <= 1 {
+		return 0, true
+	}
+	keep = int(uniform01(d.Seed, 0xD15C01, uint64(n)) * float64(frameLen))
+	if keep >= frameLen {
+		keep = frameLen - 1
+	}
+	return keep, true
+}
+
+// SnapshotFault advances the snapshot publish counter and, when this
+// publish is the configured victim, returns the mutated bytes to put at
+// the final path: a strict prefix (tear) or a copy with one bit flipped.
+// crash reports whether the caller must fire Crash after writing them.
+func (d *DiskFaults) SnapshotFault(data []byte) (mutated []byte, crash bool) {
+	if d == nil || (d.TearSnapshot <= 0 && d.FlipSnapshot <= 0) {
+		return nil, false
+	}
+	n := d.snapSaves.Add(1)
+	switch {
+	case n == d.TearSnapshot:
+		keep := int(uniform01(d.Seed, 0xD15C02, uint64(n)) * float64(len(data)))
+		if keep >= len(data) {
+			keep = len(data) - 1
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		return append([]byte(nil), data[:keep]...), true
+	case n == d.FlipSnapshot:
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			i := int(uniform01(d.Seed, 0xD15C03, uint64(n)) * float64(len(out)))
+			if i >= len(out) {
+				i = len(out) - 1
+			}
+			bit := byte(1) << (splitmix64(d.Seed^uint64(n)) % 8)
+			out[i] ^= bit
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// ParseDisk builds disk faults from the compact command-line DSL:
+// clauses separated by ';', each 'kind:op=N' with 1-based operation
+// indices:
+//
+//	tearwal:op=5     tear the 5th WAL append mid-frame, then crash
+//	tearsnap:op=2    publish the 2nd snapshot as a byte prefix, then crash
+//	flipsnap:op=3    flip one bit in the 3rd snapshot, then crash
+//
+// The seed drives the tear offsets and bit positions.
+func ParseDisk(spec string, seed uint64) (*DiskFaults, error) {
+	d := &DiskFaults{Seed: seed}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		var op int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(rest), "op=%d", &op); err != nil {
+			return nil, fmt.Errorf("fault: disk clause %q: want kind:op=N: %w", clause, err)
+		}
+		if op <= 0 {
+			return nil, fmt.Errorf("fault: disk clause %q: op = %d, want ≥ 1", clause, op)
+		}
+		switch strings.TrimSpace(kind) {
+		case "tearwal":
+			d.TearWALAppend = op
+		case "tearsnap":
+			d.TearSnapshot = op
+		case "flipsnap":
+			d.FlipSnapshot = op
+		default:
+			return nil, fmt.Errorf("fault: unknown disk clause kind %q (want tearwal|tearsnap|flipsnap)", kind)
+		}
+	}
+	if d.TearWALAppend == 0 && d.TearSnapshot == 0 && d.FlipSnapshot == 0 {
+		return nil, fmt.Errorf("fault: disk spec %q arms nothing", spec)
+	}
+	return d, nil
+}

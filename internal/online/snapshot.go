@@ -36,6 +36,15 @@ import (
 // encoding round-trips exactly via the shortest-representation parser).
 // Demand rows are NOT included — the serving layer owns the tensor and
 // snapshots the realised rows alongside (package serve).
+//
+// Durability layering (DESIGN.md §14): a StreamSnapshot only ever
+// describes slot-boundary state — Stream has no mid-slot state to carry,
+// because demand accumulates outside it until CloseSlot. The serving
+// layer exploits that: its snapshot generations embed this struct as the
+// watermark ("everything up to the last slot close") and replay their
+// report WAL on top of it to rebuild the open slot. Nothing here needs
+// to know about the WAL; idempotent replay works precisely because
+// restoring this snapshot and re-running CloseSlot is deterministic.
 type StreamSnapshot struct {
 	// Algorithm is the configuration's Name(), checked on restore so a
 	// snapshot is never resumed under a different controller.

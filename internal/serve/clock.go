@@ -1,15 +1,62 @@
 // Package serve is the streaming control-plane service around the online
 // controller: request-stream ingestion feeding an oracle-free demand
 // estimator, a wall-clock slot ticker advancing the controller window by
-// window, published per-slot decisions, and versioned snapshot/restore so
-// a killed-and-restarted controller continues exactly where it stopped
-// (DESIGN.md §13). cmd/jocserve wraps it into a binary.
+// window, published per-slot decisions, and a crash-safe durability
+// layer — a CRC-framed write-ahead log for acknowledged reports plus
+// checksummed snapshot generations with corruption fallback — so a
+// killed-and-restarted controller continues exactly where it stopped
+// even when the kill lands mid-write (DESIGN.md §13–§14). cmd/jocserve
+// wraps it into a binary.
 package serve
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
+
+// CatchUpPolicy selects how the slot ticker handles missed ticks — the
+// degraded-mode case where slot closes fall behind wall time (a long GC
+// pause, a slow solve, the process suspended, or recovery finishing
+// mid-horizon). Every tick event computes how many slot periods are due
+// since the loop's anchor; the policy decides how many of them to close.
+type CatchUpPolicy int
+
+const (
+	// CatchUpSkip closes one slot per tick event and logs the rest as
+	// missed (serve.ticks_missed): real time wins, the controller simply
+	// runs behind by the slots it skipped. The default — and exactly the
+	// pre-durability tick behaviour when nothing is missed.
+	CatchUpSkip CatchUpPolicy = iota
+	// CatchUpFastForward closes up to ServerConfig.CatchUpBound due slots
+	// back to back, counting only the remainder as missed: the slot index
+	// catches up with wall time at the price of a burst of solves.
+	CatchUpFastForward
+)
+
+// DefaultCatchUpBound caps a fast-forward burst when
+// ServerConfig.CatchUpBound is zero.
+const DefaultCatchUpBound = 8
+
+// ParseCatchUpPolicy maps the -catchup flag: "skip", "fastforward" or
+// "fastforward:N" (N bounding the burst). "" selects CatchUpSkip.
+func ParseCatchUpPolicy(s string) (CatchUpPolicy, int, error) {
+	switch {
+	case s == "" || s == "skip":
+		return CatchUpSkip, 0, nil
+	case s == "fastforward":
+		return CatchUpFastForward, 0, nil
+	case strings.HasPrefix(s, "fastforward:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "fastforward:"))
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("serve: catch-up bound %q: want a positive integer", strings.TrimPrefix(s, "fastforward:"))
+		}
+		return CatchUpFastForward, n, nil
+	}
+	return 0, 0, fmt.Errorf("serve: unknown catch-up policy %q (want skip, fastforward or fastforward:N)", s)
+}
 
 // Clock abstracts wall time so the slot ticker is testable and the smoke
 // harness deterministic. RealClock is the production implementation;

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"edgecache/internal/online"
+)
+
+// TestIngestNonFiniteRejected pins the estimator-poisoning guard: NaN,
+// ±Inf and negative counts are rejected with a structured RequestError
+// locating the offending report.
+func TestIngestNonFiniteRejected(t *testing.T) {
+	base := testInstance(t)
+	c, err := New(context.Background(), base, Config{Online: online.RHC(4), EstimatorFloor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		batch []Request
+		field string
+		index int
+	}{
+		{"nan", []Request{{SBS: 0}, {SBS: 0, Count: math.NaN()}}, "count", 1},
+		{"+inf", []Request{{SBS: 0, Count: math.Inf(1)}}, "count", 0},
+		{"-inf", []Request{{SBS: 0, Count: math.Inf(-1)}}, "count", 0},
+		{"negative", []Request{{SBS: 0, Count: -1}}, "count", 0},
+		{"sbs", []Request{{SBS: base.N}}, "sbs", 0},
+		{"class", []Request{{SBS: 0, Class: -1}}, "class", 0},
+		{"content", []Request{{SBS: 0, Content: base.K}}, "content", 0},
+	}
+	for _, tc := range cases {
+		_, err := c.Ingest(tc.batch)
+		rerr, ok := err.(*RequestError)
+		if !ok {
+			t.Errorf("%s: error %v, want *RequestError", tc.name, err)
+			continue
+		}
+		if rerr.Field != tc.field || rerr.Index != tc.index {
+			t.Errorf("%s: rejected field %q index %d, want %q index %d", tc.name, rerr.Field, rerr.Index, tc.field, tc.index)
+		}
+	}
+	if got := c.Stats().Ingested; got != 0 {
+		t.Fatalf("%d reports booked from rejected batches — validation is not atomic", got)
+	}
+}
+
+// TestServerHardening drives the abuse surface of POST /v1/requests over
+// HTTP: oversized bodies, malformed and non-finite payloads with the
+// structured 400 body, ingest backpressure with Retry-After, and the
+// panic-recovery middleware.
+func TestServerHardening(t *testing.T) {
+	base := testInstance(t)
+	c, err := New(context.Background(), base, Config{
+		Online: online.RHC(4), EstimatorFloor: -1, PendingLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Controller: c, MaxBodyBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, ErrorBody) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/requests", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return resp, eb
+	}
+
+	// An oversized body is cut off at MaxBodyBytes with 413.
+	big := fmt.Sprintf(`{"requests":[%s{"sbs":0}]}`,
+		strings.Repeat(`{"sbs":0,"class":0,"content":0,"count":1},`, 64))
+	if resp, _ := post(big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+	// Malformed JSON is a 400.
+	if resp, _ := post(`{"requests":[`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", resp.StatusCode)
+	}
+	// A bad rate is a 400 with the structured locator. (JSON cannot carry
+	// NaN/Inf literally — those reach Ingest only through in-process
+	// callers, covered above — so the wire case uses a negative count.)
+	resp, eb := post(`{"requests":[{"sbs":0},{"sbs":0,"count":-3}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative count: %d, want 400", resp.StatusCode)
+	}
+	if eb.Field != "count" || eb.Index != 1 || eb.Reason == "" {
+		t.Fatalf("structured error body %+v, want field=count index=1", eb)
+	}
+	// Out-of-range index over the wire too.
+	resp, eb = post(fmt.Sprintf(`{"requests":[{"sbs":%d}]}`, base.N))
+	if resp.StatusCode != http.StatusBadRequest || eb.Field != "sbs" {
+		t.Fatalf("out-of-range sbs: %d %+v", resp.StatusCode, eb)
+	}
+
+	// Backpressure: the 11th open-slot report trips PendingLimit=10 with
+	// 429 + Retry-After.
+	ok := fmt.Sprintf(`{"requests":[%s{"sbs":0}]}`,
+		strings.Repeat(`{"sbs":0},`, 9))
+	if resp, _ := post(ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("filling batch: %d, want 200", resp.StatusCode)
+	}
+	resp, eb = post(`{"requests":[{"sbs":0}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over limit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(eb.Error, "limit") {
+		t.Fatalf("backpressure body %+v does not name the limit", eb)
+	}
+	// The booked 10 are still there; the rejected one was not applied.
+	if got := c.Stats().Ingested; got != 10 {
+		t.Fatalf("%d reports booked, want 10", got)
+	}
+	// Closing the slot drains the window and lifts the backpressure.
+	if _, err := c.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := post(`{"requests":[{"sbs":0}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after tick: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPanicMiddleware checks a handler panic becomes a 500 and a counter
+// increment, not a process death.
+func TestPanicMiddleware(t *testing.T) {
+	base := testInstance(t)
+	c, err := New(context.Background(), base, Config{Online: online.RHC(4), EstimatorFloor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Controller: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := srv.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	panics0 := mPanics.Value()
+	rec := httptest.NewRecorder()
+	bomb.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/plan", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler replied %d, want 500", rec.Code)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(rec.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "kaboom") {
+		t.Fatalf("panic body %+v, %v", eb, err)
+	}
+	if mPanics.Value() == panics0 {
+		t.Fatal("panic not counted in serve.handler_panics")
+	}
+	// The real mux still serves normally afterwards.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after a panic: %d", rec.Code)
+	}
+}

@@ -4,72 +4,120 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
-	"path/filepath"
 
 	"edgecache/internal/online"
 )
 
-// SnapshotFormatVersion is the on-disk envelope format this build reads
-// and writes. Bump it on any incompatible change to Envelope or to
-// online.StreamSnapshot; Load rejects mismatches loudly instead of
+// SnapshotFormatVersion is the on-disk envelope format this build
+// writes. Version 2 added the WalSeq watermark and the Checksum field;
+// version-1 envelopes (pre-durability) are still read, without checksum
+// verification. Bump on any incompatible change to Envelope or to
+// online.StreamSnapshot; Load rejects foreign versions loudly instead of
 // mis-restoring.
-const SnapshotFormatVersion = 1
+const SnapshotFormatVersion = 2
 
 // Envelope is the on-disk snapshot: the controller state plus the
 // realised demand rows of the closed slots (the stream snapshot carries
 // no demand of its own — the estimator and the restored windows
 // recompute from this prefix). Serialised as JSON; float64 values
 // round-trip exactly through Go's shortest-representation encoding.
+//
+// An envelope always describes a slot boundary: Rows covers exactly the
+// closed slots and Ingested counts exactly the reports folded into them.
+// Open-slot reports are never inside an envelope — they live in the WAL
+// past the watermark.
 type Envelope struct {
 	FormatVersion int    `json:"formatVersion"`
 	Algorithm     string `json:"algorithm"`
 	// Slot is the open slot at snapshot time; Rows covers [0, Slot).
 	Slot     int   `json:"slot"`
 	Ingested int64 `json:"ingested"`
+	// WalSeq is the durability watermark: the sequence number of the last
+	// WAL close marker whose effects this envelope captures. Recovery
+	// replays records with Seq > WalSeq. Zero in legacy single-file mode
+	// and at genesis.
+	WalSeq uint64 `json:"walSeq,omitempty"`
+	// Checksum is CRC32C over the envelope's canonical JSON with this
+	// field zeroed; a bit flip anywhere in the file fails verification and
+	// recovery falls back to the previous generation.
+	Checksum uint32 `json:"checksum,omitempty"`
 	// Rows[t][n] is the realised flat (class, content) rate row of slot
 	// t at SBS n.
 	Rows       [][][]float64          `json:"rows"`
 	Controller *online.StreamSnapshot `json:"controller"`
 }
 
-// SaveSnapshot writes the envelope to path atomically: marshal, write to
-// a temp file in the same directory, fsync, rename. A crash mid-save
-// leaves the previous snapshot intact; a reader never observes a partial
-// file.
+// encodeSnapshot marshals env with its Checksum computed over the
+// canonical (checksum-zeroed) encoding. The input is not mutated.
+func encodeSnapshot(env *Envelope) ([]byte, error) {
+	e := *env
+	e.Checksum = 0
+	canonical, err := json.Marshal(&e)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal snapshot: %w", err)
+	}
+	e.Checksum = crc32.Checksum(canonical, castagnoli)
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// decodeSnapshot parses and verifies an envelope: format version gate,
+// checksum (format ≥ 2 — verified by re-marshalling the decoded
+// envelope with a zeroed checksum, which reproduces the writer's
+// canonical bytes because encoding/json is deterministic), and the
+// presence of the controller block. Arbitrary or damaged bytes return
+// an error; they never panic.
+func decodeSnapshot(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("serve: parse snapshot: %w", err)
+	}
+	switch env.FormatVersion {
+	case 1:
+		// Pre-durability envelope: no checksum to verify.
+	case SnapshotFormatVersion:
+		sum := env.Checksum
+		e := env
+		e.Checksum = 0
+		canonical, err := json.Marshal(&e)
+		if err != nil {
+			return nil, fmt.Errorf("serve: re-marshal snapshot: %w", err)
+		}
+		if got := crc32.Checksum(canonical, castagnoli); got != sum {
+			return nil, fmt.Errorf("serve: snapshot checksum mismatch: stored %08x, computed %08x", sum, got)
+		}
+	default:
+		return nil, fmt.Errorf("serve: snapshot has format version %d, this build reads %d",
+			env.FormatVersion, SnapshotFormatVersion)
+	}
+	if env.Controller == nil {
+		return nil, fmt.Errorf("serve: snapshot carries no controller state")
+	}
+	return &env, nil
+}
+
+// SaveSnapshot writes the envelope to path atomically and durably:
+// marshal (with checksum), write to a temp file in the same directory,
+// fsync, rename, fsync the parent directory. A crash mid-save leaves
+// the previous snapshot intact; a reader never observes a partial file;
+// the temp file is removed on every error path.
 func SaveSnapshot(path string, env *Envelope) error {
-	data, err := json.Marshal(env)
+	data, err := encodeSnapshot(env)
 	if err != nil {
-		return fmt.Errorf("serve: marshal snapshot: %w", err)
+		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("serve: snapshot temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("serve: write snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("serve: sync snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("serve: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("serve: publish snapshot: %w", err)
-	}
-	return nil
+	return writeFileAtomic(path, data)
 }
 
 // LoadSnapshot reads an envelope from path. A missing file returns
 // (nil, nil) — the fresh-start case of Open; anything else that fails to
-// parse or carries a foreign format version is an error.
+// parse, verify, or that carries a foreign format version is an error.
 func LoadSnapshot(path string) (*Envelope, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -78,16 +126,9 @@ func LoadSnapshot(path string) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: read snapshot: %w", err)
 	}
-	var env Envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("serve: parse snapshot %s: %w", path, err)
+	env, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
 	}
-	if env.FormatVersion != SnapshotFormatVersion {
-		return nil, fmt.Errorf("serve: snapshot %s has format version %d, this build reads %d",
-			path, env.FormatVersion, SnapshotFormatVersion)
-	}
-	if env.Controller == nil {
-		return nil, fmt.Errorf("serve: snapshot %s carries no controller state", path)
-	}
-	return &env, nil
+	return env, nil
 }

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"edgecache/internal/fault"
+	"edgecache/internal/obs"
+)
+
+// Durability counters (DESIGN.md §14). Created on first use; zero-cost
+// reads when metrics are disabled.
+var (
+	mWALAppends    = obs.Default.Counter("serve.wal_appends")
+	mWALReplayed   = obs.Default.Counter("serve.wal_replayed")
+	mWALTornTail   = obs.Default.Counter("serve.wal_torn_tail")
+	mSnapFallbacks = obs.Default.Counter("serve.snapshot_fallbacks")
+	mSnapCorrupt   = obs.Default.Counter("serve.snapshot_corrupt")
+	mTicksMissed   = obs.Default.Counter("serve.ticks_missed")
+	mPanics        = obs.Default.Counter("serve.handler_panics")
+)
+
+// FsyncPolicy selects when the WAL flushes appended records to stable
+// storage. Close markers and snapshot generations are always synced
+// regardless of policy, so the loss window of the relaxed policies is
+// bounded to report records inside the open slot.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged report is
+	// durable before the acknowledgement leaves the process. The default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs at most once per Config.FsyncEvery: a crash can
+	// lose up to one interval of acknowledged open-slot reports.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs report appends (the OS flushes eventually): a
+	// crash can lose any acknowledged reports of the open slot.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy maps the -wal-fsync flag values; "" selects
+// FsyncAlways.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "", FsyncAlways:
+		return FsyncAlways, nil
+	case FsyncInterval:
+		return FsyncInterval, nil
+	case FsyncOff:
+		return FsyncOff, nil
+	}
+	return "", fmt.Errorf("serve: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// WAL record kinds.
+const (
+	walKindReports = "reports" // an acknowledged Ingest batch
+	walKindClose   = "close"   // a slot-close marker
+)
+
+// walRecord is one framed WAL entry. Seq is globally monotonic across
+// segment rotations, starting at 1; recovery rejects duplicates, gaps
+// and reordering.
+type walRecord struct {
+	Seq  uint64    `json:"seq"`
+	Kind string    `json:"kind"`
+	Slot int       `json:"slot"`
+	Reqs []Request `json:"reqs,omitempty"`
+}
+
+// maxWALRecord caps one record's payload. Anything claiming to be
+// larger is garbage (a torn or corrupt length header) — the cap keeps a
+// hostile length field from allocating unbounded memory during replay
+// and fuzzing.
+const maxWALRecord = 1 << 24
+
+// walFrameHeader is the fixed frame prefix: uint32 LE payload length,
+// uint32 LE CRC32C of the payload.
+const walFrameHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeWALFrame frames a record: length, CRC32C, JSON payload.
+func encodeWALFrame(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal wal record: %w", err)
+	}
+	if len(payload) > maxWALRecord {
+		return nil, fmt.Errorf("serve: wal record of %d bytes exceeds the %d cap", len(payload), maxWALRecord)
+	}
+	frame := make([]byte, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[walFrameHeader:], payload)
+	return frame, nil
+}
+
+// decodeWALBuffer walks frames from the start of data and returns every
+// record up to the first bad frame, plus the byte offset where the good
+// prefix ends. It never returns an error and never panics: a truncated
+// header, an absurd length, a CRC mismatch or unparsable JSON all just
+// terminate the walk — that is the torn-tail tolerance the append-only
+// write path guarantees is safe (frames are written strictly in order,
+// so damage can only be a suffix; recovery decides whether a short
+// prefix is tolerable).
+func decodeWALBuffer(data []byte) (recs []walRecord, goodLen int) {
+	off := 0
+	for {
+		if len(data)-off < walFrameHeader {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n == 0 || n > maxWALRecord || n > len(data)-off-walFrameHeader {
+			return recs, off
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+walFrameHeader : off+walFrameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += walFrameHeader + n
+	}
+}
+
+// readWALSegment reads and decodes one segment file. torn reports
+// whether undecodable bytes trail the good prefix; goodLen is the byte
+// length of that prefix (the truncation point for reopening the final
+// segment in append mode).
+func readWALSegment(path string) (recs []walRecord, goodLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("serve: read wal segment: %w", err)
+	}
+	recs, n := decodeWALBuffer(data)
+	return recs, int64(n), n < len(data), nil
+}
+
+// wal is an open append-mode segment file.
+type wal struct {
+	f        *os.File
+	path     string
+	policy   FsyncPolicy
+	interval time.Duration
+	lastSync time.Time
+	faults   *fault.DiskFaults
+}
+
+// openWALSegment opens (creating if absent) a segment for appending.
+// When goodLen ≥ 0 and the file is longer, it is truncated there first —
+// recovery passes the decoded good-prefix length so a torn tail is cut
+// off before new frames land after it (frames appended beyond garbage
+// would be unreachable forever).
+func openWALSegment(path string, goodLen int64, policy FsyncPolicy, interval time.Duration, faults *fault.DiskFaults) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open wal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: stat wal segment: %w", err)
+	}
+	if goodLen >= 0 && st.Size() > goodLen {
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("serve: truncate wal torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("serve: sync wal truncation: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: seek wal segment: %w", err)
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &wal{f: f, path: path, policy: policy, interval: interval, faults: faults}, nil
+}
+
+// append frames and writes one record. force overrides the fsync policy
+// (close markers must be durable before the snapshot that covers them).
+// A fault-injected torn append writes only a prefix of the frame and
+// then fires the simulated crash — from that point the in-memory
+// controller state must be discarded, exactly as after SIGKILL.
+func (w *wal) append(rec walRecord, force bool) error {
+	frame, err := encodeWALFrame(rec)
+	if err != nil {
+		return err
+	}
+	if keep, tear := w.faults.WALTear(len(frame)); tear {
+		if keep > 0 {
+			_, _ = w.f.Write(frame[:keep])
+		}
+		_ = w.f.Sync() // make the torn prefix what a recovery will see
+		return w.faults.Crash()
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("serve: append wal record: %w", err)
+	}
+	mWALAppends.Inc()
+	switch {
+	case force, w.policy == FsyncAlways, w.policy == "":
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("serve: sync wal: %w", err)
+		}
+		w.lastSync = time.Now()
+	case w.policy == FsyncInterval:
+		if now := time.Now(); now.Sub(w.lastSync) >= w.interval {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("serve: sync wal: %w", err)
+			}
+			w.lastSync = now
+		}
+	}
+	return nil
+}
+
+// close syncs and closes the segment file.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("serve: sync wal on close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("serve: close wal: %w", closeErr)
+	}
+	return nil
+}
